@@ -1,0 +1,54 @@
+// Figure 1 — Message-passing depth vs accuracy on a 2-hop planted task.
+//
+// The e-commerce generator plants churn signal exactly two FK hops from
+// the user (users -> orders -> products.quality_score). The paper's core
+// structural claim: a GNN's accuracy climbs as its depth reaches the
+// signal (L=2) and saturates beyond it, while single-table models are
+// flat no matter how much capacity they get.
+//
+// Series: GNN with L in {1,2,3}; flat references: LINEAR/MLP on entity
+// columns, GBDT restricted to hop-0 features.
+
+#include "bench_util.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+int main() {
+  Database db = StandardECommerce();
+  PredictiveQueryEngine engine(&db);
+  // Cohort: users active in the trailing 3 weeks — the cases where churn
+  // is NOT already visible from recency, isolating the planted 2-hop
+  // signal (see the history-predicate extension of the query language).
+  const std::string task =
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+      "WHERE COUNT(orders) OVER LAST 21 DAYS > 0 ";
+  const std::string tail = " EVERY 14 DAYS";
+
+  PrintHeader("Figure 1: GNN depth sweep on 2-hop churn signal",
+              {"test AUC"});
+  for (int layers = 1; layers <= 3; ++layers) {
+    QueryResult r;
+    const std::string q = task + StrFormat(
+        "USING GNN WITH layers=%d, hidden=48, epochs=16, lr=0.01, "
+        "patience=6, fanout=5, policy=recent, conv=gat, norm=true", layers) + tail;
+    if (Run(&engine, q, &r)) {
+      PrintRow(StrFormat("gnn L=%d", layers), {r.test_metric});
+    }
+  }
+  // Flat references (no graph access).
+  for (const auto& [label, suffix] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"linear (flat)", "USING LINEAR WITH hops=0"},
+           {"mlp (flat)", "USING MLP WITH hops=0"},
+           {"gbdt (flat)", "USING GBDT WITH hops=0"},
+       }) {
+    QueryResult r;
+    if (Run(&engine, task + suffix + tail, &r)) {
+      PrintRow(label, {r.test_metric});
+    }
+  }
+  std::printf("\nexpected shape: AUC(L=2) >> AUC(L=1); L=3 ~= L=2 "
+              "(signal exhausted); flat baselines near 0.5-0.6.\n");
+  return 0;
+}

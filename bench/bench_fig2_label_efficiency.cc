@@ -1,0 +1,112 @@
+// Figure 2 — Label efficiency: test AUC vs fraction of training labels.
+//
+// Paper claim reproduced: because the declarative GNN consumes the raw
+// relational structure, it reaches a given accuracy with fewer labeled
+// examples than the feature-engineered GBDT pipeline (whose aggregate
+// features are fixed before it sees any label).
+//
+// Uses the library's low-level API: the query is compiled once, then the
+// training split is subsampled at {5, 10, 25, 50, 100}% before fitting
+// each model.
+
+#include "baselines/feature_aggregator.h"
+#include "baselines/gbdt.h"
+#include "bench_util.h"
+#include "pq/analyzer.h"
+#include "pq/label_builder.h"
+#include "pq/parser.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+namespace {
+
+std::vector<int64_t> Subsample(const std::vector<int64_t>& idx,
+                               double fraction, Rng* rng) {
+  const int64_t k = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<double>(idx.size()) * fraction));
+  auto pick = rng->SampleWithoutReplacement(
+      static_cast<int64_t>(idx.size()), k);
+  std::vector<int64_t> out;
+  out.reserve(pick.size());
+  for (int64_t p : pick) out.push_back(idx[static_cast<size_t>(p)]);
+  return out;
+}
+
+std::vector<double> Truth(const TrainingTable& table,
+                          const std::vector<int64_t>& idx) {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (int64_t i : idx) out.push_back(table.labels[static_cast<size_t>(i)]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Database db = StandardECommerce();
+  auto parsed = ParseQuery(
+                    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH "
+                    "users WHERE COUNT(orders) OVER LAST 21 DAYS > 0 "
+                    "EVERY 14 DAYS")
+                    .value();
+  auto rq = AnalyzeQuery(parsed, db).value();
+  auto cutoffs = MakeCutoffs(rq, db).value();
+  auto table = BuildTrainingTable(rq, db, cutoffs).value();
+  auto split = MakeSplit(rq, table, cutoffs).value();
+
+  auto graph = BuildDbGraph(db).value();
+  const NodeTypeId users = graph.graph.FindNodeType("users").value();
+
+  FeatureAggregator aggregator =
+      FeatureAggregator::Build(db, "users").value();
+  Tensor features = aggregator.Compute(table.entity_rows, table.cutoffs);
+
+  PrintHeader("Figure 2: label efficiency on churn (test AUC)",
+              {"gnn", "gbdt"}, 16);
+  for (double fraction : {0.05, 0.10, 0.25, 0.50, 1.0}) {
+    Rng rng(1234);
+    Split sub = split;
+    sub.train = Subsample(split.train, fraction, &rng);
+
+    // GNN.
+    GnnConfig gnn;
+    gnn.hidden_dim = 48;
+    gnn.conv = GnnConv::kAttention;
+    gnn.layer_norm = true;
+    SamplerOptions sopts;
+    sopts.fanouts = {5, 5};
+    sopts.policy = SamplePolicy::kMostRecent;
+    TrainerConfig tc;
+    tc.epochs = 16;
+    tc.patience = 6;
+    tc.seed = 7;
+    GnnNodePredictor predictor(&graph.graph, users,
+                               TaskKind::kBinaryClassification, 2, gnn,
+                               sopts, tc);
+    double gnn_auc = -1.0;
+    if (predictor.Fit(table, sub).ok()) {
+      gnn_auc = RocAuc(predictor.PredictScores(table, sub.test),
+                       Truth(table, sub.test));
+    }
+
+    // GBDT on engineered features.
+    GbdtModel gbdt;
+    double gbdt_auc = -1.0;
+    if (gbdt.Fit(features, table.labels, TaskKind::kBinaryClassification,
+                 sub.train, sub.val)
+            .ok()) {
+      gbdt_auc = RocAuc(gbdt.Predict(features, sub.test),
+                        Truth(table, sub.test));
+    }
+    PrintRow(StrFormat("%3.0f%% (%zu ex)", fraction * 100.0,
+                       sub.train.size()),
+             {gnn_auc, gbdt_auc}, 16);
+  }
+  std::printf("\nexpected shape: both improve with labels; the gnn is "
+              "competitive at small label budgets while the fixed "
+              "engineered features let gbdt absorb large budgets faster.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Figure 3 — Systems cost of temporal neighbor sampling
+// (google-benchmark).
+//
+// Paper claim reproduced: declarative training is practical because
+// temporal neighbor sampling is cheap and scales predictably — roughly
+// linearly in batch size and fanout, with depth multiplying the frontier.
+//
+// Series:
+//   BM_SampleFanout/F     2-hop sampling, 128 seeds, fanout F
+//   BM_SampleBatch/B      2-hop sampling, fanout 10, batch B
+//   BM_SampleDepth/L      L-hop sampling, fanout 10, 128 seeds
+//   BM_SamplePolicy/p     uniform (0) vs most-recent (1)
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sampler/neighbor_sampler.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+namespace {
+
+struct Fixture {
+  Database db = StandardECommerce();
+  DbGraph graph = BuildDbGraph(db).value();
+  NodeTypeId users = graph.graph.FindNodeType("users").value();
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void RunSampler(benchmark::State& state, std::vector<int64_t> fanouts,
+                int64_t batch, SamplePolicy policy) {
+  Fixture& f = GetFixture();
+  SamplerOptions opts;
+  opts.fanouts = std::move(fanouts);
+  opts.policy = policy;
+  NeighborSampler sampler(&f.graph.graph, opts);
+  Rng rng(99);
+  std::vector<int64_t> seeds;
+  std::vector<Timestamp> cutoffs;
+  for (int64_t i = 0; i < batch; ++i) {
+    seeds.push_back(static_cast<int64_t>(
+        rng.UniformU64(static_cast<uint64_t>(
+            f.graph.graph.num_nodes(f.users)))));
+    cutoffs.push_back(Days(150));
+  }
+  int64_t nodes = 0, edges = 0;
+  for (auto _ : state) {
+    Subgraph sg = sampler.Sample(f.users, seeds, cutoffs, &rng);
+    nodes += sg.TotalFrontierNodes();
+    edges += sg.TotalBlockEdges();
+    benchmark::DoNotOptimize(sg);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  state.counters["frontier_nodes"] = benchmark::Counter(
+      static_cast<double>(nodes) / static_cast<double>(state.iterations()));
+  state.counters["sampled_edges"] = benchmark::Counter(
+      static_cast<double>(edges) / static_cast<double>(state.iterations()));
+}
+
+void BM_SampleFanout(benchmark::State& state) {
+  const int64_t fanout = state.range(0);
+  RunSampler(state, {fanout, fanout}, 128, SamplePolicy::kUniform);
+}
+BENCHMARK(BM_SampleFanout)->Arg(2)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SampleBatch(benchmark::State& state) {
+  RunSampler(state, {10, 10}, state.range(0), SamplePolicy::kUniform);
+}
+BENCHMARK(BM_SampleBatch)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_SampleDepth(benchmark::State& state) {
+  std::vector<int64_t> fanouts(static_cast<size_t>(state.range(0)), 10);
+  RunSampler(state, std::move(fanouts), 128, SamplePolicy::kUniform);
+}
+BENCHMARK(BM_SampleDepth)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_SamplePolicy(benchmark::State& state) {
+  RunSampler(state, {10, 10}, 128,
+             state.range(0) == 0 ? SamplePolicy::kUniform
+                                 : SamplePolicy::kMostRecent);
+}
+BENCHMARK(BM_SamplePolicy)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

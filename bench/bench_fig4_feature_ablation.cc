@@ -1,0 +1,49 @@
+// Figure 4 — The feature-engineering ladder vs the declarative GNN.
+//
+// Paper claim reproduced: hand-engineered aggregate features are exactly
+// what climbing the FK graph by hand looks like — each rung (entity
+// columns -> +1-hop temporal aggregates -> +2-hop attribute aggregates)
+// buys tabular models a large accuracy jump, and the GNN reaches the top
+// rung *automatically* from the declarative query.
+//
+// Rows: tabular models at hops 0/1/2; last row the GNN.
+
+#include "bench_util.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+int main() {
+  Database db = StandardECommerce();
+  PredictiveQueryEngine engine(&db);
+  const std::string task =
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+      "WHERE COUNT(orders) OVER LAST 21 DAYS > 0 ";
+  const std::string tail = " EVERY 14 DAYS";
+
+  PrintHeader("Figure 4: feature-engineering ablation on churn",
+              {"test AUC"});
+  for (const char* model : {"LINEAR", "MLP", "GBDT"}) {
+    for (int hops = 0; hops <= 2; ++hops) {
+      QueryResult r;
+      const std::string q =
+          task + StrFormat("USING %s WITH hops=%d", model, hops) + tail;
+      if (Run(&engine, q, &r)) {
+        PrintRow(StrFormat("%s hops=%d", model, hops), {r.test_metric});
+      }
+    }
+  }
+  QueryResult r;
+  if (Run(&engine,
+          task +
+              "USING GNN WITH layers=2, hidden=48, epochs=16, lr=0.01, "
+              "patience=6, fanout=5, policy=recent, conv=gat, norm=true" +
+              tail,
+          &r)) {
+    PrintRow("GNN (no feature code)", {r.test_metric});
+  }
+  std::printf("\nexpected shape: every model climbs steeply from hops=0 to "
+              "hops=2; the GNN reaches the top rungs with zero "
+              "feature engineering.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 5 — Temporal leakage: why time-constrained sampling matters.
+//
+// Paper claim reproduced: the single most dangerous failure mode of
+// relational ML is letting the model see events dated after the
+// prediction cutoff. We train the same GNN twice — once with honest
+// (strictly pre-cutoff) neighbor sampling, once with time filtering
+// disabled — and score both offline, then re-score the leaky model under
+// the honest sampler (which is all a deployed system has).
+//
+//   honest model:  realistic offline numbers that transfer to deployment;
+//   leaky model:   spectacular offline numbers (it literally samples the
+//                  label events) that collapse at deployment time.
+
+#include "bench_util.h"
+#include "pq/analyzer.h"
+#include "pq/label_builder.h"
+#include "pq/parser.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+namespace {
+
+std::vector<double> Truth(const TrainingTable& table,
+                          const std::vector<int64_t>& idx) {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (int64_t i : idx) out.push_back(table.labels[static_cast<size_t>(i)]);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Database db = StandardECommerce();
+  auto parsed = ParseQuery(
+                    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH "
+                    "users")
+                    .value();
+  auto rq = AnalyzeQuery(parsed, db).value();
+  auto cutoffs = MakeCutoffs(rq, db).value();
+  auto table = BuildTrainingTable(rq, db, cutoffs).value();
+  auto split = MakeSplit(rq, table, cutoffs).value();
+  auto graph = BuildDbGraph(db).value();
+  const NodeTypeId users = graph.graph.FindNodeType("users").value();
+
+  GnnConfig gnn;
+  gnn.hidden_dim = 48;
+  TrainerConfig tc;
+  tc.epochs = 8;
+  tc.seed = 7;
+
+  PrintHeader("Figure 5: temporal leakage ablation (churn)",
+              {"val AUC", "test AUC", "deploy AUC"}, 34);
+  const auto truth_val = Truth(table, split.val);
+  const auto truth_test = Truth(table, split.test);
+
+  for (const bool temporal : {true, false}) {
+    SamplerOptions sopts;
+    sopts.fanouts = {10, 10};
+    sopts.temporal = temporal;
+    GnnNodePredictor predictor(&graph.graph, users,
+                               TaskKind::kBinaryClassification, 2, gnn,
+                               sopts, tc);
+    if (!predictor.Fit(table, split).ok()) continue;
+    const double val =
+        RocAuc(predictor.PredictScores(table, split.val), truth_val);
+    const double test =
+        RocAuc(predictor.PredictScores(table, split.test), truth_test);
+    // Deployment: only pre-cutoff events exist, i.e. honest sampling.
+    predictor.SetTemporalSampling(true);
+    const double deploy =
+        RocAuc(predictor.PredictScores(table, split.test), truth_test);
+    PrintRow(temporal ? "honest (time-filtered) sampling"
+                      : "LEAKY (unfiltered) sampling",
+             {val, test, deploy}, 34);
+  }
+  std::printf("\nexpected shape: the leaky row shows inflated offline AUC "
+              "(~0.95+) that collapses in the deploy column, far below the "
+              "honest model; the honest row is identical offline and "
+              "deployed.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 7 — Ablation of RelGraph's GNN design choices (DESIGN.md calls
+// these out explicitly): convolution flavour, neighbor aggregation,
+// sampling policy, and the relative-time / degree input encodings.
+//
+// All rows answer the same active-cohort churn query; only one knob moves
+// per row relative to the reference configuration.
+
+#include "bench_util.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+int main() {
+  Database db = StandardECommerce();
+  PredictiveQueryEngine engine(&db);
+  const std::string task =
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+      "WHERE COUNT(orders) OVER LAST 21 DAYS > 0 ";
+  const std::string common =
+      "layers=2, hidden=48, epochs=16, lr=0.01, patience=6, fanout=5";
+  const std::string tail = " EVERY 14 DAYS";
+
+  const std::vector<std::pair<std::string, std::string>> variants = {
+      {"reference (sage/mean/recent)", ", policy=recent"},
+      {"uniform sampling", ""},
+      {"agg=sum", ", policy=recent, agg=sum"},
+      {"agg=max", ", policy=recent, agg=max"},
+      {"conv=gat (attention)", ", policy=recent, conv=gat"},
+      {"no time encoding", ", policy=recent, time_enc=false"},
+      {"no degree encoding", ", policy=recent, degree_enc=false"},
+      {"no time/degree encoding",
+       ", policy=recent, time_enc=false, degree_enc=false"},
+      {"+ layer norm", ", policy=recent, norm=true"},
+      {"conv=gat + layer norm", ", policy=recent, conv=gat, norm=true"},
+  };
+
+  PrintHeader("Figure 7: GNN design-choice ablation (churn cohort)",
+              {"test AUC"}, 34);
+  for (const auto& [label, extra] : variants) {
+    QueryResult r;
+    const std::string q = task + "USING GNN WITH " + common + extra + tail;
+    if (Run(&engine, q, &r)) {
+      PrintRow(label, {r.test_metric}, 34);
+    }
+  }
+  std::printf("\nexpected shape: all variants land within a few points; "
+              "attention (conv=gat) is slightly ahead on this task, and "
+              "dropping BOTH the time and degree encodings costs the most "
+              "(recency/volume signal vanishes).\n");
+  return 0;
+}

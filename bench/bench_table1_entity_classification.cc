@@ -1,0 +1,77 @@
+// Table 1 — Entity classification across three relational domains.
+//
+// Paper claim reproduced: a declaratively-trained GNN over the
+// database-as-graph matches or beats the feature-engineered GBDT pipeline
+// and clearly beats single-table baselines, on every classification task,
+// without task-specific feature code.
+//
+// Tasks (all expressed as predictive queries):
+//   churn        e-commerce: no order in the next 28 days
+//   readmission  clinical: any visit in the next 30 days
+//   dormancy     social: no post in the next 14 days
+//
+// Rows: model families; columns: held-out test ROC-AUC per task.
+
+#include "bench_util.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+int main() {
+  struct Task {
+    const char* name;
+    Database db;
+    std::string query;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({"churn-28d", StandardECommerce(),
+                   "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH "
+                   "users "});  // EVERY appended below
+  tasks.push_back({"readmit-30d", StandardClinical(),
+                   "PREDICT EXISTS(visits) OVER NEXT 30 DAYS FOR EACH "
+                   "patients "});
+  tasks.push_back({"dormant-14d", StandardSocial(),
+                   "PREDICT COUNT(posts) = 0 OVER NEXT 14 DAYS FOR EACH "
+                   "users "});
+
+  const std::vector<std::pair<std::string, std::string>> models = {
+      {"constant", "USING CONSTANT"},
+      {"linear (entity cols)", "USING LINEAR"},
+      {"mlp (entity cols)", "USING MLP"},
+      {"gbdt (eng. features)", "USING GBDT"},
+      {"gnn (declarative)",
+       "USING GNN WITH layers=2, hidden=48, epochs=14, lr=0.01, "
+       "patience=5, fanout=8, policy=recent, conv=gat, norm=true"},
+  };
+
+  std::vector<std::string> cols;
+  for (const auto& t : tasks) cols.push_back(t.name);
+  PrintHeader("Table 1: entity classification (test ROC-AUC)", cols);
+
+  std::vector<std::unique_ptr<PredictiveQueryEngine>> engines;
+  for (auto& t : tasks) {
+    engines.push_back(std::make_unique<PredictiveQueryEngine>(&t.db));
+  }
+  for (const auto& [label, suffix] : models) {
+    std::vector<double> row;
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      QueryResult r;
+      row.push_back(Run(engines[ti].get(),
+                        tasks[ti].query + suffix + " EVERY 14 DAYS", &r)
+                        ? r.test_metric
+                        : -1.0);
+    }
+    PrintRow(label, row);
+  }
+  std::printf("\npositive rates: ");
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    QueryResult r;
+    if (Run(engines[ti].get(),
+            tasks[ti].query + "USING CONSTANT EVERY 14 DAYS", &r)) {
+      std::printf("%s=%.3f  ", tasks[ti].name, r.table.PositiveRate());
+    }
+  }
+  std::printf("\nexpected shape: constant 0.5 < linear/mlp < gbdt <= gnn "
+              "on every task.\n");
+  return 0;
+}

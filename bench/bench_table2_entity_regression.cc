@@ -1,0 +1,67 @@
+// Table 2 — Entity-level regression across the three domains.
+//
+// Paper claim reproduced: the same ordering as classification holds for
+// regression targets — the declarative GNN matches or beats the
+// feature-engineered GBDT, both far below the single-table baselines
+// (lower MAE is better).
+//
+// Tasks:
+//   spend-56d    e-commerce: per-user order spend over the next 8 weeks
+//   visits-60d   clinical: per-patient visit count over the next 60 days
+//   posts-14d    social: posts written by a user over the next 2 weeks
+
+#include "bench_util.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+int main() {
+  struct Task {
+    const char* name;
+    Database db;
+    std::string query;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({"spend-56d", StandardECommerce(),
+                   "PREDICT SUM(orders.total) OVER NEXT 56 DAYS FOR EACH "
+                   "users EVERY 28 DAYS "});
+  tasks.push_back({"visits-60d", StandardClinical(),
+                   "PREDICT COUNT(visits) OVER NEXT 60 DAYS FOR EACH "
+                   "patients EVERY 30 DAYS "});
+  tasks.push_back({"posts-14d", StandardSocial(),
+                   "PREDICT COUNT(posts) OVER NEXT 14 DAYS FOR EACH "
+                   "users "});
+
+  const std::vector<std::pair<std::string, std::string>> models = {
+      {"constant (mean)", "USING CONSTANT"},
+      {"linear (entity cols)", "USING LINEAR"},
+      {"mlp (entity cols)", "USING MLP"},
+      {"gbdt (eng. features)", "USING GBDT"},
+      {"gnn (declarative)",
+       "USING GNN WITH layers=2, hidden=48, epochs=14, lr=0.01, "
+       "patience=5, fanout=8, policy=recent, conv=gat, norm=true"},
+  };
+
+  std::vector<std::string> cols;
+  for (const auto& t : tasks) cols.push_back(t.name);
+  PrintHeader("Table 2: entity regression (test MAE, lower is better)",
+              cols);
+
+  std::vector<std::unique_ptr<PredictiveQueryEngine>> engines;
+  for (auto& t : tasks) {
+    engines.push_back(std::make_unique<PredictiveQueryEngine>(&t.db));
+  }
+  for (const auto& [label, suffix] : models) {
+    std::vector<double> row;
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      QueryResult r;
+      row.push_back(Run(engines[ti].get(), tasks[ti].query + suffix, &r)
+                        ? r.test_metric
+                        : -1.0);
+    }
+    PrintRow(label, row);
+  }
+  std::printf("\nexpected shape: constant worst, gbdt and gnn lowest; the "
+              "query text is identical per column, only USING changes.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 3 — Recommendation (link-level ranking) on the e-commerce world.
+//
+// Task: "PREDICT LIST(orders.product_id) OVER NEXT 28 DAYS FOR EACH users"
+// — which products will each user buy next month?
+//
+// Paper claim reproduced (with the caveat RelBench also reports): the
+// declarative two-tower GNN clearly beats global popularity; a hand-built
+// co-occurrence heuristic — which directly encodes the generator's
+// co-purchase structure — remains a strong competitor on link tasks.
+//
+// Columns: MAP@10 and Recall@10 on the held-out (latest) cutoff.
+
+#include "bench_util.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+int main() {
+  Database db = StandardECommerce();
+  PredictiveQueryEngine engine(&db);
+  const std::string task =
+      "PREDICT LIST(orders.product_id) OVER NEXT 28 DAYS FOR EACH users ";
+
+  const std::vector<std::pair<std::string, std::string>> rankers = {
+      {"popularity", "USING POPULAR"},
+      {"co-occurrence", "USING COOCCUR"},
+      {"two-tower gnn",
+       "USING GNN WITH layers=2, hidden=48, epochs=10, lr=0.02, fanout=8"},
+      {"two-tower gnn (3 hops)",
+       "USING GNN WITH layers=3, hidden=48, epochs=10, lr=0.02, fanout=8"},
+      {"two-tower gnn (no id emb)",
+       "USING GNN WITH layers=2, hidden=48, epochs=10, lr=0.02, fanout=8, "
+       "id_emb=false"},
+  };
+
+  PrintHeader("Table 3: next-purchase recommendation", {"MAP@10", "R@10"});
+  for (const auto& [label, suffix] : rankers) {
+    QueryResult r;
+    if (!Run(&engine, task + suffix, &r)) {
+      PrintRow(label, {-1.0, -1.0});
+      continue;
+    }
+    PrintRow(label, {r.test_metric, TestRecallAtK(r, 10)});
+  }
+  std::printf("\nexpected shape: gnn >> popularity; co-occurrence (the "
+              "oracle-shaped heuristic for this generator) remains "
+              "competitive, mirroring RelBench's link-task findings.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Table 4 — Multiclass predictive queries (customer value tiers).
+//
+// "PREDICT BUCKET(SUM(orders.total), 1, 150) OVER NEXT 28 DAYS" assigns
+// each user to a future-spend tier {low, mid, high}. The comparison set is
+// smaller than the binary tables (GBDT/LINEAR are binary/regression-only
+// by design), but the paper's shape still holds: the declarative GNN
+// matches the tabular MLP on engineered features and clearly beats the
+// majority-class floor.
+
+#include "bench_util.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+int main() {
+  struct Task {
+    const char* name;
+    Database db;
+    std::string query;
+  };
+  std::vector<Task> tasks;
+  tasks.push_back({"spend-tier", StandardECommerce(),
+                   "PREDICT BUCKET(SUM(orders.total), 1, 150) OVER NEXT "
+                   "28 DAYS FOR EACH users EVERY 14 DAYS "});
+  tasks.push_back({"visit-tier", StandardClinical(),
+                   "PREDICT BUCKET(COUNT(visits), 1, 3) OVER NEXT 60 DAYS "
+                   "FOR EACH patients EVERY 30 DAYS "});
+
+  const std::vector<std::pair<std::string, std::string>> models = {
+      {"constant (majority)", "USING CONSTANT"},
+      {"mlp hops=0", "USING MLP WITH hops=0"},
+      {"mlp hops=2 (eng. features)", "USING MLP WITH hops=2"},
+      {"gnn (declarative)",
+       "USING GNN WITH layers=2, hidden=48, epochs=14, lr=0.01, "
+       "patience=5, fanout=8, policy=recent, conv=gat, norm=true"},
+  };
+
+  std::vector<std::string> cols;
+  for (const auto& t : tasks) cols.push_back(t.name);
+  PrintHeader("Table 4: multiclass tiers (test accuracy)", cols);
+  std::vector<std::unique_ptr<PredictiveQueryEngine>> engines;
+  for (auto& t : tasks) {
+    engines.push_back(std::make_unique<PredictiveQueryEngine>(&t.db));
+  }
+  for (const auto& [label, suffix] : models) {
+    std::vector<double> row;
+    for (size_t ti = 0; ti < tasks.size(); ++ti) {
+      QueryResult r;
+      row.push_back(Run(engines[ti].get(), tasks[ti].query + suffix, &r)
+                        ? r.test_metric
+                        : -1.0);
+    }
+    PrintRow(label, row);
+  }
+  std::printf("\nexpected shape: majority floor < hop-0 MLP < "
+              "feature-engineered MLP ~= declarative GNN.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+#ifndef RELGRAPH_BENCH_BENCH_UTIL_H_
+#define RELGRAPH_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the paper-reproduction benchmark binaries: standard
+// dataset configurations, a fixed-width table printer, and the recall
+// metric computed from engine rankings. Every bench prints deterministic
+// numbers for the seeds baked in here.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/string_util.h"
+#include "datagen/clinical.h"
+#include "datagen/ecommerce.h"
+#include "datagen/social.h"
+#include "pq/engine.h"
+#include "train/metrics.h"
+
+namespace relgraph {
+namespace bench {
+
+/// The three evaluation databases used across the accuracy benches.
+inline Database StandardECommerce(uint64_t seed = 101) {
+  ECommerceConfig cfg;
+  cfg.num_users = 800;
+  cfg.num_products = 120;
+  cfg.num_categories = 8;
+  cfg.horizon_days = 180;
+  cfg.seed = seed;
+  return MakeECommerceDb(cfg);
+}
+
+inline Database StandardClinical(uint64_t seed = 102) {
+  ClinicalConfig cfg;
+  cfg.num_patients = 500;
+  cfg.horizon_days = 365;
+  cfg.seed = seed;
+  return MakeClinicalDb(cfg);
+}
+
+inline Database StandardSocial(uint64_t seed = 103) {
+  SocialConfig cfg;
+  cfg.num_users = 500;
+  cfg.horizon_days = 120;
+  cfg.seed = seed;
+  return MakeSocialDb(cfg);
+}
+
+/// Prints a ruled header for a results table.
+inline void PrintHeader(const std::string& title,
+                        const std::vector<std::string>& columns,
+                        int first_width = 30, int col_width = 10) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-*s", first_width, "");
+  for (const auto& c : columns) std::printf(" %*s", col_width, c.c_str());
+  std::printf("\n");
+}
+
+/// Prints one table row of doubles.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& values,
+                     int first_width = 30, int col_width = 10,
+                     const char* fmt = "%.4f") {
+  std::printf("%-*s", first_width, label.c_str());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    std::printf(" %*s", col_width, buf);
+  }
+  std::printf("\n");
+}
+
+/// Runs a query, printing an error and returning false on failure.
+inline bool Run(PredictiveQueryEngine* engine, const std::string& query,
+                QueryResult* out) {
+  auto result = engine->Execute(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n",
+                 result.status().ToString().c_str(), query.c_str());
+    return false;
+  }
+  *out = std::move(result).value();
+  return true;
+}
+
+/// Recall@k of a ranking result's test rankings.
+inline double TestRecallAtK(const QueryResult& r, int64_t k) {
+  std::vector<std::vector<int64_t>> relevant;
+  relevant.reserve(r.split.test.size());
+  for (int64_t i : r.split.test) {
+    relevant.push_back(r.table.target_lists[static_cast<size_t>(i)]);
+  }
+  return RecallAtK(r.test_rankings, relevant, k);
+}
+
+}  // namespace bench
+}  // namespace relgraph
+
+#endif  // RELGRAPH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// E-commerce churn, end to end: compares every model family on the same
+// declarative query and prints a leaderboard, then shows per-user
+// predictions for the most at-risk customers.
+//
+// Run: ./build/examples/ecommerce_churn
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "datagen/ecommerce.h"
+#include "pq/engine.h"
+
+using namespace relgraph;
+
+int main() {
+  ECommerceConfig config;
+  config.num_users = 500;
+  config.num_products = 100;
+  config.num_categories = 8;
+  config.horizon_days = 180;
+  config.seed = 17;
+  Database db = MakeECommerceDb(config);
+  std::printf("database: %lld rows across %lld tables\n\n",
+              static_cast<long long>(db.TotalRows()),
+              static_cast<long long>(db.num_tables()));
+
+  const std::string task =
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users ";
+  struct Entry {
+    const char* label;
+    std::string suffix;
+  };
+  const std::vector<Entry> models = {
+      {"constant (majority)", "USING CONSTANT"},
+      {"logistic, entity columns", "USING LINEAR"},
+      {"MLP, entity columns", "USING MLP"},
+      {"GBDT + engineered features", "USING GBDT"},
+      {"GNN (declarative)", "USING GNN WITH layers=2, hidden=48, epochs=8"},
+  };
+
+  PredictiveQueryEngine engine(&db);
+  std::printf("%-30s %8s %8s %8s\n", "model", "train", "val", "test AUC");
+  std::vector<double> gnn_scores;
+  QueryResult gnn_result;
+  for (const auto& entry : models) {
+    auto result = engine.Execute(task + entry.suffix);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", entry.label,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    const QueryResult& r = result.value();
+    std::printf("%-30s %8.4f %8.4f %8.4f\n", entry.label, r.train_metric,
+                r.val_metric, r.test_metric);
+    if (std::string(entry.label).rfind("GNN", 0) == 0) {
+      gnn_result = r;
+    }
+  }
+
+  // Rank the test-cutoff users by churn risk.
+  if (!gnn_result.test_scores.empty()) {
+    std::vector<std::pair<double, int64_t>> risky;
+    for (size_t i = 0; i < gnn_result.split.test.size(); ++i) {
+      const int64_t example = gnn_result.split.test[i];
+      risky.emplace_back(gnn_result.test_scores[i],
+                         gnn_result.table.entity_rows[example]);
+    }
+    std::sort(risky.rbegin(), risky.rend());
+    std::printf("\nhighest predicted churn risk at the test cutoff:\n");
+    const Table& users = db.table("users");
+    for (size_t i = 0; i < std::min<size_t>(risky.size(), 8); ++i) {
+      const int64_t row = risky[i].second;
+      std::printf("  user %4lld  risk %.3f  country=%s premium=%s\n",
+                  static_cast<long long>(users.PrimaryKey(row)),
+                  risky[i].first,
+                  users.GetValue(row, "country").as_string().c_str(),
+                  users.GetValue(row, "premium").as_bool() ? "yes" : "no");
+    }
+  }
+  return 0;
+}

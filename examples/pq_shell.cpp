@@ -1,0 +1,124 @@
+// Interactive predictive-query shell over a chosen synthetic database.
+//
+// Usage:
+//   ./build/examples/pq_shell [ecommerce|clinical|social]
+//
+// Commands:
+//   \schema            print the database schema
+//   \graph             print the heterogeneous-graph view
+//   \examples          print sample queries for the loaded database
+//   \quit              exit
+//   anything else      executed as a predictive query
+//
+// Example session:
+//   pq> PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users USING GBDT
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/string_util.h"
+#include "datagen/clinical.h"
+#include "datagen/ecommerce.h"
+#include "datagen/social.h"
+#include "pq/engine.h"
+
+using namespace relgraph;
+
+namespace {
+
+const char* ExamplesFor(const std::string& world) {
+  if (world == "clinical") {
+    return "  PREDICT EXISTS(visits) OVER NEXT 30 DAYS FOR EACH patients "
+           "USING GNN\n"
+           "  PREDICT COUNT(visits) OVER NEXT 60 DAYS FOR EACH patients "
+           "USING GBDT\n"
+           "  PREDICT EXISTS(visits) OVER NEXT 30 DAYS FOR EACH patients "
+           "WHERE age >= 65 USING LINEAR WITH hops=2\n";
+  }
+  if (world == "social") {
+    return "  PREDICT COUNT(posts) = 0 OVER NEXT 14 DAYS FOR EACH users "
+           "USING GNN\n"
+           "  PREDICT COUNT(comments) OVER NEXT 14 DAYS FOR EACH users "
+           "USING GBDT\n";
+  }
+  return "  PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+         "USING GNN WITH layers=2, hidden=32, epochs=6\n"
+         "  PREDICT SUM(orders.total) OVER NEXT 90 DAYS FOR EACH users "
+         "USING GBDT\n"
+         "  PREDICT LIST(orders.product_id) OVER NEXT 28 DAYS FOR EACH "
+         "users USING POPULAR\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string world = argc > 1 ? argv[1] : "ecommerce";
+  Database db;
+  if (world == "clinical") {
+    ClinicalConfig cfg;
+    cfg.num_patients = 400;
+    db = MakeClinicalDb(cfg);
+  } else if (world == "social") {
+    SocialConfig cfg;
+    cfg.num_users = 400;
+    db = MakeSocialDb(cfg);
+  } else if (world == "ecommerce") {
+    ECommerceConfig cfg;
+    cfg.num_users = 400;
+    cfg.num_products = 80;
+    db = MakeECommerceDb(cfg);
+  } else {
+    std::fprintf(stderr, "unknown world '%s' (ecommerce|clinical|social)\n",
+                 world.c_str());
+    return 1;
+  }
+  std::printf("loaded %s database.\n%s\n", world.c_str(),
+              db.DescribeSchema().c_str());
+  std::printf("type a predictive query (optionally prefixed with EXPLAIN), "
+              "\\examples, \\schema, \\graph or \\quit.\n");
+
+  PredictiveQueryEngine engine(&db);
+  std::string line;
+  while (true) {
+    std::printf("pq> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\schema") {
+      std::printf("%s", db.DescribeSchema().c_str());
+      continue;
+    }
+    if (line == "\\graph") {
+      auto g = engine.Graph();
+      if (g.ok()) {
+        std::printf("%s", g.value()->graph.Describe().c_str());
+      } else {
+        std::printf("error: %s\n", g.status().ToString().c_str());
+      }
+      continue;
+    }
+    if (line == "\\examples") {
+      std::printf("%s", ExamplesFor(world));
+      continue;
+    }
+    if (line.size() > 7 &&
+        EqualsIgnoreCase(std::string_view(line).substr(0, 7), "EXPLAIN")) {
+      auto plan = engine.Explain(line);
+      if (plan.ok()) {
+        std::printf("%s", plan.value().c_str());
+      } else {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      }
+      continue;
+    }
+    auto result = engine.Execute(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result.value().Summary().c_str());
+  }
+  return 0;
+}

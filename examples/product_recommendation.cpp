@@ -1,0 +1,72 @@
+// Next-purchase recommendation as a declarative ranking query.
+//
+// "PREDICT LIST(orders.product_id) ..." compiles to a two-tower GNN over
+// the DB-as-graph; heuristic rankers (popularity, co-occurrence) run the
+// same query for comparison.
+//
+// Run: ./build/examples/product_recommendation
+
+#include <cstdio>
+
+#include "datagen/ecommerce.h"
+#include "pq/engine.h"
+
+using namespace relgraph;
+
+int main() {
+  ECommerceConfig config;
+  config.num_users = 400;
+  config.num_products = 80;
+  config.num_categories = 8;
+  config.horizon_days = 150;
+  config.seed = 31;
+  Database db = MakeECommerceDb(config);
+
+  PredictiveQueryEngine engine(&db);
+  const std::string task =
+      "PREDICT LIST(orders.product_id) OVER NEXT 28 DAYS FOR EACH users ";
+
+  std::printf("%-26s %10s\n", "ranker", "test MAP@10");
+  QueryResult gnn;
+  for (const auto& [label, suffix] :
+       std::vector<std::pair<const char*, const char*>>{
+           {"popularity", "USING POPULAR"},
+           {"co-occurrence", "USING COOCCUR"},
+           {"two-tower GNN", "USING GNN WITH layers=3, hidden=48, "
+                             "epochs=10, lr=0.02, fanout=8"},
+       }) {
+    auto result = engine.Execute(task + suffix);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", label,
+                   result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%-26s %10.4f\n", label, result.value().test_metric);
+    if (std::string(label) == "two-tower GNN") gnn = result.value();
+  }
+
+  // Show a few concrete recommendations from the GNN.
+  if (!gnn.test_rankings.empty()) {
+    const Table& users = db.table("users");
+    const Table& products = db.table("products");
+    std::printf("\nsample recommendations at the test cutoff:\n");
+    for (size_t i = 0; i < std::min<size_t>(gnn.test_rankings.size(), 5);
+         ++i) {
+      const int64_t example = gnn.split.test[i];
+      const int64_t user_row = gnn.table.entity_rows[example];
+      std::printf("  user %lld ->", static_cast<long long>(
+                                        users.PrimaryKey(user_row)));
+      for (size_t k = 0; k < std::min<size_t>(gnn.test_rankings[i].size(), 5);
+           ++k) {
+        std::printf(" p%lld", static_cast<long long>(products.PrimaryKey(
+                                  gnn.test_rankings[i][k])));
+      }
+      std::printf("   (truth:");
+      for (int64_t t : gnn.table.target_lists[example]) {
+        std::printf(" p%lld", static_cast<long long>(products.PrimaryKey(t)));
+      }
+      std::printf(")\n");
+    }
+  }
+  return 0;
+}

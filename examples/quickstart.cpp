@@ -1,0 +1,62 @@
+// Quickstart: five minutes from a relational database to a trained
+// predictive model, entirely declaratively.
+//
+//   1. build (or load) a relational database;
+//   2. write a predictive query — no feature engineering, no training
+//      table construction, no split bookkeeping;
+//   3. execute it.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "datagen/ecommerce.h"
+#include "pq/engine.h"
+
+using namespace relgraph;
+
+int main() {
+  // A synthetic e-commerce database: users, products, categories, orders,
+  // reviews — with primary keys, foreign keys, and event timestamps
+  // declared in the schema. Any database with that metadata works.
+  ECommerceConfig config;
+  config.num_users = 300;
+  config.num_products = 60;
+  config.num_categories = 6;
+  config.horizon_days = 150;
+  Database db = MakeECommerceDb(config);
+  std::printf("%s\n", db.DescribeSchema().c_str());
+
+  PredictiveQueryEngine engine(&db);
+
+  // "Will this user stop ordering in the next 4 weeks?" — churn, stated
+  // as a declarative query. The engine materializes labeled examples at
+  // rolling cutoffs, splits them in time, converts the database to a
+  // heterogeneous temporal graph, trains a GNN, and reports held-out
+  // quality.
+  const char* query =
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS "
+      "FOR EACH users "
+      "USING GNN WITH layers=2, hidden=32, epochs=6, fanout=8";
+  std::printf("executing:\n  %s\n\n", query);
+
+  auto result = engine.Execute(query);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result.value().Summary().c_str());
+
+  // The same task through the classical route — hand-engineered temporal
+  // aggregates + gradient-boosted trees — for comparison.
+  auto baseline = engine.Execute(
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+      "USING GBDT");
+  if (baseline.ok()) {
+    std::printf("%s\n", baseline.value().Summary().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,228 @@
+#include "baselines/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/logging.h"
+
+namespace relgraph {
+
+namespace {
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+float GbdtModel::Tree::Predict(const float* row) const {
+  int32_t idx = 0;
+  while (nodes[static_cast<size_t>(idx)].feature >= 0) {
+    const Node& n = nodes[static_cast<size_t>(idx)];
+    idx = row[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  return nodes[static_cast<size_t>(idx)].value;
+}
+
+GbdtModel::GbdtModel(GbdtConfig config) : config_(config) {}
+
+void GbdtModel::GrowNode(const Tensor& x,
+                         const std::vector<double>& gradients,
+                         std::vector<int64_t>& rows, int64_t begin,
+                         int64_t end, int64_t depth, int32_t node_index,
+                         Tree* tree) const {
+  const int64_t n = end - begin;
+  // Leaf value: mean negative gradient with L2 shrink (Newton-ish step for
+  // squared loss; a standard first-order step for logistic).
+  double grad_sum = 0.0;
+  for (int64_t i = begin; i < end; ++i) {
+    grad_sum += gradients[static_cast<size_t>(rows[static_cast<size_t>(i)])];
+  }
+  const double leaf_value =
+      -grad_sum / (static_cast<double>(n) + config_.l2_leaf);
+
+  auto make_leaf = [&]() {
+    tree->nodes[static_cast<size_t>(node_index)].feature = -1;
+    tree->nodes[static_cast<size_t>(node_index)].value =
+        static_cast<float>(leaf_value);
+  };
+  if (depth >= config_.max_depth || n < 2 * config_.min_samples_leaf) {
+    make_leaf();
+    return;
+  }
+
+  // Exact greedy split: maximize gradient-sum variance reduction
+  // gain = GL^2/(nL+λ) + GR^2/(nR+λ) - G^2/(n+λ).
+  const double parent_score =
+      grad_sum * grad_sum / (static_cast<double>(n) + config_.l2_leaf);
+  double best_gain = 1e-9;
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+  std::vector<int64_t> sorted(rows.begin() + begin, rows.begin() + end);
+  for (int64_t f = 0; f < x.cols(); ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&x, f](int64_t a, int64_t b) {
+      return x.at(a, f) < x.at(b, f);
+    });
+    double left_sum = 0.0;
+    for (int64_t i = 0; i + 1 < n; ++i) {
+      left_sum += gradients[static_cast<size_t>(sorted[static_cast<size_t>(i)])];
+      const float cur = x.at(sorted[static_cast<size_t>(i)], f);
+      const float nxt = x.at(sorted[static_cast<size_t>(i + 1)], f);
+      if (cur == nxt) continue;
+      const int64_t n_left = i + 1;
+      const int64_t n_right = n - n_left;
+      if (n_left < config_.min_samples_leaf ||
+          n_right < config_.min_samples_leaf) {
+        continue;
+      }
+      const double right_sum = grad_sum - left_sum;
+      const double gain =
+          left_sum * left_sum /
+              (static_cast<double>(n_left) + config_.l2_leaf) +
+          right_sum * right_sum /
+              (static_cast<double>(n_right) + config_.l2_leaf) -
+          parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int32_t>(f);
+        best_threshold = (cur + nxt) * 0.5f;
+      }
+    }
+  }
+  if (best_feature < 0) {
+    make_leaf();
+    return;
+  }
+  // Partition rows[begin, end) in place.
+  int64_t mid = begin;
+  for (int64_t i = begin; i < end; ++i) {
+    if (x.at(rows[static_cast<size_t>(i)], best_feature) <= best_threshold) {
+      std::swap(rows[static_cast<size_t>(i)], rows[static_cast<size_t>(mid)]);
+      ++mid;
+    }
+  }
+  RELGRAPH_CHECK(mid > begin && mid < end);
+  // Allocate children first: emplace_back may reallocate and would dangle
+  // any reference held into `nodes`.
+  const int32_t left = static_cast<int32_t>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  const int32_t right = static_cast<int32_t>(tree->nodes.size());
+  tree->nodes.emplace_back();
+  {
+    Tree::Node& node = tree->nodes[static_cast<size_t>(node_index)];
+    node.feature = best_feature;
+    node.threshold = best_threshold;
+    node.left = left;
+    node.right = right;
+  }
+  GrowNode(x, gradients, rows, begin, mid, depth + 1, left, tree);
+  GrowNode(x, gradients, rows, mid, end, depth + 1, right, tree);
+}
+
+GbdtModel::Tree GbdtModel::FitTree(const Tensor& x,
+                                   const std::vector<double>& gradients,
+                                   const std::vector<int64_t>& rows) const {
+  Tree tree;
+  tree.nodes.emplace_back();
+  std::vector<int64_t> work = rows;
+  GrowNode(x, gradients, work, 0, static_cast<int64_t>(work.size()), 0, 0,
+           &tree);
+  return tree;
+}
+
+Status GbdtModel::Fit(const Tensor& x, const std::vector<double>& y,
+                      TaskKind kind, const std::vector<int64_t>& train_idx,
+                      const std::vector<int64_t>& val_idx,
+                      int64_t /*num_classes*/) {
+  if (train_idx.empty()) {
+    return Status::InvalidArgument("gbdt: empty training split");
+  }
+  if (kind != TaskKind::kBinaryClassification &&
+      kind != TaskKind::kRegression) {
+    return Status::InvalidArgument("gbdt supports binary/regression only");
+  }
+  kind_ = kind;
+  trees_.clear();
+
+  // Base score: log-odds (binary) or mean (regression) of the train split.
+  double mean = 0.0;
+  for (int64_t i : train_idx) mean += y[static_cast<size_t>(i)];
+  mean /= static_cast<double>(train_idx.size());
+  if (kind_ == TaskKind::kBinaryClassification) {
+    const double p = std::min(1.0 - 1e-6, std::max(1e-6, mean));
+    base_score_ = std::log(p / (1.0 - p));
+  } else {
+    base_score_ = mean;
+  }
+
+  std::vector<double> raw(y.size(), base_score_);
+  std::vector<double> gradients(y.size(), 0.0);
+  double best_val_loss = std::numeric_limits<double>::infinity();
+  int64_t best_trees = 0;
+  int64_t stale = 0;
+  for (int64_t t = 0; t < config_.num_trees; ++t) {
+    // Gradients of the loss wrt the raw score.
+    for (int64_t i : train_idx) {
+      const size_t s = static_cast<size_t>(i);
+      gradients[s] = kind_ == TaskKind::kBinaryClassification
+                         ? Sigmoid(raw[s]) - y[s]
+                         : raw[s] - y[s];
+    }
+    Tree tree = FitTree(x, gradients, train_idx);
+    // Update raw scores everywhere (train + val).
+    auto update = [&](const std::vector<int64_t>& idx) {
+      for (int64_t i : idx) {
+        raw[static_cast<size_t>(i)] +=
+            config_.learning_rate *
+            tree.Predict(x.data() + i * x.cols());
+      }
+    };
+    update(train_idx);
+    update(val_idx);
+    trees_.push_back(std::move(tree));
+    // Early stopping on validation loss.
+    if (!val_idx.empty() && config_.patience > 0) {
+      double val_loss = 0.0;
+      for (int64_t i : val_idx) {
+        const size_t s = static_cast<size_t>(i);
+        if (kind_ == TaskKind::kBinaryClassification) {
+          const double p =
+              std::min(1.0 - 1e-12, std::max(1e-12, Sigmoid(raw[s])));
+          val_loss -= y[s] > 0.5 ? std::log(p) : std::log(1.0 - p);
+        } else {
+          val_loss += (raw[s] - y[s]) * (raw[s] - y[s]);
+        }
+      }
+      if (val_loss < best_val_loss - 1e-9) {
+        best_val_loss = val_loss;
+        best_trees = static_cast<int64_t>(trees_.size());
+        stale = 0;
+      } else if (++stale >= config_.patience) {
+        trees_.resize(static_cast<size_t>(best_trees));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double GbdtModel::RawScore(const float* row) const {
+  double score = base_score_;
+  for (const Tree& tree : trees_) {
+    score += config_.learning_rate * tree.Predict(row);
+  }
+  return score;
+}
+
+std::vector<double> GbdtModel::Predict(
+    const Tensor& x, const std::vector<int64_t>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (int64_t r : rows) {
+    const double raw = RawScore(x.data() + r * x.cols());
+    out.push_back(kind_ == TaskKind::kBinaryClassification ? Sigmoid(raw)
+                                                           : raw);
+  }
+  return out;
+}
+
+}  // namespace relgraph

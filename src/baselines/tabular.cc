@@ -1,0 +1,332 @@
+#include "baselines/tabular.h"
+
+#include <cmath>
+
+#include "baselines/gbdt.h"
+#include "core/logging.h"
+#include "tensor/nn.h"
+#include "tensor/optim.h"
+#include "train/metrics.h"
+
+namespace relgraph {
+
+namespace {
+
+/// Column-wise standardization fit on the training rows.
+void FitStandardizer(const Tensor& x, const std::vector<int64_t>& rows,
+                     std::vector<float>* mean, std::vector<float>* std) {
+  const int64_t d = x.cols();
+  mean->assign(static_cast<size_t>(d), 0.0f);
+  std->assign(static_cast<size_t>(d), 1.0f);
+  if (rows.empty()) return;
+  for (int64_t c = 0; c < d; ++c) {
+    double sum = 0, sum_sq = 0;
+    for (int64_t r : rows) {
+      sum += x.at(r, c);
+      sum_sq += static_cast<double>(x.at(r, c)) * x.at(r, c);
+    }
+    const double m = sum / static_cast<double>(rows.size());
+    const double var = sum_sq / static_cast<double>(rows.size()) - m * m;
+    (*mean)[static_cast<size_t>(c)] = static_cast<float>(m);
+    (*std)[static_cast<size_t>(c)] =
+        var > 1e-10 ? static_cast<float>(std::sqrt(var)) : 1.0f;
+  }
+}
+
+Tensor ApplyStandardizer(const Tensor& x, const std::vector<int64_t>& rows,
+                         const std::vector<float>& mean,
+                         const std::vector<float>& std) {
+  Tensor out(static_cast<int64_t>(rows.size()), x.cols());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      out.at(static_cast<int64_t>(i), c) =
+          (x.at(rows[i], c) - mean[static_cast<size_t>(c)]) /
+          std[static_cast<size_t>(c)];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- ConstantBaseline
+
+Status ConstantBaseline::Fit(const Tensor& /*x*/,
+                             const std::vector<double>& y, TaskKind kind,
+                             const std::vector<int64_t>& train_idx,
+                             const std::vector<int64_t>& /*val_idx*/,
+                             int64_t num_classes) {
+  if (train_idx.empty()) {
+    return Status::InvalidArgument("constant: empty training split");
+  }
+  if (kind == TaskKind::kMulticlassClassification) {
+    std::vector<int64_t> counts(static_cast<size_t>(num_classes), 0);
+    for (int64_t i : train_idx) {
+      const int64_t cls = static_cast<int64_t>(y[static_cast<size_t>(i)]);
+      if (cls >= 0 && cls < num_classes) ++counts[static_cast<size_t>(cls)];
+    }
+    int64_t best = 0;
+    for (int64_t c = 1; c < num_classes; ++c) {
+      if (counts[static_cast<size_t>(c)] > counts[static_cast<size_t>(best)]) {
+        best = c;
+      }
+    }
+    constant_ = static_cast<double>(best);
+    return Status::OK();
+  }
+  double mean = 0;
+  for (int64_t i : train_idx) mean += y[static_cast<size_t>(i)];
+  mean /= static_cast<double>(train_idx.size());
+  constant_ = mean;
+  return Status::OK();
+}
+
+std::vector<double> ConstantBaseline::Predict(
+    const Tensor& /*x*/, const std::vector<int64_t>& rows) const {
+  return std::vector<double>(rows.size(), constant_);
+}
+
+// ------------------------------------------------------------ LinearModel
+
+LinearModel::LinearModel(uint64_t seed, int64_t epochs, float lr, float l2)
+    : seed_(seed), epochs_(epochs), lr_(lr), l2_(l2) {}
+
+Status LinearModel::Fit(const Tensor& x, const std::vector<double>& y,
+                        TaskKind kind, const std::vector<int64_t>& train_idx,
+                        const std::vector<int64_t>& /*val_idx*/,
+                        int64_t /*num_classes*/) {
+  if (train_idx.empty()) {
+    return Status::InvalidArgument("linear: empty training split");
+  }
+  if (kind == TaskKind::kMulticlassClassification ||
+      kind == TaskKind::kRanking) {
+    return Status::InvalidArgument("linear supports binary/regression only");
+  }
+  kind_ = kind;
+  FitStandardizer(x, train_idx, &feat_mean_, &feat_std_);
+  Tensor xt = ApplyStandardizer(x, train_idx, feat_mean_, feat_std_);
+  const int64_t n = xt.rows();
+
+  label_mean_ = 0.0;
+  label_std_ = 1.0;
+  Tensor targets(n, 1);
+  if (kind_ == TaskKind::kRegression) {
+    double sum = 0, sum_sq = 0;
+    for (int64_t i : train_idx) {
+      sum += y[static_cast<size_t>(i)];
+      sum_sq += y[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+    }
+    label_mean_ = sum / static_cast<double>(train_idx.size());
+    const double var =
+        sum_sq / static_cast<double>(train_idx.size()) -
+        label_mean_ * label_mean_;
+    label_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  for (size_t i = 0; i < train_idx.size(); ++i) {
+    const double raw = y[static_cast<size_t>(train_idx[i])];
+    targets.at(static_cast<int64_t>(i), 0) = static_cast<float>(
+        kind_ == TaskKind::kRegression ? (raw - label_mean_) / label_std_
+                                       : raw);
+  }
+
+  Rng rng(seed_);
+  Linear lin(x.cols(), 1, &rng);
+  Adam opt(lin.Parameters(), lr_, 0.9f, 0.999f, 1e-8f, l2_);
+  VarPtr xv = ag::Constant(xt);
+  for (int64_t epoch = 0; epoch < epochs_; ++epoch) {
+    opt.ZeroGrad();
+    VarPtr out = lin.Forward(xv);
+    VarPtr loss = kind_ == TaskKind::kBinaryClassification
+                      ? ag::BinaryCrossEntropyWithLogits(out, targets)
+                      : ag::MseLoss(out, targets);
+    Backward(loss);
+    opt.Step();
+  }
+  weights_ = lin.weight()->value();
+  bias_ = lin.bias()->value().at(0, 0);
+  return Status::OK();
+}
+
+std::vector<double> LinearModel::Predict(
+    const Tensor& x, const std::vector<int64_t>& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (int64_t r : rows) {
+    double z = bias_;
+    for (int64_t c = 0; c < x.cols(); ++c) {
+      const double v = (x.at(r, c) - feat_mean_[static_cast<size_t>(c)]) /
+                       feat_std_[static_cast<size_t>(c)];
+      z += v * weights_.at(c, 0);
+    }
+    out.push_back(kind_ == TaskKind::kBinaryClassification
+                      ? 1.0 / (1.0 + std::exp(-z))
+                      : z * label_std_ + label_mean_);
+  }
+  return out;
+}
+
+// -------------------------------------------------------- TabularMlpModel
+
+struct TabularMlpModel::Impl {
+  std::unique_ptr<Mlp> mlp;
+  Rng rng;
+  explicit Impl(uint64_t seed) : rng(seed) {}
+};
+
+TabularMlpModel::TabularMlpModel(int64_t hidden, uint64_t seed,
+                                 int64_t epochs, float lr, float dropout)
+    : hidden_(hidden), seed_(seed), epochs_(epochs), lr_(lr),
+      dropout_(dropout) {}
+
+Status TabularMlpModel::Fit(const Tensor& x, const std::vector<double>& y,
+                            TaskKind kind,
+                            const std::vector<int64_t>& train_idx,
+                            const std::vector<int64_t>& val_idx,
+                            int64_t num_classes) {
+  if (train_idx.empty()) {
+    return Status::InvalidArgument("mlp: empty training split");
+  }
+  if (kind == TaskKind::kRanking) {
+    return Status::InvalidArgument("mlp does not support ranking");
+  }
+  kind_ = kind;
+  num_classes_ = num_classes;
+  FitStandardizer(x, train_idx, &feat_mean_, &feat_std_);
+  Tensor xt = ApplyStandardizer(x, train_idx, feat_mean_, feat_std_);
+
+  label_mean_ = 0.0;
+  label_std_ = 1.0;
+  if (kind_ == TaskKind::kRegression) {
+    double sum = 0, sum_sq = 0;
+    for (int64_t i : train_idx) {
+      sum += y[static_cast<size_t>(i)];
+      sum_sq += y[static_cast<size_t>(i)] * y[static_cast<size_t>(i)];
+    }
+    label_mean_ = sum / static_cast<double>(train_idx.size());
+    const double var = sum_sq / static_cast<double>(train_idx.size()) -
+                       label_mean_ * label_mean_;
+    label_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  Tensor targets(xt.rows(), 1);
+  std::vector<int64_t> class_targets;
+  for (size_t i = 0; i < train_idx.size(); ++i) {
+    const double raw = y[static_cast<size_t>(train_idx[i])];
+    targets.at(static_cast<int64_t>(i), 0) = static_cast<float>(
+        kind_ == TaskKind::kRegression ? (raw - label_mean_) / label_std_
+                                       : raw);
+    if (kind_ == TaskKind::kMulticlassClassification) {
+      class_targets.push_back(static_cast<int64_t>(raw));
+    }
+  }
+
+  const int64_t out_dim =
+      kind_ == TaskKind::kMulticlassClassification ? num_classes_ : 1;
+  impl_ = std::make_shared<Impl>(seed_);
+  impl_->mlp = std::make_unique<Mlp>(
+      std::vector<int64_t>{x.cols(), hidden_, hidden_ / 2, out_dim},
+      &impl_->rng, dropout_);
+  Adam opt(impl_->mlp->Parameters(), lr_, 0.9f, 0.999f, 1e-8f, 1e-5f);
+
+  // Early stopping on validation loss.
+  double best_val = 1e30;
+  std::vector<Tensor> best_params;
+  for (const auto& p : impl_->mlp->Parameters()) {
+    best_params.push_back(p->value());
+  }
+  int64_t stale = 0;
+  VarPtr xv = ag::Constant(xt);
+  for (int64_t epoch = 0; epoch < epochs_; ++epoch) {
+    opt.ZeroGrad();
+    VarPtr out = impl_->mlp->Forward(xv, &impl_->rng, /*training=*/true);
+    VarPtr loss;
+    switch (kind_) {
+      case TaskKind::kBinaryClassification:
+        loss = ag::BinaryCrossEntropyWithLogits(out, targets);
+        break;
+      case TaskKind::kMulticlassClassification:
+        loss = ag::SoftmaxCrossEntropy(out, class_targets);
+        break;
+      default:
+        loss = ag::MseLoss(out, targets);
+        break;
+    }
+    Backward(loss);
+    opt.ClipGradNorm(5.0f);
+    opt.Step();
+    if (!val_idx.empty()) {
+      auto preds = Predict(x, val_idx);
+      double val_loss = 0.0;
+      for (size_t i = 0; i < val_idx.size(); ++i) {
+        const double t = y[static_cast<size_t>(val_idx[i])];
+        if (kind_ == TaskKind::kBinaryClassification) {
+          const double p =
+              std::min(1.0 - 1e-12, std::max(1e-12, preds[i]));
+          val_loss -= t > 0.5 ? std::log(p) : std::log(1.0 - p);
+        } else if (kind_ == TaskKind::kMulticlassClassification) {
+          // 0/1 error as the early-stopping criterion.
+          val_loss += preds[i] == t ? 0.0 : 1.0;
+        } else {
+          val_loss += (preds[i] - t) * (preds[i] - t);
+        }
+      }
+      if (val_loss < best_val - 1e-9) {
+        best_val = val_loss;
+        auto params = impl_->mlp->Parameters();
+        for (size_t i = 0; i < params.size(); ++i) {
+          best_params[i] = params[i]->value();
+        }
+        stale = 0;
+      } else if (++stale >= 8) {
+        break;
+      }
+    }
+  }
+  if (!val_idx.empty()) {
+    auto params = impl_->mlp->Parameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->mutable_value() = best_params[i];
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<double> TabularMlpModel::Predict(
+    const Tensor& x, const std::vector<int64_t>& rows) const {
+  RELGRAPH_CHECK(impl_ != nullptr) << "Predict before Fit";
+  Tensor xt = ApplyStandardizer(x, rows, feat_mean_, feat_std_);
+  VarPtr out = impl_->mlp->Forward(ag::Constant(std::move(xt)));
+  std::vector<double> preds;
+  preds.reserve(rows.size());
+  for (int64_t r = 0; r < out->rows(); ++r) {
+    if (kind_ == TaskKind::kMulticlassClassification) {
+      int64_t arg = 0;
+      for (int64_t c = 1; c < out->cols(); ++c) {
+        if (out->value().at(r, c) > out->value().at(r, arg)) arg = c;
+      }
+      preds.push_back(static_cast<double>(arg));
+      continue;
+    }
+    const double z = out->value().at(r, 0);
+    preds.push_back(kind_ == TaskKind::kBinaryClassification
+                        ? 1.0 / (1.0 + std::exp(-z))
+                        : z * label_std_ + label_mean_);
+  }
+  return preds;
+}
+
+Result<std::unique_ptr<TabularModel>> MakeTabularModel(
+    const std::string& name, uint64_t seed) {
+  if (name == "constant") return std::unique_ptr<TabularModel>(new ConstantBaseline());
+  if (name == "linear") {
+    return std::unique_ptr<TabularModel>(new LinearModel(seed));
+  }
+  if (name == "mlp") {
+    return std::unique_ptr<TabularModel>(new TabularMlpModel(64, seed));
+  }
+  if (name == "gbdt") {
+    return std::unique_ptr<TabularModel>(new GbdtModel());
+  }
+  return Status::NotFound("unknown tabular model: " + name);
+}
+
+}  // namespace relgraph

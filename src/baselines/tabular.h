@@ -1,0 +1,113 @@
+#ifndef RELGRAPH_BASELINES_TABULAR_H_
+#define RELGRAPH_BASELINES_TABULAR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "tensor/tensor.h"
+#include "train/task.h"
+
+namespace relgraph {
+
+/// Common interface of the single-table (non-graph) baselines a predictive
+/// query can be answered with. `x` rows are aligned with the training
+/// table's examples; `Predict` returns a probability for binary tasks and
+/// a value for regression.
+class TabularModel {
+ public:
+  virtual ~TabularModel() = default;
+
+  /// `num_classes` is only read for multiclass tasks.
+  virtual Status Fit(const Tensor& x, const std::vector<double>& y,
+                     TaskKind kind, const std::vector<int64_t>& train_idx,
+                     const std::vector<int64_t>& val_idx,
+                     int64_t num_classes = 2) = 0;
+
+  virtual std::vector<double> Predict(
+      const Tensor& x, const std::vector<int64_t>& rows) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Predicts the train-split majority class (binary) or mean value
+/// (regression); the floor every real model must beat.
+class ConstantBaseline : public TabularModel {
+ public:
+  Status Fit(const Tensor& x, const std::vector<double>& y, TaskKind kind,
+             const std::vector<int64_t>& train_idx,
+             const std::vector<int64_t>& val_idx,
+             int64_t num_classes = 2) override;
+  std::vector<double> Predict(const Tensor& x,
+                              const std::vector<int64_t>& rows) const override;
+  std::string name() const override { return "constant"; }
+
+ private:
+  double constant_ = 0.0;
+};
+
+/// L2-regularized linear model trained full-batch with Adam: logistic
+/// regression for binary tasks, linear regression otherwise. Inputs are
+/// standardized internally on the training split.
+class LinearModel : public TabularModel {
+ public:
+  explicit LinearModel(uint64_t seed = 3, int64_t epochs = 300,
+                       float lr = 0.05f, float l2 = 1e-4f);
+  Status Fit(const Tensor& x, const std::vector<double>& y, TaskKind kind,
+             const std::vector<int64_t>& train_idx,
+             const std::vector<int64_t>& val_idx,
+             int64_t num_classes = 2) override;
+  std::vector<double> Predict(const Tensor& x,
+                              const std::vector<int64_t>& rows) const override;
+  std::string name() const override { return "linear"; }
+
+ private:
+  uint64_t seed_;
+  int64_t epochs_;
+  float lr_;
+  float l2_;
+  TaskKind kind_ = TaskKind::kBinaryClassification;
+  Tensor weights_;  // d × 1
+  float bias_ = 0.0f;
+  std::vector<float> feat_mean_, feat_std_;
+  double label_mean_ = 0.0, label_std_ = 1.0;
+};
+
+/// Two-hidden-layer MLP on tabular features (the "deep tabular" baseline),
+/// trained with Adam and early stopping on the validation split.
+class TabularMlpModel : public TabularModel {
+ public:
+  explicit TabularMlpModel(int64_t hidden = 64, uint64_t seed = 4,
+                           int64_t epochs = 60, float lr = 0.01f,
+                           float dropout = 0.1f);
+  Status Fit(const Tensor& x, const std::vector<double>& y, TaskKind kind,
+             const std::vector<int64_t>& train_idx,
+             const std::vector<int64_t>& val_idx,
+             int64_t num_classes = 2) override;
+  std::vector<double> Predict(const Tensor& x,
+                              const std::vector<int64_t>& rows) const override;
+  std::string name() const override { return "mlp"; }
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+  int64_t hidden_;
+  uint64_t seed_;
+  int64_t epochs_;
+  float lr_;
+  float dropout_;
+  TaskKind kind_ = TaskKind::kBinaryClassification;
+  int64_t num_classes_ = 2;
+  std::vector<float> feat_mean_, feat_std_;
+  double label_mean_ = 0.0, label_std_ = 1.0;
+};
+
+/// Creates a baseline by name ("constant", "linear", "mlp", "gbdt").
+Result<std::unique_ptr<TabularModel>> MakeTabularModel(
+    const std::string& name, uint64_t seed);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_BASELINES_TABULAR_H_

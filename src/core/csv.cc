@@ -1,0 +1,156 @@
+#include "core/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+/// Parses one record starting at *pos; advances *pos past the record and its
+/// trailing newline. Returns false at end of input.
+bool ParseRecord(std::string_view text, size_t* pos, char delim,
+                 std::vector<std::string>* fields, Status* error) {
+  fields->clear();
+  size_t i = *pos;
+  if (i >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool saw_any = false;
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+      saw_any = true;
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      in_quotes = true;
+      saw_any = true;
+      ++i;
+      continue;
+    }
+    if (c == delim) {
+      fields->push_back(std::move(field));
+      field.clear();
+      saw_any = true;
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      ++i;
+      break;
+    }
+    field.push_back(c);
+    saw_any = true;
+    ++i;
+  }
+  if (in_quotes) {
+    *error = Status::ParseError("unterminated quoted CSV field");
+    return false;
+  }
+  *pos = i;
+  if (!saw_any && fields->empty() && field.empty()) return false;
+  fields->push_back(std::move(field));
+  return true;
+}
+
+bool NeedsQuoting(std::string_view s, char delim) {
+  for (char c : s) {
+    if (c == delim || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, std::string_view s, char delim) {
+  if (!NeedsQuoting(s, delim)) {
+    out->append(s);
+    return;
+  }
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<CsvDocument> ParseCsv(std::string_view text, char delim) {
+  CsvDocument doc;
+  size_t pos = 0;
+  Status error;
+  std::vector<std::string> fields;
+  if (!ParseRecord(text, &pos, delim, &fields, &error)) {
+    if (!error.ok()) return error;
+    return Status::ParseError("CSV input has no header row");
+  }
+  doc.header = std::move(fields);
+  size_t width = doc.header.size();
+  size_t line = 1;
+  while (ParseRecord(text, &pos, delim, &fields, &error)) {
+    ++line;
+    if (fields.size() != width) {
+      return Status::ParseError(StrFormat(
+          "CSV row %zu has %zu fields, expected %zu", line, fields.size(),
+          width));
+    }
+    doc.rows.push_back(std::move(fields));
+  }
+  if (!error.ok()) return error;
+  return doc;
+}
+
+Result<CsvDocument> ReadCsvFile(const std::string& path, char delim) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ParseCsv(ss.str(), delim);
+}
+
+std::string WriteCsv(const CsvDocument& doc, char delim) {
+  std::string out;
+  for (size_t i = 0; i < doc.header.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    AppendField(&out, doc.header[i], delim);
+  }
+  out.push_back('\n');
+  for (const auto& row : doc.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(delim);
+      AppendField(&out, row[i], delim);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc,
+                    char delim) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  out << WriteCsv(doc, delim);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace relgraph

@@ -1,0 +1,33 @@
+#ifndef RELGRAPH_CORE_CSV_H_
+#define RELGRAPH_CORE_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace relgraph {
+
+/// Parsed CSV content: a header row plus data rows of equal width.
+struct CsvDocument {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+/// RFC-4180-style CSV parsing (quoted fields, embedded commas/newlines,
+/// doubled-quote escapes). All rows must have the header's field count.
+Result<CsvDocument> ParseCsv(std::string_view text, char delim = ',');
+
+/// Reads and parses a CSV file from disk.
+Result<CsvDocument> ReadCsvFile(const std::string& path, char delim = ',');
+
+/// Serializes a document, quoting fields only when required.
+std::string WriteCsv(const CsvDocument& doc, char delim = ',');
+
+/// Writes a document to disk.
+Status WriteCsvFile(const std::string& path, const CsvDocument& doc,
+                    char delim = ',');
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_CORE_CSV_H_

@@ -1,0 +1,56 @@
+#ifndef RELGRAPH_CORE_LOGGING_H_
+#define RELGRAPH_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace relgraph {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted (default: Info).
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: aborts the process after emitting.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line)
+      : LogMessage(LogLevel::kError, file, line) {}
+  [[noreturn]] ~FatalLogMessage();
+};
+
+}  // namespace internal
+}  // namespace relgraph
+
+#define RELGRAPH_LOG(level)                                              \
+  ::relgraph::internal::LogMessage(::relgraph::LogLevel::k##level,       \
+                                   __FILE__, __LINE__)                   \
+      .stream()
+
+/// Unconditional invariant check; aborts with a message on failure.
+/// Used for internal invariants (not user-input validation, which returns
+/// Status).
+#define RELGRAPH_CHECK(cond)                                        \
+  if (!(cond))                                                      \
+  ::relgraph::internal::FatalLogMessage(__FILE__, __LINE__).stream() \
+      << "Check failed: " #cond " "
+
+#endif  // RELGRAPH_CORE_LOGGING_H_

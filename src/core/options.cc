@@ -1,0 +1,94 @@
+#include "core/options.h"
+
+#include "core/logging.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+Result<Options> Options::Parse(std::string_view text) {
+  Options opts;
+  std::string_view trimmed = Trim(text);
+  if (trimmed.empty()) return opts;
+  for (const std::string& part : SplitString(trimmed, ',')) {
+    std::string_view p = Trim(part);
+    if (p.empty()) continue;
+    size_t eq = p.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::ParseError("option missing '=': " + std::string(p));
+    }
+    std::string key(Trim(p.substr(0, eq)));
+    std::string value(Trim(p.substr(eq + 1)));
+    if (key.empty()) return Status::ParseError("empty option key");
+    if (opts.entries_.count(key)) {
+      return Status::ParseError("duplicate option key: " + key);
+    }
+    opts.entries_[key] = std::move(value);
+  }
+  return opts;
+}
+
+void Options::Set(const std::string& key, std::string value) {
+  entries_[key] = std::move(value);
+}
+
+bool Options::Has(const std::string& key) const {
+  return entries_.count(key) > 0;
+}
+
+int64_t Options::GetInt(const std::string& key, int64_t def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  auto r = ParseInt64(it->second);
+  RELGRAPH_CHECK(r.ok()) << "option '" << key << "' is not an integer: "
+                         << it->second;
+  return r.value();
+}
+
+double Options::GetDouble(const std::string& key, double def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  auto r = ParseDouble(it->second);
+  RELGRAPH_CHECK(r.ok()) << "option '" << key << "' is not numeric: "
+                         << it->second;
+  return r.value();
+}
+
+bool Options::GetBool(const std::string& key, bool def) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return def;
+  std::string v = ToLower(it->second);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  RELGRAPH_CHECK(false) << "option '" << key << "' is not boolean: "
+                        << it->second;
+  return def;
+}
+
+std::string Options::GetString(const std::string& key,
+                               const std::string& def) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? def : it->second;
+}
+
+Result<int64_t> Options::GetIntChecked(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("option not set: " + key);
+  return ParseInt64(it->second);
+}
+
+Result<double> Options::GetDoubleChecked(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return Status::NotFound("option not set: " + key);
+  return ParseDouble(it->second);
+}
+
+std::string Options::ToString() const {
+  std::string out;
+  for (const auto& [k, v] : entries_) {
+    if (!out.empty()) out += ", ";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+}  // namespace relgraph

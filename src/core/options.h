@@ -1,0 +1,50 @@
+#ifndef RELGRAPH_CORE_OPTIONS_H_
+#define RELGRAPH_CORE_OPTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/status.h"
+
+namespace relgraph {
+
+/// An ordered string-keyed bag of typed option values.
+///
+/// Used for model hyper-parameters supplied via the predictive-query
+/// `USING <model> WITH key=value, ...` clause and for example/bench CLIs.
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses "k1=v1,k2=v2" (whitespace-tolerant). Duplicate keys error.
+  static Result<Options> Parse(std::string_view text);
+
+  void Set(const std::string& key, std::string value);
+
+  bool Has(const std::string& key) const;
+
+  /// Typed getters with defaults; type mismatches abort via CHECK since
+  /// options have been validated at parse/analyze time.
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+  std::string GetString(const std::string& key, const std::string& def) const;
+
+  /// Fallible typed getters for use during semantic analysis.
+  Result<int64_t> GetIntChecked(const std::string& key) const;
+  Result<double> GetDoubleChecked(const std::string& key) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_CORE_OPTIONS_H_

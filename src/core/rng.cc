@@ -1,0 +1,164 @@
+#include "core/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace relgraph {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t n) {
+  assert(n > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  UniformU64(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::Uniform() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+double Rng::Normal() {
+  // Box-Muller; discard the second variate for simplicity.
+  double u1 = Uniform();
+  double u2 = Uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Normal(double mean, double stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return Uniform() < p; }
+
+int Rng::Poisson(double lambda) {
+  if (lambda <= 0.0) return 0;
+  if (lambda < 30.0) {
+    const double limit = std::exp(-lambda);
+    double prod = Uniform();
+    int n = 0;
+    while (prod > limit) {
+      prod *= Uniform();
+      ++n;
+    }
+    return n;
+  }
+  // Normal approximation with continuity correction for large lambda.
+  double x = Normal(lambda, std::sqrt(lambda));
+  return x < 0.0 ? 0 : static_cast<int>(x + 0.5);
+}
+
+double Rng::Exponential(double rate) {
+  double u = Uniform();
+  if (u < 1e-300) u = 1e-300;
+  return -std::log(u) / rate;
+}
+
+int Rng::PowerLawIndex(int n, double alpha) {
+  assert(n > 0);
+  // Inverse-CDF sampling of a continuous power law on [1, n+1), truncated.
+  if (alpha == 1.0) alpha = 1.0 + 1e-9;
+  double u = Uniform();
+  double one_minus = 1.0 - alpha;
+  double max_pow = std::pow(static_cast<double>(n + 1), one_minus);
+  double x = std::pow(u * (max_pow - 1.0) + 1.0, 1.0 / one_minus);
+  int idx = static_cast<int>(x) - 1;
+  if (idx < 0) idx = 0;
+  if (idx >= n) idx = n - 1;
+  return idx;
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) return static_cast<int>(weights.size()) - 1;
+  double target = Uniform() * total;
+  double cum = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cum += weights[i];
+    if (target < cum) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  std::vector<int64_t> out;
+  if (n <= 0 || k <= 0) return out;
+  if (k >= n) {
+    out.resize(static_cast<size_t>(n));
+    std::iota(out.begin(), out.end(), 0);
+    return out;
+  }
+  if (k * 3 >= n) {
+    // Dense path: partial Fisher-Yates.
+    std::vector<int64_t> pool(static_cast<size_t>(n));
+    std::iota(pool.begin(), pool.end(), 0);
+    for (int64_t i = 0; i < k; ++i) {
+      int64_t j = i + static_cast<int64_t>(UniformU64(
+                          static_cast<uint64_t>(n - i)));
+      std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+    }
+    pool.resize(static_cast<size_t>(k));
+    return pool;
+  }
+  // Sparse path: rejection into a hash set.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(k) * 2);
+  out.reserve(static_cast<size_t>(k));
+  while (static_cast<int64_t>(out.size()) < k) {
+    int64_t v = static_cast<int64_t>(UniformU64(static_cast<uint64_t>(n)));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace relgraph

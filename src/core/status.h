@@ -1,0 +1,140 @@
+#ifndef RELGRAPH_CORE_STATUS_H_
+#define RELGRAPH_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace relgraph {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kParseError,
+  kIoError,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Returns a human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value used across all public fallible APIs.
+///
+/// RelGraph follows the Arrow/RocksDB convention of returning `Status`
+/// (or `Result<T>`) instead of throwing exceptions across API boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders the status as "CODE: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error `Status`.
+///
+/// Access the value only after checking `ok()`; accessing the value of an
+/// errored result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace relgraph
+
+/// Propagates a non-OK status out of the enclosing function.
+#define RELGRAPH_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::relgraph::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+#define RELGRAPH_INTERNAL_CONCAT_(a, b) a##b
+#define RELGRAPH_INTERNAL_CONCAT(a, b) RELGRAPH_INTERNAL_CONCAT_(a, b)
+
+#define RELGRAPH_INTERNAL_ASSIGN_OR_RETURN_(tmp, lhs, expr) \
+  auto tmp = (expr);                                        \
+  if (!tmp.ok()) return tmp.status();                       \
+  lhs = std::move(tmp).value();
+
+/// Assigns the value of a Result<T> expression or propagates its error.
+#define RELGRAPH_ASSIGN_OR_RETURN(lhs, expr)                        \
+  RELGRAPH_INTERNAL_ASSIGN_OR_RETURN_(                              \
+      RELGRAPH_INTERNAL_CONCAT(_relgraph_res_, __LINE__), lhs, expr)
+
+#endif  // RELGRAPH_CORE_STATUS_H_

@@ -1,0 +1,53 @@
+#ifndef RELGRAPH_CORE_STRING_UTIL_H_
+#define RELGRAPH_CORE_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace relgraph {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Joins items with the given separator.
+std::string Join(const std::vector<std::string>& items,
+                 std::string_view sep);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a signed 64-bit integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view s);
+
+/// Parses a double; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view s);
+
+/// Formats a double with `digits` significant digits, trimming zeros.
+std::string FormatDouble(double v, int digits = 6);
+
+/// 64-bit FNV-1a hash of a string (used by the hashed-text feature encoder).
+uint64_t Fnv1a64(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_CORE_STRING_UTIL_H_

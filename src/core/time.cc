@@ -1,0 +1,33 @@
+#include "core/time.h"
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+std::string FormatTimestamp(Timestamp t) {
+  if (t == kNoTimestamp) return "static";
+  int64_t day = t / kDay;
+  int64_t rem = t % kDay;
+  if (rem < 0) {
+    rem += kDay;
+    --day;
+  }
+  int64_t h = rem / kHour;
+  int64_t m = (rem % kHour) / kMinute;
+  int64_t s = rem % kMinute;
+  return StrFormat("day %lld %02lld:%02lld:%02lld",
+                   static_cast<long long>(day), static_cast<long long>(h),
+                   static_cast<long long>(m), static_cast<long long>(s));
+}
+
+std::string FormatDuration(Duration d) {
+  if (d % kDay == 0) {
+    return StrFormat("%lldd", static_cast<long long>(d / kDay));
+  }
+  if (d % kHour == 0) {
+    return StrFormat("%lldh", static_cast<long long>(d / kHour));
+  }
+  return StrFormat("%llds", static_cast<long long>(d));
+}
+
+}  // namespace relgraph

@@ -1,0 +1,38 @@
+#ifndef RELGRAPH_CORE_TIME_H_
+#define RELGRAPH_CORE_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace relgraph {
+
+/// Timestamps throughout RelGraph are int64 seconds since an arbitrary
+/// epoch 0 (the synthetic worlds start at t=0). `kNoTimestamp` marks
+/// static rows (e.g. dimension tables) that exist at all times.
+using Timestamp = int64_t;
+
+inline constexpr Timestamp kNoTimestamp = INT64_MIN;
+
+/// A signed span of time in seconds.
+using Duration = int64_t;
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+inline constexpr Duration kDay = 24 * kHour;
+inline constexpr Duration kWeek = 7 * kDay;
+
+/// Convenience constructors.
+constexpr Duration Days(int64_t n) { return n * kDay; }
+constexpr Duration Hours(int64_t n) { return n * kHour; }
+constexpr Duration Weeks(int64_t n) { return n * kWeek; }
+
+/// Renders a timestamp as "day D hh:mm:ss" for logs and examples.
+std::string FormatTimestamp(Timestamp t);
+
+/// Renders a duration as e.g. "28d", "6h", "90s".
+std::string FormatDuration(Duration d);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_CORE_TIME_H_

@@ -1,0 +1,31 @@
+#ifndef RELGRAPH_CORE_TIMER_H_
+#define RELGRAPH_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace relgraph {
+
+/// Monotonic wall-clock stopwatch used by benches and training loops.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_CORE_TIMER_H_

@@ -1,0 +1,210 @@
+#include "datagen/clinical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+Database MakeClinicalDb(const ClinicalConfig& config) {
+  RELGRAPH_CHECK(config.num_patients > 0 && config.num_codes > 0 &&
+                 config.num_drugs > 0);
+  Rng rng(config.seed);
+  Database db("clinical");
+
+  // ---- codes -----------------------------------------------------------
+  TableSchema codes("codes");
+  codes.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString, false)
+      .AddColumn("chronic", DataType::kBool, false)
+      .AddColumn("risk", DataType::kFloat64, false)
+      .SetPrimaryKey("id");
+  Table* code_t = db.AddTable(codes).value();
+  std::vector<double> code_risk;
+  std::vector<bool> code_chronic;
+  for (int64_t c = 0; c < config.num_codes; ++c) {
+    const double risk = rng.Uniform(0.0, 1.0);
+    const bool chronic = risk > 0.6;
+    code_risk.push_back(risk);
+    code_chronic.push_back(chronic);
+    RELGRAPH_CHECK(code_t->AppendRow({Value(c + 1),
+                                      Value(StrFormat("ICD-%03lld",
+                                                      static_cast<long long>(
+                                                          c + 1))),
+                                      Value(chronic), Value(risk)})
+                       .ok());
+  }
+
+  // ---- drugs -----------------------------------------------------------
+  TableSchema drugs("drugs");
+  drugs.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString, false)
+      .AddColumn("effectiveness", DataType::kFloat64, false)
+      .SetPrimaryKey("id");
+  Table* drug_t = db.AddTable(drugs).value();
+  std::vector<double> drug_eff;
+  for (int64_t d = 0; d < config.num_drugs; ++d) {
+    const double eff = rng.Uniform(0.0, 1.0);
+    drug_eff.push_back(eff);
+    RELGRAPH_CHECK(drug_t->AppendRow({Value(d + 1),
+                                      Value(StrFormat("RX-%03lld",
+                                                      static_cast<long long>(
+                                                          d + 1))),
+                                      Value(eff)})
+                       .ok());
+  }
+
+  // ---- patients ---------------------------------------------------------
+  TableSchema patients("patients");
+  patients.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("age", DataType::kFloat64, false)
+      .AddColumn("sex", DataType::kString, false)
+      .SetPrimaryKey("id");
+  Table* patient_t = db.AddTable(patients).value();
+
+  struct PatientState {
+    double frailty;
+    double risk;  // dynamic accumulated risk
+    std::vector<int> chronic_codes;
+  };
+  std::vector<PatientState> pstate(static_cast<size_t>(config.num_patients));
+  for (int64_t p = 0; p < config.num_patients; ++p) {
+    const double age = Clamp(rng.Normal(55.0, 18.0), 1.0, 95.0);
+    RELGRAPH_CHECK(patient_t->AppendRow({Value(p + 1), Value(age),
+                                         Value(std::string(
+                                             rng.Bernoulli(0.5) ? "f" : "m"))})
+                       .ok());
+    PatientState& s = pstate[static_cast<size_t>(p)];
+    // Age contributes mildly to frailty; most signal is in the codes.
+    s.frailty = Clamp(0.15 + 0.3 * (age - 30.0) / 60.0 +
+                          rng.Exponential(5.0),
+                      0.05, 1.5);
+    s.risk = 0.0;
+    // A third of patients carry 1-2 chronic conditions that will recur.
+    if (rng.Bernoulli(0.35)) {
+      const int n = static_cast<int>(rng.UniformInt(1, 2));
+      for (int i = 0; i < n; ++i) {
+        // Chronic codes are those with risk > 0.6; rejection-sample one.
+        for (int tries = 0; tries < 50; ++tries) {
+          int c = static_cast<int>(
+              rng.UniformU64(static_cast<uint64_t>(config.num_codes)));
+          if (code_chronic[static_cast<size_t>(c)]) {
+            s.chronic_codes.push_back(c);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- visits / diagnoses / prescriptions --------------------------------
+  TableSchema visits("visits");
+  visits.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("patient_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .AddColumn("severity", DataType::kFloat64, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("patient_id", "patients")
+      .SetTimeColumn("ts");
+  Table* visit_t = db.AddTable(visits).value();
+
+  TableSchema diagnoses("diagnoses");
+  diagnoses.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("patient_id", DataType::kInt64, false)
+      .AddColumn("visit_id", DataType::kInt64, false)
+      .AddColumn("code_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("patient_id", "patients")
+      .AddForeignKey("visit_id", "visits")
+      .AddForeignKey("code_id", "codes")
+      .SetTimeColumn("ts");
+  Table* dx_t = db.AddTable(diagnoses).value();
+
+  TableSchema prescriptions("prescriptions");
+  prescriptions.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("patient_id", DataType::kInt64, false)
+      .AddColumn("visit_id", DataType::kInt64, false)
+      .AddColumn("drug_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("patient_id", "patients")
+      .AddForeignKey("visit_id", "visits")
+      .AddForeignKey("drug_id", "drugs")
+      .SetTimeColumn("ts");
+  Table* rx_t = db.AddTable(prescriptions).value();
+
+  const double horizon = static_cast<double>(config.horizon_days);
+  int64_t next_visit = 1, next_dx = 1, next_rx = 1;
+  for (int64_t p = 0; p < config.num_patients; ++p) {
+    PatientState& s = pstate[static_cast<size_t>(p)];
+    double t_days = rng.Uniform(0.0, 20.0);
+    double last_t = t_days;
+    while (true) {
+      // Risk decays between visits with a ~60-day half-life-ish scale.
+      const double dt_decay = t_days - last_t;
+      s.risk *= std::exp(-dt_decay / 180.0);
+      last_t = t_days;
+      const double rate =
+          (s.frailty * (1.0 + 5.0 * s.risk)) / config.mean_visit_interval_days;
+      t_days += rng.Exponential(std::max(rate, 1e-4));
+      if (t_days >= horizon) break;
+      const Timestamp ts = static_cast<Timestamp>(t_days * kDay);
+      const double severity =
+          Clamp(0.3 * s.frailty + 0.8 * s.risk + rng.Normal(0.2, 0.15), 0.0,
+                2.0);
+      RELGRAPH_CHECK(visit_t->AppendRow({Value(next_visit), Value(p + 1),
+                                         Value::Time(ts), Value(severity)})
+                         .ok());
+      // Diagnoses: chronic codes recur; others are drawn fresh.
+      double visit_risk = 0.0;
+      int n_dx = 1 + rng.Poisson(0.8);
+      for (int i = 0; i < n_dx; ++i) {
+        int c;
+        if (!s.chronic_codes.empty() && rng.Bernoulli(0.6)) {
+          c = s.chronic_codes[rng.UniformU64(s.chronic_codes.size())];
+        } else {
+          c = static_cast<int>(
+              rng.UniformU64(static_cast<uint64_t>(config.num_codes)));
+        }
+        visit_risk += code_risk[static_cast<size_t>(c)];
+        RELGRAPH_CHECK(dx_t->AppendRow({Value(next_dx++), Value(p + 1),
+                                        Value(next_visit),
+                                        Value(static_cast<int64_t>(c + 1)),
+                                        Value::Time(ts)})
+                           .ok());
+      }
+      s.risk = Clamp(s.risk + 0.5 * visit_risk / n_dx, 0.0, 2.0);
+      // Prescriptions: effective drugs bring the risk back down.
+      const int n_rx = rng.Poisson(0.9);
+      for (int i = 0; i < n_rx; ++i) {
+        int d = static_cast<int>(
+            rng.UniformU64(static_cast<uint64_t>(config.num_drugs)));
+        s.risk = Clamp(s.risk - 0.12 * drug_eff[static_cast<size_t>(d)], 0.0,
+                       2.0);
+        RELGRAPH_CHECK(rx_t->AppendRow({Value(next_rx++), Value(p + 1),
+                                        Value(next_visit),
+                                        Value(static_cast<int64_t>(d + 1)),
+                                        Value::Time(ts)})
+                           .ok());
+      }
+      ++next_visit;
+    }
+  }
+
+  return db;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,225 @@
+#include "datagen/ecommerce.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+const char* kCountries[] = {"us", "uk", "de", "fr", "be", "nl", "jp", "br"};
+
+const char* kCategoryNames[] = {
+    "electronics", "books",  "clothing", "home",   "sports", "beauty",
+    "toys",        "garden", "grocery",  "office", "auto",   "music",
+    "pets",        "tools",  "outdoors", "health"};
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+Database MakeECommerceDb(const ECommerceConfig& config) {
+  RELGRAPH_CHECK(config.num_users > 0 && config.num_products > 0);
+  RELGRAPH_CHECK(config.num_categories > 0 &&
+                 config.num_categories <=
+                     static_cast<int64_t>(std::size(kCategoryNames)));
+  Rng rng(config.seed);
+  Database db("ecommerce");
+
+  // ---- categories ----------------------------------------------------
+  TableSchema categories("categories");
+  categories.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("name", DataType::kString, false)
+      .AddColumn("base_quality", DataType::kFloat64, false)
+      .SetPrimaryKey("id");
+  Table* cat_t = db.AddTable(categories).value();
+  std::vector<double> cat_quality;
+  for (int64_t c = 0; c < config.num_categories; ++c) {
+    double q = rng.Uniform(0.2, 0.8);
+    cat_quality.push_back(q);
+    RELGRAPH_CHECK(cat_t->AppendRow({Value(c + 1),
+                                     Value(std::string(kCategoryNames[c])),
+                                     Value(q)})
+                       .ok());
+  }
+
+  // ---- users ----------------------------------------------------------
+  TableSchema users("users");
+  users.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("country", DataType::kString, false)
+      .AddColumn("age", DataType::kFloat64, false)
+      .AddColumn("premium", DataType::kBool, false)
+      .SetPrimaryKey("id");
+  Table* user_t = db.AddTable(users).value();
+
+  struct UserState {
+    double base_rate;      // orders per day at satisfaction 1.0
+    double satisfaction;   // evolves toward bought-product quality
+    std::vector<int> fav_cats;
+  };
+  std::vector<UserState> ustate(static_cast<size_t>(config.num_users));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    const bool premium = rng.Bernoulli(0.25);
+    const double age = Clamp(rng.Normal(40.0, 12.0), 18.0, 85.0);
+    RELGRAPH_CHECK(
+        user_t->AppendRow({Value(u + 1),
+                           Value(std::string(kCountries[rng.UniformU64(8)])),
+                           Value(age), Value(premium)})
+            .ok());
+    UserState& s = ustate[static_cast<size_t>(u)];
+    // Exponential heterogeneity around the configured mean interval;
+    // premium users shop ~30% more.
+    double rate = rng.Exponential(1.0) / config.mean_order_interval_days;
+    rate = Clamp(rate, 1.0 / config.mean_order_interval_days,
+                 5.0 / config.mean_order_interval_days);
+    s.base_rate = rate * (premium ? 1.3 : 1.0);
+    s.satisfaction = 1.0;
+    const int nfav = 2;
+    for (int i = 0; i < nfav; ++i) {
+      s.fav_cats.push_back(
+          static_cast<int>(rng.UniformU64(
+              static_cast<uint64_t>(config.num_categories))));
+    }
+  }
+
+  // ---- products -------------------------------------------------------
+  TableSchema products("products");
+  products.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("category_id", DataType::kInt64, false)
+      .AddColumn("price", DataType::kFloat64, false)
+      .AddColumn("quality_score", DataType::kFloat64, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("category_id", "categories");
+  Table* prod_t = db.AddTable(products).value();
+
+  struct ProductState {
+    int category;
+    double quality;  // latent truth
+    double price;
+  };
+  std::vector<ProductState> pstate(static_cast<size_t>(config.num_products));
+  // Products grouped by category for preference sampling.
+  std::vector<std::vector<int64_t>> by_cat(
+      static_cast<size_t>(config.num_categories));
+  for (int64_t p = 0; p < config.num_products; ++p) {
+    ProductState& s = pstate[static_cast<size_t>(p)];
+    s.category = rng.PowerLawIndex(static_cast<int>(config.num_categories),
+                                   1.2);
+    // Latent quality tracks the category mean closely so a user's
+    // favourite categories determine the quality they are exposed to.
+    s.quality = Clamp(
+        cat_quality[static_cast<size_t>(s.category)] + rng.Normal(0.0, 0.1),
+        0.05, 0.95);
+    s.price = Clamp(std::exp(rng.Normal(3.0, 0.7)), 2.0, 400.0);
+    // Observable proxy of the latent quality (the 2-hop feature).
+    const double proxy = Clamp(s.quality + rng.Normal(0.0, 0.05), 0.0, 1.0);
+    RELGRAPH_CHECK(prod_t->AppendRow({Value(p + 1),
+                                      Value(static_cast<int64_t>(
+                                          s.category + 1)),
+                                      Value(s.price), Value(proxy)})
+                       .ok());
+    by_cat[static_cast<size_t>(s.category)].push_back(p);
+  }
+  for (auto& bucket : by_cat) {
+    if (bucket.empty()) bucket.push_back(0);  // degenerate guard
+  }
+
+  // ---- orders and reviews ----------------------------------------------
+  TableSchema orders("orders");
+  orders.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("user_id", DataType::kInt64, false)
+      .AddColumn("product_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .AddColumn("quantity", DataType::kInt64, false)
+      .AddColumn("unit_price", DataType::kFloat64, false)
+      .AddColumn("total", DataType::kFloat64, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("user_id", "users")
+      .AddForeignKey("product_id", "products")
+      .SetTimeColumn("ts");
+  Table* order_t = db.AddTable(orders).value();
+
+  TableSchema reviews("reviews");
+  reviews.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("user_id", DataType::kInt64, false)
+      .AddColumn("product_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .AddColumn("rating", DataType::kFloat64, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("user_id", "users")
+      .AddForeignKey("product_id", "products")
+      .SetTimeColumn("ts");
+  Table* review_t = db.AddTable(reviews).value();
+
+  const double horizon = static_cast<double>(config.horizon_days);
+  int64_t next_order_id = 1;
+  int64_t next_review_id = 1;
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    UserState& s = ustate[static_cast<size_t>(u)];
+    double t_days = rng.Uniform(0.0, 5.0);  // staggered first activity
+    while (true) {
+      // The order rate is CONSTANT while the user is active: historical
+      // rate/recency deliberately carry no information about upcoming
+      // churn. Churn is an abrupt hazard decision driven by satisfaction
+      // (below), which is only visible through the quality of the
+      // products bought — two FK hops away from the user.
+      t_days += rng.Exponential(s.base_rate);
+      if (t_days >= horizon) break;
+      // Pick a product: mostly from favourite categories, popularity-skewed.
+      int64_t p;
+      if (!s.fav_cats.empty() && rng.Bernoulli(0.9)) {
+        const int cat = s.fav_cats[rng.UniformU64(s.fav_cats.size())];
+        const auto& bucket = by_cat[static_cast<size_t>(cat)];
+        p = bucket[static_cast<size_t>(
+            rng.PowerLawIndex(static_cast<int>(bucket.size()), 1.3))];
+      } else {
+        p = static_cast<int64_t>(
+            rng.UniformU64(static_cast<uint64_t>(config.num_products)));
+      }
+      const ProductState& ps = pstate[static_cast<size_t>(p)];
+      const int64_t qty = 1 + rng.Poisson(0.5);
+      const double unit = ps.price * rng.Uniform(0.9, 1.1);
+      const Timestamp ts = static_cast<Timestamp>(t_days * kDay);
+      RELGRAPH_CHECK(order_t->AppendRow({Value(next_order_id++),
+                                         Value(u + 1), Value(p + 1),
+                                         Value::Time(ts), Value(qty),
+                                         Value(unit),
+                                         Value(unit * static_cast<double>(
+                                                          qty))})
+                         .ok());
+      // Satisfaction drifts toward an affine function of latent quality.
+      const double target = 3.0 * ps.quality - 0.5 + rng.Normal(0.0, 0.1);
+      s.satisfaction = Clamp(0.5 * s.satisfaction + 0.5 * target, 0.05, 2.5);
+      if (rng.Bernoulli(config.review_prob)) {
+        const double rating = Clamp(
+            std::round(1.0 + 4.0 * ps.quality + rng.Normal(0.0, 0.7)), 1.0,
+            5.0);
+        const Timestamp rts =
+            ts + static_cast<Timestamp>(rng.Uniform(0.5, 5.0) * kDay);
+        if (rts < static_cast<Timestamp>(horizon * kDay)) {
+          RELGRAPH_CHECK(review_t->AppendRow({Value(next_review_id++),
+                                              Value(u + 1), Value(p + 1),
+                                              Value::Time(rts),
+                                              Value(rating)})
+                             .ok());
+        }
+      }
+      // Abrupt churn hazard: dissatisfied users (low bought-quality) quit
+      // for good; satisfied ones almost never do. This is what makes
+      // next-window churn unpredictable from rate/recency alone.
+      const double hazard = Clamp(0.45 - 0.32 * s.satisfaction, 0.002, 0.8);
+      if (rng.Bernoulli(hazard)) break;
+    }
+  }
+
+  return db;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,50 @@
+#ifndef RELGRAPH_DATAGEN_ECOMMERCE_H_
+#define RELGRAPH_DATAGEN_ECOMMERCE_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+
+namespace relgraph {
+
+/// Parameters of the synthetic e-commerce world.
+struct ECommerceConfig {
+  int64_t num_users = 1000;
+  int64_t num_products = 200;
+  int64_t num_categories = 12;
+  int64_t horizon_days = 180;
+  uint64_t seed = 42;
+
+  /// Mean days between orders for a fully satisfied user.
+  double mean_order_interval_days = 14.0;
+
+  /// Probability that a purchase is followed by a review.
+  double review_prob = 0.3;
+};
+
+/// Builds a deterministic relational e-commerce database:
+///
+///   categories(id PK, name, base_quality)
+///   users(id PK, country, age, premium)
+///   products(id PK, category_id -> categories, price, quality_score)
+///   orders(id PK, user_id -> users, product_id -> products, ts TIME,
+///          quantity, unit_price, total)
+///   reviews(id PK, user_id -> users, product_id -> products, ts TIME,
+///           rating)
+///
+/// Planted signal (the "paper claim" the benches test): each user carries a
+/// latent satisfaction that is pulled toward the *latent quality* of the
+/// products they buy; their future order rate is proportional to it. The
+/// product table exposes a noisy `quality_score` proxy, so:
+///   - hop 0 (user columns only): weak signal (premium ~ +30% base rate);
+///   - hop 1 (user→orders): moderate signal (recent order recency/counts);
+///   - hop 2 (user→orders→products): strong signal (quality of recently
+///     bought products drives churn and future spend).
+///
+/// All events lie in [0, horizon_days); generation is bit-reproducible for
+/// a given config.
+Database MakeECommerceDb(const ECommerceConfig& config);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_DATAGEN_ECOMMERCE_H_

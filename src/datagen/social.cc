@@ -1,0 +1,180 @@
+#include "datagen/social.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace relgraph {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(hi, std::max(lo, v));
+}
+
+}  // namespace
+
+Database MakeSocialDb(const SocialConfig& config) {
+  RELGRAPH_CHECK(config.num_users > 1);
+  Rng rng(config.seed);
+  Database db("social");
+
+  // ---- users ------------------------------------------------------------
+  TableSchema users("users");
+  users.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("karma_seed", DataType::kFloat64, false)
+      .AddColumn("verified", DataType::kBool, false)
+      .SetPrimaryKey("id");
+  Table* user_t = db.AddTable(users).value();
+
+  struct UserState {
+    double sociability;  // base posting/commenting drive
+    double quality;      // latent content quality
+    double morale;       // evolves with feedback
+    std::vector<int64_t> followers;
+  };
+  std::vector<UserState> ustate(static_cast<size_t>(config.num_users));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    UserState& s = ustate[static_cast<size_t>(u)];
+    s.sociability = Clamp(rng.Exponential(1.0), 0.1, 4.0);
+    s.quality = rng.Uniform(0.0, 1.0);
+    s.morale = 1.0;
+    // karma_seed is a weak, noisy proxy of quality (hop-0 signal only).
+    const double karma = Clamp(s.quality + rng.Normal(0.0, 0.5), 0.0, 2.0);
+    RELGRAPH_CHECK(user_t->AppendRow({Value(u + 1), Value(karma),
+                                      Value(rng.Bernoulli(0.1))})
+                       .ok());
+  }
+
+  // ---- follows (preferential attachment on quality) ----------------------
+  TableSchema follows("follows");
+  follows.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("follower_id", DataType::kInt64, false)
+      .AddColumn("followee_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("follower_id", "users")
+      .AddForeignKey("followee_id", "users")
+      .SetTimeColumn("ts");
+  Table* follow_t = db.AddTable(follows).value();
+
+  std::vector<double> attract(static_cast<size_t>(config.num_users));
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    attract[static_cast<size_t>(u)] =
+        0.2 + ustate[static_cast<size_t>(u)].quality;
+  }
+  int64_t next_follow = 1;
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    const int n = rng.Poisson(config.mean_follows);
+    std::vector<bool> chosen(static_cast<size_t>(config.num_users), false);
+    for (int i = 0; i < n; ++i) {
+      const int64_t v = rng.Categorical(attract);
+      if (v == u || chosen[static_cast<size_t>(v)]) continue;
+      chosen[static_cast<size_t>(v)] = true;
+      ustate[static_cast<size_t>(v)].followers.push_back(u);
+      const Timestamp ts = static_cast<Timestamp>(
+          rng.Uniform(0.0, 10.0) * kDay);  // follows formed early
+      RELGRAPH_CHECK(follow_t->AppendRow({Value(next_follow++), Value(u + 1),
+                                          Value(v + 1), Value::Time(ts)})
+                         .ok());
+    }
+  }
+
+  // ---- posts / comments / votes ------------------------------------------
+  TableSchema posts("posts");
+  posts.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("user_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .AddColumn("length", DataType::kFloat64, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("user_id", "users")
+      .SetTimeColumn("ts");
+  Table* post_t = db.AddTable(posts).value();
+
+  TableSchema comments("comments");
+  comments.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("user_id", DataType::kInt64, false)
+      .AddColumn("post_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("user_id", "users")
+      .AddForeignKey("post_id", "posts")
+      .SetTimeColumn("ts");
+  Table* comment_t = db.AddTable(comments).value();
+
+  TableSchema votes("votes");
+  votes.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("user_id", DataType::kInt64, false)
+      .AddColumn("post_id", DataType::kInt64, false)
+      .AddColumn("ts", DataType::kTimestamp, false)
+      .AddColumn("up", DataType::kBool, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("user_id", "users")
+      .AddForeignKey("post_id", "posts")
+      .SetTimeColumn("ts");
+  Table* vote_t = db.AddTable(votes).value();
+
+  const double horizon = static_cast<double>(config.horizon_days);
+  const double avg_followers = std::max(config.mean_follows, 1.0);
+  int64_t next_post = 1, next_comment = 1, next_vote = 1;
+  for (int64_t u = 0; u < config.num_users; ++u) {
+    UserState& s = ustate[static_cast<size_t>(u)];
+    double t_days = rng.Uniform(0.0, 3.0);
+    while (true) {
+      const double rate =
+          s.sociability * Clamp(s.morale, 0.05, 2.0) /
+          config.mean_post_interval_days;
+      t_days += rng.Exponential(std::max(rate, 1e-4));
+      if (t_days >= horizon) break;
+      const Timestamp ts = static_cast<Timestamp>(t_days * kDay);
+      RELGRAPH_CHECK(post_t->AppendRow({Value(next_post), Value(u + 1),
+                                        Value::Time(ts),
+                                        Value(Clamp(rng.Normal(300.0, 150.0),
+                                                    10.0, 2000.0))})
+                         .ok());
+      // Feedback: followers comment/vote in proportion to content quality
+      // and audience size. This is the 2-hop signal that sustains morale.
+      const double audience =
+          static_cast<double>(s.followers.size()) / avg_followers;
+      const double expected_feedback = 2.5 * s.quality * (0.3 + audience);
+      const int n_comments = rng.Poisson(expected_feedback);
+      for (int i = 0; i < n_comments && !s.followers.empty(); ++i) {
+        const int64_t commenter =
+            s.followers[rng.UniformU64(s.followers.size())];
+        const Timestamp cts =
+            ts + static_cast<Timestamp>(rng.Uniform(0.02, 2.0) * kDay);
+        if (cts >= static_cast<Timestamp>(horizon * kDay)) continue;
+        RELGRAPH_CHECK(comment_t->AppendRow({Value(next_comment++),
+                                             Value(commenter + 1),
+                                             Value(next_post),
+                                             Value::Time(cts)})
+                           .ok());
+      }
+      const int n_votes = rng.Poisson(expected_feedback * 1.5);
+      int net_up = 0;
+      for (int i = 0; i < n_votes && !s.followers.empty(); ++i) {
+        const int64_t voter = s.followers[rng.UniformU64(s.followers.size())];
+        const bool up = rng.Bernoulli(Clamp(0.3 + 0.6 * s.quality, 0.0, 1.0));
+        net_up += up ? 1 : -1;
+        const Timestamp vts =
+            ts + static_cast<Timestamp>(rng.Uniform(0.01, 1.0) * kDay);
+        if (vts >= static_cast<Timestamp>(horizon * kDay)) continue;
+        RELGRAPH_CHECK(vote_t->AppendRow({Value(next_vote++),
+                                          Value(voter + 1), Value(next_post),
+                                          Value::Time(vts), Value(up)})
+                           .ok());
+      }
+      const double feedback_score =
+          Clamp((n_comments + 0.5 * net_up) / 3.0, 0.0, 2.0);
+      s.morale = Clamp(0.75 * s.morale + 0.25 * feedback_score, 0.05, 2.0);
+      ++next_post;
+    }
+  }
+
+  return db;
+}
+
+}  // namespace relgraph

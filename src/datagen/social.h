@@ -1,0 +1,41 @@
+#ifndef RELGRAPH_DATAGEN_SOCIAL_H_
+#define RELGRAPH_DATAGEN_SOCIAL_H_
+
+#include <cstdint>
+
+#include "relational/database.h"
+
+namespace relgraph {
+
+/// Parameters of the synthetic social-forum world.
+struct SocialConfig {
+  int64_t num_users = 600;
+  int64_t horizon_days = 120;
+  uint64_t seed = 99;
+
+  /// Mean follows per user (preferential attachment).
+  double mean_follows = 8.0;
+
+  /// Mean days between posts for a fully motivated user.
+  double mean_post_interval_days = 4.0;
+};
+
+/// Builds a deterministic relational social-forum database:
+///
+///   users(id PK, karma_seed, verified)
+///   follows(id PK, follower_id -> users, followee_id -> users, ts TIME)
+///   posts(id PK, user_id -> users, ts TIME, length)
+///   comments(id PK, user_id -> users, post_id -> posts, ts TIME)
+///   votes(id PK, user_id -> users, post_id -> posts, ts TIME, up)
+///
+/// Planted signal: a user's posting rate is sustained by the feedback
+/// (comments + upvotes) their posts receive, which itself depends on a
+/// latent content quality and the user's follower count. Predicting
+/// dormancy therefore needs the user→posts→comments/votes paths (2 hops)
+/// plus the follows topology — information invisible to single-table
+/// baselines.
+Database MakeSocialDb(const SocialConfig& config);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_DATAGEN_SOCIAL_H_

@@ -1,0 +1,179 @@
+#include "db2graph/feature_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+bool ShouldSkip(const TableSchema& schema, const std::string& col,
+                const EncodeOptions& options) {
+  if (schema.primary_key() && *schema.primary_key() == col) return true;
+  if (schema.IsForeignKey(col)) return true;
+  if (schema.time_column() && *schema.time_column() == col) return true;
+  for (const auto& s : options.skip_columns) {
+    if (s == col) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<EncodedTable> EncodeTableFeatures(const Table& table,
+                                         const EncodeOptions& options) {
+  const int64_t n = table.num_rows();
+  struct ColPlan {
+    const Column* col;
+    enum { kNumeric, kBool, kOneHot, kHashed } kind;
+    // Numeric stats.
+    double mean = 0.0, stddev = 1.0;
+    // One-hot vocabulary (value -> slot).
+    std::map<std::string, int64_t> vocab;
+    int64_t width = 0;
+    bool add_null_flag = false;
+  };
+  std::vector<ColPlan> plans;
+  for (int64_t c = 0; c < table.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (ShouldSkip(table.schema(), col.name(), options)) continue;
+    ColPlan plan;
+    plan.col = &col;
+    plan.add_null_flag = options.null_indicators && col.null_count() > 0;
+    switch (col.type()) {
+      case DataType::kInt64:
+      case DataType::kFloat64:
+      case DataType::kTimestamp: {
+        plan.kind = ColPlan::kNumeric;
+        double sum = 0.0, sum_sq = 0.0;
+        int64_t count = 0;
+        for (int64_t r = 0; r < n; ++r) {
+          if (col.IsNull(r)) continue;
+          const double v = col.Numeric(r);
+          sum += v;
+          sum_sq += v * v;
+          ++count;
+        }
+        if (count > 0) {
+          plan.mean = sum / static_cast<double>(count);
+          const double var =
+              sum_sq / static_cast<double>(count) - plan.mean * plan.mean;
+          plan.stddev = var > 1e-12 ? std::sqrt(var) : 1.0;
+        }
+        plan.width = 1;
+        break;
+      }
+      case DataType::kBool:
+        plan.kind = ColPlan::kBool;
+        plan.width = 1;
+        break;
+      case DataType::kString: {
+        for (int64_t r = 0; r < n; ++r) {
+          if (col.IsNull(r)) continue;
+          plan.vocab.emplace(col.String(r),
+                             static_cast<int64_t>(plan.vocab.size()));
+          if (static_cast<int64_t>(plan.vocab.size()) >
+              options.max_onehot) {
+            break;
+          }
+        }
+        if (static_cast<int64_t>(plan.vocab.size()) <= options.max_onehot) {
+          // Re-scan to assign stable slots in sorted order.
+          std::map<std::string, int64_t> sorted;
+          for (int64_t r = 0; r < n; ++r) {
+            if (!col.IsNull(r)) sorted.emplace(col.String(r), 0);
+          }
+          int64_t slot = 0;
+          for (auto& [k, v] : sorted) v = slot++;
+          plan.vocab = std::move(sorted);
+          plan.kind = ColPlan::kOneHot;
+          plan.width = static_cast<int64_t>(plan.vocab.size());
+          if (plan.width == 0) plan.width = 1;  // all-null string column
+        } else {
+          plan.kind = ColPlan::kHashed;
+          plan.width = options.hash_buckets;
+        }
+        break;
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  int64_t dim = 0;
+  for (const auto& p : plans) dim += p.width + (p.add_null_flag ? 1 : 0);
+
+  EncodedTable out;
+  out.features = Tensor::Zeros(n, std::max<int64_t>(dim, 1));
+  if (dim == 0) {
+    // Featureless table (e.g. pure link table): single constant column so
+    // downstream encoders have an input.
+    for (int64_t r = 0; r < n; ++r) out.features.at(r, 0) = 1.0f;
+    out.feature_names.push_back("const:1");
+    return out;
+  }
+
+  int64_t offset = 0;
+  for (const auto& p : plans) {
+    const Column& col = *p.col;
+    switch (p.kind) {
+      case ColPlan::kNumeric:
+        out.feature_names.push_back(col.name() + ":z");
+        for (int64_t r = 0; r < n; ++r) {
+          const double v = col.IsNull(r) ? p.mean : col.Numeric(r);
+          out.features.at(r, offset) =
+              static_cast<float>((v - p.mean) / p.stddev);
+        }
+        break;
+      case ColPlan::kBool:
+        out.feature_names.push_back(col.name() + ":b");
+        for (int64_t r = 0; r < n; ++r) {
+          out.features.at(r, offset) =
+              (!col.IsNull(r) && col.Bool(r)) ? 1.0f : 0.0f;
+        }
+        break;
+      case ColPlan::kOneHot: {
+        std::vector<std::string> names(static_cast<size_t>(p.width),
+                                       col.name() + "=?");
+        for (const auto& [value, slot] : p.vocab) {
+          names[static_cast<size_t>(slot)] = col.name() + "=" + value;
+        }
+        for (auto& nm : names) out.feature_names.push_back(nm);
+        for (int64_t r = 0; r < n; ++r) {
+          if (col.IsNull(r)) continue;
+          auto it = p.vocab.find(col.String(r));
+          if (it != p.vocab.end()) {
+            out.features.at(r, offset + it->second) = 1.0f;
+          }
+        }
+        break;
+      }
+      case ColPlan::kHashed:
+        for (int64_t b = 0; b < p.width; ++b) {
+          out.feature_names.push_back(
+              StrFormat("%s#%lld", col.name().c_str(),
+                        static_cast<long long>(b)));
+        }
+        for (int64_t r = 0; r < n; ++r) {
+          if (col.IsNull(r)) continue;
+          const int64_t bucket = static_cast<int64_t>(
+              Fnv1a64(col.String(r)) % static_cast<uint64_t>(p.width));
+          out.features.at(r, offset + bucket) = 1.0f;
+        }
+        break;
+    }
+    offset += p.width;
+    if (p.add_null_flag) {
+      out.feature_names.push_back(col.name() + ":null");
+      for (int64_t r = 0; r < n; ++r) {
+        out.features.at(r, offset) = col.IsNull(r) ? 1.0f : 0.0f;
+      }
+      ++offset;
+    }
+  }
+  return out;
+}
+
+}  // namespace relgraph

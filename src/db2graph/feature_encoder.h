@@ -1,0 +1,53 @@
+#ifndef RELGRAPH_DB2GRAPH_FEATURE_ENCODER_H_
+#define RELGRAPH_DB2GRAPH_FEATURE_ENCODER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "relational/table.h"
+#include "tensor/tensor.h"
+
+namespace relgraph {
+
+/// Controls how table columns are turned into dense features.
+struct EncodeOptions {
+  /// Categorical (STRING) columns with at most this many distinct values
+  /// are one-hot encoded; larger vocabularies are FNV-hashed into
+  /// `hash_buckets` indicator buckets.
+  int64_t max_onehot = 16;
+  int64_t hash_buckets = 16;
+
+  /// Adds a 0/1 "is null" indicator for every nullable column.
+  bool null_indicators = true;
+
+  /// Columns to skip entirely (PKs/FKs/time columns are always skipped by
+  /// EncodeTableFeatures; this adds more).
+  std::vector<std::string> skip_columns;
+};
+
+/// The dense encoding of one table: row-aligned features plus, for each
+/// output dimension, a human-readable name ("age:z", "country=uk",
+/// "country:null", ...).
+struct EncodedTable {
+  Tensor features;  // num_rows × dim
+  std::vector<std::string> feature_names;
+};
+
+/// Encodes the *attribute* columns of a table into standardized dense
+/// features. PK, FK and event-time columns are excluded — identity and
+/// topology belong to the graph, not the feature vector (using raw keys as
+/// features is a classic relational-ML leak).
+///
+/// Per column type:
+///   INT64/FLOAT64/TIMESTAMP -> z-scored numeric (nulls imputed to mean,
+///                              flagged by a null indicator);
+///   BOOL                    -> {0,1} (+ null indicator);
+///   STRING                  -> one-hot over the observed vocabulary, or
+///                              hashed buckets when the vocabulary is large.
+Result<EncodedTable> EncodeTableFeatures(const Table& table,
+                                         const EncodeOptions& options = {});
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_DB2GRAPH_FEATURE_ENCODER_H_

@@ -1,0 +1,77 @@
+#include "db2graph/graph_builder.h"
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+Result<DbGraph> BuildDbGraph(const Database& db,
+                             const GraphBuilderOptions& options) {
+  DbGraph out;
+  // Pass 1: node types with features and timestamps.
+  for (const auto& table : db.tables()) {
+    RELGRAPH_ASSIGN_OR_RETURN(
+        NodeTypeId type, out.graph.AddNodeType(table->name(),
+                                               table->num_rows()));
+    out.table_type[table->name()] = type;
+    RELGRAPH_ASSIGN_OR_RETURN(EncodedTable encoded,
+                              EncodeTableFeatures(*table, options.encode));
+    out.feature_names[table->name()] = std::move(encoded.feature_names);
+    RELGRAPH_RETURN_IF_ERROR(
+        out.graph.SetNodeFeatures(type, std::move(encoded.features)));
+    if (table->schema().time_column()) {
+      std::vector<Timestamp> times(static_cast<size_t>(table->num_rows()));
+      for (int64_t r = 0; r < table->num_rows(); ++r) {
+        times[static_cast<size_t>(r)] = table->RowTime(r);
+      }
+      RELGRAPH_RETURN_IF_ERROR(
+          out.graph.SetNodeTimes(type, std::move(times)));
+    }
+  }
+  // Pass 2: FK edge types.
+  for (const auto& table : db.tables()) {
+    const NodeTypeId child_type = out.table_type[table->name()];
+    for (const auto& fk : table->schema().foreign_keys()) {
+      const Table* parent = db.FindTable(fk.referenced_table);
+      if (parent == nullptr) {
+        return Status::InvalidArgument(StrFormat(
+            "FK %s.%s references unknown table '%s'",
+            table->name().c_str(), fk.column.c_str(),
+            fk.referenced_table.c_str()));
+      }
+      const NodeTypeId parent_type = out.table_type[fk.referenced_table];
+      const Column& col = table->column(fk.column);
+      std::vector<int64_t> src, dst;
+      std::vector<Timestamp> times;
+      src.reserve(static_cast<size_t>(table->num_rows()));
+      for (int64_t r = 0; r < table->num_rows(); ++r) {
+        if (col.IsNull(r)) continue;
+        auto parent_row = parent->FindByPrimaryKey(col.Int(r));
+        if (!parent_row.ok()) {
+          return Status::InvalidArgument(StrFormat(
+              "FK %s.%s=%lld (row %lld) dangles", table->name().c_str(),
+              fk.column.c_str(), static_cast<long long>(col.Int(r)),
+              static_cast<long long>(r)));
+        }
+        src.push_back(r);
+        dst.push_back(parent_row.value());
+        times.push_back(table->RowTime(r));
+      }
+      const std::string edge_name = table->name() + "__" + fk.column;
+      RELGRAPH_ASSIGN_OR_RETURN(
+          EdgeTypeId fwd, out.graph.AddEdgeType(edge_name, child_type,
+                                                parent_type, src, dst,
+                                                times));
+      (void)fwd;
+      if (options.add_reverse_edges) {
+        RELGRAPH_ASSIGN_OR_RETURN(
+            EdgeTypeId rev,
+            out.graph.AddEdgeType("rev_" + edge_name, parent_type,
+                                  child_type, dst, src, times));
+        (void)rev;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,56 @@
+#ifndef RELGRAPH_DB2GRAPH_GRAPH_BUILDER_H_
+#define RELGRAPH_DB2GRAPH_GRAPH_BUILDER_H_
+
+#include <map>
+#include <string>
+
+#include "db2graph/feature_encoder.h"
+#include "graph/hetero_graph.h"
+#include "relational/database.h"
+
+namespace relgraph {
+
+/// Options for DB→graph conversion.
+struct GraphBuilderOptions {
+  EncodeOptions encode;
+
+  /// Emit a reverse edge type ("rev_<name>") for every FK so message
+  /// passing can flow both ways (child→parent and parent→child).
+  bool add_reverse_edges = true;
+};
+
+/// The result of converting a relational database into a heterogeneous
+/// temporal graph. Node `i` of the type named after table T is exactly row
+/// `i` of T; edge types are named `<table>__<fk_column>` (and the
+/// `rev_`-prefixed reverse).
+struct DbGraph {
+  HeteroGraph graph;
+
+  /// table name -> node type id.
+  std::map<std::string, NodeTypeId> table_type;
+
+  /// Per node type, the feature names produced by the encoder (aligned
+  /// with graph.node_features columns).
+  std::map<std::string, std::vector<std::string>> feature_names;
+
+  NodeTypeId type_of(const std::string& table) const {
+    return table_type.at(table);
+  }
+};
+
+/// Converts `db` into a DbGraph:
+///  - every table becomes a node type (rows = nodes, attributes = encoded
+///    features, event time = node timestamp);
+///  - every foreign key becomes a directed edge type child→parent with the
+///    child row's event time as the edge timestamp (plus the reverse type
+///    when enabled);
+///  - NULL foreign keys produce no edge.
+///
+/// The database should Validate() cleanly; dangling FKs are reported as
+/// errors here too.
+Result<DbGraph> BuildDbGraph(const Database& db,
+                             const GraphBuilderOptions& options = {});
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_DB2GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,55 @@
+#include "gnn/heads.h"
+
+namespace relgraph {
+
+ClassificationHead::ClassificationHead(int64_t in_dim, int64_t num_classes,
+                                       Rng* rng)
+    : mlp_(std::make_unique<Mlp>(
+          std::vector<int64_t>{in_dim, in_dim / 2 > 4 ? in_dim / 2 : 4,
+                               num_classes},
+          rng)) {}
+
+VarPtr ClassificationHead::Forward(const VarPtr& embeddings) const {
+  return mlp_->Forward(embeddings);
+}
+
+std::vector<VarPtr> ClassificationHead::Parameters() const {
+  return mlp_->Parameters();
+}
+
+ScalarHead::ScalarHead(int64_t in_dim, Rng* rng)
+    : mlp_(std::make_unique<Mlp>(
+          std::vector<int64_t>{in_dim, in_dim / 2 > 4 ? in_dim / 2 : 4, 1},
+          rng)) {}
+
+VarPtr ScalarHead::Forward(const VarPtr& embeddings) const {
+  return mlp_->Forward(embeddings);
+}
+
+std::vector<VarPtr> ScalarHead::Parameters() const {
+  return mlp_->Parameters();
+}
+
+LinkHead::LinkHead(int64_t in_dim, int64_t proj_dim, Rng* rng)
+    : src_proj_(std::make_unique<Linear>(in_dim, proj_dim, rng)),
+      dst_proj_(std::make_unique<Linear>(in_dim, proj_dim, rng)) {}
+
+VarPtr LinkHead::ProjectSource(const VarPtr& embeddings) const {
+  return src_proj_->Forward(embeddings);
+}
+
+VarPtr LinkHead::ProjectTarget(const VarPtr& embeddings) const {
+  return dst_proj_->Forward(embeddings);
+}
+
+VarPtr LinkHead::Score(const VarPtr& src_proj, const VarPtr& dst_proj) const {
+  return ag::RowwiseDot(src_proj, dst_proj);
+}
+
+std::vector<VarPtr> LinkHead::Parameters() const {
+  std::vector<VarPtr> ps = src_proj_->Parameters();
+  for (const auto& p : dst_proj_->Parameters()) ps.push_back(p);
+  return ps;
+}
+
+}  // namespace relgraph

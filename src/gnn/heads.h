@@ -1,0 +1,65 @@
+#ifndef RELGRAPH_GNN_HEADS_H_
+#define RELGRAPH_GNN_HEADS_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/nn.h"
+
+namespace relgraph {
+
+/// MLP head turning entity embeddings into K-class logits.
+class ClassificationHead : public Module {
+ public:
+  ClassificationHead(int64_t in_dim, int64_t num_classes, Rng* rng);
+
+  /// [n × in_dim] embeddings -> [n × num_classes] logits.
+  VarPtr Forward(const VarPtr& embeddings) const;
+
+  std::vector<VarPtr> Parameters() const override;
+
+  int64_t num_classes() const { return mlp_->out_features(); }
+
+ private:
+  std::unique_ptr<Mlp> mlp_;
+};
+
+/// MLP head producing one scalar per entity (regression or binary logit).
+class ScalarHead : public Module {
+ public:
+  ScalarHead(int64_t in_dim, Rng* rng);
+
+  /// [n × in_dim] embeddings -> [n × 1] scalars.
+  VarPtr Forward(const VarPtr& embeddings) const;
+
+  std::vector<VarPtr> Parameters() const override;
+
+ private:
+  std::unique_ptr<Mlp> mlp_;
+};
+
+/// Two-tower link scorer: projects source and target embeddings and takes
+/// the row-wise dot product as the link logit.
+class LinkHead : public Module {
+ public:
+  LinkHead(int64_t in_dim, int64_t proj_dim, Rng* rng);
+
+  /// Projects source-side embeddings.
+  VarPtr ProjectSource(const VarPtr& embeddings) const;
+
+  /// Projects target-side embeddings.
+  VarPtr ProjectTarget(const VarPtr& embeddings) const;
+
+  /// Row-aligned link logits from projected embeddings.
+  VarPtr Score(const VarPtr& src_proj, const VarPtr& dst_proj) const;
+
+  std::vector<VarPtr> Parameters() const override;
+
+ private:
+  std::unique_ptr<Linear> src_proj_;
+  std::unique_ptr<Linear> dst_proj_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_GNN_HEADS_H_

@@ -1,0 +1,241 @@
+#include "gnn/hetero_sage.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "tensor/init.h"
+
+namespace relgraph {
+
+HeteroSageModel::HeteroSageModel(const HeteroGraph* graph,
+                                 const GnnConfig& config, Rng* rng)
+    : graph_(graph), config_(config) {
+  RELGRAPH_CHECK(graph_ != nullptr);
+  RELGRAPH_CHECK(config_.hidden_dim > 0);
+  RELGRAPH_CHECK(config_.num_layers >= 0);
+  const int32_t num_types = graph_->num_node_types();
+  out_edge_types_.resize(static_cast<size_t>(num_types));
+  for (EdgeTypeId e = 0; e < graph_->num_edge_types(); ++e) {
+    out_edge_types_[static_cast<size_t>(graph_->edge_src_type(e))]
+        .push_back(e);
+  }
+  encoders_.resize(static_cast<size_t>(num_types));
+  for (int32_t t = 0; t < num_types; ++t) {
+    int64_t in_dim = std::max<int64_t>(graph_->feature_dim(t), 1);
+    if (config_.time_encoding) in_dim += 2;
+    if (config_.degree_encoding) {
+      in_dim += static_cast<int64_t>(
+          out_edge_types_[static_cast<size_t>(t)].size());
+    }
+    encoders_[static_cast<size_t>(t)] =
+        std::make_unique<Linear>(in_dim, config_.hidden_dim, rng);
+  }
+  layers_.resize(static_cast<size_t>(config_.num_layers));
+  for (auto& layer : layers_) {
+    layer.self.resize(static_cast<size_t>(num_types));
+    for (int32_t t = 0; t < num_types; ++t) {
+      layer.self[static_cast<size_t>(t)] = std::make_unique<Linear>(
+          config_.hidden_dim, config_.hidden_dim, rng);
+    }
+    layer.message.resize(static_cast<size_t>(graph_->num_edge_types()));
+    for (int32_t e = 0; e < graph_->num_edge_types(); ++e) {
+      layer.message[static_cast<size_t>(e)] = std::make_unique<Linear>(
+          config_.hidden_dim, config_.hidden_dim, rng, /*bias=*/false);
+    }
+    if (config_.conv == GnnConv::kAttention) {
+      layer.att_src.resize(static_cast<size_t>(graph_->num_edge_types()));
+      layer.att_dst.resize(static_cast<size_t>(graph_->num_edge_types()));
+      for (int32_t e = 0; e < graph_->num_edge_types(); ++e) {
+        layer.att_src[static_cast<size_t>(e)] =
+            ag::Param(GlorotUniform(config_.hidden_dim, 1, rng));
+        layer.att_dst[static_cast<size_t>(e)] =
+            ag::Param(GlorotUniform(config_.hidden_dim, 1, rng));
+      }
+    }
+    if (config_.layer_norm) {
+      layer.norm = std::make_unique<LayerNorm>(config_.hidden_dim);
+    }
+  }
+}
+
+VarPtr HeteroSageModel::Forward(const Subgraph& sg, NodeTypeId seed_type,
+                                Rng* rng, bool training) const {
+  RELGRAPH_CHECK(static_cast<int64_t>(sg.blocks.size()) ==
+                 config_.num_layers)
+      << "subgraph depth " << sg.blocks.size() << " != model layers "
+      << config_.num_layers;
+  const int32_t num_types = graph_->num_node_types();
+  const size_t deepest = sg.frontiers.size() - 1;
+
+  // Encode raw features of the deepest frontier.
+  std::vector<VarPtr> h(static_cast<size_t>(num_types));
+  for (int32_t t = 0; t < num_types; ++t) {
+    const auto& nodes = sg.frontiers[deepest].nodes[static_cast<size_t>(t)];
+    if (nodes.empty()) continue;
+    const auto& cutoffs =
+        sg.frontiers[deepest].cutoffs[static_cast<size_t>(t)];
+    VarPtr x = ag::Constant(InputFeatures(t, nodes, cutoffs));
+    VarPtr enc =
+        ag::Relu(encoders_[static_cast<size_t>(t)]->Forward(x));
+    if (training && config_.dropout > 0.0f) {
+      enc = ag::Dropout(enc, config_.dropout, rng, true);
+    }
+    h[static_cast<size_t>(t)] = enc;
+  }
+
+  // Bottom-up message passing: layer k aggregates frontier k+1 into k.
+  for (int64_t k = config_.num_layers - 1; k >= 0; --k) {
+    const Layer& layer = layers_[static_cast<size_t>(k)];
+    const auto& frontier = sg.frontiers[static_cast<size_t>(k)];
+    std::vector<VarPtr> next_h(static_cast<size_t>(num_types));
+    // Self term (prefix rows of the deeper representation).
+    for (int32_t t = 0; t < num_types; ++t) {
+      const int64_t n = static_cast<int64_t>(
+          frontier.nodes[static_cast<size_t>(t)].size());
+      if (n == 0) continue;
+      RELGRAPH_CHECK(h[static_cast<size_t>(t)] != nullptr);
+      std::vector<int64_t> prefix(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) prefix[static_cast<size_t>(i)] = i;
+      VarPtr self = ag::GatherRows(h[static_cast<size_t>(t)], prefix);
+      next_h[static_cast<size_t>(t)] =
+          layer.self[static_cast<size_t>(t)]->Forward(self);
+    }
+    // Message terms per sampled block.
+    for (const auto& block : sg.blocks[static_cast<size_t>(k)]) {
+      const NodeTypeId tgt_type = graph_->edge_src_type(block.edge_type);
+      const NodeTypeId src_type = graph_->edge_dst_type(block.edge_type);
+      RELGRAPH_CHECK(h[static_cast<size_t>(src_type)] != nullptr);
+      RELGRAPH_CHECK(next_h[static_cast<size_t>(tgt_type)] != nullptr);
+      const int64_t n_tgt = static_cast<int64_t>(
+          frontier.nodes[static_cast<size_t>(tgt_type)].size());
+      VarPtr msgs = ag::GatherRows(h[static_cast<size_t>(src_type)],
+                                   block.source_local);
+      VarPtr agg;
+      if (config_.conv == GnnConv::kAttention) {
+        // GAT-style: score each sampled edge from the (deeper) reps of
+        // both endpoints; target reps come from the self-prefix rows.
+        VarPtr tgt_rep = ag::GatherRows(h[static_cast<size_t>(tgt_type)],
+                                        block.target_local);
+        VarPtr score = ag::LeakyRelu(
+            ag::Add(ag::MatMul(msgs, layer.att_src[static_cast<size_t>(
+                                         block.edge_type)]),
+                    ag::MatMul(tgt_rep, layer.att_dst[static_cast<size_t>(
+                                            block.edge_type)])),
+            0.2f);
+        VarPtr weights =
+            ag::SegmentSoftmax(score, block.target_local, n_tgt);
+        agg = ag::SegmentSum(ag::MulColBroadcast(msgs, weights),
+                             block.target_local, n_tgt);
+      } else {
+        switch (config_.aggregation) {
+          case GnnAggregation::kMean:
+            agg = ag::SegmentMean(msgs, block.target_local, n_tgt);
+            break;
+          case GnnAggregation::kSum:
+            agg = ag::SegmentSum(msgs, block.target_local, n_tgt);
+            break;
+          case GnnAggregation::kMax:
+            agg = ag::SegmentMax(msgs, block.target_local, n_tgt);
+            break;
+        }
+      }
+      VarPtr transformed =
+          layer.message[static_cast<size_t>(block.edge_type)]->Forward(agg);
+      next_h[static_cast<size_t>(tgt_type)] =
+          ag::Add(next_h[static_cast<size_t>(tgt_type)], transformed);
+    }
+    // Normalization, non-linearity, dropout.
+    for (int32_t t = 0; t < num_types; ++t) {
+      if (next_h[static_cast<size_t>(t)] == nullptr) continue;
+      VarPtr pre = next_h[static_cast<size_t>(t)];
+      if (layer.norm) pre = layer.norm->Forward(pre);
+      VarPtr act = ag::Relu(pre);
+      if (training && config_.dropout > 0.0f) {
+        act = ag::Dropout(act, config_.dropout, rng, true);
+      }
+      next_h[static_cast<size_t>(t)] = act;
+    }
+    h = std::move(next_h);
+  }
+  VarPtr out = h[static_cast<size_t>(seed_type)];
+  RELGRAPH_CHECK(out != nullptr) << "no seed nodes of the requested type";
+  return out;
+}
+
+Tensor HeteroSageModel::InputFeatures(
+    NodeTypeId type, const std::vector<int64_t>& nodes,
+    const std::vector<Timestamp>& cutoffs) const {
+  const int64_t n = static_cast<int64_t>(nodes.size());
+  const Tensor& table_feats = graph_->node_features(type);
+  const int64_t base_dim = table_feats.empty() ? 1 : table_feats.cols();
+  int64_t dim = base_dim;
+  if (config_.time_encoding) dim += 2;
+  const auto& out_edges = out_edge_types_[static_cast<size_t>(type)];
+  if (config_.degree_encoding) {
+    dim += static_cast<int64_t>(out_edges.size());
+  }
+  Tensor out(n, dim);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t node = nodes[static_cast<size_t>(i)];
+    const Timestamp cutoff = cutoffs[static_cast<size_t>(i)];
+    int64_t col = 0;
+    if (table_feats.empty()) {
+      out.at(i, col++) = 1.0f;
+    } else {
+      for (int64_t c = 0; c < base_dim; ++c) {
+        out.at(i, col++) = table_feats.at(node, c);
+      }
+    }
+    if (config_.time_encoding) {
+      const Timestamp t = graph_->node_time(type, node);
+      if (t == kNoTimestamp) {
+        out.at(i, col++) = 0.0f;
+        out.at(i, col++) = 1.0f;  // is_static
+      } else {
+        const double days =
+            std::max<double>(0.0, static_cast<double>(cutoff - t) /
+                                      static_cast<double>(kDay));
+        out.at(i, col++) = static_cast<float>(std::log1p(days));
+        out.at(i, col++) = 0.0f;
+      }
+    }
+    if (config_.degree_encoding) {
+      for (EdgeTypeId e : out_edges) {
+        const int64_t* dst;
+        const Timestamp* times;
+        int64_t count;
+        graph_->Neighbors(e, node, &dst, &times, &count);
+        int64_t valid = 0;
+        for (int64_t k = 0; k < count; ++k) {
+          if (times[k] == kNoTimestamp || times[k] < cutoff) ++valid;
+        }
+        out.at(i, col++) =
+            static_cast<float>(std::log1p(static_cast<double>(valid)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<VarPtr> HeteroSageModel::Parameters() const {
+  std::vector<VarPtr> ps;
+  for (const auto& enc : encoders_) {
+    for (const auto& p : enc->Parameters()) ps.push_back(p);
+  }
+  for (const auto& layer : layers_) {
+    for (const auto& lin : layer.self) {
+      for (const auto& p : lin->Parameters()) ps.push_back(p);
+    }
+    for (const auto& lin : layer.message) {
+      for (const auto& p : lin->Parameters()) ps.push_back(p);
+    }
+    for (const auto& p : layer.att_src) ps.push_back(p);
+    for (const auto& p : layer.att_dst) ps.push_back(p);
+    if (layer.norm) {
+      for (const auto& p : layer.norm->Parameters()) ps.push_back(p);
+    }
+  }
+  return ps;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,178 @@
+#include "graph/hetero_graph.h"
+
+#include "core/logging.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+Result<NodeTypeId> HeteroGraph::AddNodeType(const std::string& name,
+                                            int64_t num_nodes) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("negative node count for type " + name);
+  }
+  if (node_index_.count(name)) {
+    return Status::AlreadyExists("node type '" + name + "' already exists");
+  }
+  NodeTypeId id = static_cast<NodeTypeId>(node_names_.size());
+  node_index_[name] = id;
+  node_names_.push_back(name);
+  num_nodes_.push_back(num_nodes);
+  features_.emplace_back();
+  node_times_.emplace_back();
+  return id;
+}
+
+Status HeteroGraph::SetNodeFeatures(NodeTypeId type, Tensor features) {
+  if (type < 0 || type >= num_node_types()) {
+    return Status::OutOfRange("bad node type id");
+  }
+  if (features.rows() != num_nodes_[type]) {
+    return Status::InvalidArgument(StrFormat(
+        "feature rows %lld != node count %lld for type '%s'",
+        static_cast<long long>(features.rows()),
+        static_cast<long long>(num_nodes_[type]),
+        node_names_[type].c_str()));
+  }
+  features_[type] = std::move(features);
+  return Status::OK();
+}
+
+Status HeteroGraph::SetNodeTimes(NodeTypeId type,
+                                 std::vector<Timestamp> times) {
+  if (type < 0 || type >= num_node_types()) {
+    return Status::OutOfRange("bad node type id");
+  }
+  if (static_cast<int64_t>(times.size()) != num_nodes_[type]) {
+    return Status::InvalidArgument("times size != node count for type '" +
+                                   node_names_[type] + "'");
+  }
+  node_times_[type] = std::move(times);
+  return Status::OK();
+}
+
+Result<EdgeTypeId> HeteroGraph::AddEdgeType(
+    const std::string& name, NodeTypeId src_type, NodeTypeId dst_type,
+    const std::vector<int64_t>& src, const std::vector<int64_t>& dst,
+    const std::vector<Timestamp>& times) {
+  if (src_type < 0 || src_type >= num_node_types() || dst_type < 0 ||
+      dst_type >= num_node_types()) {
+    return Status::OutOfRange("bad endpoint node type for edge type " + name);
+  }
+  if (edge_index_.count(name)) {
+    return Status::AlreadyExists("edge type '" + name + "' already exists");
+  }
+  if (src.size() != dst.size() || src.size() != times.size()) {
+    return Status::InvalidArgument(
+        "src/dst/times arrays must be the same length");
+  }
+  const int64_t n_src = num_nodes_[src_type];
+  const int64_t n_dst = num_nodes_[dst_type];
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] < 0 || src[i] >= n_src) {
+      return Status::OutOfRange(StrFormat(
+          "edge %zu: src %lld out of range [0,%lld)", i,
+          static_cast<long long>(src[i]), static_cast<long long>(n_src)));
+    }
+    if (dst[i] < 0 || dst[i] >= n_dst) {
+      return Status::OutOfRange(StrFormat(
+          "edge %zu: dst %lld out of range [0,%lld)", i,
+          static_cast<long long>(dst[i]), static_cast<long long>(n_dst)));
+    }
+  }
+  Csr csr;
+  csr.offsets.assign(static_cast<size_t>(n_src) + 1, 0);
+  for (int64_t s : src) ++csr.offsets[static_cast<size_t>(s) + 1];
+  for (size_t i = 1; i < csr.offsets.size(); ++i) {
+    csr.offsets[i] += csr.offsets[i - 1];
+  }
+  csr.neighbors.resize(src.size());
+  csr.times.resize(src.size());
+  std::vector<int64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (size_t i = 0; i < src.size(); ++i) {
+    int64_t& pos = cursor[static_cast<size_t>(src[i])];
+    csr.neighbors[static_cast<size_t>(pos)] = dst[i];
+    csr.times[static_cast<size_t>(pos)] = times[i];
+    ++pos;
+  }
+  EdgeTypeId id = static_cast<EdgeTypeId>(edge_names_.size());
+  edge_index_[name] = id;
+  edge_names_.push_back(name);
+  edge_src_.push_back(src_type);
+  edge_dst_.push_back(dst_type);
+  csr_.push_back(std::move(csr));
+  return id;
+}
+
+Result<NodeTypeId> HeteroGraph::FindNodeType(const std::string& name) const {
+  auto it = node_index_.find(name);
+  if (it == node_index_.end()) {
+    return Status::NotFound("no node type '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<EdgeTypeId> HeteroGraph::FindEdgeType(const std::string& name) const {
+  auto it = edge_index_.find(name);
+  if (it == edge_index_.end()) {
+    return Status::NotFound("no edge type '" + name + "'");
+  }
+  return it->second;
+}
+
+int64_t HeteroGraph::TotalNodes() const {
+  int64_t total = 0;
+  for (int64_t n : num_nodes_) total += n;
+  return total;
+}
+
+int64_t HeteroGraph::TotalEdges() const {
+  int64_t total = 0;
+  for (const auto& csr : csr_) {
+    total += static_cast<int64_t>(csr.neighbors.size());
+  }
+  return total;
+}
+
+Timestamp HeteroGraph::node_time(NodeTypeId t, int64_t node) const {
+  const auto& times = node_times_[t];
+  if (times.empty()) return kNoTimestamp;
+  return times[static_cast<size_t>(node)];
+}
+
+void HeteroGraph::Neighbors(EdgeTypeId e, int64_t node,
+                            const int64_t** dst_out,
+                            const Timestamp** time_out,
+                            int64_t* count_out) const {
+  const Csr& csr = csr_[e];
+  const int64_t begin = csr.offsets[static_cast<size_t>(node)];
+  const int64_t end = csr.offsets[static_cast<size_t>(node) + 1];
+  *dst_out = csr.neighbors.data() + begin;
+  *time_out = csr.times.data() + begin;
+  *count_out = end - begin;
+}
+
+int64_t HeteroGraph::Degree(EdgeTypeId e, int64_t node) const {
+  const Csr& csr = csr_[e];
+  return csr.offsets[static_cast<size_t>(node) + 1] -
+         csr.offsets[static_cast<size_t>(node)];
+}
+
+std::string HeteroGraph::Describe() const {
+  std::string out;
+  for (int32_t t = 0; t < num_node_types(); ++t) {
+    out += StrFormat("node type %-12s  %7lld nodes, %lld features\n",
+                     node_names_[t].c_str(),
+                     static_cast<long long>(num_nodes_[t]),
+                     static_cast<long long>(feature_dim(t)));
+  }
+  for (int32_t e = 0; e < num_edge_types(); ++e) {
+    out += StrFormat("edge type %-22s  %s -> %s, %lld edges\n",
+                     edge_names_[e].c_str(),
+                     node_names_[edge_src_[e]].c_str(),
+                     node_names_[edge_dst_[e]].c_str(),
+                     static_cast<long long>(num_edges(e)));
+  }
+  return out;
+}
+
+}  // namespace relgraph

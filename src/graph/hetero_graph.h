@@ -1,0 +1,123 @@
+#ifndef RELGRAPH_GRAPH_HETERO_GRAPH_H_
+#define RELGRAPH_GRAPH_HETERO_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "core/time.h"
+#include "tensor/tensor.h"
+
+namespace relgraph {
+
+/// Identifies a node type (one per database table).
+using NodeTypeId = int32_t;
+
+/// Identifies a directed edge type (one per FK direction).
+using EdgeTypeId = int32_t;
+
+/// A directed, typed, timestamped multigraph stored as one CSR structure
+/// per edge type — the in-memory form of a relational database after
+/// DB→graph conversion.
+///
+/// Node ids are dense per node type: node `i` of type "orders" is row `i`
+/// of the orders table. Every node carries a timestamp (kNoTimestamp for
+/// static dimension rows) and every edge carries the timestamp of the fact
+/// row that induced it, which is what makes leakage-free temporal neighbor
+/// sampling possible.
+class HeteroGraph {
+ public:
+  HeteroGraph() = default;
+
+  /// Registers a node type; returns its id. Fails on duplicates.
+  Result<NodeTypeId> AddNodeType(const std::string& name, int64_t num_nodes);
+
+  /// Attaches a feature matrix (num_nodes × d) to a node type.
+  Status SetNodeFeatures(NodeTypeId type, Tensor features);
+
+  /// Attaches per-node timestamps (size num_nodes).
+  Status SetNodeTimes(NodeTypeId type, std::vector<Timestamp> times);
+
+  /// Registers a directed edge type and bulk-loads its edges as parallel
+  /// arrays (src node id, dst node id, edge timestamp). Builds CSR by src.
+  Result<EdgeTypeId> AddEdgeType(const std::string& name, NodeTypeId src_type,
+                                 NodeTypeId dst_type,
+                                 const std::vector<int64_t>& src,
+                                 const std::vector<int64_t>& dst,
+                                 const std::vector<Timestamp>& times);
+
+  // -------------------------------------------------------------- lookup
+
+  int32_t num_node_types() const {
+    return static_cast<int32_t>(node_names_.size());
+  }
+  int32_t num_edge_types() const {
+    return static_cast<int32_t>(edge_names_.size());
+  }
+
+  Result<NodeTypeId> FindNodeType(const std::string& name) const;
+  Result<EdgeTypeId> FindEdgeType(const std::string& name) const;
+
+  const std::string& node_type_name(NodeTypeId t) const {
+    return node_names_[t];
+  }
+  const std::string& edge_type_name(EdgeTypeId e) const {
+    return edge_names_[e];
+  }
+
+  int64_t num_nodes(NodeTypeId t) const { return num_nodes_[t]; }
+  int64_t num_edges(EdgeTypeId e) const {
+    return static_cast<int64_t>(csr_[e].neighbors.size());
+  }
+  int64_t TotalNodes() const;
+  int64_t TotalEdges() const;
+
+  NodeTypeId edge_src_type(EdgeTypeId e) const { return edge_src_[e]; }
+  NodeTypeId edge_dst_type(EdgeTypeId e) const { return edge_dst_[e]; }
+
+  /// Feature matrix of a node type (empty tensor if unset).
+  const Tensor& node_features(NodeTypeId t) const { return features_[t]; }
+
+  /// Feature width of a node type (0 if unset).
+  int64_t feature_dim(NodeTypeId t) const { return features_[t].cols(); }
+
+  /// Timestamp of one node (kNoTimestamp when the type is static).
+  Timestamp node_time(NodeTypeId t, int64_t node) const;
+
+  /// Neighborhood of `node` under edge type `e`: spans of the CSR arrays.
+  /// `*dst_out`/`*time_out` point at `*count_out` parallel entries.
+  void Neighbors(EdgeTypeId e, int64_t node, const int64_t** dst_out,
+                 const Timestamp** time_out, int64_t* count_out) const;
+
+  /// Degree of a node under an edge type.
+  int64_t Degree(EdgeTypeId e, int64_t node) const;
+
+  /// Summary line per type for logging/examples.
+  std::string Describe() const;
+
+ private:
+  struct Csr {
+    std::vector<int64_t> offsets;    // size num_src_nodes + 1
+    std::vector<int64_t> neighbors;  // dst node ids
+    std::vector<Timestamp> times;    // edge timestamps
+  };
+
+  std::vector<std::string> node_names_;
+  std::unordered_map<std::string, NodeTypeId> node_index_;
+  std::vector<int64_t> num_nodes_;
+  std::vector<Tensor> features_;
+  std::vector<std::vector<Timestamp>> node_times_;
+
+  std::vector<std::string> edge_names_;
+  std::unordered_map<std::string, EdgeTypeId> edge_index_;
+  std::vector<NodeTypeId> edge_src_;
+  std::vector<NodeTypeId> edge_dst_;
+  std::vector<Csr> csr_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_GRAPH_HETERO_GRAPH_H_

@@ -1,0 +1,306 @@
+#include "pq/analyzer.h"
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+Status CheckLiteralType(const Column& col, const Value& literal) {
+  switch (col.type()) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+    case DataType::kFloat64:
+      if (!literal.is_int() && !literal.is_double()) {
+        return Status::InvalidArgument(StrFormat(
+            "WHERE on numeric column '%s' needs a numeric literal",
+            col.name().c_str()));
+      }
+      return Status::OK();
+    case DataType::kBool:
+      if (!literal.is_bool() && !literal.is_int()) {
+        return Status::InvalidArgument(StrFormat(
+            "WHERE on BOOL column '%s' needs TRUE/FALSE or 0/1",
+            col.name().c_str()));
+      }
+      return Status::OK();
+    case DataType::kString:
+      if (!literal.is_string()) {
+        return Status::InvalidArgument(StrFormat(
+            "WHERE on STRING column '%s' needs a quoted literal",
+            col.name().c_str()));
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<ResolvedQuery> AnalyzeQuery(const ParsedQuery& parsed,
+                                   const Database& db) {
+  ResolvedQuery rq;
+  rq.parsed = parsed;
+
+  // Entity table.
+  rq.entity = db.FindTable(parsed.entity_table);
+  if (rq.entity == nullptr) {
+    return Status::NotFound("entity table '" + parsed.entity_table +
+                            "' does not exist");
+  }
+  if (!rq.entity->schema().primary_key()) {
+    return Status::InvalidArgument("entity table '" + parsed.entity_table +
+                                   "' has no primary key");
+  }
+
+  // Fact table and its FK to the entity.
+  rq.fact = db.FindTable(parsed.aggregate.table);
+  if (rq.fact == nullptr) {
+    return Status::NotFound("aggregated table '" + parsed.aggregate.table +
+                            "' does not exist");
+  }
+  if (!rq.fact->schema().time_column()) {
+    return Status::InvalidArgument(
+        StrFormat("table '%s' has no event-time column; OVER NEXT windows "
+                  "need temporal facts",
+                  parsed.aggregate.table.c_str()));
+  }
+  int fk_matches = 0;
+  for (const auto& fk : rq.fact->schema().foreign_keys()) {
+    if (fk.referenced_table == parsed.entity_table) {
+      rq.fact_fk_column = fk.column;
+      ++fk_matches;
+    }
+  }
+  if (fk_matches == 0) {
+    return Status::InvalidArgument(StrFormat(
+        "table '%s' has no foreign key to entity table '%s'",
+        parsed.aggregate.table.c_str(), parsed.entity_table.c_str()));
+  }
+  if (fk_matches > 1) {
+    return Status::InvalidArgument(StrFormat(
+        "table '%s' has multiple foreign keys to '%s'; this form of the "
+        "query is ambiguous",
+        parsed.aggregate.table.c_str(), parsed.entity_table.c_str()));
+  }
+
+  // Aggregate function.
+  const std::string& func = parsed.aggregate.func;
+  const bool is_list = func == "LIST";
+  if (is_list) {
+    if (parsed.aggregate.column.empty()) {
+      return Status::InvalidArgument("LIST() requires a column argument");
+    }
+    if (parsed.threshold_op) {
+      return Status::InvalidArgument(
+          "LIST() cannot be compared with a threshold");
+    }
+    rq.list_column = parsed.aggregate.column;
+    const Column* col = rq.fact->FindColumnPtr(rq.list_column);
+    if (col == nullptr) {
+      return Status::NotFound(StrFormat("column '%s' not in table '%s'",
+                                        rq.list_column.c_str(),
+                                        rq.fact->name().c_str()));
+    }
+    // The LIST column must be an FK so the recommended items form a node
+    // type.
+    std::string target_table;
+    for (const auto& fk : rq.fact->schema().foreign_keys()) {
+      if (fk.column == rq.list_column) target_table = fk.referenced_table;
+    }
+    if (target_table.empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "LIST column '%s' must be a foreign key", rq.list_column.c_str()));
+    }
+    if (!parsed.ranking_target_table.empty() &&
+        parsed.ranking_target_table != target_table) {
+      return Status::InvalidArgument(StrFormat(
+          "AS RANKING OF %s conflicts with LIST(%s) which references '%s'",
+          parsed.ranking_target_table.c_str(), rq.list_column.c_str(),
+          target_table.c_str()));
+    }
+    rq.ranking_target = db.FindTable(target_table);
+    rq.kind = TaskKind::kRanking;
+  } else {
+    RELGRAPH_ASSIGN_OR_RETURN(rq.agg, ParseAggKind(func));
+    const bool needs_column =
+        rq.agg == AggKind::kSum || rq.agg == AggKind::kAvg ||
+        rq.agg == AggKind::kMin || rq.agg == AggKind::kMax;
+    if (needs_column) {
+      if (parsed.aggregate.column.empty()) {
+        return Status::InvalidArgument(func + "() requires a column");
+      }
+      rq.value_column = parsed.aggregate.column;
+      const Column* col = rq.fact->FindColumnPtr(rq.value_column);
+      if (col == nullptr) {
+        return Status::NotFound(StrFormat("column '%s' not in table '%s'",
+                                          rq.value_column.c_str(),
+                                          rq.fact->name().c_str()));
+      }
+      if (!col->IsNumericType()) {
+        return Status::InvalidArgument(StrFormat(
+            "%s() needs a numeric column, '%s' is %s", func.c_str(),
+            rq.value_column.c_str(), DataTypeName(col->type())));
+      }
+    }
+    if (!parsed.bucket_bounds.empty()) {
+      if (parsed.threshold_op) {
+        return Status::InvalidArgument(
+            "BUCKET cannot be combined with a threshold comparison");
+      }
+      if (rq.agg == AggKind::kExists) {
+        return Status::InvalidArgument(
+            "BUCKET(EXISTS(...)) is redundant; use EXISTS directly");
+      }
+      for (size_t i = 1; i < parsed.bucket_bounds.size(); ++i) {
+        if (parsed.bucket_bounds[i] <= parsed.bucket_bounds[i - 1]) {
+          return Status::InvalidArgument(
+              "BUCKET boundaries must be strictly ascending");
+        }
+      }
+      rq.kind = TaskKind::kMulticlassClassification;
+      rq.num_classes =
+          static_cast<int64_t>(parsed.bucket_bounds.size()) + 1;
+    } else {
+      const bool thresholded =
+          parsed.threshold_op.has_value() || rq.agg == AggKind::kExists;
+      rq.kind = thresholded ? TaskKind::kBinaryClassification
+                            : TaskKind::kRegression;
+    }
+  }
+
+  // Declared task consistency.
+  switch (parsed.declared) {
+    case DeclaredTask::kAuto:
+      break;
+    case DeclaredTask::kClassification:
+      if (rq.kind != TaskKind::kBinaryClassification &&
+          rq.kind != TaskKind::kMulticlassClassification) {
+        return Status::InvalidArgument(
+            "AS CLASSIFICATION requires a threshold (e.g. COUNT(t) = 0), "
+            "EXISTS() or BUCKET()");
+      }
+      break;
+    case DeclaredTask::kRegression:
+      if (rq.kind != TaskKind::kRegression) {
+        return Status::InvalidArgument(
+            "AS REGRESSION conflicts with a thresholded/LIST aggregate");
+      }
+      break;
+    case DeclaredTask::kRanking:
+      if (rq.kind != TaskKind::kRanking) {
+        return Status::InvalidArgument("AS RANKING requires LIST()");
+      }
+      break;
+  }
+
+  // Window sanity.
+  if (parsed.window <= 0) {
+    return Status::InvalidArgument("OVER NEXT window must be positive");
+  }
+  if (parsed.stride && *parsed.stride <= 0) {
+    return Status::InvalidArgument("EVERY stride must be positive");
+  }
+
+  // History predicates (cohort filters on pre-cutoff behaviour).
+  for (const auto& hist : parsed.where_history) {
+    ResolvedQuery::ResolvedHistory rh;
+    rh.fact = db.FindTable(hist.aggregate.table);
+    if (rh.fact == nullptr) {
+      return Status::NotFound("history table '" + hist.aggregate.table +
+                              "' does not exist");
+    }
+    if (!rh.fact->schema().time_column()) {
+      return Status::InvalidArgument(StrFormat(
+          "history table '%s' has no event-time column",
+          hist.aggregate.table.c_str()));
+    }
+    int matches = 0;
+    for (const auto& fk : rh.fact->schema().foreign_keys()) {
+      if (fk.referenced_table == parsed.entity_table) {
+        rh.fk_column = fk.column;
+        ++matches;
+      }
+    }
+    if (matches != 1) {
+      return Status::InvalidArgument(StrFormat(
+          "history table '%s' must have exactly one FK to '%s' (found %d)",
+          hist.aggregate.table.c_str(), parsed.entity_table.c_str(),
+          matches));
+    }
+    RELGRAPH_ASSIGN_OR_RETURN(rh.agg, ParseAggKind(hist.aggregate.func));
+    const bool needs_column =
+        rh.agg == AggKind::kSum || rh.agg == AggKind::kAvg ||
+        rh.agg == AggKind::kMin || rh.agg == AggKind::kMax;
+    if (needs_column) {
+      if (hist.aggregate.column.empty()) {
+        return Status::InvalidArgument(hist.aggregate.func +
+                                       "() in WHERE requires a column");
+      }
+      rh.value_column = hist.aggregate.column;
+      const Column* col = rh.fact->FindColumnPtr(rh.value_column);
+      if (col == nullptr || !col->IsNumericType()) {
+        return Status::InvalidArgument(StrFormat(
+            "history aggregate column '%s' missing or non-numeric",
+            rh.value_column.c_str()));
+      }
+    }
+    if (hist.window <= 0) {
+      return Status::InvalidArgument("OVER LAST window must be positive");
+    }
+    rh.window = hist.window;
+    rh.op = hist.op;
+    rh.value = hist.value;
+    rq.history.push_back(std::move(rh));
+  }
+
+  // WHERE clause on entity columns.
+  if (!parsed.where.empty()) {
+    struct CompiledTerm {
+      const Column* column;
+      CompareOp op;
+      Value literal;
+    };
+    auto terms = std::make_shared<std::vector<CompiledTerm>>();
+    for (const auto& term : parsed.where) {
+      if (!term.column.table.empty() &&
+          term.column.table != parsed.entity_table) {
+        return Status::InvalidArgument(StrFormat(
+            "WHERE column '%s' must belong to the entity table '%s'",
+            term.column.ToString().c_str(), parsed.entity_table.c_str()));
+      }
+      const Column* col = rq.entity->FindColumnPtr(term.column.column);
+      if (col == nullptr) {
+        return Status::NotFound(StrFormat(
+            "WHERE column '%s' not in entity table '%s'",
+            term.column.column.c_str(), parsed.entity_table.c_str()));
+      }
+      RELGRAPH_RETURN_IF_ERROR(CheckLiteralType(*col, term.literal));
+      if (col->type() == DataType::kString &&
+          (term.op != CompareOp::kEq && term.op != CompareOp::kNe)) {
+        return Status::InvalidArgument(
+            "string columns only support = and != in WHERE");
+      }
+      terms->push_back({col, term.op, term.literal});
+    }
+    rq.entity_filter = [terms](int64_t row) {
+      for (const auto& t : *terms) {
+        if (t.column->IsNull(row)) return false;
+        if (t.column->type() == DataType::kString) {
+          const bool eq = t.column->String(row) == t.literal.as_string();
+          if ((t.op == CompareOp::kEq) != eq) return false;
+        } else {
+          const double lhs = t.column->Numeric(row);
+          const double rhs = t.literal.is_bool()
+                                 ? (t.literal.as_bool() ? 1.0 : 0.0)
+                                 : t.literal.ToDouble();
+          if (!EvalCompare(t.op, lhs, rhs)) return false;
+        }
+      }
+      return true;
+    };
+  }
+  return rq;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,66 @@
+#ifndef RELGRAPH_PQ_ANALYZER_H_
+#define RELGRAPH_PQ_ANALYZER_H_
+
+#include <functional>
+#include <string>
+
+#include "core/status.h"
+#include "pq/ast.h"
+#include "relational/database.h"
+#include "relational/query.h"
+#include "train/task.h"
+
+namespace relgraph {
+
+/// A schema-validated predictive query, ready for label construction.
+struct ResolvedQuery {
+  ParsedQuery parsed;
+
+  TaskKind kind = TaskKind::kBinaryClassification;
+
+  const Table* entity = nullptr;   ///< FOR EACH table
+  const Table* fact = nullptr;     ///< aggregated table
+  std::string fact_fk_column;      ///< FK column of `fact` pointing at entity
+
+  AggKind agg = AggKind::kCount;   ///< non-ranking aggregate
+  std::string value_column;        ///< SUM/AVG/MIN/MAX value column
+
+  /// Multiclass (BUCKET) class count; 2 otherwise.
+  int64_t num_classes = 2;
+
+  /// Ranking: the LIST column and the table its values reference.
+  std::string list_column;
+  const Table* ranking_target = nullptr;
+
+  /// Entity-row filter compiled from the WHERE clause.
+  std::function<bool(int64_t)> entity_filter;  ///< null == accept all
+
+  /// Resolved history predicates (cohort filters evaluated per cutoff).
+  struct ResolvedHistory {
+    const Table* fact;
+    std::string fk_column;
+    AggKind agg;
+    std::string value_column;
+    Duration window;
+    CompareOp op;
+    double value;
+  };
+  std::vector<ResolvedHistory> history;
+};
+
+/// Validates `parsed` against the database schema and resolves every name:
+///  - the entity table exists and has a primary key;
+///  - the fact table exists, has an event-time column, and exactly one FK
+///    to the entity table (ambiguity is an error);
+///  - SUM/AVG/MIN/MAX name a numeric fact column; LIST names an FK column
+///    (whose referenced table becomes the ranking target);
+///  - thresholds imply classification, LIST implies ranking, anything else
+///    regression — a conflicting AS clause is an error;
+///  - WHERE columns belong to the entity table and literals match their
+///    column types.
+Result<ResolvedQuery> AnalyzeQuery(const ParsedQuery& parsed,
+                                   const Database& db);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_PQ_ANALYZER_H_

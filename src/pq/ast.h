@@ -1,0 +1,104 @@
+#ifndef RELGRAPH_PQ_AST_H_
+#define RELGRAPH_PQ_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/time.h"
+#include "relational/value.h"
+
+namespace relgraph {
+
+/// Comparison operators usable in label thresholds and WHERE predicates.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Renders an operator ("=", "!=", ...).
+const char* CompareOpName(CompareOp op);
+
+/// Evaluates `lhs op rhs` on doubles.
+bool EvalCompare(CompareOp op, double lhs, double rhs);
+
+/// A `table.column` (or bare `column`) reference.
+struct ColumnRef {
+  std::string table;   ///< empty when unqualified
+  std::string column;
+
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+/// The aggregate at the heart of a predictive query:
+/// `COUNT(orders)`, `SUM(orders.total)`, `LIST(orders.product_id)`,
+/// `EXISTS(visits)`.
+struct AggSpec {
+  std::string func;      ///< COUNT/SUM/AVG/MIN/MAX/EXISTS/LIST (raw text)
+  std::string table;     ///< aggregated (fact) table
+  std::string column;    ///< value column; empty for COUNT/EXISTS
+};
+
+/// One conjunct of a WHERE clause: `col op literal`.
+struct PredicateTerm {
+  ColumnRef column;
+  CompareOp op = CompareOp::kEq;
+  Value literal;
+};
+
+/// A history predicate restricting the prediction cohort by pre-cutoff
+/// behaviour: `AGG(table[.col]) OVER LAST <window> <op> <number>`,
+/// e.g. `COUNT(orders) OVER LAST 21 DAYS > 0` ("currently active users").
+/// Evaluated per (entity, cutoff) pair during training-table construction.
+struct HistoryTerm {
+  AggSpec aggregate;
+  Duration window = 0;
+  CompareOp op = CompareOp::kEq;
+  double value = 0.0;
+};
+
+/// Declared task kind (the optional AS clause).
+enum class DeclaredTask { kAuto, kClassification, kRegression, kRanking };
+
+/// Parsed (but not yet schema-validated) predictive query.
+struct ParsedQuery {
+  AggSpec aggregate;
+
+  /// Optional threshold turning the aggregate into a binary label,
+  /// e.g. `COUNT(orders) = 0`.
+  std::optional<CompareOp> threshold_op;
+  double threshold_value = 0.0;
+
+  /// BUCKET(...) boundaries (ascending): the aggregate value is mapped to
+  /// class k = number of boundaries <= value, giving a multiclass task
+  /// with bounds.size() + 1 classes. Empty when not a BUCKET query.
+  std::vector<double> bucket_bounds;
+
+  /// Label window: the aggregate is evaluated over
+  /// [cutoff, cutoff + window).
+  Duration window = 0;
+
+  std::string entity_table;
+  std::vector<PredicateTerm> where;       ///< conjunctive entity filter
+  std::vector<HistoryTerm> where_history;  ///< conjunctive history filter
+
+  DeclaredTask declared = DeclaredTask::kAuto;
+  std::string ranking_target_table;  ///< AS RANKING OF <table>
+
+  std::string model = "GNN";
+  Options model_options;
+
+  /// Optional SPLIT AT <t1>, <t2>: validation/test start times.
+  std::optional<Timestamp> val_start;
+  std::optional<Timestamp> test_start;
+
+  /// Optional EVERY <duration>: cutoff stride (default: the window).
+  std::optional<Duration> stride;
+
+  /// Round-trippable textual rendering (diagnostics, tests).
+  std::string ToString() const;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_PQ_AST_H_

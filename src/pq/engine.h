@@ -1,0 +1,116 @@
+#ifndef RELGRAPH_PQ_ENGINE_H_
+#define RELGRAPH_PQ_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "db2graph/graph_builder.h"
+#include "pq/analyzer.h"
+#include "pq/label_builder.h"
+#include "train/task.h"
+
+namespace relgraph {
+
+/// Everything a predictive query returns: the materialized task, the
+/// temporal split, the trained model's scores on the held-out test
+/// cutoff, and the headline metrics.
+struct QueryResult {
+  ParsedQuery parsed;
+  TaskKind kind = TaskKind::kBinaryClassification;
+  std::string model;
+
+  TrainingTable table;
+  Split split;
+
+  /// "AUC", "MAE" or "MAP@10" depending on the task.
+  std::string metric_name;
+  double train_metric = 0.0;
+  double val_metric = 0.0;
+  double test_metric = 0.0;
+
+  /// Scores aligned with split.test (probability / value); empty for
+  /// ranking.
+  std::vector<double> test_scores;
+
+  /// Ranking: top-10 target rows per test example.
+  std::vector<std::vector<int64_t>> test_rankings;
+
+  double seconds = 0.0;
+
+  /// One-paragraph human-readable report.
+  std::string Summary() const;
+};
+
+/// Writes the held-out (test-cutoff) predictions of a query result as CSV:
+/// `entity_pk,cutoff,label,score` for scalar tasks, or
+/// `entity_pk,cutoff,rank,target_pk` rows for ranking tasks.
+Status ExportTestPredictionsCsv(const QueryResult& result,
+                                const Database& db,
+                                const std::string& path);
+
+/// Engine configuration.
+struct EngineOptions {
+  GraphBuilderOptions graph;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+/// Executes predictive queries against one database: parse → analyze →
+/// materialize training table → temporal split → train the requested
+/// model → evaluate. The DB→graph conversion is done lazily once and
+/// shared across queries.
+///
+/// Supported models (USING clause):
+///   GNN        heterogeneous GraphSAGE over the DB-as-graph (default)
+///   GBDT       gradient-boosted trees on hand-engineered temporal
+///              aggregates (WITH hops=0|1|2 controls the ladder)
+///   MLP        tabular MLP (default hops=0: entity columns only)
+///   LINEAR     logistic/linear model (default hops=0)
+///   CONSTANT   majority/mean predictor
+///   POPULAR    (ranking) rank targets by pre-cutoff global popularity
+///   COOCCUR    (ranking) rank targets by co-occurrence with the
+///              entity's own history
+///
+/// Common WITH options: epochs, lr, batch, seed; GNN adds layers, hidden,
+/// fanout, dropout, patience, agg=mean|sum|max, policy=uniform|recent,
+/// temporal=true|false; tabular adds hops.
+class PredictiveQueryEngine {
+ public:
+  explicit PredictiveQueryEngine(const Database* db,
+                                 EngineOptions options = {});
+
+  /// Parses and runs a query end to end.
+  Result<QueryResult> Execute(const std::string& query_text);
+
+  /// Runs an already-parsed query.
+  Result<QueryResult> ExecuteParsed(const ParsedQuery& parsed);
+
+  /// Compiles the query without training and returns a human-readable
+  /// execution plan: resolved schema objects, task kind, cutoff schedule,
+  /// example counts per split, label statistics, and the model plan.
+  /// (`Execute` also accepts queries prefixed with the EXPLAIN keyword and
+  /// is then equivalent to calling this.)
+  Result<std::string> Explain(const std::string& query_text);
+
+  /// The lazily-built graph view of the database.
+  Result<const DbGraph*> Graph();
+
+  const Database& db() const { return *db_; }
+
+ private:
+  Result<QueryResult> RunGnn(const ResolvedQuery& rq, QueryResult* result);
+  Result<QueryResult> RunTabular(const ResolvedQuery& rq,
+                                 QueryResult* result);
+  Result<QueryResult> RunRankingHeuristic(const ResolvedQuery& rq,
+                                          QueryResult* result);
+
+  const Database* db_;
+  EngineOptions options_;
+  std::unique_ptr<DbGraph> graph_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_PQ_ENGINE_H_

@@ -1,0 +1,155 @@
+#include "pq/label_builder.h"
+
+#include <algorithm>
+
+#include "core/string_util.h"
+#include "relational/query.h"
+
+namespace relgraph {
+
+Result<std::vector<Timestamp>> MakeCutoffs(const ResolvedQuery& query,
+                                           const Database& db) {
+  const auto [t0, t1] = db.TimeRange();
+  if (t0 == kNoTimestamp) {
+    return Status::FailedPrecondition(
+        "database has no temporal events; predictive windows are undefined");
+  }
+  const Duration window = query.parsed.window;
+  const Duration stride = query.parsed.stride.value_or(window);
+  std::vector<Timestamp> cutoffs;
+  // First cutoff leaves one window of history; last leaves one full label
+  // window of future.
+  for (Timestamp t = t0 + window; t + window <= t1 + 1; t += stride) {
+    cutoffs.push_back(t);
+  }
+  if (cutoffs.empty()) {
+    return Status::InvalidArgument(StrFormat(
+        "window %s does not fit the data's time span [%s, %s]",
+        FormatDuration(window).c_str(), FormatTimestamp(t0).c_str(),
+        FormatTimestamp(t1).c_str()));
+  }
+  return cutoffs;
+}
+
+Result<TrainingTable> BuildTrainingTable(
+    const ResolvedQuery& query, const Database& db,
+    const std::vector<Timestamp>& cutoffs) {
+  (void)db;
+  TrainingTable table;
+  table.kind = query.kind;
+  table.entity_table = query.entity->name();
+  table.num_classes = query.num_classes;
+  if (query.kind == TaskKind::kRanking) {
+    table.target_table = query.ranking_target->name();
+  }
+  RELGRAPH_ASSIGN_OR_RETURN(FkIndex index,
+                            FkIndex::Build(*query.fact,
+                                           query.fact_fk_column));
+  // Entity rows passing the WHERE filter.
+  std::vector<int64_t> rows;
+  for (int64_t r = 0; r < query.entity->num_rows(); ++r) {
+    if (!query.entity_filter || query.entity_filter(r)) rows.push_back(r);
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument(
+        "WHERE clause filters out every entity row");
+  }
+  // FK indexes for the history predicates.
+  std::vector<FkIndex> history_indexes;
+  history_indexes.reserve(query.history.size());
+  for (const auto& hist : query.history) {
+    RELGRAPH_ASSIGN_OR_RETURN(FkIndex hidx,
+                              FkIndex::Build(*hist.fact, hist.fk_column));
+    history_indexes.push_back(std::move(hidx));
+  }
+  const Duration window = query.parsed.window;
+  for (Timestamp cutoff : cutoffs) {
+    for (int64_t r : rows) {
+      const int64_t pk = query.entity->PrimaryKey(r);
+      // Cohort check: every history predicate must hold at this cutoff.
+      bool in_cohort = true;
+      for (size_t h = 0; h < query.history.size(); ++h) {
+        const auto& hist = query.history[h];
+        RELGRAPH_ASSIGN_OR_RETURN(
+            double agg,
+            AggregateWindow(history_indexes[h], pk, cutoff - hist.window,
+                            cutoff, hist.agg, hist.value_column));
+        if (!EvalCompare(hist.op, agg, hist.value)) {
+          in_cohort = false;
+          break;
+        }
+      }
+      if (!in_cohort) continue;
+      if (query.kind == TaskKind::kRanking) {
+        RELGRAPH_ASSIGN_OR_RETURN(
+            std::vector<int64_t> future_keys,
+            CollectWindow(index, pk, cutoff, cutoff + window,
+                          query.list_column));
+        std::vector<int64_t> target_rows;
+        target_rows.reserve(future_keys.size());
+        for (int64_t key : future_keys) {
+          auto trow = query.ranking_target->FindByPrimaryKey(key);
+          if (trow.ok()) target_rows.push_back(trow.value());
+        }
+        table.target_lists.push_back(std::move(target_rows));
+        table.labels.push_back(0.0);
+      } else {
+        RELGRAPH_ASSIGN_OR_RETURN(
+            double agg, AggregateWindow(index, pk, cutoff, cutoff + window,
+                                        query.agg, query.value_column));
+        double label = agg;
+        if (query.parsed.threshold_op) {
+          label = EvalCompare(*query.parsed.threshold_op, agg,
+                              query.parsed.threshold_value)
+                      ? 1.0
+                      : 0.0;
+        } else if (!query.parsed.bucket_bounds.empty()) {
+          // Class k = number of boundaries <= value.
+          int64_t cls = 0;
+          for (double bound : query.parsed.bucket_bounds) {
+            if (agg >= bound) ++cls;
+          }
+          label = static_cast<double>(cls);
+        }
+        table.labels.push_back(label);
+        table.target_lists.emplace_back();
+      }
+      table.entity_rows.push_back(r);
+      table.cutoffs.push_back(cutoff);
+    }
+  }
+  return table;
+}
+
+Result<Split> MakeSplit(const ResolvedQuery& query,
+                        const TrainingTable& table,
+                        const std::vector<Timestamp>& cutoffs) {
+  Timestamp val_start, test_start;
+  if (query.parsed.val_start && query.parsed.test_start) {
+    val_start = *query.parsed.val_start;
+    test_start = *query.parsed.test_start;
+  } else {
+    // Default: last cutoff tests, second-to-last validates.
+    std::vector<Timestamp> distinct = cutoffs;
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct.size() < 3) {
+      return Status::InvalidArgument(StrFormat(
+          "only %zu distinct cutoffs; need >= 3 for train/val/test (shrink "
+          "the window or add EVERY)",
+          distinct.size()));
+    }
+    test_start = distinct[distinct.size() - 1];
+    val_start = distinct[distinct.size() - 2];
+  }
+  Split split = SplitByTime(table.cutoffs, val_start, test_start);
+  if (split.train.empty() || split.test.empty()) {
+    return Status::InvalidArgument(
+        "temporal split produced an empty train or test set; adjust SPLIT "
+        "AT");
+  }
+  return split;
+}
+
+}  // namespace relgraph

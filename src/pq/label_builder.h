@@ -1,0 +1,36 @@
+#ifndef RELGRAPH_PQ_LABEL_BUILDER_H_
+#define RELGRAPH_PQ_LABEL_BUILDER_H_
+
+#include <vector>
+
+#include "core/status.h"
+#include "pq/analyzer.h"
+#include "train/task.h"
+
+namespace relgraph {
+
+/// Chooses the cutoff timestamps at which training examples are generated:
+/// one every `stride` (default: the label window) starting after one full
+/// window of history, ending so the last window still fits inside the
+/// data. Errors when the database's time span admits no cutoff.
+Result<std::vector<Timestamp>> MakeCutoffs(const ResolvedQuery& query,
+                                           const Database& db);
+
+/// Materializes the training table of a resolved query: the cross product
+/// of (filtered entity rows) × cutoffs, labeled by evaluating the query
+/// aggregate over [cutoff, cutoff + window). For ranking queries the
+/// label is the list of future target rows instead.
+Result<TrainingTable> BuildTrainingTable(const ResolvedQuery& query,
+                                         const Database& db,
+                                         const std::vector<Timestamp>& cutoffs);
+
+/// Temporal split for the materialized table: explicit SPLIT AT times when
+/// given, otherwise the last distinct cutoff becomes test, the second-last
+/// validation, the rest training.
+Result<Split> MakeSplit(const ResolvedQuery& query,
+                        const TrainingTable& table,
+                        const std::vector<Timestamp>& cutoffs);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_PQ_LABEL_BUILDER_H_

@@ -1,0 +1,190 @@
+#include "pq/lexer.h"
+
+#include <cctype>
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+bool Token::Is(const char* keyword) const {
+  return kind == TokenKind::kIdent && EqualsIgnoreCase(text, keyword);
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> LexQuery(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push = [&](TokenKind kind, std::string tok_text, size_t pos) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(tok_text);
+    t.position = static_cast<int>(pos);
+    out.push_back(std::move(t));
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdent, std::string(text.substr(start, i - start)),
+           start);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      while (i < n && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '.' || text[i] == 'e' || text[i] == 'E' ||
+                       ((text[i] == '+' || text[i] == '-') && i > start &&
+                        (text[i - 1] == 'e' || text[i - 1] == 'E')))) {
+        ++i;
+      }
+      auto v = ParseDouble(text.substr(start, i - start));
+      if (!v.ok()) {
+        return Status::ParseError(StrFormat(
+            "bad numeric literal at offset %zu: '%s'", start,
+            std::string(text.substr(start, i - start)).c_str()));
+      }
+      Token t;
+      t.kind = TokenKind::kNumber;
+      t.text = std::string(text.substr(start, i - start));
+      t.number = v.value();
+      t.position = static_cast<int>(start);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string value;
+      bool closed = false;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {
+            value.push_back('\'');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        value.push_back(text[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      push(TokenKind::kString, std::move(value), start);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenKind::kDot, ".", start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kNe, "!=", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError(
+            StrFormat("unexpected '!' at offset %zu", start));
+      case '<':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kLe, "<=", start);
+          i += 2;
+        } else if (i + 1 < n && text[i + 1] == '>') {
+          push(TokenKind::kNe, "<>", start);
+          i += 2;
+        } else {
+          push(TokenKind::kLt, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && text[i + 1] == '=') {
+          push(TokenKind::kGe, ">=", start);
+          i += 2;
+        } else {
+          push(TokenKind::kGt, ">", start);
+          ++i;
+        }
+        continue;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = static_cast<int>(n);
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace relgraph

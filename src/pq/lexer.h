@@ -1,0 +1,19 @@
+#ifndef RELGRAPH_PQ_LEXER_H_
+#define RELGRAPH_PQ_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "pq/token.h"
+
+namespace relgraph {
+
+/// Tokenizes a predictive-query string. The returned vector always ends
+/// with a kEnd token. Identifiers keep their original spelling; keyword
+/// matching is done case-insensitively by the parser.
+Result<std::vector<Token>> LexQuery(std::string_view text);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_PQ_LEXER_H_

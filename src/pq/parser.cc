@@ -1,0 +1,456 @@
+#include "pq/parser.h"
+
+#include <cmath>
+
+#include "core/string_util.h"
+#include "pq/lexer.h"
+
+namespace relgraph {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, double lhs, double rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+  }
+  return false;
+}
+
+std::string ParsedQuery::ToString() const {
+  std::string s = "PREDICT ";
+  if (!bucket_bounds.empty()) s += "BUCKET(";
+  s += aggregate.func + "(" + aggregate.table;
+  if (!aggregate.column.empty()) s += "." + aggregate.column;
+  s += ")";
+  if (!bucket_bounds.empty()) {
+    for (double b : bucket_bounds) s += ", " + FormatDouble(b);
+    s += ")";
+  }
+  if (threshold_op) {
+    s += StrFormat(" %s %s", CompareOpName(*threshold_op),
+                   FormatDouble(threshold_value).c_str());
+  }
+  s += " OVER NEXT " + FormatDuration(window);
+  s += " FOR EACH " + entity_table;
+  bool first_pred = true;
+  for (const auto& term : where) {
+    s += first_pred ? " WHERE " : " AND ";
+    first_pred = false;
+    s += term.column.ToString();
+    s += StrFormat(" %s ", CompareOpName(term.op));
+    s += term.literal.is_string() ? "'" + term.literal.ToString() + "'"
+                                  : term.literal.ToString();
+  }
+  for (const auto& hist : where_history) {
+    s += first_pred ? " WHERE " : " AND ";
+    first_pred = false;
+    s += hist.aggregate.func + "(" + hist.aggregate.table;
+    if (!hist.aggregate.column.empty()) s += "." + hist.aggregate.column;
+    s += ") OVER LAST " + FormatDuration(hist.window);
+    s += StrFormat(" %s %s", CompareOpName(hist.op),
+                   FormatDouble(hist.value).c_str());
+  }
+  switch (declared) {
+    case DeclaredTask::kAuto:
+      break;
+    case DeclaredTask::kClassification:
+      s += " AS CLASSIFICATION";
+      break;
+    case DeclaredTask::kRegression:
+      s += " AS REGRESSION";
+      break;
+    case DeclaredTask::kRanking:
+      s += " AS RANKING OF " + ranking_target_table;
+      break;
+  }
+  s += " USING " + model;
+  if (!model_options.entries().empty()) {
+    s += " WITH " + model_options.ToString();
+  }
+  return s;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    ParsedQuery q;
+    RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("PREDICT"));
+    RELGRAPH_RETURN_IF_ERROR(ParseAggregate(&q));
+    // Optional threshold.
+    if (auto op = TryCompareOp()) {
+      q.threshold_op = *op;
+      if (Peek().kind != TokenKind::kNumber) {
+        return Err("expected a number after the comparison operator");
+      }
+      q.threshold_value = Next().number;
+    }
+    RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("OVER"));
+    RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("NEXT"));
+    RELGRAPH_ASSIGN_OR_RETURN(q.window, ParseDuration());
+    RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("FOR"));
+    RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("EACH"));
+    RELGRAPH_ASSIGN_OR_RETURN(q.entity_table, ExpectIdent("entity table"));
+    if (PeekIs("WHERE")) {
+      Next();
+      RELGRAPH_RETURN_IF_ERROR(ParsePredicates(&q));
+    }
+    // Optional trailing clauses, accepted in any order, each at most once.
+    bool saw_as = false, saw_using = false, saw_split = false,
+         saw_every = false;
+    while (Peek().kind != TokenKind::kEnd) {
+      if (PeekIs("AS")) {
+        if (saw_as) return Err("duplicate AS clause");
+        saw_as = true;
+        Next();
+        if (PeekIs("CLASSIFICATION")) {
+          Next();
+          q.declared = DeclaredTask::kClassification;
+        } else if (PeekIs("REGRESSION")) {
+          Next();
+          q.declared = DeclaredTask::kRegression;
+        } else if (PeekIs("RANKING")) {
+          Next();
+          RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("OF"));
+          RELGRAPH_ASSIGN_OR_RETURN(q.ranking_target_table,
+                                    ExpectIdent("ranking target table"));
+          q.declared = DeclaredTask::kRanking;
+        } else {
+          return Err(
+              "expected CLASSIFICATION, REGRESSION or RANKING after AS");
+        }
+        continue;
+      }
+      if (PeekIs("USING")) {
+        if (saw_using) return Err("duplicate USING clause");
+        saw_using = true;
+        Next();
+        RELGRAPH_ASSIGN_OR_RETURN(q.model, ExpectIdent("model name"));
+        q.model = ToUpper(q.model);
+        if (PeekIs("WITH")) {
+          Next();
+          RELGRAPH_RETURN_IF_ERROR(ParseOptions(&q));
+        }
+        continue;
+      }
+      if (PeekIs("SPLIT")) {
+        if (saw_split) return Err("duplicate SPLIT clause");
+        saw_split = true;
+        Next();
+        RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("AT"));
+        RELGRAPH_ASSIGN_OR_RETURN(Duration v1, ParseDuration());
+        RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+        RELGRAPH_ASSIGN_OR_RETURN(Duration v2, ParseDuration());
+        q.val_start = static_cast<Timestamp>(v1);
+        q.test_start = static_cast<Timestamp>(v2);
+        if (*q.test_start <= *q.val_start) {
+          return Err("SPLIT AT requires test start after validation start");
+        }
+        continue;
+      }
+      if (PeekIs("EVERY")) {
+        if (saw_every) return Err("duplicate EVERY clause");
+        saw_every = true;
+        Next();
+        RELGRAPH_ASSIGN_OR_RETURN(Duration stride, ParseDuration());
+        q.stride = stride;
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err(StrFormat("unexpected trailing token '%s'",
+                           Peek().text.c_str()));
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = pos_ + static_cast<size_t>(ahead);
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool PeekIs(const char* kw) const { return Peek().Is(kw); }
+
+  Status Err(const std::string& message) const {
+    return Status::ParseError(StrFormat("%s (at offset %d)", message.c_str(),
+                                        Peek().position));
+  }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      return Err(StrFormat("expected %s, found %s", TokenKindName(kind),
+                           TokenKindName(Peek().kind)));
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekIs(kw)) {
+      return Err(StrFormat("expected keyword %s", kw));
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Err(StrFormat("expected %s identifier", what));
+    }
+    return Next().text;
+  }
+
+  std::optional<CompareOp> TryCompareOp() {
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        Next();
+        return CompareOp::kEq;
+      case TokenKind::kNe:
+        Next();
+        return CompareOp::kNe;
+      case TokenKind::kLt:
+        Next();
+        return CompareOp::kLt;
+      case TokenKind::kLe:
+        Next();
+        return CompareOp::kLe;
+      case TokenKind::kGt:
+        Next();
+        return CompareOp::kGt;
+      case TokenKind::kGe:
+        Next();
+        return CompareOp::kGe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Status ParseAggregate(ParsedQuery* q) {
+    RELGRAPH_ASSIGN_OR_RETURN(q->aggregate.func,
+                              ExpectIdent("aggregate function"));
+    q->aggregate.func = ToUpper(q->aggregate.func);
+    RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (q->aggregate.func == "BUCKET") {
+      // BUCKET(<agg>(<table>[.<col>]), b1, b2, ...): multiclass target.
+      RELGRAPH_ASSIGN_OR_RETURN(q->aggregate.func,
+                                ExpectIdent("bucketed aggregate function"));
+      q->aggregate.func = ToUpper(q->aggregate.func);
+      RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+      RELGRAPH_RETURN_IF_ERROR(ParseAggregateBody(q));
+      RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      while (true) {
+        if (Peek().kind != TokenKind::kNumber) {
+          return Err("expected numeric bucket boundary");
+        }
+        q->bucket_bounds.push_back(Next().number);
+        if (Peek().kind == TokenKind::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      if (q->bucket_bounds.empty()) {
+        return Err("BUCKET needs at least one boundary");
+      }
+      return Expect(TokenKind::kRParen);
+    }
+    RELGRAPH_RETURN_IF_ERROR(ParseAggregateBody(q));
+    return Expect(TokenKind::kRParen);
+  }
+
+  /// Parses `<table>[.<col|*>]` of an aggregate (closing paren handled by
+  /// the caller).
+  Status ParseAggregateBody(ParsedQuery* q) {
+    RELGRAPH_ASSIGN_OR_RETURN(q->aggregate.table,
+                              ExpectIdent("aggregate table"));
+    if (Peek().kind == TokenKind::kDot) {
+      Next();
+      if (Peek().kind == TokenKind::kStar) {
+        Next();  // COUNT(orders.*) == COUNT(orders)
+      } else {
+        RELGRAPH_ASSIGN_OR_RETURN(q->aggregate.column,
+                                  ExpectIdent("aggregate column"));
+      }
+    }
+    return Status::OK();
+  }
+
+  Result<Duration> ParseDuration() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Err("expected a number in duration");
+    }
+    const double n = Next().number;
+    if (n < 0) return Err("durations must be non-negative");
+    const Token& unit = Peek();
+    Duration scale;
+    if (unit.Is("DAY") || unit.Is("DAYS")) {
+      scale = kDay;
+    } else if (unit.Is("HOUR") || unit.Is("HOURS")) {
+      scale = kHour;
+    } else if (unit.Is("WEEK") || unit.Is("WEEKS")) {
+      scale = kWeek;
+    } else {
+      return Err("expected DAYS, HOURS or WEEKS");
+    }
+    Next();
+    return static_cast<Duration>(std::llround(n * static_cast<double>(scale)));
+  }
+
+  Status ParsePredicates(ParsedQuery* q) {
+    while (true) {
+      PredicateTerm term;
+      RELGRAPH_ASSIGN_OR_RETURN(std::string first,
+                                ExpectIdent("predicate column"));
+      if (Peek().kind == TokenKind::kLParen) {
+        // History predicate: AGG(table[.col]) OVER LAST <dur> <op> <num>.
+        HistoryTerm hist;
+        hist.aggregate.func = ToUpper(first);
+        Next();  // consume '('
+        RELGRAPH_ASSIGN_OR_RETURN(hist.aggregate.table,
+                                  ExpectIdent("history aggregate table"));
+        if (Peek().kind == TokenKind::kDot) {
+          Next();
+          if (Peek().kind == TokenKind::kStar) {
+            Next();
+          } else {
+            RELGRAPH_ASSIGN_OR_RETURN(hist.aggregate.column,
+                                      ExpectIdent("history aggregate column"));
+          }
+        }
+        RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+        RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("OVER"));
+        RELGRAPH_RETURN_IF_ERROR(ExpectKeyword("LAST"));
+        RELGRAPH_ASSIGN_OR_RETURN(hist.window, ParseDuration());
+        auto hist_op = TryCompareOp();
+        if (!hist_op) {
+          return Err("expected comparison after history aggregate");
+        }
+        hist.op = *hist_op;
+        if (Peek().kind != TokenKind::kNumber) {
+          return Err("expected number after history comparison");
+        }
+        hist.value = Next().number;
+        q->where_history.push_back(std::move(hist));
+        if (PeekIs("AND")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+      if (Peek().kind == TokenKind::kDot) {
+        Next();
+        RELGRAPH_ASSIGN_OR_RETURN(std::string col,
+                                  ExpectIdent("predicate column"));
+        term.column.table = first;
+        term.column.column = col;
+      } else {
+        term.column.column = first;
+      }
+      auto op = TryCompareOp();
+      if (!op) return Err("expected comparison operator in WHERE");
+      term.op = *op;
+      const Token& lit = Peek();
+      if (lit.kind == TokenKind::kNumber) {
+        Next();
+        // Integral literals stay integers so INT64 columns compare exactly.
+        if (lit.number == std::floor(lit.number) &&
+            std::fabs(lit.number) < 9e15) {
+          term.literal = Value(static_cast<int64_t>(lit.number));
+        } else {
+          term.literal = Value(lit.number);
+        }
+      } else if (lit.kind == TokenKind::kString) {
+        Next();
+        term.literal = Value(lit.text);
+      } else if (lit.Is("TRUE")) {
+        Next();
+        term.literal = Value(true);
+      } else if (lit.Is("FALSE")) {
+        Next();
+        term.literal = Value(false);
+      } else {
+        return Err("expected literal in WHERE predicate");
+      }
+      q->where.push_back(std::move(term));
+      if (PeekIs("AND")) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseOptions(ParsedQuery* q) {
+    while (true) {
+      RELGRAPH_ASSIGN_OR_RETURN(std::string key, ExpectIdent("option key"));
+      RELGRAPH_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      const Token& value = Peek();
+      std::string text;
+      if (value.kind == TokenKind::kNumber ||
+          value.kind == TokenKind::kIdent ||
+          value.kind == TokenKind::kString) {
+        text = value.text;
+        Next();
+      } else {
+        return Err("expected option value");
+      }
+      if (q->model_options.Has(key)) {
+        return Err("duplicate option '" + key + "'");
+      }
+      q->model_options.Set(key, std::move(text));
+      if (Peek().kind == TokenKind::kComma) {
+        Next();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(std::string_view text) {
+  RELGRAPH_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexQuery(text));
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace relgraph

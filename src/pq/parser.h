@@ -1,0 +1,27 @@
+#ifndef RELGRAPH_PQ_PARSER_H_
+#define RELGRAPH_PQ_PARSER_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "pq/ast.h"
+
+namespace relgraph {
+
+/// Parses the declarative predictive-query language:
+///
+///   PREDICT <AGG>(<table>[.<column>]) [<op> <number>]
+///   OVER NEXT <n> {DAYS|HOURS|WEEKS}
+///   FOR EACH <entity_table> [WHERE <col> <op> <literal> [AND ...]]
+///   [AS {CLASSIFICATION | REGRESSION | RANKING OF <table>}]
+///   [USING <model> [WITH key=value, ...]]
+///   [SPLIT AT <n> DAYS, <n> DAYS]
+///   [EVERY <n> DAYS]
+///
+/// Keywords are case-insensitive. Returns ParseError with a byte offset on
+/// malformed input.
+Result<ParsedQuery> ParseQuery(std::string_view text);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_PQ_PARSER_H_

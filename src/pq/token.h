@@ -1,0 +1,44 @@
+#ifndef RELGRAPH_PQ_TOKEN_H_
+#define RELGRAPH_PQ_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace relgraph {
+
+/// Token kinds of the predictive-query language.
+enum class TokenKind {
+  kIdent,     ///< identifier or (case-insensitive) keyword
+  kNumber,    ///< integer or decimal literal
+  kString,    ///< single-quoted string literal
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kStar,
+  kEq,        ///< =
+  kNe,        ///< != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+/// One lexed token with its source position (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   ///< raw text (identifier/keyword/literal)
+  double number = 0;  ///< value for kNumber
+  int position = 0;   ///< byte offset in the query string
+
+  /// Case-insensitive keyword check for kIdent tokens.
+  bool Is(const char* keyword) const;
+};
+
+/// Name of a token kind (diagnostics).
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_PQ_TOKEN_H_

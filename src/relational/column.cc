@@ -1,0 +1,142 @@
+#include "relational/column.h"
+
+#include "core/logging.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+Column::Column(std::string name, DataType type)
+    : name_(std::move(name)), type_(type) {}
+
+Status Column::Append(const Value& value) {
+  if (value.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      if (!value.is_int()) {
+        return Status::InvalidArgument(StrFormat(
+            "column '%s' (%s): cannot append non-integer value",
+            name_.c_str(), DataTypeName(type_)));
+      }
+      ints_.push_back(value.as_int());
+      break;
+    case DataType::kFloat64:
+      if (value.is_int()) {
+        doubles_.push_back(static_cast<double>(value.as_int()));
+      } else if (value.is_double()) {
+        doubles_.push_back(value.as_double());
+      } else {
+        return Status::InvalidArgument(StrFormat(
+            "column '%s' (FLOAT64): cannot append non-numeric value",
+            name_.c_str()));
+      }
+      break;
+    case DataType::kBool:
+      if (!value.is_bool()) {
+        return Status::InvalidArgument(StrFormat(
+            "column '%s' (BOOL): cannot append non-boolean value",
+            name_.c_str()));
+      }
+      bools_.push_back(value.as_bool() ? 1 : 0);
+      break;
+    case DataType::kString:
+      if (!value.is_string()) {
+        return Status::InvalidArgument(StrFormat(
+            "column '%s' (STRING): cannot append non-string value",
+            name_.c_str()));
+      }
+      strings_.push_back(value.as_string());
+      break;
+  }
+  valid_.push_back(1);
+  return Status::OK();
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      ints_.push_back(0);
+      break;
+    case DataType::kFloat64:
+      doubles_.push_back(0.0);
+      break;
+    case DataType::kBool:
+      bools_.push_back(0);
+      break;
+    case DataType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  valid_.push_back(0);
+  ++null_count_;
+}
+
+int64_t Column::Int(int64_t row) const {
+  RELGRAPH_CHECK(type_ == DataType::kInt64 || type_ == DataType::kTimestamp);
+  RELGRAPH_CHECK(valid_[row]) << "Int() on null cell of '" << name_ << "'";
+  return ints_[row];
+}
+
+double Column::Double(int64_t row) const {
+  RELGRAPH_CHECK(type_ == DataType::kFloat64);
+  RELGRAPH_CHECK(valid_[row]) << "Double() on null cell of '" << name_ << "'";
+  return doubles_[row];
+}
+
+bool Column::Bool(int64_t row) const {
+  RELGRAPH_CHECK(type_ == DataType::kBool);
+  RELGRAPH_CHECK(valid_[row]) << "Bool() on null cell of '" << name_ << "'";
+  return bools_[row] != 0;
+}
+
+const std::string& Column::String(int64_t row) const {
+  RELGRAPH_CHECK(type_ == DataType::kString);
+  RELGRAPH_CHECK(valid_[row]) << "String() on null cell of '" << name_ << "'";
+  return strings_[row];
+}
+
+Timestamp Column::Time(int64_t row) const {
+  RELGRAPH_CHECK(type_ == DataType::kTimestamp);
+  RELGRAPH_CHECK(valid_[row]) << "Time() on null cell of '" << name_ << "'";
+  return ints_[row];
+}
+
+double Column::Numeric(int64_t row) const {
+  RELGRAPH_CHECK(valid_[row]) << "Numeric() on null cell of '" << name_
+                              << "'";
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return static_cast<double>(ints_[row]);
+    case DataType::kFloat64:
+      return doubles_[row];
+    case DataType::kBool:
+      return bools_[row] ? 1.0 : 0.0;
+    case DataType::kString:
+      break;
+  }
+  RELGRAPH_CHECK(false) << "Numeric() on string column '" << name_ << "'";
+  return 0.0;
+}
+
+Value Column::GetValue(int64_t row) const {
+  if (!valid_[row]) return Value::Null();
+  switch (type_) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      return Value(ints_[row]);
+    case DataType::kFloat64:
+      return Value(doubles_[row]);
+    case DataType::kBool:
+      return Value(bools_[row] != 0);
+    case DataType::kString:
+      return Value(strings_[row]);
+  }
+  return Value::Null();
+}
+
+}  // namespace relgraph

@@ -1,0 +1,70 @@
+#ifndef RELGRAPH_RELATIONAL_COLUMN_H_
+#define RELGRAPH_RELATIONAL_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/status.h"
+#include "relational/value.h"
+
+namespace relgraph {
+
+/// A typed, nullable column of values with columnar storage.
+///
+/// Physical storage is a typed vector plus a validity byte-mask, mirroring
+/// the Arrow layout in miniature. Type coercions are strict: appending a
+/// mismatched value returns InvalidArgument.
+class Column {
+ public:
+  Column(std::string name, DataType type);
+
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+  int64_t size() const { return static_cast<int64_t>(valid_.size()); }
+
+  /// Appends a value (or null). Ints accepted into FLOAT64 columns and
+  /// coerced; everything else must match exactly.
+  Status Append(const Value& value);
+
+  void AppendNull();
+
+  bool IsNull(int64_t row) const { return valid_[row] == 0; }
+  int64_t null_count() const { return null_count_; }
+
+  /// Typed accessors; row must be valid (non-null) and the type must match.
+  int64_t Int(int64_t row) const;
+  double Double(int64_t row) const;
+  bool Bool(int64_t row) const;
+  const std::string& String(int64_t row) const;
+  Timestamp Time(int64_t row) const;
+
+  /// Numeric view of a non-null cell (ints/doubles/bools/timestamps).
+  double Numeric(int64_t row) const;
+
+  /// Generic boxed accessor (returns Null for null cells).
+  Value GetValue(int64_t row) const;
+
+  /// True when the physical type is numeric-coercible.
+  bool IsNumericType() const {
+    return type_ == DataType::kInt64 || type_ == DataType::kFloat64 ||
+           type_ == DataType::kBool || type_ == DataType::kTimestamp;
+  }
+
+ private:
+  std::string name_;
+  DataType type_;
+  // Typed payloads; exactly one is active per `type_`. Int64 and Timestamp
+  // share the ints_ vector.
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<uint8_t> bools_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> valid_;
+  int64_t null_count_ = 0;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_COLUMN_H_

@@ -1,0 +1,26 @@
+#ifndef RELGRAPH_RELATIONAL_CSV_IO_H_
+#define RELGRAPH_RELATIONAL_CSV_IO_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "relational/database.h"
+
+namespace relgraph {
+
+/// Populates `table` (which must be empty) from CSV text whose header must
+/// match the schema's column names exactly; empty fields become NULL.
+Status LoadTableFromCsv(std::string_view csv_text, Table* table);
+
+/// File variant of LoadTableFromCsv.
+Status LoadTableFromCsvFile(const std::string& path, Table* table);
+
+/// Serializes a table to CSV (NULL cells render as empty fields).
+std::string TableToCsv(const Table& table);
+
+/// Writes every table of `db` as `<dir>/<table>.csv`.
+Status SaveDatabaseCsv(const Database& db, const std::string& dir);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_CSV_IO_H_

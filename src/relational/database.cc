@@ -1,0 +1,108 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+Result<Table*> Database::AddTable(TableSchema schema) {
+  RELGRAPH_RETURN_IF_ERROR(schema.Validate());
+  if (index_.count(schema.name())) {
+    return Status::AlreadyExists("table '" + schema.name() +
+                                 "' already in database");
+  }
+  for (const auto& fk : schema.foreign_keys()) {
+    // Self-references are allowed (e.g. employee.manager_id), as are
+    // forward references resolved at Validate() time; only record here.
+    (void)fk;
+  }
+  index_[schema.name()] = tables_.size();
+  tables_.push_back(std::make_unique<Table>(std::move(schema)));
+  return tables_.back().get();
+}
+
+const Table* Database::FindTable(const std::string& table_name) const {
+  auto it = index_.find(table_name);
+  return it == index_.end() ? nullptr : tables_[it->second].get();
+}
+
+Table* Database::FindMutableTable(const std::string& table_name) {
+  auto it = index_.find(table_name);
+  return it == index_.end() ? nullptr : tables_[it->second].get();
+}
+
+const Table& Database::table(const std::string& table_name) const {
+  const Table* t = FindTable(table_name);
+  RELGRAPH_CHECK(t != nullptr) << "no table '" << table_name
+                               << "' in database '" << name_ << "'";
+  return *t;
+}
+
+int64_t Database::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t->num_rows();
+  return total;
+}
+
+Status Database::Validate() const {
+  for (const auto& t : tables_) {
+    RELGRAPH_RETURN_IF_ERROR(t->schema().Validate());
+    RELGRAPH_RETURN_IF_ERROR(t->ValidatePrimaryKey());
+  }
+  for (const auto& t : tables_) {
+    for (const auto& fk : t->schema().foreign_keys()) {
+      const Table* target = FindTable(fk.referenced_table);
+      if (target == nullptr) {
+        return Status::InvalidArgument(StrFormat(
+            "table '%s' FK '%s' references unknown table '%s'",
+            t->name().c_str(), fk.column.c_str(),
+            fk.referenced_table.c_str()));
+      }
+      if (!target->schema().primary_key()) {
+        return Status::InvalidArgument(StrFormat(
+            "table '%s' FK '%s' references table '%s' without a PK",
+            t->name().c_str(), fk.column.c_str(),
+            fk.referenced_table.c_str()));
+      }
+      const Column& col = t->column(fk.column);
+      for (int64_t r = 0; r < t->num_rows(); ++r) {
+        if (col.IsNull(r)) continue;
+        if (!target->FindByPrimaryKey(col.Int(r)).ok()) {
+          return Status::InvalidArgument(StrFormat(
+              "table '%s' row %lld: FK %s=%lld has no match in '%s'",
+              t->name().c_str(), static_cast<long long>(r),
+              fk.column.c_str(), static_cast<long long>(col.Int(r)),
+              fk.referenced_table.c_str()));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::pair<Timestamp, Timestamp> Database::TimeRange() const {
+  Timestamp lo = kNoTimestamp, hi = kNoTimestamp;
+  for (const auto& t : tables_) {
+    if (!t->schema().time_column()) continue;
+    for (int64_t r = 0; r < t->num_rows(); ++r) {
+      Timestamp ts = t->RowTime(r);
+      if (ts == kNoTimestamp) continue;
+      if (lo == kNoTimestamp || ts < lo) lo = ts;
+      if (hi == kNoTimestamp || ts > hi) hi = ts;
+    }
+  }
+  return {lo, hi};
+}
+
+std::string Database::DescribeSchema() const {
+  std::string out = "database " + (name_.empty() ? "<anon>" : name_) + "\n";
+  for (const auto& t : tables_) {
+    out += StrFormat("  %s  [%lld rows]\n", t->schema().ToString().c_str(),
+                     static_cast<long long>(t->num_rows()));
+  }
+  return out;
+}
+
+}  // namespace relgraph

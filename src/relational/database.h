@@ -1,0 +1,69 @@
+#ifndef RELGRAPH_RELATIONAL_DATABASE_H_
+#define RELGRAPH_RELATIONAL_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "relational/table.h"
+
+namespace relgraph {
+
+/// An in-memory relational database: a set of named tables plus the PK/FK
+/// metadata that makes it a heterogeneous graph in disguise.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  // Movable, not copyable (tables can be large).
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Registers an empty table with the given schema; returns a mutable
+  /// pointer for population. Fails if a table of that name exists.
+  Result<Table*> AddTable(TableSchema schema);
+
+  /// Lookup by name (nullptr if absent).
+  const Table* FindTable(const std::string& table_name) const;
+  Table* FindMutableTable(const std::string& table_name);
+
+  /// Lookup by name; aborts if missing.
+  const Table& table(const std::string& table_name) const;
+
+  /// Tables in registration order.
+  const std::vector<std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+  int64_t num_tables() const { return static_cast<int64_t>(tables_.size()); }
+
+  /// Total rows across all tables.
+  int64_t TotalRows() const;
+
+  /// Full integrity check: schemas valid, FK targets exist & have PKs,
+  /// PKs unique, every non-null FK value resolves.
+  Status Validate() const;
+
+  /// Earliest and latest event timestamps across all temporal tables;
+  /// returns {kNoTimestamp, kNoTimestamp} when the DB is fully static.
+  std::pair<Timestamp, Timestamp> TimeRange() const;
+
+  /// Multi-line schema summary for docs and the pq shell.
+  std::string DescribeSchema() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_DATABASE_H_

@@ -1,0 +1,170 @@
+#include "relational/query.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+Result<AggKind> ParseAggKind(std::string_view name) {
+  if (EqualsIgnoreCase(name, "COUNT")) return AggKind::kCount;
+  if (EqualsIgnoreCase(name, "SUM")) return AggKind::kSum;
+  if (EqualsIgnoreCase(name, "AVG")) return AggKind::kAvg;
+  if (EqualsIgnoreCase(name, "MIN")) return AggKind::kMin;
+  if (EqualsIgnoreCase(name, "MAX")) return AggKind::kMax;
+  if (EqualsIgnoreCase(name, "EXISTS")) return AggKind::kExists;
+  return Status::ParseError("unknown aggregate: " + std::string(name));
+}
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kExists:
+      return "EXISTS";
+  }
+  return "?";
+}
+
+Result<FkIndex> FkIndex::Build(const Table& child,
+                               const std::string& fk_column) {
+  FkIndex out;
+  out.child_ = &child;
+  const Column* col = child.FindColumnPtr(fk_column);
+  if (col == nullptr) {
+    return Status::NotFound(StrFormat("FK column '%s' not in table '%s'",
+                                      fk_column.c_str(),
+                                      child.name().c_str()));
+  }
+  if (col->type() != DataType::kInt64) {
+    return Status::InvalidArgument(
+        StrFormat("FK column '%s' must be INT64", fk_column.c_str()));
+  }
+  for (int64_t r = 0; r < child.num_rows(); ++r) {
+    if (col->IsNull(r)) continue;
+    out.index_[col->Int(r)].push_back(r);
+  }
+  // Sort each posting list by event time; static rows (kNoTimestamp ==
+  // INT64_MIN) naturally sort first.
+  for (auto& [key, rows] : out.index_) {
+    std::stable_sort(rows.begin(), rows.end(), [&child](int64_t a, int64_t b) {
+      return child.RowTime(a) < child.RowTime(b);
+    });
+  }
+  return out;
+}
+
+const std::vector<int64_t>& FkIndex::Rows(int64_t fk_value) const {
+  auto it = index_.find(fk_value);
+  return it == index_.end() ? empty_ : it->second;
+}
+
+std::vector<int64_t> FkIndex::RowsInWindow(int64_t fk_value, Timestamp start,
+                                           Timestamp end) const {
+  std::vector<int64_t> out;
+  for (int64_t r : Rows(fk_value)) {
+    const Timestamp t = child_->RowTime(r);
+    if (t == kNoTimestamp || (t >= start && t < end)) out.push_back(r);
+  }
+  return out;
+}
+
+Result<double> AggregateWindow(const FkIndex& index, int64_t fk_value,
+                               Timestamp start, Timestamp end, AggKind kind,
+                               const std::string& value_column,
+                               const std::function<bool(int64_t)>* row_filter) {
+  const Table& child = index.child();
+  const Column* col = nullptr;
+  if (kind != AggKind::kCount && kind != AggKind::kExists) {
+    col = child.FindColumnPtr(value_column);
+    if (col == nullptr) {
+      return Status::NotFound(StrFormat(
+          "aggregate column '%s' not in table '%s'", value_column.c_str(),
+          child.name().c_str()));
+    }
+    if (!col->IsNumericType()) {
+      return Status::InvalidArgument(StrFormat(
+          "aggregate column '%s' is not numeric", value_column.c_str()));
+    }
+  }
+  int64_t count = 0;
+  double sum = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (int64_t r : index.Rows(fk_value)) {
+    const Timestamp t = child.RowTime(r);
+    if (t != kNoTimestamp && (t < start || t >= end)) continue;
+    if (row_filter != nullptr && !(*row_filter)(r)) continue;
+    if (col != nullptr) {
+      if (col->IsNull(r)) continue;
+      const double v = col->Numeric(r);
+      sum += v;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    ++count;
+    if (kind == AggKind::kExists) return 1.0;
+  }
+  switch (kind) {
+    case AggKind::kCount:
+      return static_cast<double>(count);
+    case AggKind::kExists:
+      return 0.0;
+    case AggKind::kSum:
+      return sum;
+    case AggKind::kAvg:
+      return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    case AggKind::kMin:
+      return count > 0 ? mn : 0.0;
+    case AggKind::kMax:
+      return count > 0 ? mx : 0.0;
+  }
+  return Status::Internal("unreachable aggregate kind");
+}
+
+Result<std::vector<int64_t>> CollectWindow(const FkIndex& index,
+                                           int64_t fk_value, Timestamp start,
+                                           Timestamp end,
+                                           const std::string& column) {
+  const Table& child = index.child();
+  const Column* col = child.FindColumnPtr(column);
+  if (col == nullptr) {
+    return Status::NotFound(StrFormat("collect column '%s' not in table '%s'",
+                                      column.c_str(), child.name().c_str()));
+  }
+  if (col->type() != DataType::kInt64) {
+    return Status::InvalidArgument(
+        StrFormat("collect column '%s' must be INT64", column.c_str()));
+  }
+  std::vector<int64_t> out;
+  std::unordered_set<int64_t> seen;
+  for (int64_t r : index.Rows(fk_value)) {
+    const Timestamp t = child.RowTime(r);
+    if (t != kNoTimestamp && (t < start || t >= end)) continue;
+    if (col->IsNull(r)) continue;
+    const int64_t v = col->Int(r);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<int64_t> FilterRows(const Table& table,
+                                const std::function<bool(int64_t)>& pred) {
+  std::vector<int64_t> out;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (pred(r)) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,86 @@
+#ifndef RELGRAPH_RELATIONAL_QUERY_H_
+#define RELGRAPH_RELATIONAL_QUERY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "relational/table.h"
+
+namespace relgraph {
+
+/// Aggregate functions understood by the windowed-aggregate evaluator and
+/// the predictive-query language.
+enum class AggKind {
+  kCount,   ///< number of matching rows
+  kSum,     ///< sum of a numeric column
+  kAvg,     ///< mean of a numeric column (0 when no rows)
+  kMin,     ///< min of a numeric column (0 when no rows)
+  kMax,     ///< max of a numeric column (0 when no rows)
+  kExists,  ///< 1 if any row matches, else 0
+};
+
+/// Parses an aggregate name ("COUNT", "sum", ...).
+Result<AggKind> ParseAggKind(std::string_view name);
+
+/// Name of an aggregate kind.
+const char* AggKindName(AggKind kind);
+
+/// Index from a foreign-key value to the child-table rows carrying it,
+/// sorted by event time (static rows sort first).
+///
+/// This is the core access path for both predictive-query label
+/// construction ("COUNT(orders) OVER NEXT 28 DAYS") and the
+/// feature-engineering baseline's historical aggregates.
+class FkIndex {
+ public:
+  /// Builds the index over `child[fk_column]`; NULL FK cells are skipped.
+  static Result<FkIndex> Build(const Table& child,
+                               const std::string& fk_column);
+
+  /// All rows with the given FK value (time-sorted); empty if none.
+  const std::vector<int64_t>& Rows(int64_t fk_value) const;
+
+  /// Rows with the FK value whose event time lies in [start, end).
+  /// Rows without a timestamp (static tables) are included for any window.
+  std::vector<int64_t> RowsInWindow(int64_t fk_value, Timestamp start,
+                                    Timestamp end) const;
+
+  /// Number of distinct FK values present.
+  int64_t NumKeys() const { return static_cast<int64_t>(index_.size()); }
+
+  const Table& child() const { return *child_; }
+
+ private:
+  const Table* child_ = nullptr;
+  std::unordered_map<int64_t, std::vector<int64_t>> index_;
+  std::vector<int64_t> empty_;
+};
+
+/// Evaluates `kind` over the rows of `index.child()` that carry
+/// `fk_value` and fall in the [start, end) time window.
+/// `value_column` is required (and must be numeric) for SUM/AVG/MIN/MAX
+/// and ignored for COUNT/EXISTS. NULL cells are skipped.
+Result<double> AggregateWindow(const FkIndex& index, int64_t fk_value,
+                               Timestamp start, Timestamp end, AggKind kind,
+                               const std::string& value_column,
+                               const std::function<bool(int64_t)>* row_filter =
+                                   nullptr);
+
+/// Distinct non-null INT64 values of `column` among rows with the FK value
+/// in the window, in first-occurrence (time) order. Used for
+/// recommendation labels ("LIST(orders.product_id)").
+Result<std::vector<int64_t>> CollectWindow(const FkIndex& index,
+                                           int64_t fk_value, Timestamp start,
+                                           Timestamp end,
+                                           const std::string& column);
+
+/// Rows of `table` satisfying the predicate.
+std::vector<int64_t> FilterRows(const Table& table,
+                                const std::function<bool(int64_t)>& pred);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_QUERY_H_

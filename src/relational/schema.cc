@@ -1,0 +1,117 @@
+#include "relational/schema.h"
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+TableSchema& TableSchema::AddColumn(std::string col_name, DataType type,
+                                    bool nullable) {
+  columns_.emplace_back(std::move(col_name), type, nullable);
+  return *this;
+}
+
+TableSchema& TableSchema::SetPrimaryKey(std::string column) {
+  primary_key_ = std::move(column);
+  return *this;
+}
+
+TableSchema& TableSchema::AddForeignKey(std::string column,
+                                        std::string referenced_table) {
+  foreign_keys_.push_back({std::move(column), std::move(referenced_table)});
+  return *this;
+}
+
+TableSchema& TableSchema::SetTimeColumn(std::string column) {
+  time_column_ = std::move(column);
+  return *this;
+}
+
+Result<int> TableSchema::FindColumn(const std::string& col_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == col_name) return static_cast<int>(i);
+  }
+  return Status::NotFound(StrFormat("column '%s' not in table '%s'",
+                                    col_name.c_str(), name_.c_str()));
+}
+
+bool TableSchema::IsForeignKey(const std::string& column) const {
+  for (const auto& fk : foreign_keys_) {
+    if (fk.column == column) return true;
+  }
+  return false;
+}
+
+Status TableSchema::Validate() const {
+  if (name_.empty()) return Status::InvalidArgument("table has empty name");
+  if (columns_.empty()) {
+    return Status::InvalidArgument("table '" + name_ + "' has no columns");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      if (columns_[i].name == columns_[j].name) {
+        return Status::InvalidArgument(StrFormat(
+            "table '%s' declares duplicate column '%s'", name_.c_str(),
+            columns_[i].name.c_str()));
+      }
+    }
+  }
+  if (primary_key_) {
+    auto idx = FindColumn(*primary_key_);
+    if (!idx.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "table '%s' primary key '%s' is not a column", name_.c_str(),
+          primary_key_->c_str()));
+    }
+    if (columns_[idx.value()].type != DataType::kInt64) {
+      return Status::InvalidArgument(StrFormat(
+          "table '%s' primary key '%s' must be INT64", name_.c_str(),
+          primary_key_->c_str()));
+    }
+  }
+  for (const auto& fk : foreign_keys_) {
+    auto idx = FindColumn(fk.column);
+    if (!idx.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "table '%s' foreign key '%s' is not a column", name_.c_str(),
+          fk.column.c_str()));
+    }
+    if (columns_[idx.value()].type != DataType::kInt64) {
+      return Status::InvalidArgument(StrFormat(
+          "table '%s' foreign key '%s' must be INT64", name_.c_str(),
+          fk.column.c_str()));
+    }
+  }
+  if (time_column_) {
+    auto idx = FindColumn(*time_column_);
+    if (!idx.ok()) {
+      return Status::InvalidArgument(StrFormat(
+          "table '%s' time column '%s' is not a column", name_.c_str(),
+          time_column_->c_str()));
+    }
+    if (columns_[idx.value()].type != DataType::kTimestamp) {
+      return Status::InvalidArgument(StrFormat(
+          "table '%s' time column '%s' must be TIMESTAMP", name_.c_str(),
+          time_column_->c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+std::string TableSchema::ToString() const {
+  std::string s = name_ + "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += columns_[i].name;
+    s += " ";
+    s += DataTypeName(columns_[i].type);
+    if (primary_key_ && *primary_key_ == columns_[i].name) s += " PK";
+    for (const auto& fk : foreign_keys_) {
+      if (fk.column == columns_[i].name) s += " -> " + fk.referenced_table;
+    }
+    if (time_column_ && *time_column_ == columns_[i].name) s += " TIME";
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace relgraph

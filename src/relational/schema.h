@@ -1,0 +1,92 @@
+#ifndef RELGRAPH_RELATIONAL_SCHEMA_H_
+#define RELGRAPH_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "relational/value.h"
+
+namespace relgraph {
+
+/// Declaration of one column in a table schema.
+struct ColumnSpec {
+  std::string name;
+  DataType type;
+  bool nullable = true;
+
+  ColumnSpec(std::string name_in, DataType type_in, bool nullable_in = true)
+      : name(std::move(name_in)), type(type_in), nullable(nullable_in) {}
+};
+
+/// Foreign-key declaration: `column` holds primary-key values of
+/// `referenced_table`. These are exactly the links that become graph edges
+/// in DB→graph conversion.
+struct ForeignKey {
+  std::string column;
+  std::string referenced_table;
+};
+
+/// Schema of one table: column specs plus the relational metadata
+/// (primary key, foreign keys, time column) that the predictive-query
+/// engine relies on.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  explicit TableSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  TableSchema& AddColumn(std::string col_name, DataType type,
+                         bool nullable = true);
+
+  /// Declares the (single-column, INT64) primary key.
+  TableSchema& SetPrimaryKey(std::string column);
+
+  /// Declares a foreign key from `column` to `referenced_table`'s PK.
+  TableSchema& AddForeignKey(std::string column,
+                             std::string referenced_table);
+
+  /// Declares the event-time column (TIMESTAMP type). Tables without one
+  /// are treated as static dimension tables.
+  TableSchema& SetTimeColumn(std::string column);
+
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+  const std::optional<std::string>& primary_key() const {
+    return primary_key_;
+  }
+  const std::vector<ForeignKey>& foreign_keys() const {
+    return foreign_keys_;
+  }
+  const std::optional<std::string>& time_column() const {
+    return time_column_;
+  }
+
+  /// Index of a column by name, or NotFound.
+  Result<int> FindColumn(const std::string& col_name) const;
+
+  bool HasColumn(const std::string& col_name) const {
+    return FindColumn(col_name).ok();
+  }
+
+  /// True if `column` is declared as a foreign key.
+  bool IsForeignKey(const std::string& column) const;
+
+  /// Internal consistency: PK/FK/time columns exist with sane types.
+  Status Validate() const;
+
+  /// One-line textual rendering for docs and the pq shell.
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnSpec> columns_;
+  std::optional<std::string> primary_key_;
+  std::vector<ForeignKey> foreign_keys_;
+  std::optional<std::string> time_column_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_SCHEMA_H_

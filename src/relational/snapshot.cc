@@ -1,0 +1,192 @@
+#include "relational/snapshot.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x52444231;  // "RDB1"
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+void WriteString(std::ostream& out, const std::string& s) {
+  WritePod(out, static_cast<int64_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+Result<std::string> ReadString(std::istream& in) {
+  int64_t size = 0;
+  if (!ReadPod(in, &size) || size < 0 || size > (1 << 26)) {
+    return Status::ParseError("corrupt string length in snapshot");
+  }
+  std::string s(static_cast<size_t>(size), '\0');
+  in.read(s.data(), size);
+  if (!in) return Status::ParseError("truncated string in snapshot");
+  return s;
+}
+
+void WriteValue(std::ostream& out, const Value& v, DataType type) {
+  const uint8_t null_flag = v.is_null() ? 1 : 0;
+  WritePod(out, null_flag);
+  if (null_flag) return;
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kTimestamp:
+      WritePod(out, v.as_int());
+      break;
+    case DataType::kFloat64:
+      WritePod(out, v.as_double());
+      break;
+    case DataType::kBool:
+      WritePod(out, static_cast<uint8_t>(v.as_bool() ? 1 : 0));
+      break;
+    case DataType::kString:
+      WriteString(out, v.as_string());
+      break;
+  }
+}
+
+Result<Value> ReadValue(std::istream& in, DataType type) {
+  uint8_t null_flag = 0;
+  if (!ReadPod(in, &null_flag)) {
+    return Status::ParseError("truncated cell in snapshot");
+  }
+  if (null_flag) return Value::Null();
+  switch (type) {
+    case DataType::kInt64:
+    case DataType::kTimestamp: {
+      int64_t v = 0;
+      if (!ReadPod(in, &v)) return Status::ParseError("truncated int cell");
+      return Value(v);
+    }
+    case DataType::kFloat64: {
+      double v = 0;
+      if (!ReadPod(in, &v)) {
+        return Status::ParseError("truncated float cell");
+      }
+      return Value(v);
+    }
+    case DataType::kBool: {
+      uint8_t v = 0;
+      if (!ReadPod(in, &v)) return Status::ParseError("truncated bool cell");
+      return Value(v != 0);
+    }
+    case DataType::kString: {
+      RELGRAPH_ASSIGN_OR_RETURN(std::string s, ReadString(in));
+      return Value(std::move(s));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status SaveDatabaseSnapshot(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  WritePod(out, kMagic);
+  WriteString(out, db.name());
+  WritePod(out, static_cast<int64_t>(db.num_tables()));
+  for (const auto& table : db.tables()) {
+    const TableSchema& schema = table->schema();
+    WriteString(out, schema.name());
+    WritePod(out, static_cast<int64_t>(schema.columns().size()));
+    for (const auto& col : schema.columns()) {
+      WriteString(out, col.name);
+      WritePod(out, static_cast<int32_t>(col.type));
+      WritePod(out, static_cast<uint8_t>(col.nullable ? 1 : 0));
+    }
+    WriteString(out, schema.primary_key().value_or(""));
+    WriteString(out, schema.time_column().value_or(""));
+    WritePod(out, static_cast<int64_t>(schema.foreign_keys().size()));
+    for (const auto& fk : schema.foreign_keys()) {
+      WriteString(out, fk.column);
+      WriteString(out, fk.referenced_table);
+    }
+    WritePod(out, table->num_rows());
+    for (int64_t r = 0; r < table->num_rows(); ++r) {
+      for (int64_t c = 0; c < table->num_columns(); ++c) {
+        WriteValue(out, table->column(c).GetValue(r),
+                   table->column(c).type());
+      }
+    }
+  }
+  if (!out) return Status::IoError("snapshot write failed: " + path);
+  return Status::OK();
+}
+
+Result<Database> LoadDatabaseSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  uint32_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::ParseError("not a RelGraph database snapshot: " + path);
+  }
+  RELGRAPH_ASSIGN_OR_RETURN(std::string name, ReadString(in));
+  Database db(name);
+  int64_t num_tables = 0;
+  if (!ReadPod(in, &num_tables) || num_tables < 0 || num_tables > 4096) {
+    return Status::ParseError("corrupt table count");
+  }
+  for (int64_t t = 0; t < num_tables; ++t) {
+    RELGRAPH_ASSIGN_OR_RETURN(std::string table_name, ReadString(in));
+    TableSchema schema(table_name);
+    int64_t num_cols = 0;
+    if (!ReadPod(in, &num_cols) || num_cols < 0 || num_cols > 4096) {
+      return Status::ParseError("corrupt column count");
+    }
+    for (int64_t c = 0; c < num_cols; ++c) {
+      RELGRAPH_ASSIGN_OR_RETURN(std::string col_name, ReadString(in));
+      int32_t type = 0;
+      uint8_t nullable = 0;
+      if (!ReadPod(in, &type) || !ReadPod(in, &nullable) || type < 0 ||
+          type > static_cast<int32_t>(DataType::kTimestamp)) {
+        return Status::ParseError("corrupt column spec");
+      }
+      schema.AddColumn(col_name, static_cast<DataType>(type), nullable != 0);
+    }
+    RELGRAPH_ASSIGN_OR_RETURN(std::string pk, ReadString(in));
+    if (!pk.empty()) schema.SetPrimaryKey(pk);
+    RELGRAPH_ASSIGN_OR_RETURN(std::string time_col, ReadString(in));
+    if (!time_col.empty()) schema.SetTimeColumn(time_col);
+    int64_t num_fks = 0;
+    if (!ReadPod(in, &num_fks) || num_fks < 0 || num_fks > 4096) {
+      return Status::ParseError("corrupt FK count");
+    }
+    for (int64_t f = 0; f < num_fks; ++f) {
+      RELGRAPH_ASSIGN_OR_RETURN(std::string fk_col, ReadString(in));
+      RELGRAPH_ASSIGN_OR_RETURN(std::string fk_table, ReadString(in));
+      schema.AddForeignKey(fk_col, fk_table);
+    }
+    RELGRAPH_ASSIGN_OR_RETURN(Table * table, db.AddTable(schema));
+    int64_t num_rows = 0;
+    if (!ReadPod(in, &num_rows) || num_rows < 0) {
+      return Status::ParseError("corrupt row count");
+    }
+    std::vector<Value> row(static_cast<size_t>(num_cols));
+    for (int64_t r = 0; r < num_rows; ++r) {
+      for (int64_t c = 0; c < num_cols; ++c) {
+        RELGRAPH_ASSIGN_OR_RETURN(
+            Value v, ReadValue(in, table->schema().columns()[c].type));
+        row[static_cast<size_t>(c)] = std::move(v);
+      }
+      RELGRAPH_RETURN_IF_ERROR(table->AppendRow(row));
+    }
+  }
+  return db;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,22 @@
+#ifndef RELGRAPH_RELATIONAL_SNAPSHOT_H_
+#define RELGRAPH_RELATIONAL_SNAPSHOT_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "relational/database.h"
+
+namespace relgraph {
+
+/// Saves a whole database — schemas (including PK/FK/time metadata) plus
+/// all rows — to a single binary snapshot file. Much faster than CSV for
+/// round-tripping the synthetic worlds and exact (no text formatting of
+/// floats).
+Status SaveDatabaseSnapshot(const Database& db, const std::string& path);
+
+/// Loads a snapshot written by SaveDatabaseSnapshot.
+Result<Database> LoadDatabaseSnapshot(const std::string& path);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_SNAPSHOT_H_

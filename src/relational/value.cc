@@ -1,0 +1,40 @@
+#include "relational/value.h"
+
+#include "core/logging.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kFloat64:
+      return "FLOAT64";
+    case DataType::kBool:
+      return "BOOL";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+  }
+  return "?";
+}
+
+double Value::ToDouble() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_double()) return as_double();
+  if (is_bool()) return as_bool() ? 1.0 : 0.0;
+  RELGRAPH_CHECK(false) << "Value::ToDouble on non-numeric value";
+  return 0.0;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int()) return StrFormat("%lld", static_cast<long long>(as_int()));
+  if (is_double()) return FormatDouble(as_double(), 10);
+  if (is_bool()) return as_bool() ? "true" : "false";
+  return as_string();
+}
+
+}  // namespace relgraph

@@ -1,0 +1,74 @@
+#ifndef RELGRAPH_RELATIONAL_VALUE_H_
+#define RELGRAPH_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "core/time.h"
+
+namespace relgraph {
+
+/// Column/value types supported by the relational engine.
+///
+/// `kTimestamp` is physically an int64 (seconds, see core/time.h) but kept
+/// as a distinct logical type so DB→graph conversion can recognize temporal
+/// columns automatically.
+enum class DataType {
+  kInt64,
+  kFloat64,
+  kBool,
+  kString,
+  kTimestamp,
+};
+
+/// Human-readable type name ("INT64", "FLOAT64", ...).
+const char* DataTypeName(DataType type);
+
+/// A single nullable SQL-style scalar.
+class Value {
+ public:
+  /// NULL.
+  Value() : data_(std::monostate{}) {}
+  /*implicit*/ Value(int64_t v) : data_(v) {}
+  /*implicit*/ Value(int v) : data_(static_cast<int64_t>(v)) {}
+  /*implicit*/ Value(double v) : data_(v) {}
+  /*implicit*/ Value(bool v) : data_(v) {}
+  /*implicit*/ Value(std::string v) : data_(std::move(v)) {}
+  /*implicit*/ Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+  static Value Time(Timestamp t) { return Value(static_cast<int64_t>(t)); }
+
+  bool is_null() const {
+    return std::holds_alternative<std::monostate>(data_);
+  }
+  bool is_int() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(data_);
+  }
+
+  int64_t as_int() const { return std::get<int64_t>(data_); }
+  double as_double() const { return std::get<double>(data_); }
+  bool as_bool() const { return std::get<bool>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  Timestamp as_time() const { return std::get<int64_t>(data_); }
+
+  /// Numeric view: ints, doubles and bools coerce to double; others abort.
+  double ToDouble() const;
+
+  /// Renders for CSV/debug output; NULL renders as the empty string.
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string> data_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_VALUE_H_

@@ -1,0 +1,43 @@
+#include "sampler/negative_sampler.h"
+
+#include "core/logging.h"
+
+namespace relgraph {
+
+NegativeSampler::NegativeSampler(
+    int64_t num_targets,
+    const std::vector<std::pair<int64_t, int64_t>>& positives)
+    : num_targets_(num_targets) {
+  RELGRAPH_CHECK(num_targets > 0);
+  positive_keys_.reserve(positives.size() * 2);
+  for (const auto& [s, t] : positives) {
+    RELGRAPH_CHECK(t >= 0 && t < num_targets);
+    positive_keys_.insert(s * num_targets_ + t);
+  }
+}
+
+int64_t NegativeSampler::SampleNegative(int64_t source, Rng* rng) const {
+  for (int tries = 0; tries < 64; ++tries) {
+    const int64_t t = static_cast<int64_t>(
+        rng->UniformU64(static_cast<uint64_t>(num_targets_)));
+    if (!IsPositive(source, t)) return t;
+  }
+  // Pathological source with (almost) all targets positive.
+  return static_cast<int64_t>(
+      rng->UniformU64(static_cast<uint64_t>(num_targets_)));
+}
+
+std::vector<int64_t> NegativeSampler::SampleNegatives(int64_t source,
+                                                      int64_t k,
+                                                      Rng* rng) const {
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(k));
+  for (int64_t i = 0; i < k; ++i) out.push_back(SampleNegative(source, rng));
+  return out;
+}
+
+bool NegativeSampler::IsPositive(int64_t source, int64_t target) const {
+  return positive_keys_.count(source * num_targets_ + target) > 0;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,43 @@
+#ifndef RELGRAPH_SAMPLER_NEGATIVE_SAMPLER_H_
+#define RELGRAPH_SAMPLER_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace relgraph {
+
+/// Uniform negative sampler for link-level (recommendation) tasks.
+///
+/// Given the set of known positive (source, target) pairs, draws target
+/// nodes uniformly while avoiding positives, so BPR/BCE-style contrastive
+/// training does not label true links as negatives.
+class NegativeSampler {
+ public:
+  /// `num_targets` is the size of the candidate target-node set;
+  /// `positives` are (source, target) pairs to exclude.
+  NegativeSampler(int64_t num_targets,
+                  const std::vector<std::pair<int64_t, int64_t>>& positives);
+
+  /// Draws one negative target for `source` (not among its positives).
+  /// Degenerates to a uniform draw if a source is positive on everything.
+  int64_t SampleNegative(int64_t source, Rng* rng) const;
+
+  /// Draws `k` negatives for `source` (with replacement across draws but
+  /// each avoiding positives).
+  std::vector<int64_t> SampleNegatives(int64_t source, int64_t k,
+                                       Rng* rng) const;
+
+  /// True if (source, target) is a known positive.
+  bool IsPositive(int64_t source, int64_t target) const;
+
+ private:
+  int64_t num_targets_;
+  std::unordered_set<int64_t> positive_keys_;  // source * num_targets + target
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_SAMPLER_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,188 @@
+#include "sampler/neighbor_sampler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/logging.h"
+
+namespace relgraph {
+
+int64_t Subgraph::TotalFrontierNodes() const {
+  int64_t total = 0;
+  for (const auto& f : frontiers) {
+    for (const auto& nodes : f.nodes) {
+      total += static_cast<int64_t>(nodes.size());
+    }
+  }
+  return total;
+}
+
+int64_t Subgraph::TotalBlockEdges() const {
+  int64_t total = 0;
+  for (const auto& layer : blocks) {
+    for (const auto& b : layer) {
+      total += static_cast<int64_t>(b.target_local.size());
+    }
+  }
+  return total;
+}
+
+NeighborSampler::NeighborSampler(const HeteroGraph* graph,
+                                 SamplerOptions options)
+    : graph_(graph), options_(std::move(options)) {
+  RELGRAPH_CHECK(graph_ != nullptr);
+  RELGRAPH_CHECK(!options_.fanouts.empty());
+  for (int64_t f : options_.fanouts) RELGRAPH_CHECK(f > 0);
+}
+
+namespace {
+
+/// Key for frontier dedup: same node sampled under the same cutoff is one
+/// computation; distinct cutoffs must stay distinct (their valid
+/// neighborhoods differ).
+struct NodeCut {
+  int64_t node;
+  Timestamp cutoff;
+  bool operator==(const NodeCut& o) const {
+    return node == o.node && cutoff == o.cutoff;
+  }
+};
+
+struct NodeCutHash {
+  size_t operator()(const NodeCut& k) const {
+    return std::hash<int64_t>()(k.node) * 1000003ULL ^
+           std::hash<int64_t>()(k.cutoff);
+  }
+};
+
+}  // namespace
+
+Subgraph NeighborSampler::Sample(NodeTypeId seed_type,
+                                 const std::vector<int64_t>& seeds,
+                                 const std::vector<Timestamp>& cutoffs,
+                                 Rng* rng) const {
+  RELGRAPH_CHECK(seeds.size() == cutoffs.size());
+  const int32_t num_types = graph_->num_node_types();
+  const int64_t layers = num_layers();
+
+  Subgraph sg;
+  sg.frontiers.resize(static_cast<size_t>(layers) + 1);
+  sg.blocks.resize(static_cast<size_t>(layers));
+  for (auto& f : sg.frontiers) {
+    f.nodes.resize(static_cast<size_t>(num_types));
+    f.cutoffs.resize(static_cast<size_t>(num_types));
+  }
+
+  // Frontier 0 = seeds verbatim (duplicates allowed: they are the batch).
+  sg.frontiers[0].nodes[static_cast<size_t>(seed_type)] = seeds;
+  sg.frontiers[0].cutoffs[static_cast<size_t>(seed_type)] = cutoffs;
+
+  std::vector<int64_t> reservoir;
+  for (int64_t layer = 0; layer < layers; ++layer) {
+    const auto& cur = sg.frontiers[static_cast<size_t>(layer)];
+    auto& next = sg.frontiers[static_cast<size_t>(layer) + 1];
+    // Self-prefix invariant: next frontier starts as a copy of the current.
+    next.nodes = cur.nodes;
+    next.cutoffs = cur.cutoffs;
+    // Dedup index for newly added (node, cutoff) entries per type.
+    std::vector<std::unordered_map<NodeCut, int64_t, NodeCutHash>> local(
+        static_cast<size_t>(num_types));
+    for (int32_t t = 0; t < num_types; ++t) {
+      auto& m = local[static_cast<size_t>(t)];
+      for (size_t i = 0; i < next.nodes[static_cast<size_t>(t)].size();
+           ++i) {
+        m.emplace(NodeCut{next.nodes[static_cast<size_t>(t)][i],
+                          next.cutoffs[static_cast<size_t>(t)][i]},
+                  static_cast<int64_t>(i));
+      }
+    }
+    auto intern = [&](NodeTypeId t, int64_t node,
+                      Timestamp cutoff) -> int64_t {
+      auto& m = local[static_cast<size_t>(t)];
+      auto [it, inserted] = m.emplace(
+          NodeCut{node, cutoff},
+          static_cast<int64_t>(next.nodes[static_cast<size_t>(t)].size()));
+      if (inserted) {
+        next.nodes[static_cast<size_t>(t)].push_back(node);
+        next.cutoffs[static_cast<size_t>(t)].push_back(cutoff);
+      }
+      return it->second;
+    };
+
+    const int64_t fanout = options_.fanouts[static_cast<size_t>(layer)];
+    auto& layer_blocks = sg.blocks[static_cast<size_t>(layer)];
+    for (EdgeTypeId e = 0; e < graph_->num_edge_types(); ++e) {
+      const NodeTypeId agg_type = graph_->edge_src_type(e);
+      const NodeTypeId nbr_type = graph_->edge_dst_type(e);
+      const auto& agg_nodes = cur.nodes[static_cast<size_t>(agg_type)];
+      if (agg_nodes.empty()) continue;
+      Subgraph::Block block;
+      block.edge_type = e;
+      for (size_t vi = 0; vi < agg_nodes.size(); ++vi) {
+        const int64_t v = agg_nodes[vi];
+        const Timestamp cutoff =
+            cur.cutoffs[static_cast<size_t>(agg_type)][vi];
+        const int64_t* dst;
+        const Timestamp* times;
+        int64_t count;
+        graph_->Neighbors(e, v, &dst, &times, &count);
+        // Collect time-valid neighbor positions.
+        reservoir.clear();
+        for (int64_t i = 0; i < count; ++i) {
+          if (options_.temporal && times[i] != kNoTimestamp &&
+              times[i] >= cutoff) {
+            continue;
+          }
+          reservoir.push_back(i);
+        }
+        if (static_cast<int64_t>(reservoir.size()) > fanout) {
+          if (options_.policy == SamplePolicy::kMostRecent) {
+            std::nth_element(
+                reservoir.begin(), reservoir.begin() + fanout,
+                reservoir.end(), [times](int64_t a, int64_t b) {
+                  return times[a] > times[b];
+                });
+            reservoir.resize(static_cast<size_t>(fanout));
+          } else {
+            // Uniform without replacement via partial Fisher-Yates.
+            for (int64_t i = 0; i < fanout; ++i) {
+              const int64_t j =
+                  i + static_cast<int64_t>(rng->UniformU64(
+                          static_cast<uint64_t>(
+                              static_cast<int64_t>(reservoir.size()) - i)));
+              std::swap(reservoir[static_cast<size_t>(i)],
+                        reservoir[static_cast<size_t>(j)]);
+            }
+            reservoir.resize(static_cast<size_t>(fanout));
+          }
+        }
+        for (int64_t pos : reservoir) {
+          const int64_t u = dst[pos];
+          const int64_t u_local = intern(nbr_type, u, cutoff);
+          block.target_local.push_back(static_cast<int64_t>(vi));
+          block.source_local.push_back(u_local);
+        }
+      }
+      if (!block.target_local.empty()) {
+        layer_blocks.push_back(std::move(block));
+      }
+    }
+  }
+  return sg;
+}
+
+std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
+                                              Rng* rng) {
+  RELGRAPH_CHECK(batch_size > 0);
+  std::vector<int64_t> order(static_cast<size_t>(std::max<int64_t>(n, 0)));
+  for (int64_t i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  if (rng != nullptr) rng->Shuffle(&order);
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start < n; start += batch_size) {
+    const int64_t end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace relgraph

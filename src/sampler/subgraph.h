@@ -1,0 +1,58 @@
+#ifndef RELGRAPH_SAMPLER_SUBGRAPH_H_
+#define RELGRAPH_SAMPLER_SUBGRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.h"
+#include "graph/hetero_graph.h"
+
+namespace relgraph {
+
+/// A layered, locally-renumbered neighborhood sample rooted at a batch of
+/// seed nodes — the unit of GNN mini-batch computation.
+///
+/// Frontier 0 holds the seeds; frontier k+1 holds frontier k plus the
+/// neighbors sampled for it. Invariant: for every node type, the first
+/// `frontiers[k].nodes[type].size()` entries of `frontiers[k+1].nodes[type]`
+/// are exactly frontier k's nodes in the same order (so "self" vectors can
+/// be read as a prefix — no index mapping needed).
+///
+/// Each frontier entry carries the cutoff timestamp of the seed it was
+/// sampled for; the sampler only traverses edges strictly before that
+/// cutoff, which is what prevents temporal leakage.
+struct Subgraph {
+  struct Frontier {
+    /// nodes[type] = global node ids present at this depth.
+    std::vector<std::vector<int64_t>> nodes;
+    /// cutoffs[type][i] = cutoff carried by nodes[type][i].
+    std::vector<std::vector<Timestamp>> cutoffs;
+  };
+
+  /// One per (layer, edge type): the sampled edges used to aggregate
+  /// frontier k+1 representations (sources) into frontier k nodes
+  /// (targets). `target_local` indexes frontier k's node list of type
+  /// `graph.edge_src_type(edge_type)`; `source_local` indexes frontier
+  /// k+1's node list of type `graph.edge_dst_type(edge_type)`.
+  struct Block {
+    EdgeTypeId edge_type;
+    std::vector<int64_t> target_local;
+    std::vector<int64_t> source_local;
+  };
+
+  /// frontiers.size() == num_layers + 1.
+  std::vector<Frontier> frontiers;
+
+  /// blocks[k] = blocks aggregating frontier k+1 into frontier k.
+  std::vector<std::vector<Block>> blocks;
+
+  /// Total nodes across frontiers/types (diagnostic).
+  int64_t TotalFrontierNodes() const;
+
+  /// Total sampled edges across blocks (diagnostic).
+  int64_t TotalBlockEdges() const;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_SAMPLER_SUBGRAPH_H_

@@ -1,0 +1,33 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace relgraph {
+
+Tensor GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  Tensor w(fan_in, fan_out);
+  const double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    w.data()[i] = static_cast<float>(rng->Uniform(-limit, limit));
+  }
+  return w;
+}
+
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng* rng) {
+  Tensor w(fan_in, fan_out);
+  const double stddev = std::sqrt(2.0 / static_cast<double>(fan_in));
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    w.data()[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return w;
+}
+
+Tensor NormalInit(int64_t rows, int64_t cols, float stddev, Rng* rng) {
+  Tensor w(rows, cols);
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    w.data()[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return w;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,20 @@
+#ifndef RELGRAPH_TENSOR_INIT_H_
+#define RELGRAPH_TENSOR_INIT_H_
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace relgraph {
+
+/// Glorot/Xavier uniform init for a fan_in×fan_out weight matrix.
+Tensor GlorotUniform(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// He/Kaiming normal init (for ReLU networks).
+Tensor HeNormal(int64_t fan_in, int64_t fan_out, Rng* rng);
+
+/// N(0, stddev) init, used for embedding tables.
+Tensor NormalInit(int64_t rows, int64_t cols, float stddev, Rng* rng);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_TENSOR_INIT_H_

@@ -1,0 +1,93 @@
+#include "tensor/nn.h"
+
+#include "core/logging.h"
+#include "tensor/init.h"
+
+namespace relgraph {
+
+int64_t Module::NumParameters() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p->value().numel();
+  return n;
+}
+
+void Module::ZeroGrad() const {
+  for (const auto& p : Parameters()) p->ZeroGrad();
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  RELGRAPH_CHECK(in_features > 0 && out_features > 0);
+  weight_ = ag::Param(GlorotUniform(in_features, out_features, rng));
+  if (bias) bias_ = ag::Param(Tensor::Zeros(1, out_features));
+}
+
+VarPtr Linear::Forward(const VarPtr& x) const {
+  RELGRAPH_CHECK(x->cols() == in_features_)
+      << "Linear expected " << in_features_ << " features, got " << x->cols();
+  VarPtr y = ag::MatMul(x, weight_);
+  if (bias_) y = ag::AddBias(y, bias_);
+  return y;
+}
+
+std::vector<VarPtr> Linear::Parameters() const {
+  std::vector<VarPtr> ps = {weight_};
+  if (bias_) ps.push_back(bias_);
+  return ps;
+}
+
+Embedding::Embedding(int64_t num_embeddings, int64_t dim, Rng* rng)
+    : num_embeddings_(num_embeddings), dim_(dim) {
+  RELGRAPH_CHECK(num_embeddings > 0 && dim > 0);
+  table_ = ag::Param(NormalInit(num_embeddings, dim, 0.1f, rng));
+}
+
+VarPtr Embedding::Forward(const std::vector<int64_t>& ids) const {
+  return ag::GatherRows(table_, ids);
+}
+
+std::vector<VarPtr> Embedding::Parameters() const { return {table_}; }
+
+LayerNorm::LayerNorm(int64_t dim) : dim_(dim) {
+  RELGRAPH_CHECK(dim > 0);
+  gain_ = ag::Param(Tensor::Ones(1, dim));
+  bias_ = ag::Param(Tensor::Zeros(1, dim));
+}
+
+VarPtr LayerNorm::Forward(const VarPtr& x) const {
+  return ag::LayerNorm(x, gain_, bias_);
+}
+
+std::vector<VarPtr> LayerNorm::Parameters() const { return {gain_, bias_}; }
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng* rng, float dropout)
+    : dropout_(dropout) {
+  RELGRAPH_CHECK(dims.size() >= 2) << "Mlp needs at least in/out dims";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+  }
+}
+
+VarPtr Mlp::Forward(const VarPtr& x, Rng* rng, bool training) const {
+  VarPtr h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) {
+      h = ag::Relu(h);
+      if (training && dropout_ > 0.0f) {
+        h = ag::Dropout(h, dropout_, rng, true);
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<VarPtr> Mlp::Parameters() const {
+  std::vector<VarPtr> ps;
+  for (const auto& layer : layers_) {
+    for (const auto& p : layer->Parameters()) ps.push_back(p);
+  }
+  return ps;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,97 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace relgraph {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p->ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (auto& p : params_) {
+    const Tensor& g = p->grad();
+    for (int64_t i = 0; i < g.numel(); ++i) {
+      total += static_cast<double>(g.data()[i]) * g.data()[i];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) p->grad().Scale(scale);
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<VarPtr> params, float lr, float momentum,
+         float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (auto& p : params_) {
+      velocity_.emplace_back(p->value().rows(), p->value().cols());
+    }
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = *params_[i];
+    Tensor& g = p.grad();
+    Tensor& w = p.mutable_value();
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      float grad = g.data()[j] + weight_decay_ * w.data()[j];
+      if (momentum_ > 0.0f) {
+        float& v = velocity_[i].data()[j];
+        v = momentum_ * v + grad;
+        grad = v;
+      }
+      w.data()[j] -= lr_ * grad;
+    }
+  }
+}
+
+Adam::Adam(std::vector<VarPtr> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.emplace_back(p->value().rows(), p->value().cols());
+    v_.emplace_back(p->value().rows(), p->value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Var& p = *params_[i];
+    Tensor& g = p.grad();
+    Tensor& w = p.mutable_value();
+    for (int64_t j = 0; j < w.numel(); ++j) {
+      const float grad = g.data()[j];
+      float& m = m_[i].data()[j];
+      float& v = v_[i].data()[j];
+      m = beta1_ * m + (1.0f - beta1_) * grad;
+      v = beta2_ * v + (1.0f - beta2_) * grad * grad;
+      const double mhat = m / bias1;
+      const double vhat = v / bias2;
+      // Decoupled weight decay (AdamW).
+      w.data()[j] -= static_cast<float>(
+          lr_ * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w.data()[j]));
+    }
+  }
+}
+
+}  // namespace relgraph

@@ -1,0 +1,74 @@
+#ifndef RELGRAPH_TENSOR_OPTIM_H_
+#define RELGRAPH_TENSOR_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace relgraph {
+
+/// Base interface for gradient-descent optimizers over a fixed parameter
+/// list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<VarPtr> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the currently accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears gradients of all managed parameters.
+  void ZeroGrad();
+
+  /// Clips gradients to a maximum global L2 norm; returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  const std::vector<VarPtr>& params() const { return params_; }
+
+ protected:
+  std::vector<VarPtr> params_;
+};
+
+/// Plain SGD with optional momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<VarPtr> params, float lr, float momentum = 0.0f,
+      float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<VarPtr> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_TENSOR_OPTIM_H_

@@ -1,0 +1,103 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+constexpr uint32_t kBundleMagic = 0x52474231;  // "RGB1"
+constexpr uint32_t kTensorMagic = 0x52475431;  // "RGT1"
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteTensor(std::ostream& out, const Tensor& tensor) {
+  WritePod(out, kTensorMagic);
+  WritePod(out, static_cast<int64_t>(tensor.rows()));
+  WritePod(out, static_cast<int64_t>(tensor.cols()));
+  out.write(reinterpret_cast<const char*>(tensor.data()),
+            static_cast<std::streamsize>(tensor.numel() * sizeof(float)));
+  if (!out) return Status::IoError("tensor write failed");
+  return Status::OK();
+}
+
+Result<Tensor> ReadTensor(std::istream& in) {
+  uint32_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != kTensorMagic) {
+    return Status::ParseError("bad tensor magic");
+  }
+  int64_t rows = 0, cols = 0;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols)) {
+    return Status::ParseError("truncated tensor header");
+  }
+  if (rows < 0 || cols < 0 || rows * cols > (1LL << 32)) {
+    return Status::ParseError(StrFormat(
+        "implausible tensor shape %lld x %lld", static_cast<long long>(rows),
+        static_cast<long long>(cols)));
+  }
+  Tensor t(rows, cols);
+  in.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  if (!in) return Status::ParseError("truncated tensor payload");
+  return t;
+}
+
+Status SaveTensorBundle(const std::string& path,
+                        const std::vector<Tensor>& tensors,
+                        const std::vector<double>& scalars) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  WritePod(out, kBundleMagic);
+  WritePod(out, static_cast<int64_t>(tensors.size()));
+  WritePod(out, static_cast<int64_t>(scalars.size()));
+  for (double s : scalars) WritePod(out, s);
+  for (const Tensor& t : tensors) {
+    RELGRAPH_RETURN_IF_ERROR(WriteTensor(out, t));
+  }
+  if (!out) return Status::IoError("bundle write failed: " + path);
+  return Status::OK();
+}
+
+Result<TensorBundle> LoadTensorBundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open: " + path);
+  uint32_t magic = 0;
+  if (!ReadPod(in, &magic) || magic != kBundleMagic) {
+    return Status::ParseError("not a RelGraph tensor bundle: " + path);
+  }
+  int64_t num_tensors = 0, num_scalars = 0;
+  if (!ReadPod(in, &num_tensors) || !ReadPod(in, &num_scalars) ||
+      num_tensors < 0 || num_scalars < 0 || num_tensors > (1 << 20) ||
+      num_scalars > (1 << 20)) {
+    return Status::ParseError("corrupt bundle header: " + path);
+  }
+  TensorBundle bundle;
+  bundle.scalars.resize(static_cast<size_t>(num_scalars));
+  for (double& s : bundle.scalars) {
+    if (!ReadPod(in, &s)) return Status::ParseError("truncated scalars");
+  }
+  bundle.tensors.reserve(static_cast<size_t>(num_tensors));
+  for (int64_t i = 0; i < num_tensors; ++i) {
+    RELGRAPH_ASSIGN_OR_RETURN(Tensor t, ReadTensor(in));
+    bundle.tensors.push_back(std::move(t));
+  }
+  return bundle;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,38 @@
+#ifndef RELGRAPH_TENSOR_SERIALIZE_H_
+#define RELGRAPH_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace relgraph {
+
+/// Writes one tensor in the RelGraph binary format (shape header +
+/// row-major float32 payload, little-endian).
+Status WriteTensor(std::ostream& out, const Tensor& tensor);
+
+/// Reads one tensor previously written with WriteTensor.
+Result<Tensor> ReadTensor(std::istream& in);
+
+/// Saves a parameter bundle (ordered tensors + named-free scalars) to a
+/// single file. Used for trained-model checkpoints: the loader must
+/// rebuild the same architecture and restore in the same order.
+Status SaveTensorBundle(const std::string& path,
+                        const std::vector<Tensor>& tensors,
+                        const std::vector<double>& scalars = {});
+
+/// Bundle loaded back from disk.
+struct TensorBundle {
+  std::vector<Tensor> tensors;
+  std::vector<double> scalars;
+};
+
+/// Loads a bundle written by SaveTensorBundle (validates magic/version).
+Result<TensorBundle> LoadTensorBundle(const std::string& path);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_TENSOR_SERIALIZE_H_

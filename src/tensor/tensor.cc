@@ -1,0 +1,250 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+Tensor::Tensor(int64_t rows, int64_t cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows * cols), 0.0f) {
+  RELGRAPH_CHECK(rows >= 0 && cols >= 0);
+}
+
+Tensor::Tensor(int64_t rows, int64_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  RELGRAPH_CHECK(static_cast<int64_t>(data_.size()) == rows * cols)
+      << "data size " << data_.size() << " != " << rows << "x" << cols;
+}
+
+Tensor Tensor::Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+
+Tensor Tensor::Ones(int64_t rows, int64_t cols) {
+  return Full(rows, cols, 1.0f);
+}
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Identity(int64_t n) {
+  Tensor t(n, n);
+  for (int64_t i = 0; i < n; ++i) t.at(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::Row(std::vector<float> values) {
+  int64_t n = static_cast<int64_t>(values.size());
+  return Tensor(1, n, std::move(values));
+}
+
+Tensor Tensor::Col(std::vector<float> values) {
+  int64_t n = static_cast<int64_t>(values.size());
+  return Tensor(n, 1, std::move(values));
+}
+
+float Tensor::item() const {
+  RELGRAPH_CHECK(numel() == 1) << "item() on tensor with " << numel()
+                               << " elements";
+  return data_[0];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::Add(const Tensor& other) {
+  RELGRAPH_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Scale(float s) {
+  for (float& v : data_) v *= s;
+}
+
+float Tensor::Sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return static_cast<float>(acc);
+}
+
+float Tensor::Mean() const {
+  if (data_.empty()) return 0.0f;
+  return Sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::AbsMax() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor Tensor::GatherRows(const std::vector<int64_t>& indices) const {
+  Tensor out(static_cast<int64_t>(indices.size()), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int64_t r = indices[i];
+    RELGRAPH_CHECK(r >= 0 && r < rows_) << "gather row " << r << " of "
+                                        << rows_;
+    std::copy(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_,
+              out.data_.begin() + static_cast<int64_t>(i) * cols_);
+  }
+  return out;
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor out(cols_, rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+std::string Tensor::ToString() const {
+  std::string s = StrFormat("Tensor(%lld x %lld)",
+                            static_cast<long long>(rows_),
+                            static_cast<long long>(cols_));
+  if (numel() > 64) {
+    s += StrFormat(" mean=%.4f norm=%.4f", Mean(), Norm());
+    return s;
+  }
+  s += " [";
+  for (int64_t r = 0; r < rows_; ++r) {
+    s += (r == 0 ? "[" : " [");
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (c > 0) s += ", ";
+      s += FormatDouble(at(r, c), 4);
+    }
+    s += "]";
+    if (r + 1 < rows_) s += "\n";
+  }
+  s += "]";
+  return s;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  RELGRAPH_CHECK(a.cols() == b.rows())
+      << "matmul shape mismatch: " << a.cols() << " vs " << b.rows();
+  Tensor out(a.rows(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulBT(const Tensor& a, const Tensor& b) {
+  RELGRAPH_CHECK(a.cols() == b.cols())
+      << "matmul-BT shape mismatch: " << a.cols() << " vs " << b.cols();
+  Tensor out(a.rows(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.data() + j * k;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
+      orow[j] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+Tensor MatMulAT(const Tensor& a, const Tensor& b) {
+  RELGRAPH_CHECK(a.rows() == b.rows())
+      << "matmul-AT shape mismatch: " << a.rows() << " vs " << b.rows();
+  Tensor out(a.cols(), b.cols());
+  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  RELGRAPH_CHECK(a.SameShape(b));
+  Tensor out = a;
+  out.Add(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  RELGRAPH_CHECK(a.SameShape(b));
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out.data()[i] = a.data()[i] - b.data()[i];
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  RELGRAPH_CHECK(a.SameShape(b));
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& m, const Tensor& row) {
+  RELGRAPH_CHECK(row.rows() == 1 && row.cols() == m.cols());
+  Tensor out = m;
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) out.at(r, c) += row.at(0, c);
+  }
+  return out;
+}
+
+Tensor SumRows(const Tensor& m) {
+  Tensor out(1, m.cols());
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) out.at(0, c) += m.at(r, c);
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  Tensor out(logits.rows(), logits.cols());
+  for (int64_t r = 0; r < logits.rows(); ++r) {
+    float maxv = -1e30f;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      maxv = std::max(maxv, logits.at(r, c));
+    }
+    double denom = 0.0;
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      denom += std::exp(static_cast<double>(logits.at(r, c)) - maxv);
+    }
+    for (int64_t c = 0; c < logits.cols(); ++c) {
+      out.at(r, c) = static_cast<float>(
+          std::exp(static_cast<double>(logits.at(r, c)) - maxv) / denom);
+    }
+  }
+  return out;
+}
+
+}  // namespace relgraph

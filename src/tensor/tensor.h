@@ -1,0 +1,118 @@
+#ifndef RELGRAPH_TENSOR_TENSOR_H_
+#define RELGRAPH_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace relgraph {
+
+/// Dense row-major float32 matrix (the only tensor rank the GNN stack
+/// needs; vectors are 1×n or n×1 matrices).
+///
+/// `Tensor` is a plain value type with no autograd state — see
+/// `tensor/autograd.h` for differentiable computation built on top of it.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Uninitialized-to-zero tensor of the given shape.
+  Tensor(int64_t rows, int64_t cols);
+
+  /// Builds from a flat row-major buffer; `data.size()` must equal
+  /// rows*cols.
+  Tensor(int64_t rows, int64_t cols, std::vector<float> data);
+
+  static Tensor Zeros(int64_t rows, int64_t cols);
+  static Tensor Ones(int64_t rows, int64_t cols);
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+  static Tensor Identity(int64_t n);
+
+  /// 1×n row vector from values.
+  static Tensor Row(std::vector<float> values);
+
+  /// n×1 column vector from values.
+  static Tensor Col(std::vector<float> values);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+
+  float& at(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
+  float at(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Scalar accessor; requires numel()==1.
+  float item() const;
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// In-place fill.
+  void Fill(float value);
+
+  /// In-place elementwise accumulate; shapes must match.
+  void Add(const Tensor& other);
+
+  /// In-place scale.
+  void Scale(float s);
+
+  /// Sum of all entries.
+  float Sum() const;
+
+  /// Mean of all entries (0 for empty).
+  float Mean() const;
+
+  /// Max absolute entry (0 for empty).
+  float AbsMax() const;
+
+  /// Frobenius norm.
+  float Norm() const;
+
+  /// Returns a new tensor with the given rows gathered (out[i] =
+  /// this[indices[i]]).
+  Tensor GatherRows(const std::vector<int64_t>& indices) const;
+
+  /// Transposed copy.
+  Tensor Transposed() const;
+
+  /// Human-readable dump (small tensors only; larger are summarized).
+  std::string ToString() const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+/// out = a @ b. Shapes must be compatible; checked.
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// out = a @ b^T without materializing the transpose.
+Tensor MatMulBT(const Tensor& a, const Tensor& b);
+
+/// out = a^T @ b without materializing the transpose.
+Tensor MatMulAT(const Tensor& a, const Tensor& b);
+
+/// Elementwise binary helpers (shape-checked).
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Adds a 1×c row vector to every row of an r×c matrix.
+Tensor AddRowBroadcast(const Tensor& m, const Tensor& row);
+
+/// Column-wise sum producing a 1×c row vector.
+Tensor SumRows(const Tensor& m);
+
+/// Row-wise softmax.
+Tensor SoftmaxRows(const Tensor& logits);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_TENSOR_TENSOR_H_

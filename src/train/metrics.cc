@@ -1,0 +1,187 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "core/logging.h"
+
+namespace relgraph {
+
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<double>& labels, double threshold) {
+  RELGRAPH_CHECK(scores.size() == labels.size());
+  if (scores.empty()) return 0.0;
+  int64_t hits = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    const bool truth = labels[i] > 0.5;
+    hits += (pred == truth);
+  }
+  return static_cast<double>(hits) / static_cast<double>(scores.size());
+}
+
+double MulticlassAccuracy(const std::vector<int64_t>& predictions,
+                          const std::vector<double>& labels) {
+  RELGRAPH_CHECK(predictions.size() == labels.size());
+  if (predictions.empty()) return 0.0;
+  int64_t hits = 0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    hits += (predictions[i] == static_cast<int64_t>(labels[i]));
+  }
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<double>& labels) {
+  RELGRAPH_CHECK(scores.size() == labels.size());
+  const size_t n = scores.size();
+  int64_t n_pos = 0;
+  for (double l : labels) n_pos += (l > 0.5);
+  const int64_t n_neg = static_cast<int64_t>(n) - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  // Midrank computation.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) /
+                           2.0 +
+                       1.0;
+    for (size_t t = i; t <= j; ++t) rank[order[t]] = mid;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  for (size_t t = 0; t < n; ++t) {
+    if (labels[t] > 0.5) pos_rank_sum += rank[t];
+  }
+  const double auc =
+      (pos_rank_sum - static_cast<double>(n_pos) *
+                          (static_cast<double>(n_pos) + 1.0) / 2.0) /
+      (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+  return auc;
+}
+
+double F1Binary(const std::vector<double>& scores,
+                const std::vector<double>& labels, double threshold) {
+  RELGRAPH_CHECK(scores.size() == labels.size());
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const bool pred = scores[i] >= threshold;
+    const bool truth = labels[i] > 0.5;
+    if (pred && truth) ++tp;
+    if (pred && !truth) ++fp;
+    if (!pred && truth) ++fn;
+  }
+  if (tp == 0) return 0.0;
+  const double precision = static_cast<double>(tp) / (tp + fp);
+  const double recall = static_cast<double>(tp) / (tp + fn);
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<double>& labels) {
+  RELGRAPH_CHECK(probs.size() == labels.size());
+  if (probs.empty()) return 0.0;
+  double loss = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    const double p = std::min(1.0 - 1e-12, std::max(1e-12, probs[i]));
+    loss -= labels[i] > 0.5 ? std::log(p) : std::log(1.0 - p);
+  }
+  return loss / static_cast<double>(probs.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& predictions,
+                         const std::vector<double>& targets) {
+  RELGRAPH_CHECK(predictions.size() == targets.size());
+  if (predictions.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    sum += std::fabs(predictions[i] - targets[i]);
+  }
+  return sum / static_cast<double>(predictions.size());
+}
+
+double RootMeanSquaredError(const std::vector<double>& predictions,
+                            const std::vector<double>& targets) {
+  RELGRAPH_CHECK(predictions.size() == targets.size());
+  if (predictions.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const double d = predictions[i] - targets[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(predictions.size()));
+}
+
+double R2Score(const std::vector<double>& predictions,
+               const std::vector<double>& targets) {
+  RELGRAPH_CHECK(predictions.size() == targets.size());
+  if (predictions.empty()) return 0.0;
+  const double mean =
+      std::accumulate(targets.begin(), targets.end(), 0.0) /
+      static_cast<double>(targets.size());
+  double sse = 0.0, sst = 0.0;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    sse += (predictions[i] - targets[i]) * (predictions[i] - targets[i]);
+    sst += (targets[i] - mean) * (targets[i] - mean);
+  }
+  if (sst < 1e-12) return 0.0;
+  return 1.0 - sse / sst;
+}
+
+double MeanAveragePrecisionAtK(
+    const std::vector<std::vector<int64_t>>& ranked,
+    const std::vector<std::vector<int64_t>>& relevant, int64_t k) {
+  RELGRAPH_CHECK(ranked.size() == relevant.size());
+  double total = 0.0;
+  int64_t queries = 0;
+  for (size_t q = 0; q < ranked.size(); ++q) {
+    if (relevant[q].empty()) continue;
+    std::unordered_set<int64_t> rel(relevant[q].begin(), relevant[q].end());
+    double ap = 0.0;
+    int64_t hits = 0;
+    const int64_t limit =
+        std::min<int64_t>(k, static_cast<int64_t>(ranked[q].size()));
+    for (int64_t i = 0; i < limit; ++i) {
+      if (rel.count(ranked[q][static_cast<size_t>(i)])) {
+        ++hits;
+        ap += static_cast<double>(hits) / static_cast<double>(i + 1);
+      }
+    }
+    const int64_t denom =
+        std::min<int64_t>(k, static_cast<int64_t>(rel.size()));
+    total += denom > 0 ? ap / static_cast<double>(denom) : 0.0;
+    ++queries;
+  }
+  return queries > 0 ? total / static_cast<double>(queries) : 0.0;
+}
+
+double RecallAtK(const std::vector<std::vector<int64_t>>& ranked,
+                 const std::vector<std::vector<int64_t>>& relevant,
+                 int64_t k) {
+  RELGRAPH_CHECK(ranked.size() == relevant.size());
+  double total = 0.0;
+  int64_t queries = 0;
+  for (size_t q = 0; q < ranked.size(); ++q) {
+    if (relevant[q].empty()) continue;
+    std::unordered_set<int64_t> rel(relevant[q].begin(), relevant[q].end());
+    int64_t hits = 0;
+    const int64_t limit =
+        std::min<int64_t>(k, static_cast<int64_t>(ranked[q].size()));
+    for (int64_t i = 0; i < limit; ++i) {
+      hits += rel.count(ranked[q][static_cast<size_t>(i)]) ? 1 : 0;
+    }
+    total += static_cast<double>(hits) / static_cast<double>(rel.size());
+    ++queries;
+  }
+  return queries > 0 ? total / static_cast<double>(queries) : 0.0;
+}
+
+}  // namespace relgraph

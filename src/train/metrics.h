@@ -1,0 +1,56 @@
+#ifndef RELGRAPH_TRAIN_METRICS_H_
+#define RELGRAPH_TRAIN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace relgraph {
+
+/// Classification accuracy of thresholded scores against {0,1} labels.
+double Accuracy(const std::vector<double>& scores,
+                const std::vector<double>& labels, double threshold = 0.5);
+
+/// Multiclass accuracy of argmax predictions.
+double MulticlassAccuracy(const std::vector<int64_t>& predictions,
+                          const std::vector<double>& labels);
+
+/// Area under the ROC curve via the rank statistic (ties handled by
+/// midranks). Returns 0.5 when one class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<double>& labels);
+
+/// Binary F1 at the given threshold.
+double F1Binary(const std::vector<double>& scores,
+                const std::vector<double>& labels, double threshold = 0.5);
+
+/// Average binary cross-entropy of probability scores (clipped).
+double LogLoss(const std::vector<double>& probs,
+               const std::vector<double>& labels);
+
+/// Mean absolute error.
+double MeanAbsoluteError(const std::vector<double>& predictions,
+                         const std::vector<double>& targets);
+
+/// Root mean squared error.
+double RootMeanSquaredError(const std::vector<double>& predictions,
+                            const std::vector<double>& targets);
+
+/// Coefficient of determination (1 - SSE/SST); 0 when targets are constant.
+double R2Score(const std::vector<double>& predictions,
+               const std::vector<double>& targets);
+
+/// Mean average precision at k: `ranked` holds, per query, candidate ids in
+/// descending score order; `relevant` the ground-truth id sets. Queries
+/// with no relevant items are skipped.
+double MeanAveragePrecisionAtK(
+    const std::vector<std::vector<int64_t>>& ranked,
+    const std::vector<std::vector<int64_t>>& relevant, int64_t k);
+
+/// Mean recall at k over the same inputs.
+double RecallAtK(const std::vector<std::vector<int64_t>>& ranked,
+                 const std::vector<std::vector<int64_t>>& relevant,
+                 int64_t k);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_TRAIN_METRICS_H_

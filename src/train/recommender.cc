@@ -1,0 +1,256 @@
+#include "train/recommender.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "core/logging.h"
+#include "sampler/negative_sampler.h"
+#include "tensor/optim.h"
+#include "tensor/serialize.h"
+#include "train/metrics.h"
+
+namespace relgraph {
+
+GnnRecommender::GnnRecommender(const HeteroGraph* graph,
+                               NodeTypeId source_type, NodeTypeId target_type,
+                               const GnnConfig& gnn_config,
+                               const SamplerOptions& sampler_options,
+                               const TrainerConfig& trainer_config,
+                               bool id_embeddings)
+    : graph_(graph),
+      source_type_(source_type),
+      target_type_(target_type),
+      trainer_config_(trainer_config),
+      sampler_(graph, sampler_options),
+      rng_(trainer_config.seed) {
+  RELGRAPH_CHECK(static_cast<int64_t>(sampler_options.fanouts.size()) ==
+                 gnn_config.num_layers);
+  model_ = std::make_unique<HeteroSageModel>(graph, gnn_config, &rng_);
+  head_ = std::make_unique<LinkHead>(gnn_config.hidden_dim,
+                                     gnn_config.hidden_dim, &rng_);
+  if (id_embeddings) {
+    src_id_emb_ = std::make_unique<Embedding>(graph->num_nodes(source_type),
+                                              gnn_config.hidden_dim, &rng_);
+    dst_id_emb_ = std::make_unique<Embedding>(graph->num_nodes(target_type),
+                                              gnn_config.hidden_dim, &rng_);
+  }
+}
+
+VarPtr GnnRecommender::EmbedNodes(NodeTypeId type,
+                                  const std::vector<int64_t>& nodes,
+                                  const std::vector<Timestamp>& cutoffs,
+                                  bool training) {
+  Subgraph sg = sampler_.Sample(type, nodes, cutoffs, &rng_);
+  VarPtr emb = model_->Forward(sg, type, &rng_, training);
+  const Embedding* id_emb = type == source_type_ ? src_id_emb_.get()
+                          : type == target_type_ ? dst_id_emb_.get()
+                                                 : nullptr;
+  if (id_emb != nullptr) emb = ag::Add(emb, id_emb->Forward(nodes));
+  return emb;
+}
+
+std::vector<VarPtr> GnnRecommender::AllParameters() const {
+  std::vector<VarPtr> params = model_->Parameters();
+  for (const auto& p : head_->Parameters()) params.push_back(p);
+  if (src_id_emb_) {
+    for (const auto& p : src_id_emb_->Parameters()) params.push_back(p);
+    for (const auto& p : dst_id_emb_->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+Status GnnRecommender::SaveWeights(const std::string& path) const {
+  std::vector<Tensor> tensors;
+  for (const auto& p : AllParameters()) tensors.push_back(p->value());
+  return SaveTensorBundle(path, tensors, {best_val_metric_});
+}
+
+Status GnnRecommender::LoadWeights(const std::string& path) {
+  RELGRAPH_ASSIGN_OR_RETURN(TensorBundle bundle, LoadTensorBundle(path));
+  std::vector<VarPtr> params = AllParameters();
+  if (bundle.tensors.size() != params.size()) {
+    return Status::InvalidArgument(
+        "recommender checkpoint parameter-count mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!bundle.tensors[i].SameShape(params[i]->value())) {
+      return Status::InvalidArgument(
+          "recommender checkpoint shape mismatch");
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->mutable_value() = std::move(bundle.tensors[i]);
+  }
+  if (!bundle.scalars.empty()) best_val_metric_ = bundle.scalars[0];
+  return Status::OK();
+}
+
+Status GnnRecommender::Fit(const TrainingTable& table, const Split& split) {
+  if (table.kind != TaskKind::kRanking) {
+    return Status::InvalidArgument("GnnRecommender requires a ranking table");
+  }
+  if (split.train.empty()) {
+    return Status::InvalidArgument("empty training split");
+  }
+  // Flatten (example, positive target) training triples.
+  struct Triple {
+    int64_t example;
+    int64_t pos_target;
+  };
+  std::vector<Triple> triples;
+  std::vector<std::pair<int64_t, int64_t>> positives;
+  for (int64_t i : split.train) {
+    for (int64_t t : table.target_lists[static_cast<size_t>(i)]) {
+      triples.push_back({i, t});
+      positives.emplace_back(table.entity_rows[static_cast<size_t>(i)], t);
+    }
+  }
+  if (triples.empty()) {
+    return Status::InvalidArgument("no positive pairs in training split");
+  }
+  NegativeSampler negatives(graph_->num_nodes(target_type_), positives);
+
+  std::vector<VarPtr> params = model_->Parameters();
+  for (const auto& p : head_->Parameters()) params.push_back(p);
+  if (src_id_emb_) {
+    for (const auto& p : src_id_emb_->Parameters()) params.push_back(p);
+    for (const auto& p : dst_id_emb_->Parameters()) params.push_back(p);
+  }
+  Adam opt(params, trainer_config_.lr, 0.9f, 0.999f, 1e-8f,
+           trainer_config_.weight_decay);
+
+  const std::vector<int64_t>& val_idx =
+      split.val.empty() ? split.train : split.val;
+  best_val_metric_ = -1e30;
+  int64_t stale = 0;
+  std::vector<Tensor> best;
+  for (const auto& p : params) best.push_back(p->value());
+
+  for (int64_t epoch = 0; epoch < trainer_config_.epochs; ++epoch) {
+    auto batches = MakeBatches(static_cast<int64_t>(triples.size()),
+                               trainer_config_.batch_size, &rng_);
+    double epoch_loss = 0.0;
+    for (const auto& batch : batches) {
+      std::vector<int64_t> src_nodes, pos_nodes, neg_nodes;
+      std::vector<Timestamp> cutoffs;
+      for (int64_t bi : batch) {
+        const Triple& tr = triples[static_cast<size_t>(bi)];
+        const int64_t src =
+            table.entity_rows[static_cast<size_t>(tr.example)];
+        const Timestamp cut = table.cutoffs[static_cast<size_t>(tr.example)];
+        src_nodes.push_back(src);
+        cutoffs.push_back(cut);
+        pos_nodes.push_back(tr.pos_target);
+        neg_nodes.push_back(negatives.SampleNegative(src, &rng_));
+      }
+      opt.ZeroGrad();
+      VarPtr src_emb = head_->ProjectSource(
+          EmbedNodes(source_type_, src_nodes, cutoffs, true));
+      VarPtr pos_emb = head_->ProjectTarget(
+          EmbedNodes(target_type_, pos_nodes, cutoffs, true));
+      VarPtr neg_emb = head_->ProjectTarget(
+          EmbedNodes(target_type_, neg_nodes, cutoffs, true));
+      VarPtr margin = ag::Sub(head_->Score(src_emb, pos_emb),
+                              head_->Score(src_emb, neg_emb));
+      // BPR: maximize sigmoid(margin) == BCE(margin, 1).
+      VarPtr loss = ag::BinaryCrossEntropyWithLogits(
+          margin, Tensor::Ones(margin->rows(), 1));
+      Backward(loss);
+      opt.ClipGradNorm(trainer_config_.clip_norm);
+      opt.Step();
+      epoch_loss +=
+          loss->value().item() * static_cast<double>(batch.size());
+    }
+    epoch_loss /= static_cast<double>(triples.size());
+    const double val = EvaluateMapAtK(table, val_idx, 10);
+    if (trainer_config_.verbose) {
+      RELGRAPH_LOG(Info) << "recommender epoch " << epoch << " loss "
+                         << epoch_loss << " val MAP@10 " << val;
+    }
+    if (val > best_val_metric_ + 1e-6) {
+      best_val_metric_ = val;
+      for (size_t i = 0; i < params.size(); ++i) best[i] = params[i]->value();
+      stale = 0;
+    } else if (trainer_config_.patience > 0 &&
+               ++stale >= trainer_config_.patience) {
+      break;
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->mutable_value() = best[i];
+  }
+  return Status::OK();
+}
+
+std::vector<std::vector<int64_t>> GnnRecommender::RankTargets(
+    const TrainingTable& table, const std::vector<int64_t>& indices,
+    int64_t k) {
+  const int64_t num_targets = graph_->num_nodes(target_type_);
+  std::vector<int64_t> all_targets(static_cast<size_t>(num_targets));
+  std::iota(all_targets.begin(), all_targets.end(), 0);
+
+  // Group examples by cutoff so target embeddings are computed once per
+  // distinct cutoff.
+  std::map<Timestamp, std::vector<int64_t>> by_cutoff;
+  for (int64_t i : indices) {
+    by_cutoff[table.cutoffs[static_cast<size_t>(i)]].push_back(i);
+  }
+  std::vector<std::vector<int64_t>> ranked(indices.size());
+  std::map<int64_t, size_t> index_pos;
+  for (size_t p = 0; p < indices.size(); ++p) index_pos[indices[p]] = p;
+
+  for (const auto& [cutoff, group] : by_cutoff) {
+    std::vector<Timestamp> target_cuts(static_cast<size_t>(num_targets),
+                                       cutoff);
+    VarPtr tgt_emb = head_->ProjectTarget(
+        EmbedNodes(target_type_, all_targets, target_cuts, false));
+    const Tensor& tgt = tgt_emb->value();
+    // Source embeddings for the group, batched.
+    for (size_t start = 0; start < group.size();
+         start += static_cast<size_t>(trainer_config_.batch_size)) {
+      const size_t end =
+          std::min(group.size(),
+                   start + static_cast<size_t>(trainer_config_.batch_size));
+      std::vector<int64_t> src_nodes;
+      std::vector<Timestamp> cuts;
+      for (size_t g = start; g < end; ++g) {
+        src_nodes.push_back(
+            table.entity_rows[static_cast<size_t>(group[g])]);
+        cuts.push_back(cutoff);
+      }
+      VarPtr src_emb = head_->ProjectSource(
+          EmbedNodes(source_type_, src_nodes, cuts, false));
+      const Tensor& src = src_emb->value();
+      // Score all targets: src × tgtᵀ.
+      Tensor scores = MatMulBT(src, tgt);
+      for (size_t g = start; g < end; ++g) {
+        const int64_t row = static_cast<int64_t>(g - start);
+        std::vector<int64_t> order(static_cast<size_t>(num_targets));
+        std::iota(order.begin(), order.end(), 0);
+        const int64_t top = std::min(k, num_targets);
+        std::partial_sort(order.begin(), order.begin() + top, order.end(),
+                          [&scores, row](int64_t a, int64_t b) {
+                            return scores.at(row, a) > scores.at(row, b);
+                          });
+        order.resize(static_cast<size_t>(top));
+        ranked[index_pos[group[g]]] = std::move(order);
+      }
+    }
+  }
+  return ranked;
+}
+
+double GnnRecommender::EvaluateMapAtK(const TrainingTable& table,
+                                      const std::vector<int64_t>& indices,
+                                      int64_t k) {
+  auto ranked = RankTargets(table, indices, k);
+  std::vector<std::vector<int64_t>> relevant;
+  relevant.reserve(indices.size());
+  for (int64_t i : indices) {
+    relevant.push_back(table.target_lists[static_cast<size_t>(i)]);
+  }
+  return MeanAveragePrecisionAtK(ranked, relevant, k);
+}
+
+}  // namespace relgraph

@@ -1,0 +1,80 @@
+#ifndef RELGRAPH_TRAIN_RECOMMENDER_H_
+#define RELGRAPH_TRAIN_RECOMMENDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/status.h"
+#include "gnn/heads.h"
+#include "gnn/hetero_sage.h"
+#include "sampler/neighbor_sampler.h"
+#include "train/task.h"
+#include "train/trainer.h"
+
+namespace relgraph {
+
+/// Two-tower GNN recommender for ranking predictive queries
+/// ("PREDICT LIST(orders.product_id) ... AS RANKING OF products").
+///
+/// A shared HeteroSage encoder embeds both the source entities (e.g.
+/// users, at their cutoff time) and the candidate targets (e.g. products);
+/// optionally each side also carries a learnable per-node ID embedding
+/// (the matrix-factorization component standard in production
+/// recommenders) added to the GNN embedding. A LinkHead projects each side
+/// and scores pairs by dot product. Training is BPR-style: for every
+/// observed future (source, target) pair a random negative target is drawn
+/// and the model maximizes sigmoid(score+ - score-).
+class GnnRecommender {
+ public:
+  GnnRecommender(const HeteroGraph* graph, NodeTypeId source_type,
+                 NodeTypeId target_type, const GnnConfig& gnn_config,
+                 const SamplerOptions& sampler_options,
+                 const TrainerConfig& trainer_config,
+                 bool id_embeddings = true);
+
+  /// Trains on ranking table rows indexed by `split.train` (each example
+  /// contributes one BPR triple per future target), early-stopping on
+  /// MAP@10 over `split.val`.
+  Status Fit(const TrainingTable& table, const Split& split);
+
+  /// For each example, ranks ALL target nodes by score (descending) and
+  /// returns the top `k` target rows. Target embeddings are computed once
+  /// per distinct cutoff in the batch.
+  std::vector<std::vector<int64_t>> RankTargets(
+      const TrainingTable& table, const std::vector<int64_t>& indices,
+      int64_t k);
+
+  /// MAP@k over the given examples against their `target_lists`.
+  double EvaluateMapAtK(const TrainingTable& table,
+                        const std::vector<int64_t>& indices, int64_t k);
+
+  double best_val_metric() const { return best_val_metric_; }
+
+  /// Persists all trained weights (towers, link head, ID embeddings).
+  Status SaveWeights(const std::string& path) const;
+
+  /// Restores weights saved by SaveWeights (same architecture required).
+  Status LoadWeights(const std::string& path);
+
+ private:
+  std::vector<VarPtr> AllParameters() const;
+
+  VarPtr EmbedNodes(NodeTypeId type, const std::vector<int64_t>& nodes,
+                    const std::vector<Timestamp>& cutoffs, bool training);
+
+  const HeteroGraph* graph_;
+  NodeTypeId source_type_;
+  NodeTypeId target_type_;
+  TrainerConfig trainer_config_;
+  NeighborSampler sampler_;
+  std::unique_ptr<HeteroSageModel> model_;
+  std::unique_ptr<LinkHead> head_;
+  std::unique_ptr<Embedding> src_id_emb_;  // nullptr when disabled
+  std::unique_ptr<Embedding> dst_id_emb_;
+  Rng rng_;
+  double best_val_metric_ = -1e30;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_TRAIN_RECOMMENDER_H_

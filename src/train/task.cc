@@ -1,0 +1,42 @@
+#include "train/task.h"
+
+namespace relgraph {
+
+const char* TaskKindName(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kBinaryClassification:
+      return "binary";
+    case TaskKind::kMulticlassClassification:
+      return "multiclass";
+    case TaskKind::kRegression:
+      return "regression";
+    case TaskKind::kRanking:
+      return "ranking";
+  }
+  return "?";
+}
+
+double TrainingTable::PositiveRate() const {
+  if (labels.empty()) return 0.0;
+  double pos = 0;
+  for (double v : labels) pos += (v > 0.5) ? 1.0 : 0.0;
+  return pos / static_cast<double>(labels.size());
+}
+
+Split SplitByTime(const std::vector<Timestamp>& cutoffs, Timestamp val_start,
+                  Timestamp test_start) {
+  Split split;
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    const int64_t idx = static_cast<int64_t>(i);
+    if (cutoffs[i] < val_start) {
+      split.train.push_back(idx);
+    } else if (cutoffs[i] < test_start) {
+      split.val.push_back(idx);
+    } else {
+      split.test.push_back(idx);
+    }
+  }
+  return split;
+}
+
+}  // namespace relgraph

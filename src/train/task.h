@@ -1,0 +1,80 @@
+#ifndef RELGRAPH_TRAIN_TASK_H_
+#define RELGRAPH_TRAIN_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+
+namespace relgraph {
+
+/// The kind of predictive task a query compiles to.
+enum class TaskKind {
+  kBinaryClassification,
+  kMulticlassClassification,
+  kRegression,
+  kRanking,  ///< recommend target-table entities per source entity
+};
+
+/// Name of a task kind ("binary", "multiclass", ...).
+const char* TaskKindName(TaskKind kind);
+
+/// The materialized training table of a predictive query: one example per
+/// (entity row, cutoff time), labeled by evaluating the query's aggregate
+/// over the future window after the cutoff.
+///
+/// This is the hand-off format between the query planner (which builds it),
+/// the temporal splitter, the GNN trainer and every tabular baseline.
+struct TrainingTable {
+  TaskKind kind = TaskKind::kBinaryClassification;
+
+  /// Table whose rows are the prediction entities.
+  std::string entity_table;
+
+  /// Row index (== graph node id) of each example's entity.
+  std::vector<int64_t> entity_rows;
+
+  /// Cutoff timestamp of each example; features/messages may only use
+  /// events strictly before it, the label only events at/after it.
+  std::vector<Timestamp> cutoffs;
+
+  /// Scalar label per example: {0,1} for binary, class index for
+  /// multiclass, value for regression. Unused for ranking.
+  std::vector<double> labels;
+
+  /// Ranking ground truth: per example, the future target rows.
+  std::vector<std::vector<int64_t>> target_lists;
+
+  /// Target table for ranking tasks.
+  std::string target_table;
+
+  /// Number of classes for multiclass.
+  int64_t num_classes = 2;
+
+  int64_t size() const { return static_cast<int64_t>(entity_rows.size()); }
+
+  /// Fraction of positive labels (binary tasks).
+  double PositiveRate() const;
+};
+
+/// Index split of a TrainingTable into train/validation/test.
+struct Split {
+  std::vector<int64_t> train;
+  std::vector<int64_t> val;
+  std::vector<int64_t> test;
+
+  int64_t size() const {
+    return static_cast<int64_t>(train.size() + val.size() + test.size());
+  }
+};
+
+/// Temporal split: examples with cutoff < `val_start` train, in
+/// [val_start, test_start) validate, at/after `test_start` test. This is
+/// the only leak-safe way to split event data.
+Split SplitByTime(const std::vector<Timestamp>& cutoffs, Timestamp val_start,
+                  Timestamp test_start);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_TRAIN_TASK_H_

@@ -1,0 +1,302 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/string_util.h"
+#include "tensor/optim.h"
+#include "tensor/serialize.h"
+#include "train/metrics.h"
+
+namespace relgraph {
+
+GnnNodePredictor::GnnNodePredictor(const HeteroGraph* graph,
+                                   NodeTypeId entity_type, TaskKind kind,
+                                   int64_t num_classes,
+                                   const GnnConfig& gnn_config,
+                                   const SamplerOptions& sampler_options,
+                                   const TrainerConfig& trainer_config)
+    : graph_(graph),
+      entity_type_(entity_type),
+      kind_(kind),
+      num_classes_(num_classes),
+      trainer_config_(trainer_config),
+      sampler_(graph, sampler_options),
+      rng_(trainer_config.seed) {
+  RELGRAPH_CHECK(kind_ != TaskKind::kRanking)
+      << "use GnnRecommender for ranking tasks";
+  RELGRAPH_CHECK(static_cast<int64_t>(sampler_options.fanouts.size()) ==
+                 gnn_config.num_layers)
+      << "sampler depth must match GNN layers";
+  model_ = std::make_unique<HeteroSageModel>(graph, gnn_config, &rng_);
+  if (kind_ == TaskKind::kMulticlassClassification) {
+    cls_head_ = std::make_unique<ClassificationHead>(gnn_config.hidden_dim,
+                                                     num_classes_, &rng_);
+  } else {
+    scalar_head_ = std::make_unique<ScalarHead>(gnn_config.hidden_dim, &rng_);
+  }
+}
+
+VarPtr GnnNodePredictor::ForwardBatch(const TrainingTable& table,
+                                      const std::vector<int64_t>& indices,
+                                      Rng* rng, bool training) {
+  std::vector<int64_t> seeds;
+  std::vector<Timestamp> cutoffs;
+  seeds.reserve(indices.size());
+  for (int64_t i : indices) {
+    seeds.push_back(table.entity_rows[static_cast<size_t>(i)]);
+    cutoffs.push_back(table.cutoffs[static_cast<size_t>(i)]);
+  }
+  Subgraph sg = sampler_.Sample(entity_type_, seeds, cutoffs, rng);
+  VarPtr emb = model_->Forward(sg, entity_type_, rng, training);
+  if (cls_head_) return cls_head_->Forward(emb);
+  return scalar_head_->Forward(emb);
+}
+
+std::vector<Tensor> GnnNodePredictor::SnapshotParams() const {
+  std::vector<Tensor> snap;
+  for (const auto& p : model_->Parameters()) snap.push_back(p->value());
+  const Module* head =
+      cls_head_ ? static_cast<const Module*>(cls_head_.get())
+                : static_cast<const Module*>(scalar_head_.get());
+  for (const auto& p : head->Parameters()) snap.push_back(p->value());
+  return snap;
+}
+
+void GnnNodePredictor::RestoreParams(const std::vector<Tensor>& snapshot) {
+  size_t i = 0;
+  for (const auto& p : model_->Parameters()) {
+    p->mutable_value() = snapshot[i++];
+  }
+  const Module* head =
+      cls_head_ ? static_cast<const Module*>(cls_head_.get())
+                : static_cast<const Module*>(scalar_head_.get());
+  for (const auto& p : head->Parameters()) {
+    p->mutable_value() = snapshot[i++];
+  }
+}
+
+Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
+  if (split.train.empty()) {
+    return Status::InvalidArgument("empty training split");
+  }
+  if (kind_ == TaskKind::kRegression) {
+    double sum = 0, sum_sq = 0;
+    for (int64_t i : split.train) {
+      sum += table.labels[static_cast<size_t>(i)];
+      sum_sq += table.labels[static_cast<size_t>(i)] *
+                table.labels[static_cast<size_t>(i)];
+    }
+    const double n = static_cast<double>(split.train.size());
+    label_mean_ = sum / n;
+    const double var = sum_sq / n - label_mean_ * label_mean_;
+    label_std_ = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+
+  std::vector<VarPtr> params = model_->Parameters();
+  {
+    const Module* head =
+        cls_head_ ? static_cast<const Module*>(cls_head_.get())
+                  : static_cast<const Module*>(scalar_head_.get());
+    for (const auto& p : head->Parameters()) params.push_back(p);
+  }
+  Adam opt(params, trainer_config_.lr, 0.9f, 0.999f, 1e-8f,
+           trainer_config_.weight_decay);
+
+  const std::vector<int64_t>& val_idx =
+      split.val.empty() ? split.train : split.val;
+  std::vector<Tensor> best = SnapshotParams();
+  best_val_metric_ = -1e30;
+  int64_t stale = 0;
+  for (int64_t epoch = 0; epoch < trainer_config_.epochs; ++epoch) {
+    // Shuffled mini-batches over the training split.
+    auto batches = MakeBatches(static_cast<int64_t>(split.train.size()),
+                               trainer_config_.batch_size, &rng_);
+    double epoch_loss = 0.0;
+    for (const auto& batch_pos : batches) {
+      std::vector<int64_t> batch;
+      batch.reserve(batch_pos.size());
+      for (int64_t bp : batch_pos) {
+        batch.push_back(split.train[static_cast<size_t>(bp)]);
+      }
+      opt.ZeroGrad();
+      VarPtr out = ForwardBatch(table, batch, &rng_, /*training=*/true);
+      VarPtr loss;
+      switch (kind_) {
+        case TaskKind::kBinaryClassification: {
+          Tensor targets(static_cast<int64_t>(batch.size()), 1);
+          for (size_t i = 0; i < batch.size(); ++i) {
+            targets.at(static_cast<int64_t>(i), 0) = static_cast<float>(
+                table.labels[static_cast<size_t>(batch[i])]);
+          }
+          loss = ag::BinaryCrossEntropyWithLogits(out, targets);
+          break;
+        }
+        case TaskKind::kMulticlassClassification: {
+          std::vector<int64_t> labels;
+          labels.reserve(batch.size());
+          for (int64_t i : batch) {
+            labels.push_back(static_cast<int64_t>(
+                table.labels[static_cast<size_t>(i)]));
+          }
+          loss = ag::SoftmaxCrossEntropy(out, labels);
+          break;
+        }
+        case TaskKind::kRegression: {
+          Tensor targets(static_cast<int64_t>(batch.size()), 1);
+          for (size_t i = 0; i < batch.size(); ++i) {
+            targets.at(static_cast<int64_t>(i), 0) = static_cast<float>(
+                (table.labels[static_cast<size_t>(batch[i])] - label_mean_) /
+                label_std_);
+          }
+          loss = ag::MseLoss(out, targets);
+          break;
+        }
+        case TaskKind::kRanking:
+          return Status::Internal("unreachable");
+      }
+      Backward(loss);
+      opt.ClipGradNorm(trainer_config_.clip_norm);
+      opt.Step();
+      epoch_loss += loss->value().item() *
+                    static_cast<double>(batch.size());
+    }
+    epoch_loss /= static_cast<double>(split.train.size());
+    const double val_metric = Evaluate(table, val_idx);
+    if (trainer_config_.verbose) {
+      RELGRAPH_LOG(Info) << "epoch " << epoch << " loss " << epoch_loss
+                         << " val " << val_metric;
+    }
+    if (val_metric > best_val_metric_ + 1e-6) {
+      best_val_metric_ = val_metric;
+      best = SnapshotParams();
+      stale = 0;
+    } else if (trainer_config_.patience > 0 &&
+               ++stale >= trainer_config_.patience) {
+      break;
+    }
+  }
+  RestoreParams(best);
+  return Status::OK();
+}
+
+std::vector<double> GnnNodePredictor::PredictScores(
+    const TrainingTable& table, const std::vector<int64_t>& indices) {
+  std::vector<double> scores;
+  scores.reserve(indices.size());
+  // Deterministic inference batches (no shuffle, no dropout).
+  for (size_t start = 0; start < indices.size();
+       start += static_cast<size_t>(trainer_config_.batch_size)) {
+    const size_t end = std::min(
+        indices.size(), start + static_cast<size_t>(
+                                    trainer_config_.batch_size));
+    std::vector<int64_t> batch(indices.begin() + static_cast<int64_t>(start),
+                               indices.begin() + static_cast<int64_t>(end));
+    VarPtr out = ForwardBatch(table, batch, &rng_, /*training=*/false);
+    for (int64_t r = 0; r < out->rows(); ++r) {
+      switch (kind_) {
+        case TaskKind::kBinaryClassification:
+          scores.push_back(1.0 /
+                           (1.0 + std::exp(-out->value().at(r, 0))));
+          break;
+        case TaskKind::kRegression:
+          scores.push_back(out->value().at(r, 0) * label_std_ + label_mean_);
+          break;
+        case TaskKind::kMulticlassClassification: {
+          // Score = probability of class 1 is meaningless here; return the
+          // max-class index as a double for convenience.
+          int64_t arg = 0;
+          for (int64_t c = 1; c < out->cols(); ++c) {
+            if (out->value().at(r, c) > out->value().at(r, arg)) arg = c;
+          }
+          scores.push_back(static_cast<double>(arg));
+          break;
+        }
+        case TaskKind::kRanking:
+          break;
+      }
+    }
+  }
+  return scores;
+}
+
+std::vector<int64_t> GnnNodePredictor::PredictClasses(
+    const TrainingTable& table, const std::vector<int64_t>& indices) {
+  std::vector<double> scores = PredictScores(table, indices);
+  std::vector<int64_t> classes;
+  classes.reserve(scores.size());
+  for (double s : scores) {
+    if (kind_ == TaskKind::kBinaryClassification) {
+      classes.push_back(s >= 0.5 ? 1 : 0);
+    } else {
+      classes.push_back(static_cast<int64_t>(s));
+    }
+  }
+  return classes;
+}
+
+double GnnNodePredictor::Evaluate(const TrainingTable& table,
+                                  const std::vector<int64_t>& indices) {
+  if (indices.empty()) return 0.0;
+  std::vector<double> truth;
+  truth.reserve(indices.size());
+  for (int64_t i : indices) {
+    truth.push_back(table.labels[static_cast<size_t>(i)]);
+  }
+  switch (kind_) {
+    case TaskKind::kBinaryClassification:
+      return RocAuc(PredictScores(table, indices), truth);
+    case TaskKind::kMulticlassClassification:
+      return MulticlassAccuracy(PredictClasses(table, indices), truth);
+    case TaskKind::kRegression:
+      return -MeanAbsoluteError(PredictScores(table, indices), truth);
+    case TaskKind::kRanking:
+      break;
+  }
+  return 0.0;
+}
+
+Status GnnNodePredictor::SaveWeights(const std::string& path) const {
+  return SaveTensorBundle(path, SnapshotParams(),
+                          {label_mean_, label_std_, best_val_metric_});
+}
+
+Status GnnNodePredictor::LoadWeights(const std::string& path) {
+  RELGRAPH_ASSIGN_OR_RETURN(TensorBundle bundle, LoadTensorBundle(path));
+  std::vector<Tensor> current = SnapshotParams();
+  if (bundle.tensors.size() != current.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint has %zu tensors, model has %zu (architecture "
+        "mismatch?)",
+        bundle.tensors.size(), current.size()));
+  }
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (!bundle.tensors[i].SameShape(current[i])) {
+      return Status::InvalidArgument(StrFormat(
+          "checkpoint tensor %zu shape mismatch (%lld x %lld vs "
+          "%lld x %lld)",
+          i, static_cast<long long>(bundle.tensors[i].rows()),
+          static_cast<long long>(bundle.tensors[i].cols()),
+          static_cast<long long>(current[i].rows()),
+          static_cast<long long>(current[i].cols())));
+    }
+  }
+  if (bundle.scalars.size() != 3) {
+    return Status::InvalidArgument("checkpoint scalar block malformed");
+  }
+  RestoreParams(bundle.tensors);
+  label_mean_ = bundle.scalars[0];
+  label_std_ = bundle.scalars[1];
+  best_val_metric_ = bundle.scalars[2];
+  return Status::OK();
+}
+
+int64_t GnnNodePredictor::NumParameters() const {
+  int64_t n = model_->NumParameters();
+  n += cls_head_ ? cls_head_->NumParameters()
+                 : scalar_head_->NumParameters();
+  return n;
+}
+
+}  // namespace relgraph

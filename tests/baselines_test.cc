@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "baselines/feature_aggregator.h"
+#include "baselines/gbdt.h"
+#include "baselines/tabular.h"
+#include "core/rng.h"
+#include "datagen/ecommerce.h"
+#include "train/metrics.h"
+
+namespace relgraph {
+namespace {
+
+/// Linearly separable binary data.
+void MakeLinearData(int n, Tensor* x, std::vector<double>* y, uint64_t seed) {
+  Rng rng(seed);
+  *x = Tensor(n, 2);
+  y->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const bool pos = i % 2 == 0;
+    x->at(i, 0) = static_cast<float>(rng.Normal(pos ? 1.5 : -1.5, 0.7));
+    x->at(i, 1) = static_cast<float>(rng.Normal(pos ? -1.0 : 1.0, 0.7));
+    (*y)[static_cast<size_t>(i)] = pos ? 1.0 : 0.0;
+  }
+}
+
+/// XOR data — linearly inseparable, solvable by trees/MLP.
+void MakeXorData(int n, Tensor* x, std::vector<double>* y, uint64_t seed) {
+  Rng rng(seed);
+  *x = Tensor(n, 2);
+  y->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    x->at(i, 0) = static_cast<float>(a);
+    x->at(i, 1) = static_cast<float>(b);
+    (*y)[static_cast<size_t>(i)] = (a * b > 0) ? 1.0 : 0.0;
+  }
+}
+
+std::vector<int64_t> Range(int64_t lo, int64_t hi) {
+  std::vector<int64_t> out(static_cast<size_t>(hi - lo));
+  std::iota(out.begin(), out.end(), lo);
+  return out;
+}
+
+TEST(ConstantBaselineTest, PredictsTrainMean) {
+  Tensor x(4, 1);
+  std::vector<double> y = {1, 1, 0, 5};
+  ConstantBaseline model;
+  ASSERT_TRUE(model.Fit(x, y, TaskKind::kRegression, {0, 1, 2}, {}).ok());
+  auto preds = model.Predict(x, {3});
+  EXPECT_NEAR(preds[0], 2.0 / 3.0, 1e-9);
+}
+
+TEST(ConstantBaselineTest, EmptyTrainRejected) {
+  Tensor x(1, 1);
+  std::vector<double> y = {1};
+  ConstantBaseline model;
+  EXPECT_FALSE(model.Fit(x, y, TaskKind::kRegression, {}, {}).ok());
+}
+
+TEST(LinearModelTest, SolvesSeparableBinary) {
+  Tensor x;
+  std::vector<double> y;
+  MakeLinearData(300, &x, &y, 21);
+  LinearModel model(3);
+  auto train = Range(0, 200);
+  auto test = Range(200, 300);
+  ASSERT_TRUE(model.Fit(x, y, TaskKind::kBinaryClassification, train, {})
+                  .ok());
+  auto preds = model.Predict(x, test);
+  std::vector<double> truth(y.begin() + 200, y.end());
+  EXPECT_GT(RocAuc(preds, truth), 0.95);
+}
+
+TEST(LinearModelTest, RegressionRecoversLinearTarget) {
+  Rng rng(31);
+  Tensor x(200, 3);
+  std::vector<double> y(200);
+  for (int i = 0; i < 200; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      x.at(i, c) = static_cast<float>(rng.Normal(0, 1));
+    }
+    y[static_cast<size_t>(i)] =
+        2.0 * x.at(i, 0) - 1.0 * x.at(i, 2) + 5.0 + rng.Normal(0, 0.01);
+  }
+  LinearModel model(5);
+  ASSERT_TRUE(model.Fit(x, y, TaskKind::kRegression, Range(0, 150), {}).ok());
+  auto preds = model.Predict(x, Range(150, 200));
+  std::vector<double> truth(y.begin() + 150, y.end());
+  EXPECT_LT(MeanAbsoluteError(preds, truth), 0.3);
+}
+
+TEST(LinearModelTest, CannotSolveXor) {
+  Tensor x;
+  std::vector<double> y;
+  MakeXorData(400, &x, &y, 41);
+  LinearModel model(7);
+  ASSERT_TRUE(model
+                  .Fit(x, y, TaskKind::kBinaryClassification, Range(0, 300),
+                       {})
+                  .ok());
+  auto preds = model.Predict(x, Range(300, 400));
+  std::vector<double> truth(y.begin() + 300, y.end());
+  EXPECT_LT(RocAuc(preds, truth), 0.7);
+}
+
+TEST(TabularMlpTest, SolvesXor) {
+  Tensor x;
+  std::vector<double> y;
+  MakeXorData(600, &x, &y, 51);
+  TabularMlpModel model(32, 6, 200, 0.02f, 0.0f);
+  ASSERT_TRUE(model
+                  .Fit(x, y, TaskKind::kBinaryClassification, Range(0, 400),
+                       Range(400, 500))
+                  .ok());
+  auto preds = model.Predict(x, Range(500, 600));
+  std::vector<double> truth(y.begin() + 500, y.end());
+  EXPECT_GT(RocAuc(preds, truth), 0.9);
+}
+
+TEST(GbdtTest, SolvesXor) {
+  Tensor x;
+  std::vector<double> y;
+  MakeXorData(600, &x, &y, 61);
+  GbdtModel model;
+  ASSERT_TRUE(model
+                  .Fit(x, y, TaskKind::kBinaryClassification, Range(0, 400),
+                       Range(400, 500))
+                  .ok());
+  auto preds = model.Predict(x, Range(500, 600));
+  std::vector<double> truth(y.begin() + 500, y.end());
+  EXPECT_GT(RocAuc(preds, truth), 0.93);
+}
+
+TEST(GbdtTest, RegressionFitsStepFunction) {
+  Rng rng(71);
+  Tensor x(400, 1);
+  std::vector<double> y(400);
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.Uniform(-2, 2);
+    x.at(i, 0) = static_cast<float>(v);
+    y[static_cast<size_t>(i)] = v > 0.5 ? 3.0 : (v > -1.0 ? 1.0 : -2.0);
+  }
+  GbdtModel model;
+  ASSERT_TRUE(
+      model.Fit(x, y, TaskKind::kRegression, Range(0, 300), {}).ok());
+  auto preds = model.Predict(x, Range(300, 400));
+  std::vector<double> truth(y.begin() + 300, y.end());
+  EXPECT_LT(MeanAbsoluteError(preds, truth), 0.25);
+}
+
+TEST(GbdtTest, EarlyStoppingCapsTrees) {
+  // Pure-noise labels: validation loss cannot improve for long.
+  Rng rng(81);
+  Tensor x(200, 2);
+  std::vector<double> y(200);
+  for (int i = 0; i < 200; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.Normal(0, 1));
+    x.at(i, 1) = static_cast<float>(rng.Normal(0, 1));
+    y[static_cast<size_t>(i)] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  GbdtConfig cfg;
+  cfg.num_trees = 200;
+  cfg.patience = 5;
+  GbdtModel model(cfg);
+  ASSERT_TRUE(model
+                  .Fit(x, y, TaskKind::kBinaryClassification, Range(0, 100),
+                       Range(100, 200))
+                  .ok());
+  EXPECT_LT(model.num_trees_fit(), 100);
+}
+
+TEST(GbdtTest, RejectsUnsupportedTask) {
+  Tensor x(2, 1);
+  std::vector<double> y = {0, 1};
+  GbdtModel model;
+  EXPECT_FALSE(
+      model.Fit(x, y, TaskKind::kMulticlassClassification, {0, 1}, {}).ok());
+}
+
+TEST(MakeTabularModelTest, Factory) {
+  EXPECT_TRUE(MakeTabularModel("constant", 1).ok());
+  EXPECT_TRUE(MakeTabularModel("linear", 1).ok());
+  EXPECT_TRUE(MakeTabularModel("mlp", 1).ok());
+  EXPECT_TRUE(MakeTabularModel("gbdt", 1).ok());
+  EXPECT_FALSE(MakeTabularModel("xgboost", 1).ok());
+}
+
+// -------------------------------------------------------- FeatureAggregator
+
+TEST(FeatureAggregatorTest, NamesAndDims) {
+  ECommerceConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_products = 15;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  auto agg = FeatureAggregator::Build(db, "users").value();
+  EXPECT_GT(agg.dim(), 10);
+  bool has_hop0 = false, has_count = false, has_two_hop = false,
+       has_recency = false;
+  for (const auto& n : agg.feature_names()) {
+    if (n.rfind("h0.", 0) == 0) has_hop0 = true;
+    if (n.rfind("h1.count(orders)", 0) == 0) has_count = true;
+    if (n.find("h2.mean(orders.product_id->products.quality_score") !=
+        std::string::npos) {
+      has_two_hop = true;
+    }
+    if (n.rfind("h1.recency(", 0) == 0) has_recency = true;
+  }
+  EXPECT_TRUE(has_hop0);
+  EXPECT_TRUE(has_count);
+  EXPECT_TRUE(has_two_hop);
+  EXPECT_TRUE(has_recency);
+}
+
+TEST(FeatureAggregatorTest, CountsMatchManualAggregation) {
+  ECommerceConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  FeatureAggregatorOptions opts;
+  opts.windows = {Days(30)};
+  opts.max_hops = 1;
+  opts.recency_features = false;
+  auto agg = FeatureAggregator::Build(db, "users", opts).value();
+  int64_t count_col = -1;
+  for (size_t i = 0; i < agg.feature_names().size(); ++i) {
+    if (agg.feature_names()[i] == "h1.count(orders)@30d") {
+      count_col = static_cast<int64_t>(i);
+    }
+  }
+  ASSERT_GE(count_col, 0);
+  const Timestamp cutoff = Days(45);
+  auto idx = FkIndex::Build(db.table("orders"), "user_id").value();
+  std::vector<int64_t> rows = {0, 5, 12};
+  Tensor feats = agg.Compute(rows, {cutoff, cutoff, cutoff});
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const int64_t pk = db.table("users").PrimaryKey(rows[i]);
+    const double expected =
+        AggregateWindow(idx, pk, cutoff - Days(30), cutoff, AggKind::kCount,
+                        "")
+            .value();
+    EXPECT_FLOAT_EQ(feats.at(static_cast<int64_t>(i), count_col),
+                    static_cast<float>(expected));
+  }
+}
+
+TEST(FeatureAggregatorTest, HopZeroOnlyWhenMaxHops0) {
+  ECommerceConfig cfg;
+  cfg.num_users = 20;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 30;
+  Database db = MakeECommerceDb(cfg);
+  FeatureAggregatorOptions opts;
+  opts.max_hops = 0;
+  auto agg = FeatureAggregator::Build(db, "users", opts).value();
+  for (const auto& n : agg.feature_names()) {
+    EXPECT_EQ(n.rfind("h0.", 0), 0u) << n;
+  }
+}
+
+TEST(FeatureAggregatorTest, FeaturesRespectCutoff) {
+  ECommerceConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  FeatureAggregatorOptions opts;
+  opts.windows = {Days(10000)};
+  opts.max_hops = 1;
+  opts.recency_features = false;
+  auto agg = FeatureAggregator::Build(db, "users", opts).value();
+  int64_t count_col = -1;
+  for (size_t i = 0; i < agg.feature_names().size(); ++i) {
+    if (agg.feature_names()[i].rfind("h1.count(orders)", 0) == 0) {
+      count_col = static_cast<int64_t>(i);
+    }
+  }
+  ASSERT_GE(count_col, 0);
+  // Later cutoffs can only see more orders.
+  Tensor early = agg.Compute({3}, {Days(10)});
+  Tensor late = agg.Compute({3}, {Days(59)});
+  EXPECT_LE(early.at(0, count_col), late.at(0, count_col));
+}
+
+TEST(FeatureAggregatorTest, UnknownTableRejected) {
+  ECommerceConfig cfg;
+  cfg.num_users = 10;
+  cfg.num_products = 5;
+  cfg.num_categories = 2;
+  cfg.horizon_days = 20;
+  Database db = MakeECommerceDb(cfg);
+  EXPECT_FALSE(FeatureAggregator::Build(db, "ghost").ok());
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "core/csv.h"
+#include "core/options.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/string_util.h"
+#include "core/time.h"
+
+namespace relgraph {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "ParseError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Status FailingHelper() { return Status::Internal("boom"); }
+
+Status UsesReturnIfError() {
+  RELGRAPH_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformU64Bounded) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.UniformU64(17), 17u);
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU64(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(17);
+  const int n = 50000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambda) {
+  Rng rng(19);
+  for (double lambda : {0.5, 3.0, 50.0}) {
+    const int n = 20000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += rng.Poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, 0.1 * lambda + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(21);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, PowerLawPrefersSmallIndices) {
+  Rng rng(29);
+  int low = 0, high = 0;
+  for (int i = 0; i < 10000; ++i) {
+    int idx = rng.PowerLawIndex(100, 1.5);
+    ASSERT_GE(idx, 0);
+    ASSERT_LT(idx, 100);
+    if (idx < 10) ++low;
+    if (idx >= 90) ++high;
+  }
+  EXPECT_GT(low, high * 5);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.Categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST(RngTest, CategoricalAllZeroWeightsReturnsLast) {
+  Rng rng(32);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(w), 1);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(33);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int64_t k : {1, 5, 50, 99}) {
+    auto s = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(static_cast<int64_t>(s.size()), k);
+    std::set<int64_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(static_cast<int64_t>(uniq.size()), k);
+    for (int64_t v : s) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementKGreaterThanN) {
+  Rng rng(39);
+  auto s = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmptyEdge) {
+  Rng rng(40);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(0, 3).empty());
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  x y \t\n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, JoinWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, CaseConversions) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Predict", "PREDICT"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringUtilTest, ParseInt64Valid) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64(" -7 ").value(), -7);
+}
+
+TEST(StringUtilTest, ParseInt64Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e3").value(), -1000.0);
+}
+
+TEST(StringUtilTest, ParseDoubleInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.2.3").ok());
+}
+
+TEST(StringUtilTest, Fnv1aStableAndDistinct) {
+  EXPECT_EQ(Fnv1a64("abc"), Fnv1a64("abc"));
+  EXPECT_NE(Fnv1a64("abc"), Fnv1a64("abd"));
+  EXPECT_NE(Fnv1a64(""), Fnv1a64("a"));
+}
+
+TEST(StringUtilTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "ok"), "x=3 y=ok");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParseSimple) {
+  auto r = ParseCsv("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(r.ok());
+  const auto& doc = r.value();
+  ASSERT_EQ(doc.header.size(), 2u);
+  ASSERT_EQ(doc.rows.size(), 2u);
+  EXPECT_EQ(doc.rows[1][1], "4");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto r = ParseCsv("name,desc\n\"x, y\",\"he said \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][0], "x, y");
+  EXPECT_EQ(r.value().rows[0][1], "he said \"hi\"");
+}
+
+TEST(CsvTest, ParseEmbeddedNewline) {
+  auto r = ParseCsv("a,b\n\"line1\nline2\",z\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(ParseCsv("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyInput) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, HandlesCrLf) {
+  auto r = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows[0][1], "2");
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvDocument doc;
+  doc.header = {"id", "text"};
+  doc.rows = {{"1", "plain"}, {"2", "has,comma"}, {"3", "has\"quote"}};
+  auto r = ParseCsv(WriteCsv(doc));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().header, doc.header);
+  EXPECT_EQ(r.value().rows, doc.rows);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvDocument doc;
+  doc.header = {"k", "v"};
+  doc.rows = {{"a", "1"}, {"b", "2"}};
+  std::string path = testing::TempDir() + "/relgraph_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(path, doc).ok());
+  auto r = ReadCsvFile(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows, doc.rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadCsvFile("/nonexistent/x.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------- Options
+
+TEST(OptionsTest, ParseBasic) {
+  auto r = Options::Parse("layers=2, hidden=64, lr=0.01, verbose=true");
+  ASSERT_TRUE(r.ok());
+  const auto& o = r.value();
+  EXPECT_EQ(o.GetInt("layers", 0), 2);
+  EXPECT_EQ(o.GetInt("hidden", 0), 64);
+  EXPECT_DOUBLE_EQ(o.GetDouble("lr", 0), 0.01);
+  EXPECT_TRUE(o.GetBool("verbose", false));
+}
+
+TEST(OptionsTest, DefaultsWhenMissing) {
+  Options o;
+  EXPECT_EQ(o.GetInt("x", 5), 5);
+  EXPECT_EQ(o.GetString("m", "gnn"), "gnn");
+  EXPECT_FALSE(o.Has("x"));
+}
+
+TEST(OptionsTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Options::Parse("novalue").ok());
+  EXPECT_FALSE(Options::Parse("a=1,a=2").ok());
+  EXPECT_FALSE(Options::Parse("=3").ok());
+}
+
+TEST(OptionsTest, EmptyStringIsEmptyOptions) {
+  auto r = Options::Parse("  ");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().entries().empty());
+}
+
+TEST(OptionsTest, CheckedGetters) {
+  auto o = Options::Parse("n=3,bad=xyz").value();
+  EXPECT_EQ(o.GetIntChecked("n").value(), 3);
+  EXPECT_FALSE(o.GetIntChecked("bad").ok());
+  EXPECT_EQ(o.GetIntChecked("missing").status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Time
+
+TEST(TimeTest, DurationConstants) {
+  EXPECT_EQ(Days(2), 2 * 24 * 3600);
+  EXPECT_EQ(Hours(3), 3 * 3600);
+  EXPECT_EQ(Weeks(1), 7 * Days(1));
+}
+
+TEST(TimeTest, FormatTimestamp) {
+  EXPECT_EQ(FormatTimestamp(0), "day 0 00:00:00");
+  EXPECT_EQ(FormatTimestamp(Days(3) + Hours(2) + 61), "day 3 02:01:01");
+  EXPECT_EQ(FormatTimestamp(kNoTimestamp), "static");
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(Days(28)), "28d");
+  EXPECT_EQ(FormatDuration(Hours(5)), "5h");
+  EXPECT_EQ(FormatDuration(90), "90s");
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "datagen/clinical.h"
+#include "datagen/ecommerce.h"
+#include "datagen/social.h"
+#include "relational/query.h"
+
+namespace relgraph {
+namespace {
+
+ECommerceConfig SmallShop() {
+  ECommerceConfig cfg;
+  cfg.num_users = 120;
+  cfg.num_products = 40;
+  cfg.num_categories = 6;
+  cfg.horizon_days = 90;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(ECommerceGenTest, SchemaAndIntegrity) {
+  Database db = MakeECommerceDb(SmallShop());
+  EXPECT_EQ(db.num_tables(), 5);
+  ASSERT_NE(db.FindTable("users"), nullptr);
+  ASSERT_NE(db.FindTable("products"), nullptr);
+  ASSERT_NE(db.FindTable("orders"), nullptr);
+  ASSERT_NE(db.FindTable("reviews"), nullptr);
+  ASSERT_NE(db.FindTable("categories"), nullptr);
+  EXPECT_TRUE(db.Validate().ok()) << db.Validate().ToString();
+}
+
+TEST(ECommerceGenTest, RowCountsMatchConfig) {
+  Database db = MakeECommerceDb(SmallShop());
+  EXPECT_EQ(db.table("users").num_rows(), 120);
+  EXPECT_EQ(db.table("products").num_rows(), 40);
+  EXPECT_EQ(db.table("categories").num_rows(), 6);
+  // Orders: roughly horizon/mean_interval per user; just sanity bounds.
+  EXPECT_GT(db.table("orders").num_rows(), 120);
+  EXPECT_GT(db.table("reviews").num_rows(), 20);
+}
+
+TEST(ECommerceGenTest, DeterministicForSeed) {
+  Database a = MakeECommerceDb(SmallShop());
+  Database b = MakeECommerceDb(SmallShop());
+  ASSERT_EQ(a.table("orders").num_rows(), b.table("orders").num_rows());
+  const Table& oa = a.table("orders");
+  const Table& ob = b.table("orders");
+  for (int64_t r = 0; r < std::min<int64_t>(oa.num_rows(), 50); ++r) {
+    EXPECT_EQ(oa.GetValue(r, "ts"), ob.GetValue(r, "ts"));
+    EXPECT_EQ(oa.GetValue(r, "product_id"), ob.GetValue(r, "product_id"));
+  }
+}
+
+TEST(ECommerceGenTest, DifferentSeedsDiffer) {
+  ECommerceConfig cfg = SmallShop();
+  Database a = MakeECommerceDb(cfg);
+  cfg.seed = 6;
+  Database b = MakeECommerceDb(cfg);
+  EXPECT_NE(a.table("orders").num_rows(), b.table("orders").num_rows());
+}
+
+TEST(ECommerceGenTest, EventsWithinHorizon) {
+  ECommerceConfig cfg = SmallShop();
+  Database db = MakeECommerceDb(cfg);
+  auto [lo, hi] = db.TimeRange();
+  EXPECT_GE(lo, 0);
+  EXPECT_LT(hi, Days(cfg.horizon_days));
+}
+
+TEST(ECommerceGenTest, QualityDrivesFutureActivity) {
+  // The planted 2-hop signal: users whose first-half purchases have low
+  // quality_score order less in the second half.
+  ECommerceConfig cfg = SmallShop();
+  cfg.num_users = 400;
+  cfg.horizon_days = 120;
+  Database db = MakeECommerceDb(cfg);
+  const Table& orders = db.table("orders");
+  const Table& products = db.table("products");
+  auto idx = FkIndex::Build(orders, "user_id").value();
+  const Timestamp mid = Days(60), end = Days(120);
+  // Per-user activity retention (future/history) controls for the large
+  // base-rate heterogeneity; only the satisfaction dynamics remain.
+  double low_ret = 0, high_ret = 0;
+  int64_t low_n = 0, high_n = 0;
+  for (int64_t u = 1; u <= cfg.num_users; ++u) {
+    auto hist = idx.RowsInWindow(u, 0, mid);
+    if (hist.size() < 3) continue;
+    double q = 0;
+    for (int64_t r : hist) {
+      int64_t pid = orders.GetValue(r, "product_id").as_int();
+      int64_t prow = products.FindByPrimaryKey(pid).value();
+      q += products.GetValue(prow, "quality_score").as_double();
+    }
+    q /= static_cast<double>(hist.size());
+    const double future =
+        AggregateWindow(idx, u, mid, end, AggKind::kCount, "").value();
+    const double retention = future / static_cast<double>(hist.size());
+    if (q < 0.4) {
+      low_ret += retention;
+      ++low_n;
+    } else if (q > 0.65) {
+      high_ret += retention;
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 10);
+  ASSERT_GT(high_n, 10);
+  EXPECT_GT(high_ret / high_n, 1.4 * (low_ret / low_n))
+      << "high-quality buyers should retain much more activity; high="
+      << high_ret / high_n << " low=" << low_ret / low_n;
+}
+
+TEST(ClinicalGenTest, SchemaAndIntegrity) {
+  ClinicalConfig cfg;
+  cfg.num_patients = 100;
+  cfg.horizon_days = 180;
+  Database db = MakeClinicalDb(cfg);
+  EXPECT_EQ(db.num_tables(), 6);
+  EXPECT_TRUE(db.Validate().ok()) << db.Validate().ToString();
+  EXPECT_EQ(db.table("patients").num_rows(), 100);
+  EXPECT_GT(db.table("visits").num_rows(), 100);
+  EXPECT_GT(db.table("diagnoses").num_rows(),
+            db.table("visits").num_rows() - 1);
+}
+
+TEST(ClinicalGenTest, Deterministic) {
+  ClinicalConfig cfg;
+  cfg.num_patients = 60;
+  cfg.horizon_days = 120;
+  Database a = MakeClinicalDb(cfg);
+  Database b = MakeClinicalDb(cfg);
+  EXPECT_EQ(a.table("visits").num_rows(), b.table("visits").num_rows());
+  EXPECT_EQ(a.table("diagnoses").num_rows(),
+            b.table("diagnoses").num_rows());
+}
+
+TEST(ClinicalGenTest, ChronicCodesDriveRevisits) {
+  ClinicalConfig cfg;
+  cfg.num_patients = 300;
+  cfg.horizon_days = 300;
+  Database db = MakeClinicalDb(cfg);
+  const Table& visits = db.table("visits");
+  const Table& dx = db.table("diagnoses");
+  const Table& codes = db.table("codes");
+  auto visit_idx = FkIndex::Build(visits, "patient_id").value();
+  auto dx_idx = FkIndex::Build(dx, "patient_id").value();
+  const Timestamp mid = Days(150), end = Days(300);
+  double risky_future = 0, safe_future = 0;
+  int64_t risky_n = 0, safe_n = 0;
+  for (int64_t p = 1; p <= cfg.num_patients; ++p) {
+    auto hist = dx_idx.RowsInWindow(p, 0, mid);
+    if (hist.empty()) continue;
+    double risk = 0;
+    for (int64_t r : hist) {
+      int64_t code_id = dx.GetValue(r, "code_id").as_int();
+      int64_t crow = codes.FindByPrimaryKey(code_id).value();
+      risk += codes.GetValue(crow, "risk").as_double();
+    }
+    risk /= static_cast<double>(hist.size());
+    const double future =
+        AggregateWindow(visit_idx, p, mid, end, AggKind::kCount, "").value();
+    if (risk > 0.6) {
+      risky_future += future;
+      ++risky_n;
+    } else if (risk < 0.4) {
+      safe_future += future;
+      ++safe_n;
+    }
+  }
+  ASSERT_GT(risky_n, 10);
+  ASSERT_GT(safe_n, 10);
+  EXPECT_GT(risky_future / risky_n, 1.3 * (safe_future / safe_n));
+}
+
+TEST(SocialGenTest, SchemaAndIntegrity) {
+  SocialConfig cfg;
+  cfg.num_users = 80;
+  cfg.horizon_days = 60;
+  Database db = MakeSocialDb(cfg);
+  EXPECT_EQ(db.num_tables(), 5);
+  EXPECT_TRUE(db.Validate().ok()) << db.Validate().ToString();
+  EXPECT_EQ(db.table("users").num_rows(), 80);
+  EXPECT_GT(db.table("follows").num_rows(), 80);
+  EXPECT_GT(db.table("posts").num_rows(), 80);
+}
+
+TEST(SocialGenTest, Deterministic) {
+  SocialConfig cfg;
+  cfg.num_users = 50;
+  cfg.horizon_days = 40;
+  Database a = MakeSocialDb(cfg);
+  Database b = MakeSocialDb(cfg);
+  EXPECT_EQ(a.table("posts").num_rows(), b.table("posts").num_rows());
+  EXPECT_EQ(a.table("comments").num_rows(), b.table("comments").num_rows());
+}
+
+TEST(SocialGenTest, FeedbackSustainsActivity) {
+  SocialConfig cfg;
+  cfg.num_users = 300;
+  cfg.horizon_days = 120;
+  Database db = MakeSocialDb(cfg);
+  const Table& posts = db.table("posts");
+  const Table& comments = db.table("comments");
+  auto post_idx = FkIndex::Build(posts, "user_id").value();
+  auto comment_on_post = FkIndex::Build(comments, "post_id").value();
+  const Timestamp mid = Days(60), end = Days(120);
+  double fed_future = 0, unfed_future = 0;
+  int64_t fed_n = 0, unfed_n = 0;
+  for (int64_t u = 1; u <= cfg.num_users; ++u) {
+    auto hist = post_idx.RowsInWindow(u, 0, mid);
+    if (hist.empty()) continue;
+    double feedback = 0;
+    for (int64_t r : hist) {
+      int64_t pid = posts.PrimaryKey(r);
+      feedback += static_cast<double>(comment_on_post.Rows(pid).size());
+    }
+    feedback /= static_cast<double>(hist.size());
+    const double future =
+        AggregateWindow(post_idx, u, mid, end, AggKind::kCount, "").value();
+    if (feedback > 1.5) {
+      fed_future += future;
+      ++fed_n;
+    } else if (feedback < 0.5) {
+      unfed_future += future;
+      ++unfed_n;
+    }
+  }
+  ASSERT_GT(fed_n, 10);
+  ASSERT_GT(unfed_n, 10);
+  EXPECT_GT(fed_future / fed_n, 1.3 * (unfed_future / unfed_n));
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,334 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/ecommerce.h"
+#include "db2graph/feature_encoder.h"
+#include "db2graph/graph_builder.h"
+#include "graph/hetero_graph.h"
+
+namespace relgraph {
+namespace {
+
+// ------------------------------------------------------------ HeteroGraph
+
+TEST(HeteroGraphTest, NodeTypeRegistration) {
+  HeteroGraph g;
+  auto a = g.AddNodeType("users", 10);
+  ASSERT_TRUE(a.ok());
+  auto b = g.AddNodeType("orders", 20);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_EQ(g.num_node_types(), 2);
+  EXPECT_EQ(g.num_nodes(a.value()), 10);
+  EXPECT_EQ(g.TotalNodes(), 30);
+  EXPECT_FALSE(g.AddNodeType("users", 5).ok());
+  EXPECT_EQ(g.FindNodeType("orders").value(), b.value());
+  EXPECT_FALSE(g.FindNodeType("ghost").ok());
+}
+
+TEST(HeteroGraphTest, EdgeCsrCorrect) {
+  HeteroGraph g;
+  NodeTypeId u = g.AddNodeType("u", 3).value();
+  NodeTypeId v = g.AddNodeType("v", 4).value();
+  // Edges: 0->1@5, 0->2@3, 2->0@9, 0->1@7 (multi-edge allowed).
+  auto e = g.AddEdgeType("uv", u, v, {0, 0, 2, 0}, {1, 2, 0, 1},
+                         {5, 3, 9, 7});
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(g.num_edges(e.value()), 4);
+  EXPECT_EQ(g.Degree(e.value(), 0), 3);
+  EXPECT_EQ(g.Degree(e.value(), 1), 0);
+  EXPECT_EQ(g.Degree(e.value(), 2), 1);
+  const int64_t* dst;
+  const Timestamp* times;
+  int64_t count;
+  g.Neighbors(e.value(), 0, &dst, &times, &count);
+  ASSERT_EQ(count, 3);
+  std::multiset<int64_t> dsts(dst, dst + count);
+  EXPECT_EQ(dsts.count(1), 2u);
+  EXPECT_EQ(dsts.count(2), 1u);
+  // Neighbor/time arrays stay parallel.
+  for (int64_t i = 0; i < count; ++i) {
+    if (dst[i] == 2) {
+      EXPECT_EQ(times[i], 3);
+    }
+  }
+}
+
+TEST(HeteroGraphTest, EdgeValidation) {
+  HeteroGraph g;
+  NodeTypeId u = g.AddNodeType("u", 2).value();
+  EXPECT_FALSE(g.AddEdgeType("bad", u, 99, {0}, {0}, {0}).ok());
+  EXPECT_FALSE(g.AddEdgeType("oob", u, u, {5}, {0}, {0}).ok());
+  EXPECT_FALSE(g.AddEdgeType("ragged", u, u, {0}, {0, 1}, {0, 1}).ok());
+  ASSERT_TRUE(g.AddEdgeType("ok", u, u, {0}, {1}, {0}).ok());
+  EXPECT_FALSE(g.AddEdgeType("ok", u, u, {0}, {1}, {0}).ok());
+}
+
+TEST(HeteroGraphTest, FeaturesAndTimes) {
+  HeteroGraph g;
+  NodeTypeId u = g.AddNodeType("u", 2).value();
+  EXPECT_TRUE(g.SetNodeFeatures(u, Tensor::Ones(2, 3)).ok());
+  EXPECT_EQ(g.feature_dim(u), 3);
+  EXPECT_FALSE(g.SetNodeFeatures(u, Tensor::Ones(5, 3)).ok());
+  EXPECT_EQ(g.node_time(u, 0), kNoTimestamp);  // unset -> static
+  EXPECT_TRUE(g.SetNodeTimes(u, {100, 200}).ok());
+  EXPECT_EQ(g.node_time(u, 1), 200);
+  EXPECT_FALSE(g.SetNodeTimes(u, {1}).ok());
+}
+
+// --------------------------------------------------------- FeatureEncoder
+
+Table MakePeopleTable() {
+  TableSchema s("people");
+  s.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("group_id", DataType::kInt64)
+      .AddColumn("age", DataType::kFloat64)
+      .AddColumn("vip", DataType::kBool, false)
+      .AddColumn("city", DataType::kString)
+      .AddColumn("ts", DataType::kTimestamp)
+      .SetPrimaryKey("id")
+      .AddForeignKey("group_id", "groups")
+      .SetTimeColumn("ts");
+  Table t(s);
+  EXPECT_TRUE(t.AppendRow({Value(1), Value(1), Value(30.0), Value(true),
+                           Value("gent"), Value::Time(0)})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value(2), Value(1), Value(50.0), Value(false),
+                           Value("brussel"), Value::Time(10)})
+                  .ok());
+  EXPECT_TRUE(t.AppendRow({Value(3), Value::Null(), Value::Null(),
+                           Value(false), Value("gent"), Value::Time(20)})
+                  .ok());
+  return t;
+}
+
+TEST(FeatureEncoderTest, SkipsKeysAndTime) {
+  Table t = MakePeopleTable();
+  auto enc = EncodeTableFeatures(t).value();
+  for (const auto& name : enc.feature_names) {
+    EXPECT_EQ(name.find("id"), std::string::npos) << name;
+    EXPECT_EQ(name.find("ts"), std::string::npos) << name;
+  }
+}
+
+TEST(FeatureEncoderTest, NumericStandardized) {
+  Table t = MakePeopleTable();
+  auto enc = EncodeTableFeatures(t).value();
+  // age: values 30, 50, null(imputed 40). Mean of encoded column ~ 0.
+  int64_t age_col = -1;
+  for (size_t i = 0; i < enc.feature_names.size(); ++i) {
+    if (enc.feature_names[i] == "age:z") age_col = static_cast<int64_t>(i);
+  }
+  ASSERT_GE(age_col, 0);
+  double mean = 0;
+  for (int64_t r = 0; r < 3; ++r) mean += enc.features.at(r, age_col);
+  EXPECT_NEAR(mean / 3.0, 0.0, 1e-5);
+  // Imputed null encodes to exactly the mean (z = 0).
+  EXPECT_NEAR(enc.features.at(2, age_col), 0.0, 1e-5);
+}
+
+TEST(FeatureEncoderTest, NullIndicatorEmitted) {
+  Table t = MakePeopleTable();
+  auto enc = EncodeTableFeatures(t).value();
+  int64_t null_col = -1;
+  for (size_t i = 0; i < enc.feature_names.size(); ++i) {
+    if (enc.feature_names[i] == "age:null") null_col = static_cast<int64_t>(i);
+  }
+  ASSERT_GE(null_col, 0);
+  EXPECT_FLOAT_EQ(enc.features.at(0, null_col), 0.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(2, null_col), 1.0f);
+}
+
+TEST(FeatureEncoderTest, OneHotStrings) {
+  Table t = MakePeopleTable();
+  auto enc = EncodeTableFeatures(t).value();
+  int64_t gent = -1, brussel = -1;
+  for (size_t i = 0; i < enc.feature_names.size(); ++i) {
+    if (enc.feature_names[i] == "city=gent") gent = static_cast<int64_t>(i);
+    if (enc.feature_names[i] == "city=brussel") {
+      brussel = static_cast<int64_t>(i);
+    }
+  }
+  ASSERT_GE(gent, 0);
+  ASSERT_GE(brussel, 0);
+  EXPECT_FLOAT_EQ(enc.features.at(0, gent), 1.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(0, brussel), 0.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(1, brussel), 1.0f);
+  EXPECT_FLOAT_EQ(enc.features.at(2, gent), 1.0f);
+}
+
+TEST(FeatureEncoderTest, HashedWhenVocabularyLarge) {
+  TableSchema s("t");
+  s.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("token", DataType::kString, false)
+      .SetPrimaryKey("id");
+  Table t(s);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.AppendRow({Value(i), Value("tok" + std::to_string(i))})
+                    .ok());
+  }
+  EncodeOptions opts;
+  opts.max_onehot = 8;
+  opts.hash_buckets = 4;
+  auto enc = EncodeTableFeatures(t, opts).value();
+  EXPECT_EQ(enc.features.cols(), 4);
+  // Each row has exactly one hot bucket.
+  for (int64_t r = 0; r < enc.features.rows(); ++r) {
+    float sum = 0;
+    for (int64_t c = 0; c < 4; ++c) sum += enc.features.at(r, c);
+    EXPECT_FLOAT_EQ(sum, 1.0f);
+  }
+}
+
+TEST(FeatureEncoderTest, FeaturelessTableGetsConstant) {
+  TableSchema s("link");
+  s.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("a_id", DataType::kInt64, false)
+      .SetPrimaryKey("id")
+      .AddForeignKey("a_id", "a");
+  Table t(s);
+  ASSERT_TRUE(t.AppendRow({Value(1), Value(2)}).ok());
+  auto enc = EncodeTableFeatures(t).value();
+  EXPECT_EQ(enc.features.cols(), 1);
+  EXPECT_FLOAT_EQ(enc.features.at(0, 0), 1.0f);
+  EXPECT_EQ(enc.feature_names[0], "const:1");
+}
+
+TEST(FeatureEncoderTest, SkipColumnsOptionRespected) {
+  Table t = MakePeopleTable();
+  EncodeOptions opts;
+  opts.skip_columns = {"city"};
+  auto enc = EncodeTableFeatures(t, opts).value();
+  for (const auto& name : enc.feature_names) {
+    EXPECT_EQ(name.find("city"), std::string::npos) << name;
+  }
+}
+
+// ------------------------------------------------------------ GraphBuilder
+
+TEST(GraphBuilderTest, ECommerceGraphShape) {
+  ECommerceConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_products = 20;
+  cfg.num_categories = 4;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  auto dbg = BuildDbGraph(db).value();
+  const HeteroGraph& g = dbg.graph;
+  EXPECT_EQ(g.num_node_types(), 5);
+  NodeTypeId users = g.FindNodeType("users").value();
+  EXPECT_EQ(g.num_nodes(users), 50);
+  // FKs: products.category_id, orders.user_id, orders.product_id,
+  // reviews.user_id, reviews.product_id = 5 FKs ×2 directions.
+  EXPECT_EQ(g.num_edge_types(), 10);
+  EdgeTypeId o2u = g.FindEdgeType("orders__user_id").value();
+  EdgeTypeId u2o = g.FindEdgeType("rev_orders__user_id").value();
+  EXPECT_EQ(g.num_edges(o2u), db.table("orders").num_rows());
+  EXPECT_EQ(g.num_edges(u2o), db.table("orders").num_rows());
+  EXPECT_EQ(g.edge_src_type(u2o), users);
+}
+
+TEST(GraphBuilderTest, EdgeTimestampsMatchChildRows) {
+  ECommerceConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 40;
+  Database db = MakeECommerceDb(cfg);
+  auto dbg = BuildDbGraph(db).value();
+  const HeteroGraph& g = dbg.graph;
+  EdgeTypeId o2u = g.FindEdgeType("orders__user_id").value();
+  const Table& orders = db.table("orders");
+  // Order node r has exactly one user edge carrying its own timestamp.
+  for (int64_t r = 0; r < std::min<int64_t>(orders.num_rows(), 20); ++r) {
+    const int64_t* dst;
+    const Timestamp* times;
+    int64_t count;
+    g.Neighbors(o2u, r, &dst, &times, &count);
+    ASSERT_EQ(count, 1);
+    EXPECT_EQ(times[0], orders.RowTime(r));
+    // dst is the row index of the referenced user.
+    int64_t user_pk = orders.GetValue(r, "user_id").as_int();
+    EXPECT_EQ(db.table("users").PrimaryKey(dst[0]), user_pk);
+  }
+}
+
+TEST(GraphBuilderTest, NodeTimesPropagated) {
+  ECommerceConfig cfg;
+  cfg.num_users = 20;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 30;
+  Database db = MakeECommerceDb(cfg);
+  auto dbg = BuildDbGraph(db).value();
+  const HeteroGraph& g = dbg.graph;
+  NodeTypeId users = g.FindNodeType("users").value();
+  NodeTypeId orders = g.FindNodeType("orders").value();
+  EXPECT_EQ(g.node_time(users, 0), kNoTimestamp);
+  EXPECT_EQ(g.node_time(orders, 0), db.table("orders").RowTime(0));
+}
+
+TEST(GraphBuilderTest, NoReverseEdgesOption) {
+  ECommerceConfig cfg;
+  cfg.num_users = 20;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 30;
+  Database db = MakeECommerceDb(cfg);
+  GraphBuilderOptions opts;
+  opts.add_reverse_edges = false;
+  auto dbg = BuildDbGraph(db, opts).value();
+  EXPECT_EQ(dbg.graph.num_edge_types(), 5);
+  EXPECT_FALSE(dbg.graph.FindEdgeType("rev_orders__user_id").ok());
+}
+
+TEST(GraphBuilderTest, NullFkProducesNoEdge) {
+  Database db("d");
+  TableSchema parent("p");
+  parent.AddColumn("id", DataType::kInt64, false).SetPrimaryKey("id");
+  Table* pt = db.AddTable(parent).value();
+  ASSERT_TRUE(pt->AppendRow({Value(1)}).ok());
+  TableSchema child("c");
+  child.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("p_id", DataType::kInt64)
+      .SetPrimaryKey("id")
+      .AddForeignKey("p_id", "p");
+  Table* ct = db.AddTable(child).value();
+  ASSERT_TRUE(ct->AppendRow({Value(1), Value(1)}).ok());
+  ASSERT_TRUE(ct->AppendRow({Value(2), Value::Null()}).ok());
+  auto dbg = BuildDbGraph(db).value();
+  EdgeTypeId e = dbg.graph.FindEdgeType("c__p_id").value();
+  EXPECT_EQ(dbg.graph.num_edges(e), 1);
+}
+
+TEST(GraphBuilderTest, DanglingFkErrors) {
+  Database db("d");
+  TableSchema parent("p");
+  parent.AddColumn("id", DataType::kInt64, false).SetPrimaryKey("id");
+  ASSERT_TRUE(db.AddTable(parent).ok());
+  TableSchema child("c");
+  child.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("p_id", DataType::kInt64)
+      .SetPrimaryKey("id")
+      .AddForeignKey("p_id", "p");
+  Table* ct = db.AddTable(child).value();
+  ASSERT_TRUE(ct->AppendRow({Value(1), Value(99)}).ok());
+  EXPECT_FALSE(BuildDbGraph(db).ok());
+}
+
+TEST(GraphBuilderTest, DescribeMentionsTypes) {
+  ECommerceConfig cfg;
+  cfg.num_users = 10;
+  cfg.num_products = 5;
+  cfg.num_categories = 2;
+  cfg.horizon_days = 20;
+  Database db = MakeECommerceDb(cfg);
+  auto dbg = BuildDbGraph(db).value();
+  std::string desc = dbg.graph.Describe();
+  EXPECT_NE(desc.find("users"), std::string::npos);
+  EXPECT_NE(desc.find("orders__user_id"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relgraph

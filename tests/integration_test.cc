@@ -1,0 +1,212 @@
+// Cross-module integration tests: full pipelines from raw relational data
+// (including CSV round trips) to trained, evaluated, and persisted models.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/clinical.h"
+#include "datagen/ecommerce.h"
+#include "datagen/social.h"
+#include "pq/engine.h"
+#include "pq/label_builder.h"
+#include "pq/parser.h"
+#include "relational/csv_io.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace relgraph {
+namespace {
+
+ECommerceConfig SmallWorld() {
+  ECommerceConfig cfg;
+  cfg.num_users = 150;
+  cfg.num_products = 30;
+  cfg.num_categories = 4;
+  cfg.horizon_days = 150;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(IntegrationTest, CsvRoundTripPreservesQueryResults) {
+  // Serialize a generated database to CSV, reload it into a fresh
+  // database, and verify a deterministic (CONSTANT-model) query gives the
+  // exact same training table.
+  Database original = MakeECommerceDb(SmallWorld());
+  Database reloaded("ecommerce");
+  for (const auto& table : original.tables()) {
+    Table* copy = reloaded.AddTable(table->schema()).value();
+    ASSERT_TRUE(LoadTableFromCsv(TableToCsv(*table), copy).ok());
+  }
+  ASSERT_TRUE(reloaded.Validate().ok());
+  EXPECT_EQ(reloaded.TotalRows(), original.TotalRows());
+
+  const std::string query =
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+      "USING CONSTANT";
+  PredictiveQueryEngine e1(&original), e2(&reloaded);
+  auto r1 = e1.Execute(query);
+  auto r2 = e2.Execute(query);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1.value().table.size(), r2.value().table.size());
+  EXPECT_EQ(r1.value().table.labels, r2.value().table.labels);
+  EXPECT_EQ(r1.value().table.cutoffs, r2.value().table.cutoffs);
+}
+
+TEST(IntegrationTest, SameSeedSameQuerySameResult) {
+  // The whole pipeline is deterministic: two engines over two identically
+  // seeded databases must produce identical GNN test metrics.
+  Database db1 = MakeECommerceDb(SmallWorld());
+  Database db2 = MakeECommerceDb(SmallWorld());
+  const std::string query =
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+      "USING GNN WITH layers=1, hidden=16, epochs=3, seed=5";
+  PredictiveQueryEngine e1(&db1), e2(&db2);
+  auto r1 = e1.Execute(query);
+  auto r2 = e2.Execute(query);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1.value().test_metric, r2.value().test_metric);
+  EXPECT_EQ(r1.value().test_scores, r2.value().test_scores);
+}
+
+TEST(IntegrationTest, PredictorSaveLoadRoundTrip) {
+  Database db = MakeECommerceDb(SmallWorld());
+  auto parsed = ParseQuery(
+                    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH "
+                    "users")
+                    .value();
+  auto rq = AnalyzeQuery(parsed, db).value();
+  auto cutoffs = MakeCutoffs(rq, db).value();
+  auto table = BuildTrainingTable(rq, db, cutoffs).value();
+  auto split = MakeSplit(rq, table, cutoffs).value();
+  auto graph = BuildDbGraph(db).value();
+  const NodeTypeId users = graph.graph.FindNodeType("users").value();
+
+  GnnConfig gnn;
+  gnn.hidden_dim = 16;
+  gnn.num_layers = 1;
+  SamplerOptions sopts;
+  // Exhaustive fanout: no sampling randomness, so restored weights must
+  // reproduce scores exactly.
+  sopts.fanouts = {1000};
+  TrainerConfig tc;
+  tc.epochs = 3;
+  tc.seed = 11;
+  GnnNodePredictor trained(&graph.graph, users,
+                           TaskKind::kBinaryClassification, 2, gnn, sopts,
+                           tc);
+  ASSERT_TRUE(trained.Fit(table, split).ok());
+  auto expected = trained.PredictScores(table, split.test);
+
+  const std::string path = testing::TempDir() + "/relgraph_ckpt.bin";
+  ASSERT_TRUE(trained.SaveWeights(path).ok());
+
+  // Fresh predictor with the same architecture, different init seed.
+  TrainerConfig tc2 = tc;
+  tc2.seed = 999;
+  GnnNodePredictor restored(&graph.graph, users,
+                            TaskKind::kBinaryClassification, 2, gnn, sopts,
+                            tc2);
+  ASSERT_TRUE(restored.LoadWeights(path).ok());
+  auto got = restored.PredictScores(table, split.test);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i], expected[i], 1e-6) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, LoadWeightsRejectsWrongArchitecture) {
+  Database db = MakeECommerceDb(SmallWorld());
+  auto graph = BuildDbGraph(db).value();
+  const NodeTypeId users = graph.graph.FindNodeType("users").value();
+  SamplerOptions sopts;
+  sopts.fanouts = {4};
+  TrainerConfig tc;
+  GnnConfig small;
+  small.hidden_dim = 8;
+  small.num_layers = 1;
+  GnnNodePredictor a(&graph.graph, users, TaskKind::kBinaryClassification,
+                     2, small, sopts, tc);
+  const std::string path = testing::TempDir() + "/relgraph_ckpt2.bin";
+  ASSERT_TRUE(a.SaveWeights(path).ok());
+  GnnConfig big;
+  big.hidden_dim = 16;
+  big.num_layers = 1;
+  GnnNodePredictor b(&graph.graph, users, TaskKind::kBinaryClassification,
+                     2, big, sopts, tc);
+  EXPECT_FALSE(b.LoadWeights(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, MultipleQueriesShareOneEngine) {
+  Database db = MakeECommerceDb(SmallWorld());
+  PredictiveQueryEngine engine(&db);
+  // Different tasks, same engine and graph cache.
+  auto churn = engine.Execute(
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users USING "
+      "LINEAR WITH hops=1");
+  auto spend = engine.Execute(
+      "PREDICT SUM(orders.total) OVER NEXT 28 DAYS FOR EACH users USING "
+      "LINEAR WITH hops=1");
+  auto rank = engine.Execute(
+      "PREDICT LIST(orders.product_id) OVER NEXT 28 DAYS FOR EACH users "
+      "USING POPULAR");
+  ASSERT_TRUE(churn.ok()) << churn.status().ToString();
+  ASSERT_TRUE(spend.ok()) << spend.status().ToString();
+  ASSERT_TRUE(rank.ok()) << rank.status().ToString();
+  EXPECT_EQ(churn.value().kind, TaskKind::kBinaryClassification);
+  EXPECT_EQ(spend.value().kind, TaskKind::kRegression);
+  EXPECT_EQ(rank.value().kind, TaskKind::kRanking);
+}
+
+TEST(IntegrationTest, ClinicalEndToEndWithGat) {
+  ClinicalConfig cfg;
+  cfg.num_patients = 150;
+  cfg.horizon_days = 240;
+  cfg.seed = 13;
+  Database db = MakeClinicalDb(cfg);
+  PredictiveQueryEngine engine(&db);
+  auto result = engine.Execute(
+      "PREDICT EXISTS(visits) OVER NEXT 30 DAYS FOR EACH patients "
+      "USING GNN WITH layers=2, hidden=24, epochs=4, conv=gat");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result.value().test_metric, 0.55);
+}
+
+TEST(IntegrationTest, SocialDormancyAcrossModels) {
+  SocialConfig cfg;
+  cfg.num_users = 200;
+  cfg.horizon_days = 100;
+  cfg.seed = 19;
+  Database db = MakeSocialDb(cfg);
+  PredictiveQueryEngine engine(&db);
+  const std::string task =
+      "PREDICT COUNT(posts) = 0 OVER NEXT 14 DAYS FOR EACH users ";
+  auto gbdt = engine.Execute(task + "USING GBDT");
+  auto gnn = engine.Execute(task +
+                            "USING GNN WITH layers=2, hidden=24, epochs=4");
+  ASSERT_TRUE(gbdt.ok()) << gbdt.status().ToString();
+  ASSERT_TRUE(gnn.ok()) << gnn.status().ToString();
+  EXPECT_GT(gbdt.value().test_metric, 0.6);
+  EXPECT_GT(gnn.value().test_metric, 0.6);
+}
+
+TEST(IntegrationTest, EngineSeedChangesGnnButNotLabels) {
+  Database db = MakeECommerceDb(SmallWorld());
+  PredictiveQueryEngine engine(&db);
+  const std::string base =
+      "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users USING "
+      "GNN WITH layers=1, hidden=16, epochs=2, seed=";
+  auto r1 = engine.Execute(base + "1");
+  auto r2 = engine.Execute(base + "2");
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1.value().table.labels, r2.value().table.labels);
+  EXPECT_NE(r1.value().test_scores, r2.value().test_scores);
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/ecommerce.h"
+#include "db2graph/graph_builder.h"
+#include "sampler/negative_sampler.h"
+#include "sampler/neighbor_sampler.h"
+
+namespace relgraph {
+namespace {
+
+/// A tiny hand-built temporal graph:
+///   2 users, 5 orders; user0 -> orders {0@10, 1@20, 2@30}, user1 -> {3@15,
+///   4@25}. Edges both directions.
+HeteroGraph MakeToyGraph() {
+  HeteroGraph g;
+  NodeTypeId users = g.AddNodeType("users", 2).value();
+  NodeTypeId orders = g.AddNodeType("orders", 5).value();
+  EXPECT_TRUE(g.SetNodeFeatures(users, Tensor::Ones(2, 3)).ok());
+  EXPECT_TRUE(g.SetNodeFeatures(orders, Tensor::Ones(5, 2)).ok());
+  EXPECT_TRUE(g.SetNodeTimes(orders, {10, 20, 30, 15, 25}).ok());
+  std::vector<int64_t> src = {0, 1, 2, 3, 4};
+  std::vector<int64_t> dst = {0, 0, 0, 1, 1};
+  std::vector<Timestamp> times = {10, 20, 30, 15, 25};
+  EXPECT_TRUE(g.AddEdgeType("orders__user", orders, users, src, dst, times)
+                  .ok());
+  EXPECT_TRUE(
+      g.AddEdgeType("rev_orders__user", users, orders, dst, src, times)
+          .ok());
+  return g;
+}
+
+TEST(NeighborSamplerTest, SeedsAreFrontierZero) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {10};
+  NeighborSampler sampler(&g, opts);
+  Rng rng(1);
+  NodeTypeId users = g.FindNodeType("users").value();
+  Subgraph sg = sampler.Sample(users, {0, 1}, {100, 100}, &rng);
+  ASSERT_EQ(sg.frontiers.size(), 2u);
+  EXPECT_EQ(sg.frontiers[0].nodes[users], (std::vector<int64_t>{0, 1}));
+}
+
+TEST(NeighborSamplerTest, SelfPrefixInvariantHolds) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {2, 2};
+  NeighborSampler sampler(&g, opts);
+  Rng rng(2);
+  NodeTypeId users = g.FindNodeType("users").value();
+  Subgraph sg = sampler.Sample(users, {0}, {100}, &rng);
+  for (size_t k = 0; k + 1 < sg.frontiers.size(); ++k) {
+    for (size_t t = 0; t < sg.frontiers[k].nodes.size(); ++t) {
+      const auto& cur = sg.frontiers[k].nodes[t];
+      const auto& next = sg.frontiers[k + 1].nodes[t];
+      ASSERT_GE(next.size(), cur.size());
+      for (size_t i = 0; i < cur.size(); ++i) {
+        EXPECT_EQ(next[i], cur[i]) << "layer " << k << " type " << t;
+      }
+    }
+  }
+}
+
+TEST(NeighborSamplerTest, TemporalCutoffExcludesFutureEdges) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {10};
+  NeighborSampler sampler(&g, opts);
+  Rng rng(3);
+  NodeTypeId users = g.FindNodeType("users").value();
+  NodeTypeId orders = g.FindNodeType("orders").value();
+  // Cutoff 21: user0 may only see orders 0@10 and 1@20, not 2@30.
+  Subgraph sg = sampler.Sample(users, {0}, {21}, &rng);
+  std::set<int64_t> got(sg.frontiers[1].nodes[orders].begin(),
+                        sg.frontiers[1].nodes[orders].end());
+  EXPECT_EQ(got, (std::set<int64_t>{0, 1}));
+  // Cutoff exactly at an edge time excludes it (strict <).
+  Subgraph sg2 = sampler.Sample(users, {0}, {20}, &rng);
+  std::set<int64_t> got2(sg2.frontiers[1].nodes[orders].begin(),
+                         sg2.frontiers[1].nodes[orders].end());
+  EXPECT_EQ(got2, (std::set<int64_t>{0}));
+}
+
+TEST(NeighborSamplerTest, NonTemporalSeesEverything) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {10};
+  opts.temporal = false;
+  NeighborSampler sampler(&g, opts);
+  Rng rng(4);
+  NodeTypeId users = g.FindNodeType("users").value();
+  NodeTypeId orders = g.FindNodeType("orders").value();
+  Subgraph sg = sampler.Sample(users, {0}, {0}, &rng);
+  EXPECT_EQ(sg.frontiers[1].nodes[orders].size(), 3u);
+}
+
+TEST(NeighborSamplerTest, FanoutBoundsSampledNeighbors) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {2};
+  NeighborSampler sampler(&g, opts);
+  Rng rng(5);
+  NodeTypeId users = g.FindNodeType("users").value();
+  NodeTypeId orders = g.FindNodeType("orders").value();
+  Subgraph sg = sampler.Sample(users, {0}, {100}, &rng);
+  EXPECT_EQ(sg.frontiers[1].nodes[orders].size(), 2u);
+}
+
+TEST(NeighborSamplerTest, MostRecentPolicyKeepsLatest) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {2};
+  opts.policy = SamplePolicy::kMostRecent;
+  NeighborSampler sampler(&g, opts);
+  Rng rng(6);
+  NodeTypeId users = g.FindNodeType("users").value();
+  NodeTypeId orders = g.FindNodeType("orders").value();
+  Subgraph sg = sampler.Sample(users, {0}, {100}, &rng);
+  std::set<int64_t> got(sg.frontiers[1].nodes[orders].begin(),
+                        sg.frontiers[1].nodes[orders].end());
+  // Latest two of {0@10, 1@20, 2@30} are 1 and 2.
+  EXPECT_EQ(got, (std::set<int64_t>{1, 2}));
+}
+
+TEST(NeighborSamplerTest, BlocksReferenceValidLocalIndices) {
+  ECommerceConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_products = 20;
+  cfg.num_categories = 4;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  auto dbg = BuildDbGraph(db).value();
+  SamplerOptions opts;
+  opts.fanouts = {4, 4};
+  NeighborSampler sampler(&dbg.graph, opts);
+  Rng rng(7);
+  NodeTypeId users = dbg.graph.FindNodeType("users").value();
+  std::vector<int64_t> seeds = {0, 5, 10, 15};
+  std::vector<Timestamp> cutoffs(4, Days(50));
+  Subgraph sg = sampler.Sample(users, seeds, cutoffs, &rng);
+  ASSERT_EQ(sg.blocks.size(), 2u);
+  for (size_t k = 0; k < sg.blocks.size(); ++k) {
+    for (const auto& b : sg.blocks[k]) {
+      const NodeTypeId tgt_type = dbg.graph.edge_src_type(b.edge_type);
+      const NodeTypeId src_type = dbg.graph.edge_dst_type(b.edge_type);
+      const int64_t n_tgt = static_cast<int64_t>(
+          sg.frontiers[k].nodes[tgt_type].size());
+      const int64_t n_src = static_cast<int64_t>(
+          sg.frontiers[k + 1].nodes[src_type].size());
+      ASSERT_EQ(b.target_local.size(), b.source_local.size());
+      for (size_t i = 0; i < b.target_local.size(); ++i) {
+        EXPECT_GE(b.target_local[i], 0);
+        EXPECT_LT(b.target_local[i], n_tgt);
+        EXPECT_GE(b.source_local[i], 0);
+        EXPECT_LT(b.source_local[i], n_src);
+      }
+    }
+  }
+  EXPECT_GT(sg.TotalBlockEdges(), 0);
+  EXPECT_GT(sg.TotalFrontierNodes(), 4);
+}
+
+TEST(NeighborSamplerTest, SampledEdgesRespectCutoffOnRealGraph) {
+  ECommerceConfig cfg;
+  cfg.num_users = 40;
+  cfg.num_products = 15;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 80;
+  Database db = MakeECommerceDb(cfg);
+  auto dbg = BuildDbGraph(db).value();
+  const HeteroGraph& g = dbg.graph;
+  SamplerOptions opts;
+  opts.fanouts = {8, 8};
+  NeighborSampler sampler(&g, opts);
+  Rng rng(8);
+  NodeTypeId users = g.FindNodeType("users").value();
+  NodeTypeId orders = g.FindNodeType("orders").value();
+  const Timestamp cutoff = Days(40);
+  Subgraph sg = sampler.Sample(users, {0, 1, 2, 3, 4},
+                               std::vector<Timestamp>(5, cutoff), &rng);
+  // No order node anywhere in the sample may be dated at/after the cutoff.
+  for (const auto& f : sg.frontiers) {
+    for (int64_t node : f.nodes[orders]) {
+      EXPECT_LT(g.node_time(orders, node), cutoff);
+    }
+  }
+}
+
+TEST(NeighborSamplerTest, DistinctCutoffsStayDistinct) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {10};
+  NeighborSampler sampler(&g, opts);
+  Rng rng(9);
+  NodeTypeId users = g.FindNodeType("users").value();
+  NodeTypeId orders = g.FindNodeType("orders").value();
+  // Same seed node under two cutoffs: the frontier-1 user entries dedupe
+  // per cutoff, and each cutoff sees a different number of orders.
+  Subgraph sg = sampler.Sample(users, {0, 0}, {15, 100}, &rng);
+  // Frontier 1 user entries: self-prefix has both (node0,15) and (node0,100).
+  EXPECT_EQ(sg.frontiers[1].nodes[users].size(), 2u);
+  // Orders: cutoff 15 contributes {0}, cutoff 100 contributes {0,1,2}; the
+  // (order, cutoff) pairs are distinct so sizes add.
+  EXPECT_EQ(sg.frontiers[1].nodes[orders].size(), 4u);
+}
+
+TEST(MakeBatchesTest, CoversAllIndicesOnce) {
+  Rng rng(10);
+  auto batches = MakeBatches(10, 3, &rng);
+  ASSERT_EQ(batches.size(), 4u);
+  std::set<int64_t> seen;
+  for (const auto& b : batches) {
+    for (int64_t i : b) seen.insert(i);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(batches[3].size(), 1u);
+}
+
+TEST(MakeBatchesTest, NoShuffleWhenRngNull) {
+  auto batches = MakeBatches(5, 2, nullptr);
+  EXPECT_EQ(batches[0], (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(batches[2], (std::vector<int64_t>{4}));
+}
+
+TEST(MakeBatchesTest, EmptyInput) {
+  EXPECT_TRUE(MakeBatches(0, 4, nullptr).empty());
+}
+
+TEST(NegativeSamplerTest, AvoidsPositives) {
+  NegativeSampler ns(10, {{0, 1}, {0, 2}, {1, 3}});
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    int64_t t = ns.SampleNegative(0, &rng);
+    EXPECT_NE(t, 1);
+    EXPECT_NE(t, 2);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 10);
+  }
+  EXPECT_TRUE(ns.IsPositive(0, 1));
+  EXPECT_FALSE(ns.IsPositive(0, 3));
+}
+
+TEST(NegativeSamplerTest, SampleMany) {
+  NegativeSampler ns(5, {{7, 0}});
+  Rng rng(12);
+  auto negs = ns.SampleNegatives(7, 20, &rng);
+  EXPECT_EQ(negs.size(), 20u);
+  for (int64_t t : negs) EXPECT_NE(t, 0);
+}
+
+TEST(NegativeSamplerTest, DegenerateAllPositive) {
+  NegativeSampler ns(2, {{0, 0}, {0, 1}});
+  Rng rng(13);
+  // Falls back to uniform rather than looping forever.
+  int64_t t = ns.SampleNegative(0, &rng);
+  EXPECT_GE(t, 0);
+  EXPECT_LT(t, 2);
+}
+
+}  // namespace
+}  // namespace relgraph

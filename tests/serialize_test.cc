@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tensor/init.h"
+#include "tensor/serialize.h"
+
+namespace relgraph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, TensorStreamRoundTrip) {
+  Rng rng(1);
+  Tensor t = NormalInit(7, 5, 2.0f, &rng);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, t).ok());
+  auto back = ReadTensor(ss);
+  ASSERT_TRUE(back.ok());
+  ASSERT_TRUE(back.value().SameShape(t));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(back.value().data()[i], t.data()[i]);
+  }
+}
+
+TEST(SerializeTest, EmptyTensorRoundTrip) {
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, Tensor()).ok());
+  auto back = ReadTensor(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().numel(), 0);
+}
+
+TEST(SerializeTest, RejectsBadMagic) {
+  std::stringstream ss;
+  ss << "garbage data here";
+  EXPECT_FALSE(ReadTensor(ss).ok());
+}
+
+TEST(SerializeTest, RejectsTruncatedPayload) {
+  Rng rng(2);
+  Tensor t = NormalInit(4, 4, 1.0f, &rng);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteTensor(ss, t).ok());
+  std::string data = ss.str();
+  std::stringstream cut(data.substr(0, data.size() - 8));
+  EXPECT_FALSE(ReadTensor(cut).ok());
+}
+
+TEST(SerializeTest, BundleRoundTrip) {
+  Rng rng(3);
+  std::vector<Tensor> tensors = {NormalInit(3, 2, 1.0f, &rng),
+                                 NormalInit(1, 8, 1.0f, &rng),
+                                 Tensor::Identity(4)};
+  std::vector<double> scalars = {3.14, -2.0};
+  const std::string path = TempPath("bundle_roundtrip.bin");
+  ASSERT_TRUE(SaveTensorBundle(path, tensors, scalars).ok());
+  auto back = LoadTensorBundle(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().tensors.size(), 3u);
+  ASSERT_EQ(back.value().scalars.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.value().scalars[0], 3.14);
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    ASSERT_TRUE(back.value().tensors[i].SameShape(tensors[i]));
+    for (int64_t j = 0; j < tensors[i].numel(); ++j) {
+      EXPECT_EQ(back.value().tensors[i].data()[j], tensors[i].data()[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, BundleMissingFile) {
+  EXPECT_EQ(LoadTensorBundle("/nonexistent/b.bin").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializeTest, BundleRejectsForeignFile) {
+  const std::string path = TempPath("not_a_bundle.bin");
+  std::ofstream(path) << "this is not a bundle";
+  EXPECT_EQ(LoadTensorBundle(path).status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "train/metrics.h"
+#include "train/task.h"
+
+namespace relgraph {
+namespace {
+
+TEST(MetricsTest, AccuracyBasic) {
+  EXPECT_DOUBLE_EQ(Accuracy({0.9, 0.2, 0.6, 0.4}, {1, 0, 0, 0}), 0.75);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(MetricsTest, RocAucPerfectAndRandom) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {0, 0, 1, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {0, 0, 1, 1}), 0.0);
+  // Single class -> 0.5 by convention.
+  EXPECT_DOUBLE_EQ(RocAuc({0.3, 0.7}, {1, 1}), 0.5);
+}
+
+TEST(MetricsTest, RocAucHandlesTies) {
+  // Scores all equal: AUC must be 0.5 exactly (midrank handling).
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {0, 1, 0, 1}), 0.5);
+}
+
+TEST(MetricsTest, RocAucKnownValue) {
+  // Pos scores {0.8, 0.4}, neg {0.6, 0.2}: pairs won = 1+0.?.. compute:
+  // (0.8>0.6)+(0.8>0.2)+(0.4<0.6 ->0)+(0.4>0.2) = 3 of 4 -> 0.75.
+  EXPECT_DOUBLE_EQ(RocAuc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(MetricsTest, F1Binary) {
+  // preds: 1,1,0; truth: 1,0,1 -> tp=1 fp=1 fn=1 -> P=R=0.5, F1=0.5.
+  EXPECT_DOUBLE_EQ(F1Binary({0.9, 0.8, 0.1}, {1, 0, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(F1Binary({0.1, 0.1}, {1, 1}), 0.0);
+}
+
+TEST(MetricsTest, LogLossClipsProbabilities) {
+  const double ll = LogLoss({1.0, 0.0}, {1, 0});
+  EXPECT_GE(ll, 0.0);
+  EXPECT_LT(ll, 1e-9);
+  EXPECT_FALSE(std::isinf(LogLoss({0.0}, {1})));
+}
+
+TEST(MetricsTest, RegressionMetrics) {
+  std::vector<double> pred = {1, 2, 3};
+  std::vector<double> truth = {2, 2, 5};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError(pred, truth), 1.0);
+  EXPECT_NEAR(RootMeanSquaredError(pred, truth),
+              std::sqrt((1.0 + 0.0 + 4.0) / 3.0), 1e-12);
+  EXPECT_LT(R2Score(pred, truth), 1.0);
+  EXPECT_DOUBLE_EQ(R2Score(truth, truth), 1.0);
+}
+
+TEST(MetricsTest, R2ConstantTargetIsZero) {
+  EXPECT_DOUBLE_EQ(R2Score({1, 2}, {3, 3}), 0.0);
+}
+
+TEST(MetricsTest, MapAtKPerfect) {
+  std::vector<std::vector<int64_t>> ranked = {{1, 2, 3}};
+  std::vector<std::vector<int64_t>> rel = {{1, 2}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecisionAtK(ranked, rel, 3), 1.0);
+}
+
+TEST(MetricsTest, MapAtKPartial) {
+  // Relevant item at rank 2 only: AP = (1/2)/1 = 0.5.
+  std::vector<std::vector<int64_t>> ranked = {{9, 1, 8}};
+  std::vector<std::vector<int64_t>> rel = {{1}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecisionAtK(ranked, rel, 3), 0.5);
+}
+
+TEST(MetricsTest, MapSkipsEmptyRelevance) {
+  std::vector<std::vector<int64_t>> ranked = {{1}, {2}};
+  std::vector<std::vector<int64_t>> rel = {{}, {2}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecisionAtK(ranked, rel, 1), 1.0);
+}
+
+TEST(MetricsTest, RecallAtK) {
+  std::vector<std::vector<int64_t>> ranked = {{1, 2, 3, 4}};
+  std::vector<std::vector<int64_t>> rel = {{2, 7}};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, rel, 4), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, rel, 1), 0.0);
+}
+
+TEST(TaskTest, TaskKindNames) {
+  EXPECT_STREQ(TaskKindName(TaskKind::kBinaryClassification), "binary");
+  EXPECT_STREQ(TaskKindName(TaskKind::kRanking), "ranking");
+}
+
+TEST(TaskTest, PositiveRate) {
+  TrainingTable t;
+  t.labels = {1, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(t.PositiveRate(), 0.75);
+  TrainingTable empty;
+  EXPECT_DOUBLE_EQ(empty.PositiveRate(), 0.0);
+}
+
+TEST(TaskTest, SplitByTime) {
+  std::vector<Timestamp> cutoffs = {Days(10), Days(20), Days(30), Days(40),
+                                    Days(50)};
+  Split s = SplitByTime(cutoffs, Days(25), Days(45));
+  EXPECT_EQ(s.train, (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(s.val, (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(s.test, (std::vector<int64_t>{4}));
+  EXPECT_EQ(s.size(), 5);
+}
+
+TEST(TaskTest, SplitByTimeBoundaries) {
+  // val_start is inclusive for val, test_start inclusive for test.
+  Split s = SplitByTime({100, 200}, 100, 200);
+  EXPECT_TRUE(s.train.empty());
+  EXPECT_EQ(s.val, (std::vector<int64_t>{0}));
+  EXPECT_EQ(s.test, (std::vector<int64_t>{1}));
+}
+
+}  // namespace
+}  // namespace relgraph
