@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_temporal_leakage"
+  "../bench/bench_fig5_temporal_leakage.pdb"
+  "CMakeFiles/bench_fig5_temporal_leakage.dir/bench_fig5_temporal_leakage.cc.o"
+  "CMakeFiles/bench_fig5_temporal_leakage.dir/bench_fig5_temporal_leakage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_temporal_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_db2graph_scaling"
+  "../bench/bench_fig6_db2graph_scaling.pdb"
+  "CMakeFiles/bench_fig6_db2graph_scaling.dir/bench_fig6_db2graph_scaling.cc.o"
+  "CMakeFiles/bench_fig6_db2graph_scaling.dir/bench_fig6_db2graph_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_db2graph_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

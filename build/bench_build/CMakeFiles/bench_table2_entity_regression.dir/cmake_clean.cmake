@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_entity_regression"
+  "../bench/bench_table2_entity_regression.pdb"
+  "CMakeFiles/bench_table2_entity_regression.dir/bench_table2_entity_regression.cc.o"
+  "CMakeFiles/bench_table2_entity_regression.dir/bench_table2_entity_regression.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_entity_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table3_recommendation.cc" "bench_build/CMakeFiles/bench_table3_recommendation.dir/bench_table3_recommendation.cc.o" "gcc" "bench_build/CMakeFiles/bench_table3_recommendation.dir/bench_table3_recommendation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pq/CMakeFiles/relgraph_pq.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/relgraph_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/relgraph_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/relgraph_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/relgraph_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampler/CMakeFiles/relgraph_sampler.dir/DependInfo.cmake"
+  "/root/repo/build/src/db2graph/CMakeFiles/relgraph_db2graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/relgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/relgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/relgraph_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/relgraph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_multiclass"
+  "../bench/bench_table4_multiclass.pdb"
+  "CMakeFiles/bench_table4_multiclass.dir/bench_table4_multiclass.cc.o"
+  "CMakeFiles/bench_table4_multiclass.dir/bench_table4_multiclass.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

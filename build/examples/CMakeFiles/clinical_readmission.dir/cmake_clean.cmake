@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clinical_readmission.dir/clinical_readmission.cpp.o"
+  "CMakeFiles/clinical_readmission.dir/clinical_readmission.cpp.o.d"
+  "clinical_readmission"
+  "clinical_readmission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clinical_readmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_churn.dir/ecommerce_churn.cpp.o"
+  "CMakeFiles/ecommerce_churn.dir/ecommerce_churn.cpp.o.d"
+  "ecommerce_churn"
+  "ecommerce_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pq_shell.dir/pq_shell.cpp.o"
+  "CMakeFiles/pq_shell.dir/pq_shell.cpp.o.d"
+  "pq_shell"
+  "pq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_save_serve.dir/train_save_serve.cpp.o"
+  "CMakeFiles/train_save_serve.dir/train_save_serve.cpp.o.d"
+  "train_save_serve"
+  "train_save_serve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_save_serve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

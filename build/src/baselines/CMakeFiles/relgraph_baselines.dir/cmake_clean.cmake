@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_baselines.dir/feature_aggregator.cc.o"
+  "CMakeFiles/relgraph_baselines.dir/feature_aggregator.cc.o.d"
+  "CMakeFiles/relgraph_baselines.dir/gbdt.cc.o"
+  "CMakeFiles/relgraph_baselines.dir/gbdt.cc.o.d"
+  "CMakeFiles/relgraph_baselines.dir/tabular.cc.o"
+  "CMakeFiles/relgraph_baselines.dir/tabular.cc.o.d"
+  "librelgraph_baselines.a"
+  "librelgraph_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

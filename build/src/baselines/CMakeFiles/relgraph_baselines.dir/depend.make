@@ -1,0 +1,2 @@
+# Empty dependencies file for relgraph_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_core.dir/csv.cc.o"
+  "CMakeFiles/relgraph_core.dir/csv.cc.o.d"
+  "CMakeFiles/relgraph_core.dir/logging.cc.o"
+  "CMakeFiles/relgraph_core.dir/logging.cc.o.d"
+  "CMakeFiles/relgraph_core.dir/options.cc.o"
+  "CMakeFiles/relgraph_core.dir/options.cc.o.d"
+  "CMakeFiles/relgraph_core.dir/rng.cc.o"
+  "CMakeFiles/relgraph_core.dir/rng.cc.o.d"
+  "CMakeFiles/relgraph_core.dir/status.cc.o"
+  "CMakeFiles/relgraph_core.dir/status.cc.o.d"
+  "CMakeFiles/relgraph_core.dir/string_util.cc.o"
+  "CMakeFiles/relgraph_core.dir/string_util.cc.o.d"
+  "CMakeFiles/relgraph_core.dir/time.cc.o"
+  "CMakeFiles/relgraph_core.dir/time.cc.o.d"
+  "librelgraph_core.a"
+  "librelgraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

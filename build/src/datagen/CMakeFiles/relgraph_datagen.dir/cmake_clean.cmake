@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_datagen.dir/clinical.cc.o"
+  "CMakeFiles/relgraph_datagen.dir/clinical.cc.o.d"
+  "CMakeFiles/relgraph_datagen.dir/ecommerce.cc.o"
+  "CMakeFiles/relgraph_datagen.dir/ecommerce.cc.o.d"
+  "CMakeFiles/relgraph_datagen.dir/social.cc.o"
+  "CMakeFiles/relgraph_datagen.dir/social.cc.o.d"
+  "librelgraph_datagen.a"
+  "librelgraph_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db2graph/feature_encoder.cc" "src/db2graph/CMakeFiles/relgraph_db2graph.dir/feature_encoder.cc.o" "gcc" "src/db2graph/CMakeFiles/relgraph_db2graph.dir/feature_encoder.cc.o.d"
+  "/root/repo/src/db2graph/graph_builder.cc" "src/db2graph/CMakeFiles/relgraph_db2graph.dir/graph_builder.cc.o" "gcc" "src/db2graph/CMakeFiles/relgraph_db2graph.dir/graph_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/relgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/relgraph_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/relgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/relgraph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_db2graph.dir/feature_encoder.cc.o"
+  "CMakeFiles/relgraph_db2graph.dir/feature_encoder.cc.o.d"
+  "CMakeFiles/relgraph_db2graph.dir/graph_builder.cc.o"
+  "CMakeFiles/relgraph_db2graph.dir/graph_builder.cc.o.d"
+  "librelgraph_db2graph.a"
+  "librelgraph_db2graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_db2graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

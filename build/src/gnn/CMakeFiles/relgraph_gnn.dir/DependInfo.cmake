@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/heads.cc" "src/gnn/CMakeFiles/relgraph_gnn.dir/heads.cc.o" "gcc" "src/gnn/CMakeFiles/relgraph_gnn.dir/heads.cc.o.d"
+  "/root/repo/src/gnn/hetero_sage.cc" "src/gnn/CMakeFiles/relgraph_gnn.dir/hetero_sage.cc.o" "gcc" "src/gnn/CMakeFiles/relgraph_gnn.dir/hetero_sage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sampler/CMakeFiles/relgraph_sampler.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/relgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/relgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/relgraph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_gnn.dir/heads.cc.o"
+  "CMakeFiles/relgraph_gnn.dir/heads.cc.o.d"
+  "CMakeFiles/relgraph_gnn.dir/hetero_sage.cc.o"
+  "CMakeFiles/relgraph_gnn.dir/hetero_sage.cc.o.d"
+  "librelgraph_gnn.a"
+  "librelgraph_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

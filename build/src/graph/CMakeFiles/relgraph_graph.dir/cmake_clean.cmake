@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_graph.dir/hetero_graph.cc.o"
+  "CMakeFiles/relgraph_graph.dir/hetero_graph.cc.o.d"
+  "librelgraph_graph.a"
+  "librelgraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_pq.dir/analyzer.cc.o"
+  "CMakeFiles/relgraph_pq.dir/analyzer.cc.o.d"
+  "CMakeFiles/relgraph_pq.dir/engine.cc.o"
+  "CMakeFiles/relgraph_pq.dir/engine.cc.o.d"
+  "CMakeFiles/relgraph_pq.dir/label_builder.cc.o"
+  "CMakeFiles/relgraph_pq.dir/label_builder.cc.o.d"
+  "CMakeFiles/relgraph_pq.dir/lexer.cc.o"
+  "CMakeFiles/relgraph_pq.dir/lexer.cc.o.d"
+  "CMakeFiles/relgraph_pq.dir/parser.cc.o"
+  "CMakeFiles/relgraph_pq.dir/parser.cc.o.d"
+  "librelgraph_pq.a"
+  "librelgraph_pq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelgraph_pq.a"
+)

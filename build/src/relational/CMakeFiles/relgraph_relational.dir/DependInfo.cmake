@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relational/column.cc" "src/relational/CMakeFiles/relgraph_relational.dir/column.cc.o" "gcc" "src/relational/CMakeFiles/relgraph_relational.dir/column.cc.o.d"
+  "/root/repo/src/relational/csv_io.cc" "src/relational/CMakeFiles/relgraph_relational.dir/csv_io.cc.o" "gcc" "src/relational/CMakeFiles/relgraph_relational.dir/csv_io.cc.o.d"
+  "/root/repo/src/relational/database.cc" "src/relational/CMakeFiles/relgraph_relational.dir/database.cc.o" "gcc" "src/relational/CMakeFiles/relgraph_relational.dir/database.cc.o.d"
+  "/root/repo/src/relational/query.cc" "src/relational/CMakeFiles/relgraph_relational.dir/query.cc.o" "gcc" "src/relational/CMakeFiles/relgraph_relational.dir/query.cc.o.d"
+  "/root/repo/src/relational/schema.cc" "src/relational/CMakeFiles/relgraph_relational.dir/schema.cc.o" "gcc" "src/relational/CMakeFiles/relgraph_relational.dir/schema.cc.o.d"
+  "/root/repo/src/relational/snapshot.cc" "src/relational/CMakeFiles/relgraph_relational.dir/snapshot.cc.o" "gcc" "src/relational/CMakeFiles/relgraph_relational.dir/snapshot.cc.o.d"
+  "/root/repo/src/relational/table.cc" "src/relational/CMakeFiles/relgraph_relational.dir/table.cc.o" "gcc" "src/relational/CMakeFiles/relgraph_relational.dir/table.cc.o.d"
+  "/root/repo/src/relational/value.cc" "src/relational/CMakeFiles/relgraph_relational.dir/value.cc.o" "gcc" "src/relational/CMakeFiles/relgraph_relational.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/relgraph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_relational.dir/column.cc.o"
+  "CMakeFiles/relgraph_relational.dir/column.cc.o.d"
+  "CMakeFiles/relgraph_relational.dir/csv_io.cc.o"
+  "CMakeFiles/relgraph_relational.dir/csv_io.cc.o.d"
+  "CMakeFiles/relgraph_relational.dir/database.cc.o"
+  "CMakeFiles/relgraph_relational.dir/database.cc.o.d"
+  "CMakeFiles/relgraph_relational.dir/query.cc.o"
+  "CMakeFiles/relgraph_relational.dir/query.cc.o.d"
+  "CMakeFiles/relgraph_relational.dir/schema.cc.o"
+  "CMakeFiles/relgraph_relational.dir/schema.cc.o.d"
+  "CMakeFiles/relgraph_relational.dir/snapshot.cc.o"
+  "CMakeFiles/relgraph_relational.dir/snapshot.cc.o.d"
+  "CMakeFiles/relgraph_relational.dir/table.cc.o"
+  "CMakeFiles/relgraph_relational.dir/table.cc.o.d"
+  "CMakeFiles/relgraph_relational.dir/value.cc.o"
+  "CMakeFiles/relgraph_relational.dir/value.cc.o.d"
+  "librelgraph_relational.a"
+  "librelgraph_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

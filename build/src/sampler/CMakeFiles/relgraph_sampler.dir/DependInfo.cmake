@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampler/negative_sampler.cc" "src/sampler/CMakeFiles/relgraph_sampler.dir/negative_sampler.cc.o" "gcc" "src/sampler/CMakeFiles/relgraph_sampler.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/sampler/neighbor_sampler.cc" "src/sampler/CMakeFiles/relgraph_sampler.dir/neighbor_sampler.cc.o" "gcc" "src/sampler/CMakeFiles/relgraph_sampler.dir/neighbor_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/relgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/relgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/relgraph_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

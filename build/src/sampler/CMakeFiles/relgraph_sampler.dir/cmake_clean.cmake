@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_sampler.dir/negative_sampler.cc.o"
+  "CMakeFiles/relgraph_sampler.dir/negative_sampler.cc.o.d"
+  "CMakeFiles/relgraph_sampler.dir/neighbor_sampler.cc.o"
+  "CMakeFiles/relgraph_sampler.dir/neighbor_sampler.cc.o.d"
+  "librelgraph_sampler.a"
+  "librelgraph_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

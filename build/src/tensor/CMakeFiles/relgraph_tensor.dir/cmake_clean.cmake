@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_tensor.dir/autograd.cc.o"
+  "CMakeFiles/relgraph_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/relgraph_tensor.dir/init.cc.o"
+  "CMakeFiles/relgraph_tensor.dir/init.cc.o.d"
+  "CMakeFiles/relgraph_tensor.dir/nn.cc.o"
+  "CMakeFiles/relgraph_tensor.dir/nn.cc.o.d"
+  "CMakeFiles/relgraph_tensor.dir/optim.cc.o"
+  "CMakeFiles/relgraph_tensor.dir/optim.cc.o.d"
+  "CMakeFiles/relgraph_tensor.dir/serialize.cc.o"
+  "CMakeFiles/relgraph_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/relgraph_tensor.dir/tensor.cc.o"
+  "CMakeFiles/relgraph_tensor.dir/tensor.cc.o.d"
+  "librelgraph_tensor.a"
+  "librelgraph_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

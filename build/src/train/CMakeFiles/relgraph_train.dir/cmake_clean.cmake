@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relgraph_train.dir/metrics.cc.o"
+  "CMakeFiles/relgraph_train.dir/metrics.cc.o.d"
+  "CMakeFiles/relgraph_train.dir/recommender.cc.o"
+  "CMakeFiles/relgraph_train.dir/recommender.cc.o.d"
+  "CMakeFiles/relgraph_train.dir/task.cc.o"
+  "CMakeFiles/relgraph_train.dir/task.cc.o.d"
+  "CMakeFiles/relgraph_train.dir/trainer.cc.o"
+  "CMakeFiles/relgraph_train.dir/trainer.cc.o.d"
+  "librelgraph_train.a"
+  "librelgraph_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relgraph_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
