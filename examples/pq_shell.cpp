@@ -2,6 +2,13 @@
 //
 // Usage:
 //   ./build/examples/pq_shell [ecommerce|clinical|social]
+//                             [--resume <checkpoint>] [--allow-degraded]
+//
+// --resume <checkpoint> makes GNN queries write crash-safe training
+// checkpoints to that path and continue from it when it already exists
+// (per-query override: WITH checkpoint='path', resume=true|false).
+// --allow-degraded accepts a database that fails integrity validation,
+// quarantining dangling FKs instead of erroring.
 //
 // Commands:
 //   \schema            print the database schema
@@ -53,7 +60,23 @@ const char* ExamplesFor(const std::string& world) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string world = argc > 1 ? argv[1] : "ecommerce";
+  std::string world = "ecommerce";
+  EngineOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--resume") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--resume needs a checkpoint path\n");
+        return 2;
+      }
+      options.checkpoint_path = argv[++i];
+      options.resume = true;
+    } else if (arg == "--allow-degraded") {
+      options.allow_degraded = true;
+    } else {
+      world = arg;
+    }
+  }
   Database db;
   if (world == "clinical") {
     ClinicalConfig cfg;
@@ -78,7 +101,11 @@ int main(int argc, char** argv) {
   std::printf("type a predictive query (optionally prefixed with EXPLAIN), "
               "\\examples, \\schema, \\graph or \\quit.\n");
 
-  PredictiveQueryEngine engine(&db);
+  if (!options.checkpoint_path.empty()) {
+    std::printf("GNN training checkpoints: %s (resume enabled)\n",
+                options.checkpoint_path.c_str());
+  }
+  PredictiveQueryEngine engine(&db, options);
   std::string line;
   while (true) {
     std::printf("pq> ");

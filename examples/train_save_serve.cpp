@@ -5,7 +5,11 @@
 // 3. reload database + weights in a fresh "serving" stack;
 // 4. score the newest cutoff and export the predictions to CSV.
 //
-// Run: ./build/examples/train_save_serve [output_dir]
+// Run: ./build/examples/train_save_serve [output_dir] [--resume <ckpt>]
+//
+// Training always writes a crash-safe epoch checkpoint next to its other
+// artifacts; pass --resume <ckpt> to continue a killed run from that file
+// (the resumed run reproduces the uninterrupted one bit-for-bit).
 
 #include <cstdio>
 #include <string>
@@ -42,9 +46,24 @@ SamplerOptions SamplerConfig() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string dir = argc > 1 ? argv[1] : "/tmp";
+  std::string dir = "/tmp";
+  std::string resume_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--resume") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--resume needs a checkpoint path\n");
+        return 2;
+      }
+      resume_path = argv[++i];
+    } else {
+      dir = arg;
+    }
+  }
   const std::string db_path = dir + "/relgraph_demo.db";
   const std::string ckpt_path = dir + "/relgraph_demo.ckpt";
+  const std::string train_ckpt_path =
+      resume_path.empty() ? dir + "/relgraph_demo.train.ckpt" : resume_path;
   const std::string preds_path = dir + "/relgraph_demo_predictions.csv";
 
   // ---- training side ----------------------------------------------------
@@ -70,10 +89,19 @@ int main(int argc, char** argv) {
   TrainerConfig tc;
   tc.epochs = 8;
   tc.seed = 3;
+  tc.checkpoint_path = train_ckpt_path;
+  tc.resume = !resume_path.empty();
   GnnNodePredictor trainer(&graph.graph, users,
                            TaskKind::kBinaryClassification, 2, ModelConfig(),
                            SamplerConfig(), tc);
-  if (!trainer.Fit(table, split).ok()) return 1;
+  if (Status st = trainer.Fit(table, split); !st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  if (trainer.resumed_from_epoch() >= 0) {
+    std::printf("resumed from %s at epoch %lld\n", train_ckpt_path.c_str(),
+                static_cast<long long>(trainer.resumed_from_epoch()));
+  }
   std::printf("trained: test AUC %.4f, %lld parameters\n",
               RocAuc(trainer.PredictScores(table, split.test), [&] {
                 std::vector<double> t;

@@ -1,0 +1,67 @@
+#include "core/atomic_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/fault_injection.h"
+
+namespace relgraph {
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  FaultInjector& faults = FaultInjector::Global();
+
+  if (faults.ShouldFire(FaultSite::kAtomicWriteOpen)) {
+    return Status::IoError("injected fault: cannot open for writing: " + tmp);
+  }
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for writing: " + tmp + " (" +
+                           std::strerror(errno) + ")");
+  }
+
+  // A torn write models a crash after rename on a filesystem that reordered
+  // the data flush: the final file exists but is truncated. Readers must
+  // detect this and fail with a clean Status.
+  size_t to_write = contents.size();
+  if (faults.ShouldFire(FaultSite::kAtomicWriteShort)) {
+    to_write /= 2;
+  }
+  if (to_write > 0 &&
+      std::fwrite(contents.data(), 1, to_write, f) != to_write) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("short write: " + tmp);
+  }
+  if (std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError("flush failed: " + tmp);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close failed: " + tmp);
+  }
+
+  if (faults.ShouldFire(FaultSite::kAtomicWriteRename)) {
+    std::remove(tmp.c_str());
+    return Status::IoError("injected fault: rename failed: " + tmp + " -> " +
+                           path);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace relgraph

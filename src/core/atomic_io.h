@@ -1,0 +1,26 @@
+#ifndef RELGRAPH_CORE_ATOMIC_IO_H_
+#define RELGRAPH_CORE_ATOMIC_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace relgraph {
+
+/// Atomically replaces `path` with `contents`: writes `path + ".tmp"`,
+/// flushes it to disk (fsync), then renames it into place. A crash at any
+/// point leaves either the previous file intact or the complete new one —
+/// never a truncated mix. Every durable artifact (checkpoints, tensor
+/// bundles, CSV exports, snapshots) goes through this helper.
+///
+/// Instrumented with FaultSite::kAtomicWriteOpen / kAtomicWriteShort /
+/// kAtomicWriteRename for robustness tests.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// True when `path` exists and is a regular file.
+bool FileExists(const std::string& path);
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_CORE_ATOMIC_IO_H_

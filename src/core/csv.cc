@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "core/atomic_io.h"
+
 #include "core/string_util.h"
 
 namespace relgraph {
@@ -146,11 +148,7 @@ std::string WriteCsv(const CsvDocument& doc, char delim) {
 
 Status WriteCsvFile(const std::string& path, const CsvDocument& doc,
                     char delim) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open file for writing: " + path);
-  out << WriteCsv(doc, delim);
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, WriteCsv(doc, delim));
 }
 
 }  // namespace relgraph

@@ -1,0 +1,65 @@
+#include "core/fault_injection.h"
+
+namespace relgraph {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kAtomicWriteOpen:
+      return "atomic_write_open";
+    case FaultSite::kAtomicWriteShort:
+      return "atomic_write_short";
+    case FaultSite::kAtomicWriteRename:
+      return "atomic_write_rename";
+    case FaultSite::kCsvCellCorrupt:
+      return "csv_cell_corrupt";
+    case FaultSite::kNanLoss:
+      return "nan_loss";
+    case FaultSite::kNanGradient:
+      return "nan_gradient";
+    case FaultSite::kNumSites:
+      break;
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector instance;
+  return instance;
+}
+
+void FaultInjector::Arm(FaultSite site, int64_t skip, int64_t times) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  s.armed = true;
+  s.skip = skip;
+  s.times = times;
+  s.hits = 0;
+  s.fired = 0;
+}
+
+void FaultInjector::Disarm(FaultSite site) {
+  sites_[static_cast<size_t>(site)].armed = false;
+}
+
+void FaultInjector::Reset() {
+  for (auto& s : sites_) s = SiteState{};
+}
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  SiteState& s = sites_[static_cast<size_t>(site)];
+  if (!s.armed) return false;
+  const int64_t hit = s.hits++;
+  if (hit < s.skip) return false;
+  if (s.times >= 0 && hit - s.skip >= s.times) return false;
+  ++s.fired;
+  return true;
+}
+
+int64_t FaultInjector::hits(FaultSite site) const {
+  return sites_[static_cast<size_t>(site)].hits;
+}
+
+int64_t FaultInjector::fired(FaultSite site) const {
+  return sites_[static_cast<size_t>(site)].fired;
+}
+
+}  // namespace relgraph

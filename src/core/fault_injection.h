@@ -1,0 +1,72 @@
+#ifndef RELGRAPH_CORE_FAULT_INJECTION_H_
+#define RELGRAPH_CORE_FAULT_INJECTION_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace relgraph {
+
+/// Instrumented points in the stack where a fault can be forced. Each site
+/// is compiled in permanently but disarmed by default, so production code
+/// pays one branch per site hit.
+enum class FaultSite {
+  kAtomicWriteOpen = 0,   ///< temp-file open fails -> IoError
+  kAtomicWriteShort,      ///< only half the payload reaches disk (torn write)
+  kAtomicWriteRename,     ///< rename into place fails; target left untouched
+  kCsvCellCorrupt,        ///< an ingested CSV cell is garbled before parsing
+  kNanLoss,               ///< a training batch loss becomes NaN
+  kNanGradient,           ///< one parameter gradient becomes NaN
+  kNumSites,              ///< sentinel, not a real site
+};
+
+/// Human-readable site name ("atomic_write_open", ...).
+const char* FaultSiteName(FaultSite site);
+
+/// Deterministic fault injector for robustness tests.
+///
+/// Faults fire by hit count, never by wall clock or probability, so every
+/// failure a test provokes is reproducible bit-for-bit: `Arm(site, skip,
+/// times)` fires on hits skip+1 .. skip+times of that site. Tests arm a
+/// site, run the code under test, then assert on `fired()` and on the
+/// Status the fault surfaced as. Always `Reset()` between tests.
+class FaultInjector {
+ public:
+  /// Process-wide injector used by all instrumented sites.
+  static FaultInjector& Global();
+
+  /// Arms `site`: skip the first `skip` hits, then fire `times` times
+  /// (times < 0 means fire forever).
+  void Arm(FaultSite site, int64_t skip = 0, int64_t times = 1);
+
+  void Disarm(FaultSite site);
+
+  /// Disarms every site and zeroes all counters.
+  void Reset();
+
+  /// Called by instrumented code: counts the hit and reports whether the
+  /// fault fires this time. Disarmed sites never fire and skip counting.
+  bool ShouldFire(FaultSite site);
+
+  /// Hits counted while the site was armed.
+  int64_t hits(FaultSite site) const;
+
+  /// Times the site actually fired.
+  int64_t fired(FaultSite site) const;
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    bool armed = false;
+    int64_t skip = 0;
+    int64_t times = 0;
+    int64_t hits = 0;
+    int64_t fired = 0;
+  };
+  std::array<SiteState, static_cast<size_t>(FaultSite::kNumSites)> sites_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_CORE_FAULT_INJECTION_H_

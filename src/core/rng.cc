@@ -25,6 +25,14 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(&sm);
 }
 
+std::array<uint64_t, 4> Rng::GetState() const {
+  return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void Rng::SetState(const std::array<uint64_t, 4>& state) {
+  for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
 uint64_t Rng::NextU64() {
   const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
   const uint64_t t = s_[1] << 17;

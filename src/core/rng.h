@@ -1,6 +1,7 @@
 #ifndef RELGRAPH_CORE_RNG_H_
 #define RELGRAPH_CORE_RNG_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -69,6 +70,11 @@ class Rng {
 
   /// Samples k distinct indices from [0, n) (k >= n returns all of [0, n)).
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Raw generator state for checkpointing; restoring it with SetState
+  /// resumes the exact stream (all draws are stateless beyond s_).
+  std::array<uint64_t, 4> GetState() const;
+  void SetState(const std::array<uint64_t, 4>& state);
 
  private:
   uint64_t s_[4];

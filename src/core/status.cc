@@ -1,6 +1,20 @@
 #include "core/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace relgraph {
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: Result::value() called on errored result: %s\n",
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
 
 const char* StatusCodeName(StatusCode code) {
   switch (code) {

@@ -77,10 +77,19 @@ class Status {
   std::string message_;
 };
 
+namespace internal {
+
+/// Prints the status and aborts; out-of-line so Result<T> stays light.
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+
+}  // namespace internal
+
 /// A value of type T or an error `Status`.
 ///
 /// Access the value only after checking `ok()`; accessing the value of an
-/// errored result aborts in debug builds.
+/// errored result hard-aborts with the status message in every build mode
+/// (silent UB in release builds would let a corrupted artifact poison
+/// downstream state).
 template <typename T>
 class Result {
  public:
@@ -93,15 +102,15 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    if (!ok()) internal::DieOnBadResultAccess(status_);
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    if (!ok()) internal::DieOnBadResultAccess(status_);
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    if (!ok()) internal::DieOnBadResultAccess(status_);
     return std::move(*value_);
   }
 

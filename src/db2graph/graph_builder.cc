@@ -43,10 +43,17 @@ Result<DbGraph> BuildDbGraph(const Database& db,
       std::vector<int64_t> src, dst;
       std::vector<Timestamp> times;
       src.reserve(static_cast<size_t>(table->num_rows()));
+      const std::string edge_name = table->name() + "__" + fk.column;
       for (int64_t r = 0; r < table->num_rows(); ++r) {
         if (col.IsNull(r)) continue;
         auto parent_row = parent->FindByPrimaryKey(col.Int(r));
         if (!parent_row.ok()) {
+          if (options.lenient) {
+            // Degraded mode: a dangling FK simply produces no edge, like a
+            // NULL FK, but is counted so the caller can report it.
+            ++out.skipped_dangling_fks[edge_name];
+            continue;
+          }
           return Status::InvalidArgument(StrFormat(
               "FK %s.%s=%lld (row %lld) dangles", table->name().c_str(),
               fk.column.c_str(), static_cast<long long>(col.Int(r)),
@@ -56,7 +63,6 @@ Result<DbGraph> BuildDbGraph(const Database& db,
         dst.push_back(parent_row.value());
         times.push_back(table->RowTime(r));
       }
-      const std::string edge_name = table->name() + "__" + fk.column;
       RELGRAPH_ASSIGN_OR_RETURN(
           EdgeTypeId fwd, out.graph.AddEdgeType(edge_name, child_type,
                                                 parent_type, src, dst,

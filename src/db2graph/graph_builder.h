@@ -17,6 +17,12 @@ struct GraphBuilderOptions {
   /// Emit a reverse edge type ("rev_<name>") for every FK so message
   /// passing can flow both ways (child→parent and parent→child).
   bool add_reverse_edges = true;
+
+  /// Degraded-mode build: dangling FK values are skipped (no edge) and
+  /// counted into DbGraph::skipped_dangling_fks instead of aborting the
+  /// conversion. Used when the engine accepts a database that failed
+  /// Validate().
+  bool lenient = false;
 };
 
 /// The result of converting a relational database into a heterogeneous
@@ -32,6 +38,16 @@ struct DbGraph {
   /// Per node type, the feature names produced by the encoder (aligned
   /// with graph.node_features columns).
   std::map<std::string, std::vector<std::string>> feature_names;
+
+  /// Lenient builds only: dangling-FK edges skipped per edge type
+  /// ("table__fk" -> count); empty for a clean or strict build.
+  std::map<std::string, int64_t> skipped_dangling_fks;
+
+  int64_t TotalSkippedFks() const {
+    int64_t total = 0;
+    for (const auto& [name, n] : skipped_dangling_fks) total += n;
+    return total;
+  }
 
   NodeTypeId type_of(const std::string& table) const {
     return table_type.at(table);

@@ -8,6 +8,7 @@
 #include "baselines/feature_aggregator.h"
 #include "core/csv.h"
 #include "baselines/tabular.h"
+#include "core/logging.h"
 #include "core/string_util.h"
 #include "core/timer.h"
 #include "pq/parser.h"
@@ -149,7 +150,30 @@ PredictiveQueryEngine::PredictiveQueryEngine(const Database* db,
                                              EngineOptions options)
     : db_(db), options_(std::move(options)) {}
 
+Status PredictiveQueryEngine::EnsureValidated() {
+  if (validated_) return db_status_;
+  validated_ = true;
+  if (!options_.validate_db) return Status::OK();
+  Status st = db_->Validate();
+  if (st.ok()) return Status::OK();
+  if (!options_.allow_degraded) {
+    db_status_ = Status(st.code(),
+                        "database failed validation (set "
+                        "EngineOptions::allow_degraded to run anyway): " +
+                            st.message());
+    return db_status_;
+  }
+  degraded_ = true;
+  options_.graph.lenient = true;
+  audit_ = db_->Audit();
+  RELGRAPH_LOG(Warning) << "database failed validation; running degraded ("
+                        << audit_.TotalIssues()
+                        << " integrity issue(s)): " << st.message();
+  return Status::OK();
+}
+
 Result<const DbGraph*> PredictiveQueryEngine::Graph() {
+  RELGRAPH_RETURN_IF_ERROR(EnsureValidated());
   if (!graph_) {
     RELGRAPH_ASSIGN_OR_RETURN(DbGraph g, BuildDbGraph(*db_, options_.graph));
     graph_ = std::make_unique<DbGraph>(std::move(g));
@@ -175,6 +199,7 @@ Result<std::string> PredictiveQueryEngine::Explain(
   if (text.size() > 7 && EqualsIgnoreCase(text.substr(0, 7), "EXPLAIN")) {
     text = Trim(text.substr(7));
   }
+  RELGRAPH_RETURN_IF_ERROR(EnsureValidated());
   RELGRAPH_ASSIGN_OR_RETURN(ParsedQuery parsed,
                             ParseQuery(std::string(text)));
   RELGRAPH_ASSIGN_OR_RETURN(ResolvedQuery rq, AnalyzeQuery(parsed, *db_));
@@ -235,6 +260,7 @@ Result<std::string> PredictiveQueryEngine::Explain(
 Result<QueryResult> PredictiveQueryEngine::ExecuteParsed(
     const ParsedQuery& parsed) {
   Timer timer;
+  RELGRAPH_RETURN_IF_ERROR(EnsureValidated());
   RELGRAPH_ASSIGN_OR_RETURN(ResolvedQuery rq, AnalyzeQuery(parsed, *db_));
   QueryResult result;
   result.parsed = parsed;
@@ -313,6 +339,8 @@ Result<QueryResult> PredictiveQueryEngine::RunGnn(const ResolvedQuery& rq,
                                               static_cast<int64_t>(
                                                   options_.seed)));
   tc.verbose = options_.verbose;
+  tc.checkpoint_path = opts.GetString("checkpoint", options_.checkpoint_path);
+  tc.resume = opts.GetBool("resume", options_.resume);
 
   const NodeTypeId entity_type = dbg->type_of(rq.entity->name());
   if (rq.kind == TaskKind::kRanking) {

@@ -55,6 +55,25 @@ struct EngineOptions {
   GraphBuilderOptions graph;
   uint64_t seed = 1;
   bool verbose = false;
+
+  /// Validate the database once before the first query runs (PK
+  /// uniqueness, FK resolution). Strongly recommended: every downstream
+  /// stage assumes a consistent DB.
+  bool validate_db = true;
+
+  /// When validation fails, degrade gracefully instead of erroring: the
+  /// audit report is logged and kept (see audit()), and the DB→graph
+  /// conversion skips dangling FKs. Off by default — dirty data should be
+  /// an explicit decision.
+  bool allow_degraded = false;
+
+  /// Default training-checkpoint path for GNN queries (overridable per
+  /// query via WITH checkpoint='path'); empty disables checkpointing.
+  std::string checkpoint_path;
+
+  /// Resume GNN training from `checkpoint_path` when the file exists
+  /// (overridable per query via WITH resume=true|false).
+  bool resume = false;
 };
 
 /// Executes predictive queries against one database: parse → analyze →
@@ -99,7 +118,20 @@ class PredictiveQueryEngine {
 
   const Database& db() const { return *db_; }
 
+  /// True when the DB failed validation and the engine is running in the
+  /// explicitly-degraded (lenient) mode permitted by allow_degraded.
+  bool degraded() const { return degraded_; }
+
+  /// Integrity audit of a degraded database (empty for a clean DB).
+  const DatabaseIntegrityReport& audit() const { return audit_; }
+
  private:
+  /// Runs Database::Validate() once, lazily, before the first query. A
+  /// clean DB validates silently; a dirty one either fails every query
+  /// (default) or, with allow_degraded, flips the engine into lenient
+  /// graph construction and records the audit report.
+  Status EnsureValidated();
+
   Result<QueryResult> RunGnn(const ResolvedQuery& rq, QueryResult* result);
   Result<QueryResult> RunTabular(const ResolvedQuery& rq,
                                  QueryResult* result);
@@ -109,6 +141,10 @@ class PredictiveQueryEngine {
   const Database* db_;
   EngineOptions options_;
   std::unique_ptr<DbGraph> graph_;
+  bool validated_ = false;
+  bool degraded_ = false;
+  Status db_status_;
+  DatabaseIntegrityReport audit_;
 };
 
 }  // namespace relgraph

@@ -5,20 +5,35 @@
 
 #include "core/status.h"
 #include "relational/database.h"
+#include "relational/ingest_report.h"
 
 namespace relgraph {
 
 /// Populates `table` (which must be empty) from CSV text whose header must
 /// match the schema's column names exactly; empty fields become NULL.
+///
+/// In strict mode (default) the first malformed cell, duplicate or null
+/// primary key, or out-of-range/out-of-order timestamp aborts the load
+/// with a row- and column-precise error. In lenient mode such rows are
+/// quarantined (dropped), counted by category into `report`, and the load
+/// succeeds; `report` keeps the first offending rows for debugging.
+Status LoadTableFromCsv(std::string_view csv_text, Table* table,
+                        const IngestOptions& options,
+                        TableIngestReport* report = nullptr);
+
+/// Strict-mode shorthand.
 Status LoadTableFromCsv(std::string_view csv_text, Table* table);
 
 /// File variant of LoadTableFromCsv.
-Status LoadTableFromCsvFile(const std::string& path, Table* table);
+Status LoadTableFromCsvFile(const std::string& path, Table* table,
+                            const IngestOptions& options = {},
+                            TableIngestReport* report = nullptr);
 
 /// Serializes a table to CSV (NULL cells render as empty fields).
 std::string TableToCsv(const Table& table);
 
-/// Writes every table of `db` as `<dir>/<table>.csv`.
+/// Writes every table of `db` as `<dir>/<table>.csv` (atomically per
+/// file).
 Status SaveDatabaseCsv(const Database& db, const std::string& dir);
 
 }  // namespace relgraph

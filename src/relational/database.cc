@@ -82,6 +82,58 @@ Status Database::Validate() const {
   return Status::OK();
 }
 
+DatabaseIntegrityReport Database::Audit(int64_t max_examples) const {
+  DatabaseIntegrityReport report;
+  for (const auto& t : tables_) {
+    TableIngestReport tr;
+    tr.table = t->name();
+    tr.rows_loaded = t->num_rows();
+    auto example = [&tr, max_examples](int64_t row, const std::string& col,
+                                       std::string reason) {
+      if (static_cast<int64_t>(tr.examples.size()) < max_examples) {
+        tr.examples.push_back({row + 1, col, std::move(reason)});
+      }
+    };
+    if (t->schema().primary_key()) {
+      const Column& pk = t->column(*t->schema().primary_key());
+      std::unordered_map<int64_t, int64_t> seen;
+      for (int64_t r = 0; r < t->num_rows(); ++r) {
+        if (pk.IsNull(r)) {
+          ++tr.null_pks;
+          example(r, pk.name(), "null primary key");
+          continue;
+        }
+        auto [it, inserted] = seen.emplace(pk.Int(r), r);
+        if (!inserted) {
+          ++tr.duplicate_pks;
+          example(r, pk.name(),
+                  StrFormat("duplicate primary key %lld (first at row %lld)",
+                            static_cast<long long>(pk.Int(r)),
+                            static_cast<long long>(it->second + 1)));
+        }
+      }
+    }
+    for (const auto& fk : t->schema().foreign_keys()) {
+      const Table* target = FindTable(fk.referenced_table);
+      if (target == nullptr || !target->schema().primary_key()) continue;
+      const Column& col = t->column(fk.column);
+      for (int64_t r = 0; r < t->num_rows(); ++r) {
+        if (col.IsNull(r)) continue;
+        if (!target->FindByPrimaryKey(col.Int(r)).ok()) {
+          ++tr.dangling_fks;
+          example(r, fk.column,
+                  StrFormat("FK %s=%lld has no match in '%s'",
+                            fk.column.c_str(),
+                            static_cast<long long>(col.Int(r)),
+                            fk.referenced_table.c_str()));
+        }
+      }
+    }
+    if (tr.TotalIssues() > 0) report.tables.push_back(std::move(tr));
+  }
+  return report;
+}
+
 std::pair<Timestamp, Timestamp> Database::TimeRange() const {
   Timestamp lo = kNoTimestamp, hi = kNoTimestamp;
   for (const auto& t : tables_) {

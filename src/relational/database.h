@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "relational/ingest_report.h"
 #include "relational/table.h"
 
 namespace relgraph {
@@ -50,6 +51,14 @@ class Database {
   /// Full integrity check: schemas valid, FK targets exist & have PKs,
   /// PKs unique, every non-null FK value resolves.
   Status Validate() const;
+
+  /// Lenient integrity audit: instead of stopping at the first problem,
+  /// counts duplicate/null PKs and dangling FKs per table (with first
+  /// offenders) so a dirty database can be loaded in an
+  /// explicitly-degraded mode. Structural schema errors (unknown FK
+  /// target, missing PK on a referenced table) are still hard errors and
+  /// surface through Validate().
+  DatabaseIntegrityReport Audit(int64_t max_examples = 5) const;
 
   /// Earliest and latest event timestamps across all temporal tables;
   /// returns {kNoTimestamp, kNoTimestamp} when the DB is fully static.

@@ -1,0 +1,50 @@
+#include "relational/ingest_report.h"
+
+#include "core/string_util.h"
+
+namespace relgraph {
+
+std::string TableIngestReport::ToString() const {
+  if (TotalIssues() == 0 && rows_quarantined == 0) return "";
+  std::string out = StrFormat(
+      "table '%s': %lld rows loaded, %lld quarantined", table.c_str(),
+      static_cast<long long>(rows_loaded),
+      static_cast<long long>(rows_quarantined));
+  auto count = [&out](const char* label, int64_t n) {
+    if (n > 0) out += StrFormat("\n  %-24s %lld", label,
+                                static_cast<long long>(n));
+  };
+  count("malformed cells", malformed_cells);
+  count("duplicate PKs", duplicate_pks);
+  count("null PKs", null_pks);
+  count("out-of-range timestamps", out_of_range_timestamps);
+  count("out-of-order timestamps", out_of_order_timestamps);
+  count("constraint violations", constraint_violations);
+  count("dangling FKs", dangling_fks);
+  for (const QuarantinedRow& q : examples) {
+    out += StrFormat("\n  row %lld%s%s: %s",
+                     static_cast<long long>(q.row),
+                     q.column.empty() ? "" : " column ",
+                     q.column.c_str(), q.reason.c_str());
+  }
+  return out;
+}
+
+int64_t DatabaseIntegrityReport::TotalIssues() const {
+  int64_t total = 0;
+  for (const TableIngestReport& t : tables) total += t.TotalIssues();
+  return total;
+}
+
+std::string DatabaseIntegrityReport::ToString() const {
+  if (clean()) return "database integrity: clean";
+  std::string out = StrFormat("database integrity: %lld issue(s)",
+                              static_cast<long long>(TotalIssues()));
+  for (const TableIngestReport& t : tables) {
+    const std::string table_str = t.ToString();
+    if (!table_str.empty()) out += "\n" + table_str;
+  }
+  return out;
+}
+
+}  // namespace relgraph

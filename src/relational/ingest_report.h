@@ -1,0 +1,86 @@
+#ifndef RELGRAPH_RELATIONAL_INGEST_REPORT_H_
+#define RELGRAPH_RELATIONAL_INGEST_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+
+namespace relgraph {
+
+/// How fallible ingestion treats dirty data.
+enum class IngestMode {
+  /// First problem aborts the load with a row-precise error (default).
+  kStrict,
+  /// Problem rows are counted, logged and quarantined (dropped from the
+  /// table); the load succeeds with a report.
+  kLenient,
+};
+
+/// One quarantined row: where it was and why it was rejected.
+struct QuarantinedRow {
+  int64_t row = 0;  ///< 1-based data-row number within the source CSV/table
+  std::string column;
+  std::string reason;
+};
+
+/// Per-table ingestion/integrity outcome.
+struct TableIngestReport {
+  std::string table;
+  int64_t rows_loaded = 0;
+  int64_t rows_quarantined = 0;
+
+  // Issue counts by category.
+  int64_t malformed_cells = 0;
+  int64_t duplicate_pks = 0;
+  int64_t null_pks = 0;
+  int64_t out_of_range_timestamps = 0;
+  int64_t out_of_order_timestamps = 0;
+  int64_t constraint_violations = 0;  ///< e.g. NULL in a NOT NULL column
+  int64_t dangling_fks = 0;           ///< filled by Database::Audit
+
+  /// First offending rows (capped by IngestOptions::max_examples).
+  std::vector<QuarantinedRow> examples;
+
+  int64_t TotalIssues() const {
+    return malformed_cells + duplicate_pks + null_pks +
+           out_of_range_timestamps + out_of_order_timestamps +
+           constraint_violations + dangling_fks;
+  }
+
+  /// Multi-line human-readable rendering (empty string when clean).
+  std::string ToString() const;
+};
+
+/// Whole-database integrity audit outcome (one entry per table with
+/// issues).
+struct DatabaseIntegrityReport {
+  std::vector<TableIngestReport> tables;
+
+  int64_t TotalIssues() const;
+  bool clean() const { return TotalIssues() == 0; }
+  std::string ToString() const;
+};
+
+/// Knobs for fallible ingestion.
+struct IngestOptions {
+  IngestMode mode = IngestMode::kStrict;
+
+  /// First-offender rows kept per table in the report.
+  int64_t max_examples = 5;
+
+  /// Optional plausibility bounds on event timestamps; kNoTimestamp
+  /// disables a bound. Out-of-range rows are quarantined (lenient) or
+  /// rejected (strict).
+  Timestamp min_timestamp = kNoTimestamp;
+  Timestamp max_timestamp = kNoTimestamp;
+
+  /// Require the event-time column to be non-decreasing in file order;
+  /// rows that step backwards are quarantined/rejected.
+  bool require_monotonic_time = false;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_INGEST_REPORT_H_

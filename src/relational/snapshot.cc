@@ -2,7 +2,9 @@
 
 #include <cstdint>
 #include <fstream>
+#include <sstream>
 
+#include "core/atomic_io.h"
 #include "core/string_util.h"
 
 namespace relgraph {
@@ -95,8 +97,9 @@ Result<Value> ReadValue(std::istream& in, DataType type) {
 }  // namespace
 
 Status SaveDatabaseSnapshot(const Database& db, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
+  // Buffer the full snapshot, then write atomically so a crash mid-save
+  // can never leave a truncated snapshot at `path`.
+  std::ostringstream out(std::ios::binary);
   WritePod(out, kMagic);
   WriteString(out, db.name());
   WritePod(out, static_cast<int64_t>(db.num_tables()));
@@ -125,7 +128,7 @@ Status SaveDatabaseSnapshot(const Database& db, const std::string& path) {
     }
   }
   if (!out) return Status::IoError("snapshot write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<Database> LoadDatabaseSnapshot(const std::string& path) {

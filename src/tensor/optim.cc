@@ -71,6 +71,24 @@ Adam::Adam(std::vector<VarPtr> params, float lr, float beta1, float beta2,
   }
 }
 
+AdamState Adam::GetState() const { return AdamState{t_, m_, v_}; }
+
+Status Adam::SetState(const AdamState& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    return Status::InvalidArgument("Adam state has wrong slot count");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!state.m[i].SameShape(params_[i]->value()) ||
+        !state.v[i].SameShape(params_[i]->value())) {
+      return Status::InvalidArgument("Adam state slot shape mismatch");
+    }
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+  return Status::OK();
+}
+
 void Adam::Step() {
   ++t_;
   const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/status.h"
 #include "tensor/autograd.h"
 
 namespace relgraph {
@@ -47,6 +48,13 @@ class Sgd : public Optimizer {
   std::vector<Tensor> velocity_;
 };
 
+/// Adam moment slots + step counter, exportable for checkpointing.
+struct AdamState {
+  int64_t t = 0;
+  std::vector<Tensor> m;
+  std::vector<Tensor> v;
+};
+
 /// Adam (Kingma & Ba) with optional decoupled weight decay (AdamW).
 class Adam : public Optimizer {
  public:
@@ -57,6 +65,14 @@ class Adam : public Optimizer {
 
   float lr() const { return lr_; }
   void set_lr(float lr) { lr_ = lr; }
+
+  /// Copies out the moment slots and step counter (for checkpoints and
+  /// divergence rollback).
+  AdamState GetState() const;
+
+  /// Restores state captured by GetState; slot shapes must match the
+  /// managed parameters.
+  Status SetState(const AdamState& state);
 
  private:
   float lr_;

@@ -4,7 +4,9 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
+#include "core/atomic_io.h"
 #include "core/string_util.h"
 
 namespace relgraph {
@@ -58,11 +60,9 @@ Result<Tensor> ReadTensor(std::istream& in) {
   return t;
 }
 
-Status SaveTensorBundle(const std::string& path,
-                        const std::vector<Tensor>& tensors,
-                        const std::vector<double>& scalars) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
+Status WriteTensorBundle(std::ostream& out,
+                         const std::vector<Tensor>& tensors,
+                         const std::vector<double>& scalars) {
   WritePod(out, kBundleMagic);
   WritePod(out, static_cast<int64_t>(tensors.size()));
   WritePod(out, static_cast<int64_t>(scalars.size()));
@@ -70,8 +70,16 @@ Status SaveTensorBundle(const std::string& path,
   for (const Tensor& t : tensors) {
     RELGRAPH_RETURN_IF_ERROR(WriteTensor(out, t));
   }
-  if (!out) return Status::IoError("bundle write failed: " + path);
+  if (!out) return Status::IoError("bundle write failed");
   return Status::OK();
+}
+
+Status SaveTensorBundle(const std::string& path,
+                        const std::vector<Tensor>& tensors,
+                        const std::vector<double>& scalars) {
+  std::ostringstream buffer(std::ios::binary);
+  RELGRAPH_RETURN_IF_ERROR(WriteTensorBundle(buffer, tensors, scalars));
+  return AtomicWriteFile(path, buffer.str());
 }
 
 Result<TensorBundle> LoadTensorBundle(const std::string& path) {

@@ -17,9 +17,17 @@ Status WriteTensor(std::ostream& out, const Tensor& tensor);
 /// Reads one tensor previously written with WriteTensor.
 Result<Tensor> ReadTensor(std::istream& in);
 
+/// Writes a parameter bundle (ordered tensors + named-free scalars) to a
+/// stream in the single-file bundle format.
+Status WriteTensorBundle(std::ostream& out,
+                         const std::vector<Tensor>& tensors,
+                         const std::vector<double>& scalars = {});
+
 /// Saves a parameter bundle (ordered tensors + named-free scalars) to a
-/// single file. Used for trained-model checkpoints: the loader must
-/// rebuild the same architecture and restore in the same order.
+/// single file, atomically (write temp + rename): a crash mid-save never
+/// leaves a truncated bundle behind. Used for trained-model checkpoints:
+/// the loader must rebuild the same architecture and restore in the same
+/// order.
 Status SaveTensorBundle(const std::string& path,
                         const std::vector<Tensor>& tensors,
                         const std::vector<double>& scalars = {});

@@ -1,11 +1,14 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <limits>
 
+#include "core/atomic_io.h"
+#include "core/fault_injection.h"
 #include "core/logging.h"
 #include "core/string_util.h"
-#include "tensor/optim.h"
 #include "tensor/serialize.h"
 #include "train/metrics.h"
 
@@ -109,11 +112,47 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
   std::vector<Tensor> best = SnapshotParams();
   best_val_metric_ = -1e30;
   int64_t stale = 0;
-  for (int64_t epoch = 0; epoch < trainer_config_.epochs; ++epoch) {
+  int64_t start_epoch = 0;
+  int64_t retries = 0;
+  divergence_episodes_ = 0;
+  resumed_from_epoch_ = -1;
+
+  const std::string& ckpt = trainer_config_.checkpoint_path;
+  if (!ckpt.empty() && trainer_config_.resume && FileExists(ckpt)) {
+    TrainState ts;
+    RELGRAPH_RETURN_IF_ERROR(LoadTrainCheckpoint(ckpt, &opt, &ts));
+    best = std::move(ts.best);
+    best_val_metric_ = ts.best_val;
+    stale = ts.stale;
+    retries = ts.retries;
+    start_epoch = ts.next_epoch;
+    resumed_from_epoch_ = start_epoch;
+    rng_.SetState(ts.rng);
+    opt.set_lr(ts.lr);
+    if (trainer_config_.verbose) {
+      RELGRAPH_LOG(Info) << "resumed from checkpoint " << ckpt
+                         << " at epoch " << start_epoch << " (best val "
+                         << best_val_metric_ << ")";
+    }
+  }
+
+  // Last finite epoch boundary, for divergence rollback.
+  TrainState good;
+  good.params = SnapshotParams();
+  good.best = best;
+  good.opt = opt.GetState();
+  good.rng = rng_.GetState();
+  good.best_val = best_val_metric_;
+  good.stale = stale;
+  good.lr = opt.lr();
+
+  FaultInjector& faults = FaultInjector::Global();
+  for (int64_t epoch = start_epoch; epoch < trainer_config_.epochs; ++epoch) {
     // Shuffled mini-batches over the training split.
     auto batches = MakeBatches(static_cast<int64_t>(split.train.size()),
                                trainer_config_.batch_size, &rng_);
     double epoch_loss = 0.0;
+    bool diverged = false;
     for (const auto& batch_pos : batches) {
       std::vector<int64_t> batch;
       batch.reserve(batch_pos.size());
@@ -156,11 +195,52 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
         case TaskKind::kRanking:
           return Status::Internal("unreachable");
       }
+      if (faults.ShouldFire(FaultSite::kNanLoss)) {
+        loss->mutable_value().at(0, 0) =
+            std::numeric_limits<float>::quiet_NaN();
+      }
+      const double batch_loss = loss->value().item();
       Backward(loss);
-      opt.ClipGradNorm(trainer_config_.clip_norm);
+      if (faults.ShouldFire(FaultSite::kNanGradient)) {
+        params.front()->grad().data()[0] =
+            std::numeric_limits<float>::quiet_NaN();
+      }
+      const float grad_norm = opt.ClipGradNorm(trainer_config_.clip_norm);
+      // Divergence gate: never step through a non-finite loss or gradient,
+      // so the weights stay at their last finite values.
+      if (!std::isfinite(batch_loss) || !std::isfinite(grad_norm)) {
+        diverged = true;
+        break;
+      }
       opt.Step();
-      epoch_loss += loss->value().item() *
-                    static_cast<double>(batch.size());
+      epoch_loss += batch_loss * static_cast<double>(batch.size());
+    }
+    if (diverged) {
+      ++divergence_episodes_;
+      if (++retries > trainer_config_.max_divergence_retries) {
+        return Status::FailedPrecondition(StrFormat(
+            "training diverged: non-finite loss or gradient norm persisted "
+            "through %lld rollback + LR-halving attempts (epoch %lld, lr "
+            "%.3g); weights left at the last finite state",
+            static_cast<long long>(trainer_config_.max_divergence_retries),
+            static_cast<long long>(epoch), static_cast<double>(opt.lr())));
+      }
+      // Roll back to the last good epoch boundary and retry at a lower LR.
+      RestoreParams(good.params);
+      best = good.best;
+      RELGRAPH_RETURN_IF_ERROR(opt.SetState(good.opt));
+      rng_.SetState(good.rng);
+      best_val_metric_ = good.best_val;
+      stale = good.stale;
+      const float new_lr = good.lr * trainer_config_.divergence_lr_decay;
+      opt.set_lr(new_lr);
+      good.lr = new_lr;
+      RELGRAPH_LOG(Warning)
+          << "non-finite loss/gradient at epoch " << epoch
+          << "; rolled back and halved lr to " << new_lr << " (attempt "
+          << retries << "/" << trainer_config_.max_divergence_retries << ")";
+      --epoch;
+      continue;
     }
     epoch_loss /= static_cast<double>(split.train.size());
     const double val_metric = Evaluate(table, val_idx);
@@ -168,17 +248,117 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
       RELGRAPH_LOG(Info) << "epoch " << epoch << " loss " << epoch_loss
                          << " val " << val_metric;
     }
+    bool stop = false;
     if (val_metric > best_val_metric_ + 1e-6) {
       best_val_metric_ = val_metric;
       best = SnapshotParams();
       stale = 0;
     } else if (trainer_config_.patience > 0 &&
                ++stale >= trainer_config_.patience) {
-      break;
+      stop = true;
     }
+    good.params = SnapshotParams();
+    good.best = best;
+    good.opt = opt.GetState();
+    good.rng = rng_.GetState();
+    good.best_val = best_val_metric_;
+    good.stale = stale;
+    good.lr = opt.lr();
+    const int64_t every = std::max<int64_t>(1, trainer_config_.checkpoint_every);
+    if (!ckpt.empty() &&
+        (stop || (epoch + 1) % every == 0 ||
+         epoch + 1 == trainer_config_.epochs)) {
+      TrainState ts = good;
+      ts.next_epoch = stop ? trainer_config_.epochs : epoch + 1;
+      ts.retries = retries;
+      RELGRAPH_RETURN_IF_ERROR(SaveTrainCheckpoint(ckpt, ts));
+    }
+    if (stop) break;
   }
   RestoreParams(best);
   return Status::OK();
+}
+
+namespace {
+
+constexpr double kCheckpointVersion = 1.0;
+
+}  // namespace
+
+Status GnnNodePredictor::SaveTrainCheckpoint(const std::string& path,
+                                             const TrainState& state) const {
+  const size_t num_params = state.params.size();
+  std::vector<Tensor> tensors;
+  tensors.reserve(4 * num_params);
+  for (const Tensor& t : state.params) tensors.push_back(t);
+  for (const Tensor& t : state.best) tensors.push_back(t);
+  for (const Tensor& t : state.opt.m) tensors.push_back(t);
+  for (const Tensor& t : state.opt.v) tensors.push_back(t);
+  std::vector<double> scalars = {
+      kCheckpointVersion,
+      static_cast<double>(state.next_epoch),
+      static_cast<double>(state.opt.t),
+      static_cast<double>(state.lr),
+      state.best_val,
+      static_cast<double>(state.stale),
+      static_cast<double>(state.retries),
+      label_mean_,
+      label_std_,
+      std::bit_cast<double>(state.rng[0]),
+      std::bit_cast<double>(state.rng[1]),
+      std::bit_cast<double>(state.rng[2]),
+      std::bit_cast<double>(state.rng[3]),
+      static_cast<double>(num_params),
+  };
+  return SaveTensorBundle(path, tensors, scalars);
+}
+
+Status GnnNodePredictor::LoadTrainCheckpoint(const std::string& path,
+                                             Adam* opt, TrainState* state) {
+  RELGRAPH_ASSIGN_OR_RETURN(TensorBundle bundle, LoadTensorBundle(path));
+  if (bundle.scalars.size() != 14 ||
+      bundle.scalars[0] != kCheckpointVersion) {
+    return Status::ParseError("unrecognized training-checkpoint layout: " +
+                              path);
+  }
+  const size_t num_params = static_cast<size_t>(bundle.scalars[13]);
+  const std::vector<Tensor> current = SnapshotParams();
+  if (num_params != current.size() ||
+      bundle.tensors.size() != 4 * num_params) {
+    return Status::InvalidArgument(StrFormat(
+        "checkpoint has %zu parameter tensors, model has %zu (architecture "
+        "mismatch?)",
+        num_params, current.size()));
+  }
+  for (size_t i = 0; i < num_params; ++i) {
+    for (size_t block = 0; block < 4; ++block) {
+      if (!bundle.tensors[block * num_params + i].SameShape(current[i])) {
+        return Status::InvalidArgument(StrFormat(
+            "checkpoint tensor %zu (block %zu) shape mismatch", i, block));
+      }
+    }
+  }
+  state->next_epoch = static_cast<int64_t>(bundle.scalars[1]);
+  state->opt.t = static_cast<int64_t>(bundle.scalars[2]);
+  state->lr = static_cast<float>(bundle.scalars[3]);
+  state->best_val = bundle.scalars[4];
+  state->stale = static_cast<int64_t>(bundle.scalars[5]);
+  state->retries = static_cast<int64_t>(bundle.scalars[6]);
+  label_mean_ = bundle.scalars[7];
+  label_std_ = bundle.scalars[8];
+  for (size_t i = 0; i < 4; ++i) {
+    state->rng[i] = std::bit_cast<uint64_t>(bundle.scalars[9 + i]);
+  }
+  auto block = [&](size_t b) {
+    return std::vector<Tensor>(
+        bundle.tensors.begin() + static_cast<int64_t>(b * num_params),
+        bundle.tensors.begin() + static_cast<int64_t>((b + 1) * num_params));
+  };
+  RestoreParams(block(0));
+  state->best = block(1);
+  state->opt.m = block(2);
+  state->opt.v = block(3);
+  return opt->SetState(state->opt);
 }
 
 std::vector<double> GnnNodePredictor::PredictScores(

@@ -1,13 +1,16 @@
 #ifndef RELGRAPH_TRAIN_TRAINER_H_
 #define RELGRAPH_TRAIN_TRAINER_H_
 
+#include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/status.h"
 #include "gnn/heads.h"
 #include "gnn/hetero_sage.h"
 #include "sampler/neighbor_sampler.h"
+#include "tensor/optim.h"
 #include "train/task.h"
 
 namespace relgraph {
@@ -26,6 +29,25 @@ struct TrainerConfig {
 
   uint64_t seed = 1;
   bool verbose = false;
+
+  /// Crash-safe checkpointing: when non-empty, Fit atomically writes a
+  /// resumable checkpoint (parameters, best-val weights, optimizer slots,
+  /// RNG state, epoch counters) here every `checkpoint_every` epochs.
+  std::string checkpoint_path;
+  int64_t checkpoint_every = 1;
+
+  /// Resume a killed run: when true and `checkpoint_path` exists, Fit
+  /// continues from the saved epoch and reaches the same result as an
+  /// uninterrupted run under the same seed (a missing file means a fresh
+  /// run, not an error).
+  bool resume = false;
+
+  /// Divergence recovery: a non-finite loss or gradient norm rolls the
+  /// epoch back to the last good state and multiplies the LR by
+  /// `divergence_lr_decay`. After `max_divergence_retries` such episodes
+  /// Fit returns a descriptive error instead of poisoning the weights.
+  int64_t max_divergence_retries = 3;
+  float divergence_lr_decay = 0.5f;
 };
 
 /// End-to-end trainer for node-level predictive queries: heterogeneous
@@ -62,6 +84,12 @@ class GnnNodePredictor {
   /// Validation metric of the restored best epoch.
   double best_val_metric() const { return best_val_metric_; }
 
+  /// Divergence-rollback episodes consumed by the last Fit call.
+  int64_t divergence_episodes() const { return divergence_episodes_; }
+
+  /// Epoch the last Fit resumed from (-1 for a fresh run).
+  int64_t resumed_from_epoch() const { return resumed_from_epoch_; }
+
   int64_t NumParameters() const;
 
   /// Switches temporal sampling on/off for subsequent predictions — lets
@@ -84,6 +112,24 @@ class GnnNodePredictor {
   std::vector<Tensor> SnapshotParams() const;
   void RestoreParams(const std::vector<Tensor>& snapshot);
 
+  /// Epoch-boundary training state captured for checkpoints and for
+  /// in-memory divergence rollback.
+  struct TrainState {
+    int64_t next_epoch = 0;
+    int64_t stale = 0;
+    int64_t retries = 0;
+    std::vector<Tensor> best;
+    AdamState opt;
+    std::array<uint64_t, 4> rng{};
+    double best_val = -1e30;
+    float lr = 0.0f;
+    std::vector<Tensor> params;  // in-memory rollback only, not persisted
+  };
+  Status SaveTrainCheckpoint(const std::string& path,
+                             const TrainState& state) const;
+  Status LoadTrainCheckpoint(const std::string& path, Adam* opt,
+                             TrainState* state);
+
   const HeteroGraph* graph_;
   NodeTypeId entity_type_;
   TaskKind kind_;
@@ -95,6 +141,8 @@ class GnnNodePredictor {
   std::unique_ptr<ScalarHead> scalar_head_;
   Rng rng_;
   double best_val_metric_ = -1e30;
+  int64_t divergence_episodes_ = 0;
+  int64_t resumed_from_epoch_ = -1;
   // Regression label standardization (fit on train split).
   double label_mean_ = 0.0;
   double label_std_ = 1.0;

@@ -51,6 +51,13 @@ TEST(ResultTest, HoldsError) {
   EXPECT_EQ(r.value_or(-1), -1);
 }
 
+TEST(ResultDeathTest, ValueOnErrorAbortsInEveryBuildMode) {
+  // Accessing the value of an errored Result is a programming error and
+  // must hard-abort (not UB) even in release builds.
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_DEATH({ (void)r.value(); }, "NotFound: missing");
+}
+
 Status FailingHelper() { return Status::Internal("boom"); }
 
 Status UsesReturnIfError() {
@@ -67,6 +74,18 @@ TEST(ResultTest, ReturnIfErrorPropagates) {
 TEST(RngTest, DeterministicForSameSeed) {
   Rng a(123), b(123);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, StateRoundTripResumesStreamExactly) {
+  Rng a(9);
+  for (int i = 0; i < 57; ++i) (void)a.Normal(0, 1);
+  auto state = a.GetState();
+  Rng b(1234567);  // unrelated seed: SetState must fully overwrite it
+  b.SetState(state);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+    EXPECT_EQ(a.Normal(0, 1), b.Normal(0, 1));
+  }
 }
 
 TEST(RngTest, DifferentSeedsDiffer) {

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "core/fault_injection.h"
+#include "db2graph/graph_builder.h"
+#include "pq/engine.h"
+#include "relational/csv_io.h"
+#include "relational/database.h"
+
+namespace relgraph {
+namespace {
+
+/// Every test starts and ends with a disarmed fault injector.
+class IngestTest : public testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+};
+
+TableSchema UsersSchema() {
+  TableSchema s("users");
+  s.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("country", DataType::kString)
+      .SetPrimaryKey("id");
+  return s;
+}
+
+TableSchema OrdersSchema() {
+  TableSchema s("orders");
+  s.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("user_id", DataType::kInt64)
+      .AddColumn("total", DataType::kFloat64)
+      .AddColumn("ts", DataType::kTimestamp)
+      .SetPrimaryKey("id")
+      .AddForeignKey("user_id", "users")
+      .SetTimeColumn("ts");
+  return s;
+}
+
+IngestOptions Lenient() {
+  IngestOptions o;
+  o.mode = IngestMode::kLenient;
+  return o;
+}
+
+// ------------------------------------------------------- strict mode
+
+TEST_F(IngestTest, StrictDuplicatePkIsRowPrecise) {
+  Table t(OrdersSchema());
+  const std::string csv =
+      "id,user_id,total,ts\n"
+      "1,10,5.0,86400\n"
+      "2,10,6.0,86400\n"
+      "1,11,7.0,86400\n";
+  Status st = LoadTableFromCsv(csv, &t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("row 3"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("duplicate primary key 1"), std::string::npos);
+}
+
+TEST_F(IngestTest, StrictMalformedNumericIsRowAndColumnPrecise) {
+  Table t(OrdersSchema());
+  const std::string csv =
+      "id,user_id,total,ts\n"
+      "1,10,5.0,86400\n"
+      "2,10,not_a_number,86400\n";
+  Status st = LoadTableFromCsv(csv, &t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("row 2"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("'total'"), std::string::npos);
+}
+
+TEST_F(IngestTest, StrictNullPkRejected) {
+  Table t(OrdersSchema());
+  Status st = LoadTableFromCsv("id,user_id,total,ts\n,10,5.0,86400\n", &t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("null primary key"), std::string::npos);
+}
+
+TEST_F(IngestTest, StrictOutOfOrderTimestampRejected) {
+  Table t(OrdersSchema());
+  IngestOptions o;
+  o.require_monotonic_time = true;
+  const std::string csv =
+      "id,user_id,total,ts\n"
+      "1,10,5.0,172800\n"
+      "2,10,6.0,86400\n";
+  Status st = LoadTableFromCsv(csv, &t, o);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(st.message().find("out of order"), std::string::npos);
+}
+
+TEST_F(IngestTest, StrictTimestampBoundsRejected) {
+  Table t(OrdersSchema());
+  IngestOptions o;
+  o.min_timestamp = Days(1);
+  o.max_timestamp = Days(10);
+  Status st =
+      LoadTableFromCsv("id,user_id,total,ts\n1,10,5.0,999999999\n", &t, o);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(st.message().find("outside plausible range"), std::string::npos);
+}
+
+// ------------------------------------------------------ lenient mode
+
+TEST_F(IngestTest, LenientQuarantinesEveryCategory) {
+  Table t(OrdersSchema());
+  IngestOptions o = Lenient();
+  o.min_timestamp = Days(1);
+  o.max_timestamp = Days(30);
+  o.require_monotonic_time = true;
+  // Row categories: good, malformed total, duplicate pk, null pk,
+  // timestamp out of plausible range, good, timestamp stepping backwards.
+  const std::string csv =
+      "id,user_id,total,ts\n"
+      "1,10,5.0,86400\n"
+      "2,10,oops,86400\n"
+      "1,11,6.0,86400\n"
+      ",11,7.0,86400\n"
+      "3,11,8.0,999999999\n"
+      "4,11,9.0,172800\n"
+      "5,12,1.5,86400\n";
+  TableIngestReport report;
+  ASSERT_TRUE(LoadTableFromCsv(csv, &t, o, &report).ok());
+  EXPECT_EQ(report.table, "orders");
+  EXPECT_EQ(report.rows_loaded, 2);  // ids 1 and 4
+  EXPECT_EQ(report.malformed_cells, 1);
+  EXPECT_EQ(report.duplicate_pks, 1);
+  EXPECT_EQ(report.null_pks, 1);
+  EXPECT_EQ(report.out_of_range_timestamps, 1);
+  EXPECT_EQ(report.out_of_order_timestamps, 1);
+  EXPECT_EQ(report.rows_quarantined, report.TotalIssues());
+  EXPECT_EQ(t.num_rows(), report.rows_loaded);
+  // The rendered report names the table and at least one reason.
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("orders"), std::string::npos);
+  EXPECT_NE(text.find("duplicate primary key"), std::string::npos);
+}
+
+TEST_F(IngestTest, LenientExampleListIsCapped) {
+  Table t(UsersSchema());
+  IngestOptions o = Lenient();
+  o.max_examples = 2;
+  std::string csv = "id,country\n";
+  for (int i = 0; i < 6; ++i) csv += "7,xx\n";  // 5 duplicates of pk 7
+  TableIngestReport report;
+  ASSERT_TRUE(LoadTableFromCsv(csv, &t, o, &report).ok());
+  EXPECT_EQ(report.duplicate_pks, 5);
+  EXPECT_EQ(static_cast<int64_t>(report.examples.size()), 2);
+  EXPECT_EQ(report.examples[0].row, 2);
+  EXPECT_EQ(report.examples[0].column, "id");
+}
+
+TEST_F(IngestTest, CorruptCellFaultStrictVsLenient) {
+  const std::string csv =
+      "id,country\n"
+      "1,be\n"
+      "2,nl\n";
+  // Garble the first cell of row 2 ("2" -> unparseable int).
+  FaultInjector::Global().Arm(FaultSite::kCsvCellCorrupt, /*skip=*/2,
+                              /*times=*/1);
+  Table strict_t(UsersSchema());
+  Status st = LoadTableFromCsv(csv, &strict_t);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+
+  FaultInjector::Global().Reset();
+  FaultInjector::Global().Arm(FaultSite::kCsvCellCorrupt, /*skip=*/2,
+                              /*times=*/1);
+  Table lenient_t(UsersSchema());
+  TableIngestReport report;
+  ASSERT_TRUE(LoadTableFromCsv(csv, &lenient_t, Lenient(), &report).ok());
+  EXPECT_EQ(report.malformed_cells, 1);
+  EXPECT_EQ(lenient_t.num_rows(), 1);
+}
+
+// --------------------------------------------------- audit + degraded
+
+Database MakeDirtyShopDb() {
+  Database db("shop");
+  Table* users = db.AddTable(UsersSchema()).value();
+  EXPECT_TRUE(users->AppendRow({Value(10), Value("be")}).ok());
+  EXPECT_TRUE(users->AppendRow({Value(11), Value("nl")}).ok());
+  Table* orders = db.AddTable(OrdersSchema()).value();
+  EXPECT_TRUE(orders
+                  ->AppendRow({Value(1), Value(10), Value(5.0),
+                               Value::Time(Days(1))})
+                  .ok());
+  // Dangling FK: user 999 does not exist.
+  EXPECT_TRUE(orders
+                  ->AppendRow({Value(2), Value(999), Value(6.0),
+                               Value::Time(Days(2))})
+                  .ok());
+  // Duplicate PK appended directly (bypasses CSV-load screening).
+  EXPECT_TRUE(orders
+                  ->AppendRow({Value(1), Value(11), Value(7.0),
+                               Value::Time(Days(3))})
+                  .ok());
+  return db;
+}
+
+TEST_F(IngestTest, AuditCountsDanglingFksAndDuplicatePks) {
+  Database db = MakeDirtyShopDb();
+  DatabaseIntegrityReport report = db.Audit();
+  ASSERT_EQ(report.tables.size(), 1u);
+  const TableIngestReport& orders = report.tables[0];
+  EXPECT_EQ(orders.table, "orders");
+  EXPECT_EQ(orders.duplicate_pks, 1);
+  EXPECT_EQ(orders.dangling_fks, 1);
+  EXPECT_FALSE(report.clean());
+  EXPECT_NE(report.ToString().find("no match in 'users'"),
+            std::string::npos);
+}
+
+TEST_F(IngestTest, AuditOfCleanDbIsEmpty) {
+  Database db("clean");
+  Table* users = db.AddTable(UsersSchema()).value();
+  ASSERT_TRUE(users->AppendRow({Value(1), Value("be")}).ok());
+  EXPECT_TRUE(db.Audit().clean());
+}
+
+TEST_F(IngestTest, LenientGraphBuildSkipsAndCountsDanglingFks) {
+  Database db = MakeDirtyShopDb();
+  GraphBuilderOptions strict;
+  EXPECT_FALSE(BuildDbGraph(db, strict).ok());
+
+  GraphBuilderOptions lenient;
+  lenient.lenient = true;
+  auto g = BuildDbGraph(db, lenient);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g.value().TotalSkippedFks(), 1);
+  EXPECT_EQ(g.value().skipped_dangling_fks.at("orders__user_id"), 1);
+  // Orders 1 and 3 still link to their (existing) users.
+  EdgeTypeId e = g.value().graph.FindEdgeType("orders__user_id").value();
+  EXPECT_EQ(g.value().graph.num_edges(e), 2);
+}
+
+TEST_F(IngestTest, EngineRejectsDirtyDbByDefault) {
+  Database db = MakeDirtyShopDb();
+  PredictiveQueryEngine engine(&db);
+  auto g = engine.Graph();
+  ASSERT_FALSE(g.ok());
+  EXPECT_FALSE(engine.degraded());
+}
+
+TEST_F(IngestTest, EngineAllowDegradedBuildsLenientGraphWithAudit) {
+  Database db = MakeDirtyShopDb();
+  EngineOptions opts;
+  opts.allow_degraded = true;
+  PredictiveQueryEngine engine(&db, opts);
+  auto g = engine.Graph();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(engine.degraded());
+  EXPECT_FALSE(engine.audit().clean());
+  EXPECT_EQ(g.value()->TotalSkippedFks(), 1);
+}
+
+TEST_F(IngestTest, EngineCleanDbIsNotDegraded) {
+  Database db("clean");
+  Table* users = db.AddTable(UsersSchema()).value();
+  ASSERT_TRUE(users->AppendRow({Value(1), Value("be")}).ok());
+  EngineOptions opts;
+  opts.allow_degraded = true;
+  PredictiveQueryEngine engine(&db, opts);
+  ASSERT_TRUE(engine.Graph().ok());
+  EXPECT_FALSE(engine.degraded());
+  EXPECT_TRUE(engine.audit().clean());
+}
+
+}  // namespace
+}  // namespace relgraph
