@@ -10,10 +10,20 @@
 //   BM_SampleBatch/B      2-hop sampling, fanout 10, batch B
 //   BM_SampleDepth/L      L-hop sampling, fanout 10, 128 seeds
 //   BM_SamplePolicy/p     uniform (0) vs most-recent (1)
+//
+// After the google-benchmark series, main() runs a thread-count sweep of
+// the chunked parallel sampler (512 seeds, fanouts {10,10}) and writes
+// the machine-readable results to BENCH_sampler_throughput.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "bench_util.h"
+#include "core/parallel.h"
+#include "core/timer.h"
 #include "sampler/neighbor_sampler.h"
 
 using namespace relgraph;
@@ -86,6 +96,64 @@ void BM_SamplePolicy(benchmark::State& state) {
 }
 BENCHMARK(BM_SamplePolicy)->Arg(0)->Arg(1);
 
+/// Thread-count sweep of the chunked parallel sampler, recorded to
+/// BENCH_sampler_throughput.json. 512 seeds split into 64-seed chunks →
+/// 8 independent RNG streams; results are bit-identical at every thread
+/// count, only wall time varies.
+void RunThreadSweep(const std::string& out_path) {
+  Fixture& f = GetFixture();
+  SamplerOptions opts;
+  opts.fanouts = {10, 10};
+  NeighborSampler sampler(&f.graph.graph, opts);
+  const int64_t batch = 512;
+  Rng seed_rng(99);
+  std::vector<int64_t> seeds;
+  std::vector<Timestamp> cutoffs;
+  for (int64_t i = 0; i < batch; ++i) {
+    seeds.push_back(static_cast<int64_t>(
+        seed_rng.UniformU64(static_cast<uint64_t>(
+            f.graph.graph.num_nodes(f.users)))));
+    cutoffs.push_back(Days(150));
+  }
+  std::vector<BenchRecord> records;
+  std::printf("\n=== parallel sampler thread sweep (batch=%lld, "
+              "fanouts={10,10}) ===\n", static_cast<long long>(batch));
+  for (int t : {1, 2, 4, 8}) {
+    ThreadPool::SetNumThreadsForTesting(t);
+    // Warm up once, then measure a fixed rep count with a fresh RNG per
+    // rep so every configuration samples the identical stream sequence.
+    { Rng rng(7); Subgraph sg = sampler.Sample(f.users, seeds, cutoffs, &rng); (void)sg; }
+    const int reps = 20;
+    double best_ms = 1e30;
+    int64_t edges = 0;
+    for (int r = 0; r < reps; ++r) {
+      Rng rng(7);
+      Timer timer;
+      Subgraph sg = sampler.Sample(f.users, seeds, cutoffs, &rng);
+      const double ms = timer.Millis();
+      best_ms = best_ms < ms ? best_ms : ms;
+      edges = sg.TotalBlockEdges();
+    }
+    BenchRecord rec;
+    rec.name = StrFormat("sample_batch512_f10x10/t%d", t);
+    rec.wall_ms = best_ms;
+    rec.rate = static_cast<double>(batch) / (best_ms / 1e3);
+    rec.threads = t;
+    rec.extra.emplace_back("sampled_edges", static_cast<double>(edges));
+    records.push_back(rec);
+    std::printf("%-32s %10.3f ms %12.0f seeds/s\n", rec.name.c_str(),
+                best_ms, rec.rate);
+  }
+  WriteBenchJson(out_path, "sampler_throughput", records);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunThreadSweep("BENCH_sampler_throughput.json");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// GEMM kernel microbenchmark.
+//
+// Measures the three dense kernels behind HeteroSageModel::Forward and its
+// backward pass (MatMul, MatMulBT, MatMulAT) across sizes and thread
+// counts, plus the pre-threadpool naive serial kernel as a baseline, and
+// writes the results to BENCH_gemm.json for cross-PR perf tracking.
+//
+// Thread counts are swept in-process via
+// ThreadPool::SetNumThreadsForTesting, so one run records the full scaling
+// curve on whatever hardware it lands on. Determinism means the *results*
+// of every configuration are bit-identical; only the wall time moves.
+//
+// Usage: bench_gemm_kernels [output.json]   (default BENCH_gemm.json)
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/timer.h"
+#include "tensor/tensor.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+namespace {
+
+Tensor RandomTensor(int64_t rows, int64_t cols, Rng* rng) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = static_cast<float>(rng->Normal(0, 1));
+  }
+  return t;
+}
+
+/// The seed-repo MatMul kernel (single-threaded, with the per-step
+/// zero-skip branch), kept here as the recorded perf baseline.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor out(a.rows(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.data() + i * k;
+    float* orow = out.data() + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.data() + p * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+/// Best-of-N wall time (ms) for one kernel invocation; runs until at
+/// least `min_reps` reps and 300 ms of total measurement.
+template <typename Fn>
+double BestMs(const Fn& fn, int min_reps = 3) {
+  double best = 1e30;
+  double total = 0.0;
+  int reps = 0;
+  while (reps < min_reps || total < 300.0) {
+    Timer t;
+    fn();
+    const double ms = t.Millis();
+    best = best < ms ? best : ms;
+    total += ms;
+    ++reps;
+    if (reps > 200) break;
+  }
+  return best;
+}
+
+struct Case {
+  const char* kernel;  // matmul | matmul_bt | matmul_at | naive_matmul
+  int64_t m, k, n;
+};
+
+void RunCase(const Case& c, int threads, std::vector<BenchRecord>* out) {
+  Rng rng(7);
+  // Shapes: matmul is (m x k)@(k x n); BT is (m x k)@(n x k)^T; AT is
+  // (k x m)^T@(k x n). All produce an m x n output.
+  const std::string kernel(c.kernel);
+  Tensor a, b;
+  if (kernel == "matmul_at") {
+    a = RandomTensor(c.k, c.m, &rng);
+    b = RandomTensor(c.k, c.n, &rng);
+  } else if (kernel == "matmul_bt") {
+    a = RandomTensor(c.m, c.k, &rng);
+    b = RandomTensor(c.n, c.k, &rng);
+  } else {
+    a = RandomTensor(c.m, c.k, &rng);
+    b = RandomTensor(c.k, c.n, &rng);
+  }
+  float sink = 0.0f;
+  auto run = [&] {
+    Tensor r;
+    if (kernel == "matmul") {
+      r = MatMul(a, b);
+    } else if (kernel == "matmul_bt") {
+      r = MatMulBT(a, b);
+    } else if (kernel == "matmul_at") {
+      r = MatMulAT(a, b);
+    } else {
+      r = NaiveMatMul(a, b);
+    }
+    sink += r.data()[0];
+  };
+  const double ms = BestMs(run);
+  BenchRecord rec;
+  rec.name = StrFormat("%s_%" PRId64 "x%" PRId64 "x%" PRId64 "/t%d",
+                       c.kernel, c.m, c.k, c.n, threads);
+  rec.wall_ms = ms;
+  rec.rate = static_cast<double>(c.m) / (ms / 1e3);
+  rec.threads = threads;
+  const double flops = 2.0 * static_cast<double>(c.m) *
+                       static_cast<double>(c.k) * static_cast<double>(c.n);
+  rec.extra.emplace_back("gflops", flops / (ms * 1e6));
+  out->push_back(rec);
+  std::printf("%-32s %10.3f ms %10.2f GFLOP/s\n", rec.name.c_str(), ms,
+              flops / (ms * 1e6));
+  if (sink == 12345.678f) std::printf(" \n");  // defeat dead-code elim
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_gemm.json";
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<Case> cases = {
+      {"naive_matmul", 512, 512, 512},
+      {"naive_matmul", 128, 64, 64},
+      {"naive_matmul", 2048, 128, 128},
+      {"matmul", 512, 512, 512},
+      {"matmul_bt", 512, 512, 512},
+      {"matmul_at", 512, 512, 512},
+      {"matmul", 128, 64, 64},
+      {"matmul", 2048, 128, 128},
+  };
+  std::vector<BenchRecord> records;
+  std::printf("=== GEMM kernels (best-of-N wall time) ===\n");
+  for (int t : thread_counts) {
+    ThreadPool::SetNumThreadsForTesting(t);
+    for (const Case& c : cases) {
+      // The naive baseline is single-threaded by construction; measure it
+      // once at t=1 only.
+      if (std::string(c.kernel) == "naive_matmul" && t != 1) continue;
+      RunCase(c, t, &records);
+    }
+  }
+  return WriteBenchJson(out_path, "gemm_kernels", records) ? 0 : 1;
+}

@@ -8,8 +8,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/atomic_io.h"
+#include "core/parallel.h"
 #include "core/string_util.h"
 #include "datagen/clinical.h"
 #include "datagen/ecommerce.h"
@@ -81,6 +84,47 @@ inline bool Run(PredictiveQueryEngine* engine, const std::string& query,
     return false;
   }
   *out = std::move(result).value();
+  return true;
+}
+
+/// One measured configuration of a benchmark, destined for BENCH_*.json.
+struct BenchRecord {
+  std::string name;    ///< e.g. "matmul_512x512x512/t4"
+  double wall_ms = 0;  ///< best observed wall time per iteration
+  double rate = 0;     ///< primary throughput metric, rows (items) per second
+  int threads = 1;     ///< pool threads the measurement ran with
+  /// Additional metrics, emitted verbatim (e.g. {"gflops", 1.23}).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Writes machine-readable benchmark output. The JSON shape is stable —
+/// perf tracking across PRs diffs these files directly:
+///   {"bench": "...", "results": [{"name": ..., "wall_ms": ...,
+///     "rows_per_s": ..., "threads": ..., ...extras}, ...]}
+/// Returns false (after printing the error) if the write fails.
+inline bool WriteBenchJson(const std::string& path, const std::string& bench,
+                           const std::vector<BenchRecord>& records) {
+  std::string json = "{\n  \"bench\": \"" + bench + "\",\n  \"results\": [";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += StrFormat(
+        "    {\"name\": \"%s\", \"wall_ms\": %.4f, \"rows_per_s\": %.1f, "
+        "\"threads\": %d",
+        r.name.c_str(), r.wall_ms, r.rate, r.threads);
+    for (const auto& [key, value] : r.extra) {
+      json += StrFormat(", \"%s\": %.4f", key.c_str(), value);
+    }
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+  Status st = AtomicWriteFile(path, json);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return false;
+  }
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
   return true;
 }
 

@@ -25,6 +25,19 @@ Rng::Rng(uint64_t seed) {
   for (auto& s : s_) s = SplitMix64(&sm);
 }
 
+Rng Rng::Fork(uint64_t stream) const {
+  // Funnel the full state and the stream index through splitmix64 so
+  // nearby stream indices land in unrelated parts of the seed space.
+  uint64_t acc = 0x6A09E667F3BCC909ULL ^ (stream * 0xD2B74407B1CE6E93ULL);
+  for (uint64_t word : s_) {
+    acc ^= word;
+    acc = SplitMix64(&acc) ^ acc;
+  }
+  return Rng(acc);
+}
+
+Rng Rng::Split() { return Rng(NextU64()); }
+
 std::array<uint64_t, 4> Rng::GetState() const {
   return {s_[0], s_[1], s_[2], s_[3]};
 }

@@ -71,6 +71,19 @@ class Rng {
   /// Samples k distinct indices from [0, n) (k >= n returns all of [0, n)).
   std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
 
+  /// Derives an independent child stream from the current state and a
+  /// stream index WITHOUT advancing this generator. Equal (state, stream)
+  /// pairs always yield the same child, which is what makes chunked
+  /// parallel sampling deterministic: chunk k draws from Fork(k) no matter
+  /// which thread runs it.
+  Rng Fork(uint64_t stream) const;
+
+  /// Advances this generator by one draw and returns a child seeded from
+  /// that draw. Use at the top of a stochastic routine so repeated calls
+  /// get fresh-but-reproducible streams while the parent consumes exactly
+  /// one draw regardless of the amount of work done downstream.
+  Rng Split();
+
   /// Raw generator state for checkpointing; restoring it with SetState
   /// resumes the exact stream (all draws are stateless beyond s_).
   std::array<uint64_t, 4> GetState() const;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "tensor/init.h"
 
 namespace relgraph {
@@ -175,7 +176,11 @@ Tensor HeteroSageModel::InputFeatures(
     dim += static_cast<int64_t>(out_edges.size());
   }
   Tensor out(n, dim);
-  for (int64_t i = 0; i < n; ++i) {
+  // Rows are independent (pure reads of the graph, disjoint writes), so
+  // feature assembly parallelizes without affecting results.
+  const int64_t grain = std::max<int64_t>(1, 4096 / std::max<int64_t>(1, dim));
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+  for (int64_t i = lo; i < hi; ++i) {
     const int64_t node = nodes[static_cast<size_t>(i)];
     const Timestamp cutoff = cutoffs[static_cast<size_t>(i)];
     int64_t col = 0;
@@ -214,6 +219,7 @@ Tensor HeteroSageModel::InputFeatures(
       }
     }
   }
+  });
   return out;
 }
 

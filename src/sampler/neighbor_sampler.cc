@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 
 namespace relgraph {
 
@@ -62,6 +63,40 @@ Subgraph NeighborSampler::Sample(NodeTypeId seed_type,
                                  const std::vector<Timestamp>& cutoffs,
                                  Rng* rng) const {
   RELGRAPH_CHECK(seeds.size() == cutoffs.size());
+  // The parent RNG advances exactly once per Sample call; every chunk
+  // stream is forked from the advanced state and the chunk index, so the
+  // sampled subgraph is a pure function of (parent state, seeds, options)
+  // and never of the thread count.
+  Rng batch_rng = rng->Split();
+  const int64_t n = static_cast<int64_t>(seeds.size());
+  const int64_t chunk =
+      std::max<int64_t>(1, options_.parallel_chunk_seeds);
+  const int64_t num_chunks = n <= chunk ? 1 : (n + chunk - 1) / chunk;
+  if (num_chunks <= 1) {
+    Rng chunk_rng = batch_rng.Fork(0);
+    return SampleChunk(seed_type, seeds, cutoffs, &chunk_rng);
+  }
+  std::vector<Subgraph> parts(static_cast<size_t>(num_chunks));
+  ParallelFor(0, num_chunks, 1, [&](int64_t c0, int64_t c1) {
+    for (int64_t c = c0; c < c1; ++c) {
+      Rng chunk_rng = batch_rng.Fork(static_cast<uint64_t>(c));
+      const int64_t lo = c * chunk;
+      const int64_t hi = std::min(n, lo + chunk);
+      const std::vector<int64_t> chunk_seeds(seeds.begin() + lo,
+                                             seeds.begin() + hi);
+      const std::vector<Timestamp> chunk_cutoffs(cutoffs.begin() + lo,
+                                                 cutoffs.begin() + hi);
+      parts[static_cast<size_t>(c)] =
+          SampleChunk(seed_type, chunk_seeds, chunk_cutoffs, &chunk_rng);
+    }
+  });
+  return MergeChunks(parts);
+}
+
+Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
+                                      const std::vector<int64_t>& seeds,
+                                      const std::vector<Timestamp>& cutoffs,
+                                      Rng* rng) const {
   const int32_t num_types = graph_->num_node_types();
   const int64_t layers = num_layers();
 
@@ -167,6 +202,130 @@ Subgraph NeighborSampler::Sample(NodeTypeId seed_type,
         layer_blocks.push_back(std::move(block));
       }
     }
+  }
+  return sg;
+}
+
+Subgraph NeighborSampler::MergeChunks(
+    const std::vector<Subgraph>& parts) const {
+  const int32_t num_types = graph_->num_node_types();
+  const int64_t layers = num_layers();
+  const size_t num_parts = parts.size();
+
+  Subgraph sg;
+  sg.frontiers.resize(static_cast<size_t>(layers) + 1);
+  sg.blocks.resize(static_cast<size_t>(layers));
+  for (auto& f : sg.frontiers) {
+    f.nodes.resize(static_cast<size_t>(num_types));
+    f.cutoffs.resize(static_cast<size_t>(num_types));
+  }
+
+  // map[c][t][i] = merged index of chunk c's i-th node of type t at the
+  // current level. Level 0 is plain concatenation: the chunks partition
+  // the seed batch in order, so concatenating reproduces it verbatim.
+  std::vector<std::vector<std::vector<int64_t>>> map(num_parts);
+  for (size_t c = 0; c < num_parts; ++c) {
+    map[c].resize(static_cast<size_t>(num_types));
+    for (int32_t t = 0; t < num_types; ++t) {
+      auto& merged_nodes = sg.frontiers[0].nodes[static_cast<size_t>(t)];
+      auto& merged_cuts = sg.frontiers[0].cutoffs[static_cast<size_t>(t)];
+      const auto& part_nodes =
+          parts[c].frontiers[0].nodes[static_cast<size_t>(t)];
+      const auto& part_cuts =
+          parts[c].frontiers[0].cutoffs[static_cast<size_t>(t)];
+      auto& m = map[c][static_cast<size_t>(t)];
+      m.resize(part_nodes.size());
+      for (size_t i = 0; i < part_nodes.size(); ++i) {
+        m[i] = static_cast<int64_t>(merged_nodes.size());
+        merged_nodes.push_back(part_nodes[i]);
+        merged_cuts.push_back(part_cuts[i]);
+      }
+    }
+  }
+
+  for (int64_t l = 0; l < layers; ++l) {
+    const auto& cur = sg.frontiers[static_cast<size_t>(l)];
+    auto& next = sg.frontiers[static_cast<size_t>(l) + 1];
+    // Self-prefix invariant: the merged next frontier starts as a copy of
+    // the merged current one, exactly like the serial kernel.
+    next.nodes = cur.nodes;
+    next.cutoffs = cur.cutoffs;
+    std::vector<std::unordered_map<NodeCut, int64_t, NodeCutHash>> dict(
+        static_cast<size_t>(num_types));
+    for (int32_t t = 0; t < num_types; ++t) {
+      auto& d = dict[static_cast<size_t>(t)];
+      const auto& nodes = next.nodes[static_cast<size_t>(t)];
+      const auto& cuts = next.cutoffs[static_cast<size_t>(t)];
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        d.emplace(NodeCut{nodes[i], cuts[i]}, static_cast<int64_t>(i));
+      }
+    }
+    // Chunk nodes new at this level intern into the merged frontier in
+    // chunk order; nodes reached by several chunks collapse to the first
+    // occurrence, so their aggregations pool every chunk's sampled edges.
+    std::vector<std::vector<std::vector<int64_t>>> next_map(num_parts);
+    for (size_t c = 0; c < num_parts; ++c) {
+      next_map[c].resize(static_cast<size_t>(num_types));
+      for (int32_t t = 0; t < num_types; ++t) {
+        const auto& part_nodes =
+            parts[c].frontiers[static_cast<size_t>(l) + 1]
+                .nodes[static_cast<size_t>(t)];
+        const auto& part_cuts =
+            parts[c].frontiers[static_cast<size_t>(l) + 1]
+                .cutoffs[static_cast<size_t>(t)];
+        const size_t prefix = parts[c]
+                                  .frontiers[static_cast<size_t>(l)]
+                                  .nodes[static_cast<size_t>(t)]
+                                  .size();
+        auto& m = next_map[c][static_cast<size_t>(t)];
+        m.resize(part_nodes.size());
+        auto& d = dict[static_cast<size_t>(t)];
+        auto& merged_nodes = next.nodes[static_cast<size_t>(t)];
+        auto& merged_cuts = next.cutoffs[static_cast<size_t>(t)];
+        for (size_t i = 0; i < part_nodes.size(); ++i) {
+          if (i < prefix) {
+            // The chunk's next frontier starts with its current frontier,
+            // whose merged positions are already known (and are prefix
+            // positions of the merged next frontier too).
+            m[i] = map[c][static_cast<size_t>(t)][i];
+            continue;
+          }
+          auto [it, inserted] =
+              d.emplace(NodeCut{part_nodes[i], part_cuts[i]},
+                        static_cast<int64_t>(merged_nodes.size()));
+          if (inserted) {
+            merged_nodes.push_back(part_nodes[i]);
+            merged_cuts.push_back(part_cuts[i]);
+          }
+          m[i] = it->second;
+        }
+      }
+    }
+    // One merged block per edge type, edges appended in chunk order with
+    // indices rewritten into the merged numbering.
+    for (EdgeTypeId e = 0; e < graph_->num_edge_types(); ++e) {
+      const NodeTypeId tgt_type = graph_->edge_src_type(e);
+      const NodeTypeId src_type = graph_->edge_dst_type(e);
+      Subgraph::Block merged;
+      merged.edge_type = e;
+      for (size_t c = 0; c < num_parts; ++c) {
+        for (const auto& b : parts[c].blocks[static_cast<size_t>(l)]) {
+          if (b.edge_type != e) continue;
+          const auto& tgt_map = map[c][static_cast<size_t>(tgt_type)];
+          const auto& src_map = next_map[c][static_cast<size_t>(src_type)];
+          for (size_t k = 0; k < b.target_local.size(); ++k) {
+            merged.target_local.push_back(
+                tgt_map[static_cast<size_t>(b.target_local[k])]);
+            merged.source_local.push_back(
+                src_map[static_cast<size_t>(b.source_local[k])]);
+          }
+        }
+      }
+      if (!merged.target_local.empty()) {
+        sg.blocks[static_cast<size_t>(l)].push_back(std::move(merged));
+      }
+    }
+    map = std::move(next_map);
   }
   return sg;
 }

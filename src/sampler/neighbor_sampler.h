@@ -28,6 +28,13 @@ struct SamplerOptions {
   bool temporal = true;
 
   SamplePolicy policy = SamplePolicy::kUniform;
+
+  /// Seeds per parallel sampling chunk. Each chunk samples independently
+  /// under its own RNG stream forked from the batch RNG, and the chunk
+  /// subgraphs merge deterministically in chunk order, so the result
+  /// depends on this value but never on the thread count. Part of the
+  /// sampling semantics — change it only together with recorded results.
+  int64_t parallel_chunk_seeds = 64;
 };
 
 /// Layer-wise temporal neighbor sampler over a HeteroGraph.
@@ -42,6 +49,12 @@ class NeighborSampler {
 
   /// Samples a subgraph for seeds of the given type; `cutoffs` must be
   /// aligned with `seeds` (use the database's max time + 1 for "now").
+  ///
+  /// Batches larger than `parallel_chunk_seeds` are split into fixed-size
+  /// chunks sampled concurrently on the global thread pool, each under an
+  /// independent RNG stream forked from `rng` (which advances by exactly
+  /// one draw per call), then merged in chunk order. Results are
+  /// bit-identical at any thread count.
   Subgraph Sample(NodeTypeId seed_type, const std::vector<int64_t>& seeds,
                   const std::vector<Timestamp>& cutoffs, Rng* rng) const;
 
@@ -55,6 +68,17 @@ class NeighborSampler {
   void set_temporal(bool temporal) { options_.temporal = temporal; }
 
  private:
+  /// The serial sampling kernel: one chunk of seeds, one RNG stream.
+  Subgraph SampleChunk(NodeTypeId seed_type,
+                       const std::vector<int64_t>& seeds,
+                       const std::vector<Timestamp>& cutoffs,
+                       Rng* rng) const;
+
+  /// Merges independently sampled chunk subgraphs in chunk order:
+  /// frontiers concatenate with cross-chunk (node, cutoff) dedup, block
+  /// indices are remapped into the merged local numbering.
+  Subgraph MergeChunks(const std::vector<Subgraph>& parts) const;
+
   const HeteroGraph* graph_;
   SamplerOptions options_;
 };

@@ -4,9 +4,33 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "core/string_util.h"
 
 namespace relgraph {
+
+namespace {
+
+// Tensors below these sizes run serially: pool synchronization would
+// dominate on the small matrices that make up most autograd glue. The
+// thresholds only route between code paths that produce identical bits,
+// so they are pure scheduling knobs.
+constexpr int64_t kGemmSerialFlops = 1 << 15;
+constexpr int64_t kElemSerial = 1 << 15;
+
+// Parallel grains. GEMMs split over output rows; elementwise ops split
+// over the flat buffer. Reductions use kReduceGrain as their fixed chunk
+// size — part of the numeric contract, never a function of thread count.
+constexpr int64_t kGemmRowGrain = 8;
+constexpr int64_t kElemGrain = 1 << 14;
+constexpr int64_t kReduceGrain = 1 << 15;
+
+// Output-column tile for the MatMul inner kernel: four accumulating
+// output sub-rows (16 KiB) plus the streamed b sub-row (4 KiB) stay
+// L1-resident. Typical hidden dims fall in a single tile.
+constexpr int64_t kBlockJ = 1024;
+
+}  // namespace
 
 Tensor::Tensor(int64_t rows, int64_t cols)
     : rows_(rows), cols_(cols),
@@ -60,17 +84,35 @@ void Tensor::Fill(float value) {
 
 void Tensor::Add(const Tensor& other) {
   RELGRAPH_CHECK(SameShape(other));
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  float* dst = data_.data();
+  const float* src = other.data_.data();
+  ParallelFor(0, numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) dst[i] += src[i];
+  });
 }
 
 void Tensor::Scale(float s) {
-  for (float& v : data_) v *= s;
+  float* dst = data_.data();
+  ParallelFor(0, numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) dst[i] *= s;
+  });
 }
 
 float Tensor::Sum() const {
-  double acc = 0.0;
-  for (float v : data_) acc += v;
-  return static_cast<float>(acc);
+  // Deterministic chunked reduction: chunk boundaries depend only on the
+  // size, partials fold in chunk order — bit-identical at any thread
+  // count (and identical to the single-loop fold for tensors that fit in
+  // one chunk).
+  const float* src = data_.data();
+  const double total = ParallelReduce<double>(
+      0, numel(), kReduceGrain, 0.0,
+      [src](int64_t lo, int64_t hi) {
+        double acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i) acc += src[i];
+        return acc;
+      },
+      [](double acc, double part) { return acc + part; });
+  return static_cast<float>(total);
 }
 
 float Tensor::Mean() const {
@@ -79,34 +121,72 @@ float Tensor::Mean() const {
 }
 
 float Tensor::AbsMax() const {
-  float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::fabs(v));
-  return m;
+  const float* src = data_.data();
+  return ParallelReduce<float>(
+      0, numel(), kReduceGrain, 0.0f,
+      [src](int64_t lo, int64_t hi) {
+        float m = 0.0f;
+        for (int64_t i = lo; i < hi; ++i) m = std::max(m, std::fabs(src[i]));
+        return m;
+      },
+      [](float acc, float part) { return std::max(acc, part); });
 }
 
 float Tensor::Norm() const {
-  double acc = 0.0;
-  for (float v : data_) acc += static_cast<double>(v) * v;
-  return static_cast<float>(std::sqrt(acc));
+  const float* src = data_.data();
+  const double total = ParallelReduce<double>(
+      0, numel(), kReduceGrain, 0.0,
+      [src](int64_t lo, int64_t hi) {
+        double acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          acc += static_cast<double>(src[i]) * src[i];
+        }
+        return acc;
+      },
+      [](double acc, double part) { return acc + part; });
+  return static_cast<float>(std::sqrt(total));
 }
 
 Tensor Tensor::GatherRows(const std::vector<int64_t>& indices) const {
-  Tensor out(static_cast<int64_t>(indices.size()), cols_);
-  for (size_t i = 0; i < indices.size(); ++i) {
-    int64_t r = indices[i];
-    RELGRAPH_CHECK(r >= 0 && r < rows_) << "gather row " << r << " of "
-                                        << rows_;
-    std::copy(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_,
-              out.data_.begin() + static_cast<int64_t>(i) * cols_);
-  }
+  const int64_t n = static_cast<int64_t>(indices.size());
+  Tensor out(n, cols_);
+  const int64_t grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols_));
+  ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int64_t r = indices[static_cast<size_t>(i)];
+      RELGRAPH_CHECK(r >= 0 && r < rows_)
+          << "gather row " << r << " of " << rows_;
+      std::copy(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_,
+                out.data_.begin() + i * cols_);
+    }
+  });
   return out;
 }
 
 Tensor Tensor::Transposed() const {
   Tensor out(cols_, rows_);
-  for (int64_t r = 0; r < rows_; ++r) {
-    for (int64_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  if (numel() < kElemSerial) {
+    for (int64_t r = 0; r < rows_; ++r) {
+      for (int64_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+    }
+    return out;
   }
+  // 32x32 tiles keep both the read and the write side cache-resident;
+  // tiles write disjoint outputs so any schedule gives identical bits.
+  constexpr int64_t kTile = 32;
+  const float* src = data_.data();
+  float* dst = out.data_.data();
+  ParallelFor(0, cols_, kTile, [&](int64_t c0, int64_t c1) {
+    for (int64_t r0 = 0; r0 < rows_; r0 += kTile) {
+      const int64_t r1 = std::min(rows_, r0 + kTile);
+      for (int64_t c = c0; c < c1; ++c) {
+        for (int64_t r = r0; r < r1; ++r) {
+          dst[c * rows_ + r] = src[r * cols_ + c];
+        }
+      }
+    }
+  });
   return out;
 }
 
@@ -132,20 +212,68 @@ std::string Tensor::ToString() const {
   return s;
 }
 
+// All three GEMMs parallelize over chunks of output rows. For any fixed
+// output element the accumulation order over the inner dimension is always
+// 0..k-1 — tiling and row chunking never reorder it — so every schedule
+// (including fully serial) produces identical bits. The inner loops are
+// branch-free: the old `if (av == 0.0f) continue;` skip cost a data-
+// dependent branch per multiply-accumulate step on dense activations and
+// changed results for non-finite inputs; dense is the common case here.
+
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   RELGRAPH_CHECK(a.cols() == b.rows())
       << "matmul shape mismatch: " << a.cols() << " vs " << b.rows();
   Tensor out(a.rows(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out.data() + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;
-      const float* brow = b.data() + p * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  if (m == 0 || k == 0 || n == 0) return out;
+  const float* A = a.data();
+  const float* B = b.data();
+  float* O = out.data();
+  auto row_chunk = [&](int64_t i0, int64_t i1) {
+    // Register-block four output rows per sweep of the inner dimension:
+    // each streamed row of b feeds four accumulating output rows, cutting
+    // b traffic 4x versus the rank-1 form. j is tiled only when the four
+    // output sub-rows plus the b sub-row would overflow L1. For any fixed
+    // output element the updates still arrive in p order 0..k-1.
+    for (int64_t jb = 0; jb < n; jb += kBlockJ) {
+      const int64_t je = std::min(n, jb + kBlockJ);
+      int64_t i = i0;
+      for (; i + 4 <= i1; i += 4) {
+        const float* a0 = A + i * k;
+        const float* a1 = a0 + k;
+        const float* a2 = a1 + k;
+        const float* a3 = a2 + k;
+        float* o0 = O + i * n;
+        float* o1 = o0 + n;
+        float* o2 = o1 + n;
+        float* o3 = o2 + n;
+        for (int64_t p = 0; p < k; ++p) {
+          const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+          const float* brow = B + p * n;
+          for (int64_t j = jb; j < je; ++j) {
+            const float bv = brow[j];
+            o0[j] += v0 * bv;
+            o1[j] += v1 * bv;
+            o2[j] += v2 * bv;
+            o3[j] += v3 * bv;
+          }
+        }
+      }
+      for (; i < i1; ++i) {
+        const float* arow = A + i * k;
+        float* orow = O + i * n;
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = arow[p];
+          const float* brow = B + p * n;
+          for (int64_t j = jb; j < je; ++j) orow[j] += av * brow[j];
+        }
+      }
     }
+  };
+  if (m * n * k < kGemmSerialFlops) {
+    row_chunk(0, m);
+  } else {
+    ParallelFor(0, m, kGemmRowGrain, row_chunk);
   }
   return out;
 }
@@ -155,15 +283,28 @@ Tensor MatMulBT(const Tensor& a, const Tensor& b) {
       << "matmul-BT shape mismatch: " << a.cols() << " vs " << b.cols();
   Tensor out(a.rows(), b.rows());
   const int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.data() + i * k;
-    float* orow = out.data() + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.data() + j * k;
-      double acc = 0.0;
-      for (int64_t p = 0; p < k; ++p) acc += static_cast<double>(arow[p]) * brow[p];
-      orow[j] = static_cast<float>(acc);
+  if (m == 0 || k == 0 || n == 0) return out;
+  const float* A = a.data();
+  const float* B = b.data();
+  float* O = out.data();
+  auto row_chunk = [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      const float* arow = A + i * k;
+      float* orow = O + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = B + j * k;
+        double acc = 0.0;
+        for (int64_t p = 0; p < k; ++p) {
+          acc += static_cast<double>(arow[p]) * brow[p];
+        }
+        orow[j] = static_cast<float>(acc);
+      }
     }
+  };
+  if (m * n * k < kGemmSerialFlops) {
+    row_chunk(0, m);
+  } else {
+    ParallelFor(0, m, kGemmRowGrain, row_chunk);
   }
   return out;
 }
@@ -173,15 +314,29 @@ Tensor MatMulAT(const Tensor& a, const Tensor& b) {
       << "matmul-AT shape mismatch: " << a.rows() << " vs " << b.rows();
   Tensor out(a.cols(), b.cols());
   const int64_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a.data() + p * m;
-    const float* brow = b.data() + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out.data() + i * n;
-      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+  if (m == 0 || k == 0 || n == 0) return out;
+  const float* A = a.data();
+  const float* B = b.data();
+  float* O = out.data();
+  auto row_chunk = [&](int64_t i0, int64_t i1) {
+    // p stays outermost so each pass streams one row of a and b; the
+    // chunk's output panel stays cache-resident across passes, and the
+    // per-element accumulation order (p ascending) matches the serial
+    // kernel exactly.
+    for (int64_t p = 0; p < k; ++p) {
+      const float* arow = A + p * m;
+      const float* brow = B + p * n;
+      for (int64_t i = i0; i < i1; ++i) {
+        const float av = arow[i];
+        float* orow = O + i * n;
+        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+      }
     }
+  };
+  if (m * n * k < kGemmSerialFlops) {
+    row_chunk(0, m);
+  } else {
+    ParallelFor(0, m, kGemmRowGrain, row_chunk);
   }
   return out;
 }
@@ -196,54 +351,84 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   RELGRAPH_CHECK(a.SameShape(b));
   Tensor out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    out.data()[i] = a.data()[i] - b.data()[i];
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+  });
   return out;
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   RELGRAPH_CHECK(a.SameShape(b));
   Tensor out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.numel(); ++i) {
-    out.data()[i] = a.data()[i] * b.data()[i];
-  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+  });
   return out;
 }
 
 Tensor AddRowBroadcast(const Tensor& m, const Tensor& row) {
   RELGRAPH_CHECK(row.rows() == 1 && row.cols() == m.cols());
   Tensor out = m;
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    for (int64_t c = 0; c < m.cols(); ++c) out.at(r, c) += row.at(0, c);
-  }
+  const int64_t cols = m.cols();
+  const float* prow = row.data();
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
+  ParallelFor(0, m.rows(), grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* orow = po + r * cols;
+      for (int64_t c = 0; c < cols; ++c) orow[c] += prow[c];
+    }
+  });
   return out;
 }
 
 Tensor SumRows(const Tensor& m) {
   Tensor out(1, m.cols());
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    for (int64_t c = 0; c < m.cols(); ++c) out.at(0, c) += m.at(r, c);
-  }
+  // Parallel over column chunks: each column's accumulation still walks
+  // the rows top to bottom, so the result is bit-identical to the serial
+  // double loop at any thread count.
+  const int64_t rows = m.rows(), cols = m.cols();
+  if (rows == 0 || cols == 0) return out;
+  const float* pm = m.data();
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, rows));
+  ParallelFor(0, cols, grain, [&](int64_t c0, int64_t c1) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* mrow = pm + r * cols;
+      for (int64_t c = c0; c < c1; ++c) po[c] += mrow[c];
+    }
+  });
   return out;
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {
   Tensor out(logits.rows(), logits.cols());
-  for (int64_t r = 0; r < logits.rows(); ++r) {
-    float maxv = -1e30f;
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      maxv = std::max(maxv, logits.at(r, c));
+  const int64_t grain = std::max<int64_t>(
+      1, kElemGrain / std::max<int64_t>(1, logits.cols()));
+  ParallelFor(0, logits.rows(), grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float maxv = -1e30f;
+      for (int64_t c = 0; c < logits.cols(); ++c) {
+        maxv = std::max(maxv, logits.at(r, c));
+      }
+      double denom = 0.0;
+      for (int64_t c = 0; c < logits.cols(); ++c) {
+        denom += std::exp(static_cast<double>(logits.at(r, c)) - maxv);
+      }
+      for (int64_t c = 0; c < logits.cols(); ++c) {
+        out.at(r, c) = static_cast<float>(
+            std::exp(static_cast<double>(logits.at(r, c)) - maxv) / denom);
+      }
     }
-    double denom = 0.0;
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      denom += std::exp(static_cast<double>(logits.at(r, c)) - maxv);
-    }
-    for (int64_t c = 0; c < logits.cols(); ++c) {
-      out.at(r, c) = static_cast<float>(
-          std::exp(static_cast<double>(logits.at(r, c)) - maxv) / denom);
-    }
-  }
+  });
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "core/atomic_io.h"
 #include "core/fault_injection.h"
 #include "core/logging.h"
+#include "core/parallel.h"
 #include "core/string_util.h"
 #include "tensor/serialize.h"
 #include "train/metrics.h"
@@ -52,6 +53,11 @@ VarPtr GnnNodePredictor::ForwardBatch(const TrainingTable& table,
     cutoffs.push_back(table.cutoffs[static_cast<size_t>(i)]);
   }
   Subgraph sg = sampler_.Sample(entity_type_, seeds, cutoffs, rng);
+  return ForwardSampled(sg, rng, training);
+}
+
+VarPtr GnnNodePredictor::ForwardSampled(const Subgraph& sg, Rng* rng,
+                                        bool training) {
   VarPtr emb = model_->Forward(sg, entity_type_, rng, training);
   if (cls_head_) return cls_head_->Forward(emb);
   return scalar_head_->Forward(emb);
@@ -147,20 +153,49 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
   good.lr = opt.lr();
 
   FaultInjector& faults = FaultInjector::Global();
+  epoch_losses_.clear();
   for (int64_t epoch = start_epoch; epoch < trainer_config_.epochs; ++epoch) {
     // Shuffled mini-batches over the training split.
     auto batches = MakeBatches(static_cast<int64_t>(split.train.size()),
                                trainer_config_.batch_size, &rng_);
+    // Sampling draws from per-batch streams forked off one epoch seed, so
+    // batch k+1 can be sampled on the pool while batch k trains (which
+    // keeps drawing from rng_ on this thread) with a result that is
+    // independent of overlap and thread count. rng_ advances by exactly
+    // one draw here, keeping checkpoint/resume semantics intact.
+    Rng epoch_sample_rng = rng_.Split();
+    auto prepare = [&](size_t bk) {
+      SampledBatch prepared;
+      const auto& batch_pos = batches[bk];
+      prepared.batch.reserve(batch_pos.size());
+      std::vector<int64_t> seeds;
+      std::vector<Timestamp> seed_cutoffs;
+      seeds.reserve(batch_pos.size());
+      seed_cutoffs.reserve(batch_pos.size());
+      for (int64_t bp : batch_pos) {
+        const int64_t row = split.train[static_cast<size_t>(bp)];
+        prepared.batch.push_back(row);
+        seeds.push_back(table.entity_rows[static_cast<size_t>(row)]);
+        seed_cutoffs.push_back(table.cutoffs[static_cast<size_t>(row)]);
+      }
+      Rng sample_rng = epoch_sample_rng.Fork(static_cast<uint64_t>(bk));
+      prepared.sg =
+          sampler_.Sample(entity_type_, seeds, seed_cutoffs, &sample_rng);
+      return prepared;
+    };
     double epoch_loss = 0.0;
     bool diverged = false;
-    for (const auto& batch_pos : batches) {
-      std::vector<int64_t> batch;
-      batch.reserve(batch_pos.size());
-      for (int64_t bp : batch_pos) {
-        batch.push_back(split.train[static_cast<size_t>(bp)]);
+    std::future<SampledBatch> pending;
+    for (size_t bk = 0; bk < batches.size(); ++bk) {
+      SampledBatch cur = bk == 0 ? prepare(0) : pending.get();
+      if (bk + 1 < batches.size()) {
+        // One-batch-deep prefetch: sample the next batch on the pool
+        // while this one trains.
+        pending = Async([&prepare, bk] { return prepare(bk + 1); });
       }
+      const std::vector<int64_t>& batch = cur.batch;
       opt.ZeroGrad();
-      VarPtr out = ForwardBatch(table, batch, &rng_, /*training=*/true);
+      VarPtr out = ForwardSampled(cur.sg, &rng_, /*training=*/true);
       VarPtr loss;
       switch (kind_) {
         case TaskKind::kBinaryClassification: {
@@ -215,6 +250,10 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
       opt.Step();
       epoch_loss += batch_loss * static_cast<double>(batch.size());
     }
+    // Drain the pipeline: a subgraph prefetched for a batch we will not
+    // train (divergence rollback or early stop) is simply discarded —
+    // its RNG stream was independent, so nothing else shifts.
+    if (pending.valid()) pending.get();
     if (diverged) {
       ++divergence_episodes_;
       if (++retries > trainer_config_.max_divergence_retries) {
@@ -243,6 +282,7 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
       continue;
     }
     epoch_loss /= static_cast<double>(split.train.size());
+    epoch_losses_.push_back(epoch_loss);
     const double val_metric = Evaluate(table, val_idx);
     if (trainer_config_.verbose) {
       RELGRAPH_LOG(Info) << "epoch " << epoch << " loss " << epoch_loss
@@ -365,7 +405,10 @@ std::vector<double> GnnNodePredictor::PredictScores(
     const TrainingTable& table, const std::vector<int64_t>& indices) {
   std::vector<double> scores;
   scores.reserve(indices.size());
-  // Deterministic inference batches (no shuffle, no dropout).
+  // Deterministic inference: unshuffled batches, no dropout, and sampling
+  // from a fixed stream derived from the trainer seed — predictions never
+  // depend on how far the training RNG has advanced.
+  Rng eval_rng(trainer_config_.seed ^ 0xE7037ED1A0B428DBULL);
   for (size_t start = 0; start < indices.size();
        start += static_cast<size_t>(trainer_config_.batch_size)) {
     const size_t end = std::min(
@@ -373,7 +416,7 @@ std::vector<double> GnnNodePredictor::PredictScores(
                                     trainer_config_.batch_size));
     std::vector<int64_t> batch(indices.begin() + static_cast<int64_t>(start),
                                indices.begin() + static_cast<int64_t>(end));
-    VarPtr out = ForwardBatch(table, batch, &rng_, /*training=*/false);
+    VarPtr out = ForwardBatch(table, batch, &eval_rng, /*training=*/false);
     for (int64_t r = 0; r < out->rows(); ++r) {
       switch (kind_) {
         case TaskKind::kBinaryClassification:

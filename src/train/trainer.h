@@ -87,6 +87,11 @@ class GnnNodePredictor {
   /// Divergence-rollback episodes consumed by the last Fit call.
   int64_t divergence_episodes() const { return divergence_episodes_; }
 
+  /// Mean training loss of each completed epoch of the last Fit call (in
+  /// run order; rolled-back epochs are not recorded). Bit-identical across
+  /// thread counts — the determinism regression tests compare it directly.
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
   /// Epoch the last Fit resumed from (-1 for a fresh run).
   int64_t resumed_from_epoch() const { return resumed_from_epoch_; }
 
@@ -106,9 +111,18 @@ class GnnNodePredictor {
   Status LoadWeights(const std::string& path);
 
  private:
+  /// A mini-batch with its subgraph already sampled — the unit handed
+  /// from the prefetch pipeline to the training step.
+  struct SampledBatch {
+    std::vector<int64_t> batch;  // table row indices
+    Subgraph sg;
+  };
+
   VarPtr ForwardBatch(const TrainingTable& table,
                       const std::vector<int64_t>& indices, Rng* rng,
                       bool training);
+  /// Head + encoder forward over an already-sampled subgraph.
+  VarPtr ForwardSampled(const Subgraph& sg, Rng* rng, bool training);
   std::vector<Tensor> SnapshotParams() const;
   void RestoreParams(const std::vector<Tensor>& snapshot);
 
@@ -143,6 +157,7 @@ class GnnNodePredictor {
   double best_val_metric_ = -1e30;
   int64_t divergence_episodes_ = 0;
   int64_t resumed_from_epoch_ = -1;
+  std::vector<double> epoch_losses_;
   // Regression label standardization (fit on train split).
   double label_mean_ = 0.0;
   double label_std_ = 1.0;
