@@ -108,6 +108,11 @@ void RunCase(const Case& c, int threads, std::vector<BenchRecord>* out) {
     }
     sink += r.data()[0];
   };
+  // One warm-up invocation under a counter delta records which route the
+  // dispatcher took (the route is deterministic, so one rep suffices).
+  CounterDeltas deltas({"gemm_serial_total", "gemm_parallel_total"});
+  run();
+  const int64_t parallel_route = deltas.Delta("gemm_parallel_total");
   const double ms = BestMs(run);
   BenchRecord rec;
   rec.name = StrFormat("%s_%" PRId64 "x%" PRId64 "x%" PRId64 "/t%d",
@@ -118,6 +123,11 @@ void RunCase(const Case& c, int threads, std::vector<BenchRecord>* out) {
   const double flops = 2.0 * static_cast<double>(c.m) *
                        static_cast<double>(c.k) * static_cast<double>(c.n);
   rec.extra.emplace_back("gflops", flops / (ms * 1e6));
+  // 1 when the instrumented dispatcher chose the pool (always 0 for the
+  // naive baseline, which bypasses the dispatcher; also 0 with metrics
+  // disabled, where the counters never move).
+  rec.extra.emplace_back("dispatch_parallel",
+                         static_cast<double>(parallel_route));
   out->push_back(rec);
   std::printf("%-32s %10.3f ms %10.2f GFLOP/s\n", rec.name.c_str(), ms,
               flops / (ms * 1e6));

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/atomic_io.h"
+#include "core/metrics.h"
 #include "core/parallel.h"
 #include "core/string_util.h"
 #include "datagen/clinical.h"
@@ -127,6 +128,35 @@ inline bool WriteBenchJson(const std::string& path, const std::string& bench,
   std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
   return true;
 }
+
+/// Reads the current value of a process counter (0 when it has never been
+/// touched), for benches that report metric deltas next to timings.
+inline int64_t CounterValue(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+/// Counter deltas across a benchmarked region: construct before, call
+/// Delta(name) after. Lets a bench attach e.g. GEMM dispatch counts to its
+/// BenchRecord extras without resetting the process-wide registry.
+class CounterDeltas {
+ public:
+  explicit CounterDeltas(std::vector<std::string> names) {
+    for (std::string& name : names) {
+      start_.emplace_back(std::move(name), 0);
+      start_.back().second = CounterValue(start_.back().first);
+    }
+  }
+
+  int64_t Delta(const std::string& name) const {
+    for (const auto& [n, v] : start_) {
+      if (n == name) return CounterValue(n) - v;
+    }
+    return CounterValue(name);
+  }
+
+ private:
+  std::vector<std::pair<std::string, int64_t>> start_;
+};
 
 /// Recall@k of a ranking result's test rankings.
 inline double TestRecallAtK(const QueryResult& r, int64_t k) {

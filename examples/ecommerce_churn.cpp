@@ -2,18 +2,35 @@
 // declarative query and prints a leaderboard, then shows per-user
 // predictions for the most at-risk customers.
 //
-// Run: ./build/examples/ecommerce_churn
+// Run: ./build/examples/ecommerce_churn [--metrics-out <dir>]
+//
+// --metrics-out dumps the observability layer's metrics.json and
+// trace.json (spans for every query phase) to the given directory.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "datagen/ecommerce.h"
 #include "pq/engine.h"
 
 using namespace relgraph;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string metrics_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out needs a directory\n");
+        return 2;
+      }
+      metrics_dir = argv[++i];
+    }
+  }
   ECommerceConfig config;
   config.num_users = 500;
   config.num_products = 100;
@@ -77,6 +94,22 @@ int main() {
                   users.GetValue(row, "country").as_string().c_str(),
                   users.GetValue(row, "premium").as_bool() ? "yes" : "no");
     }
+  }
+
+  if (!metrics_dir.empty()) {
+    const std::string metrics_path = metrics_dir + "/metrics.json";
+    const std::string trace_path = metrics_dir + "/trace.json";
+    if (Status st = WriteMetricsJson(metrics_path); !st.ok()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (Status st = WriteTraceJson(trace_path); !st.ok()) {
+      std::fprintf(stderr, "trace dump failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmetrics -> %s, trace -> %s\n", metrics_path.c_str(),
+                trace_path.c_str());
   }
   return 0;
 }

@@ -6,14 +6,20 @@
 // 4. score the newest cutoff and export the predictions to CSV.
 //
 // Run: ./build/examples/train_save_serve [output_dir] [--resume <ckpt>]
+//                                        [--metrics-out <dir>]
 //
 // Training always writes a crash-safe epoch checkpoint next to its other
 // artifacts; pass --resume <ckpt> to continue a killed run from that file
-// (the resumed run reproduces the uninterrupted one bit-for-bit).
+// (the resumed run reproduces the uninterrupted one bit-for-bit). Fit also
+// writes <train ckpt>.run_report.json with the per-epoch loss/val history.
+// --metrics-out <dir> additionally dumps metrics.json and trace.json there
+// at exit (observability layer; see docs/observability.md).
 
 #include <cstdio>
 #include <string>
 
+#include "core/metrics.h"
+#include "core/trace.h"
 #include "datagen/ecommerce.h"
 #include "pq/engine.h"
 #include "pq/label_builder.h"
@@ -48,6 +54,7 @@ SamplerOptions SamplerConfig() {
 int main(int argc, char** argv) {
   std::string dir = "/tmp";
   std::string resume_path;
+  std::string metrics_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--resume") {
@@ -56,6 +63,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       resume_path = argv[++i];
+    } else if (arg == "--metrics-out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out needs a directory\n");
+        return 2;
+      }
+      metrics_dir = argv[++i];
     } else {
       dir = arg;
     }
@@ -150,5 +163,22 @@ int main(int argc, char** argv) {
   }
   std::printf("serving-side test AUC %.4f (matches training side)\n",
               RocAuc(result.test_scores, truth));
+
+  if (!metrics_dir.empty()) {
+    const std::string metrics_path = metrics_dir + "/metrics.json";
+    const std::string trace_path = metrics_dir + "/trace.json";
+    if (Status st = WriteMetricsJson(metrics_path); !st.ok()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    if (Status st = WriteTraceJson(trace_path); !st.ok()) {
+      std::fprintf(stderr, "trace dump failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics -> %s, trace -> %s (run report next to %s)\n",
+                metrics_path.c_str(), trace_path.c_str(),
+                train_ckpt_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# CI driver: builds and tests the repo in tiers, fastest feedback first.
+#
+#   scripts/ci.sh            # default build: unit lane, then everything
+#   scripts/ci.sh unit       # default build: unit lane only (pre-commit)
+#   scripts/ci.sh full       # default build: all labels
+#   scripts/ci.sh asan       # ASan+UBSan preset over the full suite
+#   scripts/ci.sh tsan       # TSan preset over the concurrency-heavy tests
+#   scripts/ci.sh all        # default full + asan + tsan
+#
+# Test lanes are ctest labels (see tests/CMakeLists.txt): unit |
+# integration | slow.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MODE="${1:-default}"
+
+run_preset() {
+  local preset="$1"
+  shift
+  cmake --preset "$preset" >/dev/null
+  cmake --build --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -j "$JOBS" "$@"
+}
+
+case "$MODE" in
+  unit)
+    run_preset default -L unit
+    ;;
+  full | default)
+    run_preset default -L unit
+    run_preset default -L integration
+    run_preset default -L slow
+    scripts/check_run_report.sh build
+    ;;
+  asan)
+    run_preset asan
+    ;;
+  tsan)
+    # The concurrency surface: thread-pool runtime, metrics/trace layer,
+    # parallel GEMM, trainer prefetch. The gtest binaries run whole (ctest
+    # names tests by suite, not binary, so -R cannot select them); any
+    # TSan report is fatal.
+    cmake --preset tsan >/dev/null
+    cmake --build --preset tsan -j "$JOBS"
+    for t in parallel_test observability_test tensor_test train_test; do
+      TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
+    done
+    ;;
+  all)
+    "$0" full
+    "$0" asan
+    "$0" tsan
+    ;;
+  *)
+    echo "usage: $0 [unit|full|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac

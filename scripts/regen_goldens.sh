@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates the byte-stable golden files under tests/golden/ after an
+# intentional format change to the metrics/trace exporters or the trainer
+# run report. Review the resulting diff before committing — a golden churn
+# you did not intend is a bug, not a refresh.
+#
+# Usage: scripts/regen_goldens.sh [build-dir]   (default: build)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+cmake --build "$BUILD" -j "$(nproc)" --target observability_test \
+  train_save_serve
+RELGRAPH_REGEN_GOLDENS=1 "$BUILD"/tests/observability_test \
+  --gtest_filter='GoldenTest.*'
+
+# End-to-end golden: the train_save_serve demo's per-epoch losses
+# (checked by scripts/check_run_report.sh).
+out="$(mktemp -d)"
+"$BUILD"/examples/train_save_serve "$out" >/dev/null
+sed -n '/"epochs": \[/,/\]/p' \
+  "$out/relgraph_demo.train.ckpt.run_report.json" \
+  > tests/golden/train_save_serve_epochs.json
+rm -rf "$out"
+
+git --no-pager diff --stat -- tests/golden/

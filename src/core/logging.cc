@@ -5,10 +5,45 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/metrics.h"
+#include "core/string_util.h"
+
 namespace relgraph {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+constexpr int kUninitialized = -1;
+
+/// -1 until the first read, which resolves RELGRAPH_LOG_LEVEL (explicit
+/// SetLogLevel calls store directly and therefore beat the environment).
+std::atomic<int> g_min_level{kUninitialized};
+
+int LevelFromEnv() {
+  const char* env = std::getenv("RELGRAPH_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kInfo);
+  const std::string v = ToLower(env);
+  if (v == "debug" || v == "0") return static_cast<int>(LogLevel::kDebug);
+  if (v == "info" || v == "1") return static_cast<int>(LogLevel::kInfo);
+  if (v == "warning" || v == "warn" || v == "2") {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (v == "error" || v == "3") return static_cast<int>(LogLevel::kError);
+  std::fprintf(stderr,
+               "[WARN logging.cc] unrecognized RELGRAPH_LOG_LEVEL '%s' "
+               "(want debug|info|warning|error); using info\n",
+               env);
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+int MinLevel() {
+  int v = g_min_level.load(std::memory_order_relaxed);
+  if (v == kUninitialized) {
+    // Benign race: concurrent first reads resolve the same env value.
+    v = LevelFromEnv();
+    g_min_level.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,15 +63,14 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
   g_min_level.store(static_cast<int>(level));
 }
 
-LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_min_level.load());
-}
+LogLevel GetLogLevel() { return static_cast<LogLevel>(MinLevel()); }
 
 namespace internal {
 
@@ -47,7 +81,12 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) < g_min_level.load()) return;
+  if (static_cast<int>(level_) < MinLevel()) return;
+  // Warnings and errors count even when metrics dumping never happens:
+  // tests assert on warning emission through this counter.
+  if (level_ >= LogLevel::kWarning) {
+    RELGRAPH_COUNTER_INC("log_warnings_total");
+  }
   std::fprintf(stderr, "%s\n", stream_.str().c_str());
 }
 

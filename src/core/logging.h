@@ -9,7 +9,10 @@ namespace relgraph {
 /// Severity levels for the lightweight logger.
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Sets the global minimum level that is actually emitted (default: Info).
+/// Sets the global minimum level that is actually emitted. The default is
+/// Info, overridable at startup via the RELGRAPH_LOG_LEVEL environment
+/// variable ("debug" | "info" | "warning" | "error", or 0-3); an explicit
+/// SetLogLevel call always wins over the environment.
 void SetLogLevel(LogLevel level);
 
 /// Current global minimum level.

@@ -1,0 +1,224 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/atomic_io.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+// -1 = uninitialized (read RELGRAPH_METRICS on first use), else 0/1.
+std::atomic<int> g_metrics_enabled{-1};
+
+int ReadEnabledFromEnv() {
+  const char* env = std::getenv("RELGRAPH_METRICS");
+  if (env == nullptr) return 1;
+  const std::string v = ToLower(env);
+  return (v == "0" || v == "false" || v == "off" || v == "no") ? 0 : 1;
+}
+
+/// Round-trippable number rendering shared by both exporters: integers
+/// print without a decimal point, everything else as %.17g.
+std::string FormatMetricValue(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      std::abs(v) < 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.17g", v);
+}
+
+bool HasPrefix(std::string_view name, std::string_view prefix) {
+  return prefix.empty() || name.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  int v = g_metrics_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = ReadEnabledFromEnv();
+    g_metrics_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double v) {
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::bucket_count(size_t i) const {
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::ResetForTesting() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000};
+  return kBuckets;
+}
+
+// -------------------------------------------------------------- Registry
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::DumpText(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    if (!HasPrefix(name, prefix)) continue;
+    out += StrFormat("counter %s %lld\n", name.c_str(),
+                     static_cast<long long>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!HasPrefix(name, prefix)) continue;
+    out += StrFormat("gauge %s %s\n", name.c_str(),
+                     FormatMetricValue(g->value()).c_str());
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!HasPrefix(name, prefix)) continue;
+    out += StrFormat("histogram %s count=%lld sum=%s", name.c_str(),
+                     static_cast<long long>(h->count()),
+                     FormatMetricValue(h->sum()).c_str());
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      out += StrFormat(" le%s=%lld",
+                       FormatMetricValue(h->bounds()[i]).c_str(),
+                       static_cast<long long>(h->bucket_count(i)));
+    }
+    out += StrFormat(" leinf=%lld\n", static_cast<long long>(
+                                          h->bucket_count(
+                                              h->bounds().size())));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::DumpJson(std::string_view prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!HasPrefix(name, prefix)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat("    \"%s\": %lld", name.c_str(),
+                     static_cast<long long>(c->value()));
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!HasPrefix(name, prefix)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat("    \"%s\": %s", name.c_str(),
+                     FormatMetricValue(g->value()).c_str());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!HasPrefix(name, prefix)) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += StrFormat("    \"%s\": {\"count\": %lld, \"sum\": %s, "
+                     "\"buckets\": [",
+                     name.c_str(), static_cast<long long>(h->count()),
+                     FormatMetricValue(h->sum()).c_str());
+    for (size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += StrFormat("{\"le\": %s, \"count\": %lld}",
+                       FormatMetricValue(h->bounds()[i]).c_str(),
+                       static_cast<long long>(h->bucket_count(i)));
+    }
+    if (!h->bounds().empty()) out += ", ";
+    out += StrFormat("{\"le\": \"inf\", \"count\": %lld}]}",
+                     static_cast<long long>(
+                         h->bucket_count(h->bounds().size())));
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->ResetForTesting();
+  for (auto& [name, g] : gauges_) g->ResetForTesting();
+  for (auto& [name, h] : histograms_) h->ResetForTesting();
+}
+
+std::string DumpMetricsText(std::string_view prefix) {
+  return MetricsRegistry::Global().DumpText(prefix);
+}
+
+std::string DumpMetricsJson(std::string_view prefix) {
+  return MetricsRegistry::Global().DumpJson(prefix);
+}
+
+Status WriteMetricsJson(const std::string& path, std::string_view prefix) {
+  return AtomicWriteFile(path, DumpMetricsJson(prefix));
+}
+
+}  // namespace relgraph

@@ -1,0 +1,243 @@
+#include "core/trace.h"
+
+#include <time.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "core/atomic_io.h"
+#include "core/metrics.h"
+#include "core/string_util.h"
+
+namespace relgraph {
+
+namespace {
+
+thread_local int64_t t_current_span = -1;
+
+/// Dense thread index: the first thread to open a span gets 0 (in
+/// practice the main thread), pool workers get 1, 2, ... in first-span
+/// order.
+int ThreadIndex() {
+  static std::atomic<int> next{0};
+  thread_local int index = next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+double ThreadCpuUs() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) * 1e-3;
+}
+
+constexpr size_t kDefaultCapacity = 1 << 16;
+
+/// Monotonic microseconds since the first call (process trace epoch).
+/// A process-constant epoch keeps reads race-free under TSan even while
+/// Reset() runs concurrently.
+double ProcessNowUs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+std::string FormatUs(double us, bool include_timings) {
+  return StrFormat("%.3f", include_timings ? us : 0.0);
+}
+
+}  // namespace
+
+struct TraceCollector::Impl {
+  mutable std::mutex mu;
+  std::vector<TraceSpanRecord> spans;
+  size_t capacity = kDefaultCapacity;
+  /// start_us values are relative to this offset (moved by Reset so a
+  /// fresh trace starts near zero). Only written under mu.
+  double epoch_us = 0.0;
+};
+
+TraceCollector::TraceCollector() : impl_(new Impl()) {}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();
+  return *collector;
+}
+
+int64_t TraceCollector::CurrentSpanId() { return t_current_span; }
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->spans.size();
+}
+
+std::vector<TraceSpanRecord> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->spans;
+}
+
+void TraceCollector::Reset() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->spans.clear();
+  impl_->epoch_us = ProcessNowUs();
+}
+
+void TraceCollector::SetCapacityForTesting(size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->capacity = capacity;
+}
+
+int64_t TraceCollector::Begin(std::string_view name, int64_t parent) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->spans.size() >= impl_->capacity) {
+    RELGRAPH_COUNTER_INC("trace_spans_dropped_total");
+    return -1;
+  }
+  TraceSpanRecord rec;
+  rec.id = static_cast<int64_t>(impl_->spans.size());
+  rec.parent = parent;
+  rec.name = std::string(name);
+  rec.start_us = ProcessNowUs() - impl_->epoch_us;
+  rec.thread = ThreadIndex();
+  impl_->spans.push_back(std::move(rec));
+  return impl_->spans.back().id;
+}
+
+void TraceCollector::End(int64_t id, double wall_us, double cpu_us) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (id < 0 || id >= static_cast<int64_t>(impl_->spans.size())) return;
+  TraceSpanRecord& rec = impl_->spans[static_cast<size_t>(id)];
+  rec.wall_us = wall_us;
+  rec.cpu_us = cpu_us;
+  rec.closed = true;
+}
+
+namespace {
+
+void AppendSpanJson(const std::vector<TraceSpanRecord>& spans,
+                    const std::vector<std::vector<int64_t>>& children,
+                    int64_t id, int depth, bool include_timings,
+                    std::string* out) {
+  const TraceSpanRecord& s = spans[static_cast<size_t>(id)];
+  const std::string pad(static_cast<size_t>(depth) * 2 + 2, ' ');
+  *out += pad + StrFormat(
+                    "{\"name\": \"%s\", \"thread\": %d, \"start_us\": %s, "
+                    "\"wall_us\": %s, \"cpu_us\": %s",
+                    s.name.c_str(), s.thread,
+                    FormatUs(s.start_us, include_timings).c_str(),
+                    FormatUs(s.wall_us, include_timings).c_str(),
+                    FormatUs(s.cpu_us, include_timings).c_str());
+  const auto& kids = children[static_cast<size_t>(id)];
+  if (kids.empty()) {
+    *out += "}";
+    return;
+  }
+  *out += ", \"children\": [\n";
+  for (size_t i = 0; i < kids.size(); ++i) {
+    AppendSpanJson(spans, children, kids[i], depth + 1, include_timings,
+                   out);
+    if (i + 1 < kids.size()) *out += ",";
+    *out += "\n";
+  }
+  *out += pad + "]}";
+}
+
+void AppendSpanText(const std::vector<TraceSpanRecord>& spans,
+                    const std::vector<std::vector<int64_t>>& children,
+                    int64_t id, int depth, std::string* out) {
+  const TraceSpanRecord& s = spans[static_cast<size_t>(id)];
+  *out += std::string(static_cast<size_t>(depth) * 2, ' ');
+  *out += StrFormat("%s  wall %.3fms cpu %.3fms (thread %d)\n",
+                    s.name.c_str(), s.wall_us / 1000.0, s.cpu_us / 1000.0,
+                    s.thread);
+  for (int64_t kid : children[static_cast<size_t>(id)]) {
+    AppendSpanText(spans, children, kid, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string TraceCollector::DumpJson(bool include_timings) const {
+  const std::vector<TraceSpanRecord> spans = Snapshot();
+  std::vector<std::vector<int64_t>> children(spans.size());
+  std::vector<int64_t> roots;
+  for (const TraceSpanRecord& s : spans) {
+    // Spans arrive in id order; a parent id always precedes its children.
+    if (s.parent >= 0 && s.parent < static_cast<int64_t>(spans.size())) {
+      children[static_cast<size_t>(s.parent)].push_back(s.id);
+    } else {
+      roots.push_back(s.id);
+    }
+  }
+  std::string out = "{\n\"spans\": [";
+  for (size_t i = 0; i < roots.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    AppendSpanJson(spans, children, roots[i], 0, include_timings, &out);
+  }
+  out += roots.empty() ? "]\n}\n" : "\n]\n}\n";
+  return out;
+}
+
+std::string TraceCollector::DumpText() const {
+  const std::vector<TraceSpanRecord> spans = Snapshot();
+  std::vector<std::vector<int64_t>> children(spans.size());
+  std::vector<int64_t> roots;
+  for (const TraceSpanRecord& s : spans) {
+    if (s.parent >= 0 && s.parent < static_cast<int64_t>(spans.size())) {
+      children[static_cast<size_t>(s.parent)].push_back(s.id);
+    } else {
+      roots.push_back(s.id);
+    }
+  }
+  std::string out;
+  for (int64_t root : roots) {
+    AppendSpanText(spans, children, root, 0, &out);
+  }
+  return out;
+}
+
+std::string DumpTraceJson(bool include_timings) {
+  return TraceCollector::Global().DumpJson(include_timings);
+}
+
+std::string DumpTraceText() { return TraceCollector::Global().DumpText(); }
+
+Status WriteTraceJson(const std::string& path, bool include_timings) {
+  return AtomicWriteFile(path, DumpTraceJson(include_timings));
+}
+
+// ------------------------------------------------------------- TraceSpan
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!MetricsEnabled()) return;
+  Open(name, t_current_span);
+}
+
+TraceSpan::TraceSpan(std::string_view name, int64_t parent_id) {
+  if (!MetricsEnabled()) return;
+  Open(name, parent_id);
+}
+
+void TraceSpan::Open(std::string_view name, int64_t parent) {
+  TraceCollector& collector = TraceCollector::Global();
+  saved_current_ = t_current_span;
+  id_ = collector.Begin(name, parent);
+  if (id_ < 0) return;  // dropped: children attach to the saved parent
+  t_current_span = id_;
+  start_wall_us_ = ProcessNowUs();
+  start_cpu_us_ = ThreadCpuUs();
+}
+
+TraceSpan::~TraceSpan() {
+  if (id_ < 0) return;
+  TraceCollector& collector = TraceCollector::Global();
+  const double wall = ProcessNowUs() - start_wall_us_;
+  const double cpu = ThreadCpuUs() - start_cpu_us_;
+  collector.End(id_, wall < 0 ? 0.0 : wall, cpu < 0 ? 0.0 : cpu);
+  t_current_span = saved_current_;
+}
+
+}  // namespace relgraph

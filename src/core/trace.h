@@ -1,0 +1,132 @@
+#ifndef RELGRAPH_CORE_TRACE_H_
+#define RELGRAPH_CORE_TRACE_H_
+
+// RAII trace spans forming a hierarchical timing tree.
+//
+// A TraceSpan records its name, wall time, thread CPU time, owning thread,
+// and parent span. Parenthood is tracked per thread: the innermost live
+// span on the constructing thread becomes the parent. Work shipped to the
+// thread pool nests explicitly: capture TraceCollector::CurrentSpanId()
+// before dispatch and pass it to the TraceSpan(name, parent_id)
+// constructor inside the worker.
+//
+// Spans share the metrics on/off switch (RELGRAPH_METRICS env var /
+// SetMetricsEnabled): when disabled, constructing a span is one relaxed
+// atomic load and no allocation. The collector is bounded (spans beyond
+// the capacity are dropped and counted in trace_spans_dropped_total), so
+// long training runs cannot grow memory without bound.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace relgraph {
+
+/// One completed (or still-open) span in the process-wide trace.
+struct TraceSpanRecord {
+  int64_t id = -1;
+  int64_t parent = -1;  ///< -1 for roots
+  std::string name;
+  double start_us = 0.0;  ///< relative to the collector's epoch (or last Reset)
+  double wall_us = 0.0;   ///< 0 while the span is still open
+  double cpu_us = 0.0;    ///< thread CPU time consumed inside the span
+  int thread = 0;         ///< dense per-process thread index (main = 0)
+  bool closed = false;
+};
+
+/// Process-wide bounded span store.
+class TraceCollector {
+ public:
+  static TraceCollector& Global();
+
+  /// Innermost live span on the calling thread (-1 when none). Capture
+  /// this before handing work to the pool to keep the tree connected.
+  static int64_t CurrentSpanId();
+
+  /// Number of recorded spans (open + closed).
+  size_t size() const;
+
+  /// Spans recorded since the last Reset, id order. Copy: safe to inspect
+  /// while other threads keep tracing.
+  std::vector<TraceSpanRecord> Snapshot() const;
+
+  /// Drops all spans and restarts ids from 0 (epoch moves to now).
+  void Reset();
+
+  /// Maximum retained spans (default 65536); excess spans are dropped and
+  /// counted in the trace_spans_dropped_total counter.
+  void SetCapacityForTesting(size_t capacity);
+
+  /// Hierarchical JSON: [{"name": ..., "thread": t, "start_us": ...,
+  /// "wall_us": ..., "cpu_us": ..., "children": [...]}, ...] with children
+  /// in id (start) order. With include_timings=false every timing field is
+  /// emitted as 0, giving a byte-stable dump for golden tests.
+  std::string DumpJson(bool include_timings = true) const;
+
+  /// Indented one-line-per-span tree for terminals.
+  std::string DumpText() const;
+
+ private:
+  friend class TraceSpan;
+  TraceCollector();
+
+  int64_t Begin(std::string_view name, int64_t parent);
+  void End(int64_t id, double wall_us, double cpu_us);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Convenience dumps of the global collector.
+std::string DumpTraceJson(bool include_timings = true);
+std::string DumpTraceText();
+
+/// Atomically writes DumpTraceJson() to `path`.
+Status WriteTraceJson(const std::string& path, bool include_timings = true);
+
+/// RAII span: opens on construction, closes (recording wall/CPU time) on
+/// destruction. No-op when metrics are disabled.
+class TraceSpan {
+ public:
+  /// Parent = innermost live span on this thread.
+  explicit TraceSpan(std::string_view name);
+
+  /// Explicit parent, for work running on a pool worker on behalf of a
+  /// span opened on another thread (pass the captured CurrentSpanId()).
+  TraceSpan(std::string_view name, int64_t parent_id);
+
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Id of this span (-1 when tracing is disabled or the span was
+  /// dropped).
+  int64_t id() const { return id_; }
+
+ private:
+  void Open(std::string_view name, int64_t parent);
+
+  int64_t id_ = -1;
+  int64_t saved_current_ = -1;
+  double start_wall_us_ = 0.0;
+  double start_cpu_us_ = 0.0;
+};
+
+}  // namespace relgraph
+
+#ifdef RELGRAPH_NO_METRICS
+#define RELGRAPH_TRACE_SPAN(name)
+#else
+#define RELGRAPH_TRACE_CONCAT_(a, b) a##b
+#define RELGRAPH_TRACE_CONCAT(a, b) RELGRAPH_TRACE_CONCAT_(a, b)
+/// Opens a span covering the rest of the enclosing scope.
+#define RELGRAPH_TRACE_SPAN(name)                                   \
+  ::relgraph::TraceSpan RELGRAPH_TRACE_CONCAT(relgraph_trace_span_, \
+                                              __COUNTER__)(name)
+#endif
+
+#endif  // RELGRAPH_CORE_TRACE_H_

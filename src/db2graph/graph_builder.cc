@@ -1,33 +1,51 @@
 #include "db2graph/graph_builder.h"
 
+#include <optional>
+
+#include "core/metrics.h"
 #include "core/string_util.h"
+#include "core/trace.h"
 
 namespace relgraph {
 
 Result<DbGraph> BuildDbGraph(const Database& db,
                              const GraphBuilderOptions& options) {
+  RELGRAPH_TRACE_SPAN("db2graph/build");
   DbGraph out;
   // Pass 1: node types with features and timestamps.
-  for (const auto& table : db.tables()) {
-    RELGRAPH_ASSIGN_OR_RETURN(
-        NodeTypeId type, out.graph.AddNodeType(table->name(),
-                                               table->num_rows()));
-    out.table_type[table->name()] = type;
-    RELGRAPH_ASSIGN_OR_RETURN(EncodedTable encoded,
-                              EncodeTableFeatures(*table, options.encode));
-    out.feature_names[table->name()] = std::move(encoded.feature_names);
-    RELGRAPH_RETURN_IF_ERROR(
-        out.graph.SetNodeFeatures(type, std::move(encoded.features)));
-    if (table->schema().time_column()) {
-      std::vector<Timestamp> times(static_cast<size_t>(table->num_rows()));
-      for (int64_t r = 0; r < table->num_rows(); ++r) {
-        times[static_cast<size_t>(r)] = table->RowTime(r);
+  {
+    RELGRAPH_TRACE_SPAN("db2graph/nodes");
+    for (const auto& table : db.tables()) {
+      // Per-table spans carry a composed name, so construct them only when
+      // the observability layer is on (keeps the disabled path
+      // allocation-free).
+      std::optional<TraceSpan> table_span;
+      if (MetricsEnabled()) {
+        table_span.emplace("db2graph/table/" + table->name());
       }
+      RELGRAPH_ASSIGN_OR_RETURN(
+          NodeTypeId type, out.graph.AddNodeType(table->name(),
+                                                 table->num_rows()));
+      out.table_type[table->name()] = type;
+      RELGRAPH_ASSIGN_OR_RETURN(EncodedTable encoded,
+                                EncodeTableFeatures(*table, options.encode));
+      out.feature_names[table->name()] = std::move(encoded.feature_names);
       RELGRAPH_RETURN_IF_ERROR(
-          out.graph.SetNodeTimes(type, std::move(times)));
+          out.graph.SetNodeFeatures(type, std::move(encoded.features)));
+      if (table->schema().time_column()) {
+        std::vector<Timestamp> times(static_cast<size_t>(table->num_rows()));
+        for (int64_t r = 0; r < table->num_rows(); ++r) {
+          times[static_cast<size_t>(r)] = table->RowTime(r);
+        }
+        RELGRAPH_RETURN_IF_ERROR(
+            out.graph.SetNodeTimes(type, std::move(times)));
+      }
+      RELGRAPH_COUNTER_INC("db2graph_tables_total");
+      RELGRAPH_COUNTER_ADD("db2graph_nodes_total", table->num_rows());
     }
   }
   // Pass 2: FK edge types.
+  RELGRAPH_TRACE_SPAN("db2graph/edges");
   for (const auto& table : db.tables()) {
     const NodeTypeId child_type = out.table_type[table->name()];
     for (const auto& fk : table->schema().foreign_keys()) {
@@ -63,12 +81,16 @@ Result<DbGraph> BuildDbGraph(const Database& db,
         dst.push_back(parent_row.value());
         times.push_back(table->RowTime(r));
       }
+      RELGRAPH_COUNTER_ADD("db2graph_edges_total",
+                           static_cast<int64_t>(src.size()));
       RELGRAPH_ASSIGN_OR_RETURN(
           EdgeTypeId fwd, out.graph.AddEdgeType(edge_name, child_type,
                                                 parent_type, src, dst,
                                                 times));
       (void)fwd;
       if (options.add_reverse_edges) {
+        RELGRAPH_COUNTER_ADD("db2graph_edges_total",
+                             static_cast<int64_t>(dst.size()));
         RELGRAPH_ASSIGN_OR_RETURN(
             EdgeTypeId rev,
             out.graph.AddEdgeType("rev_" + edge_name, parent_type,
@@ -76,6 +98,10 @@ Result<DbGraph> BuildDbGraph(const Database& db,
         (void)rev;
       }
     }
+  }
+  for (const auto& [edge_name, skipped] : out.skipped_dangling_fks) {
+    (void)edge_name;
+    RELGRAPH_COUNTER_ADD("db2graph_dangling_fk_skipped_total", skipped);
   }
   return out;
 }

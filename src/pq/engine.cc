@@ -9,8 +9,10 @@
 #include "core/csv.h"
 #include "baselines/tabular.h"
 #include "core/logging.h"
+#include "core/metrics.h"
 #include "core/string_util.h"
 #include "core/timer.h"
+#include "core/trace.h"
 #include "pq/parser.h"
 #include "train/metrics.h"
 #include "train/recommender.h"
@@ -175,6 +177,7 @@ Status PredictiveQueryEngine::EnsureValidated() {
 Result<const DbGraph*> PredictiveQueryEngine::Graph() {
   RELGRAPH_RETURN_IF_ERROR(EnsureValidated());
   if (!graph_) {
+    RELGRAPH_TRACE_SPAN("pq/graph_build");
     RELGRAPH_ASSIGN_OR_RETURN(DbGraph g, BuildDbGraph(*db_, options_.graph));
     graph_ = std::make_unique<DbGraph>(std::move(g));
   }
@@ -189,8 +192,15 @@ Result<QueryResult> PredictiveQueryEngine::Execute(
     return Status::InvalidArgument(
         "EXPLAIN queries return a plan string; call Explain() instead");
   }
-  RELGRAPH_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
-  return ExecuteParsed(parsed);
+  Result<ParsedQuery> parsed = [&] {
+    RELGRAPH_TRACE_SPAN("pq/parse");
+    return ParseQuery(query_text);
+  }();
+  if (!parsed.ok()) {
+    RELGRAPH_COUNTER_INC("pq_parse_errors_total");
+    return parsed.status();
+  }
+  return ExecuteParsed(parsed.value());
 }
 
 Result<std::string> PredictiveQueryEngine::Explain(
@@ -259,28 +269,52 @@ Result<std::string> PredictiveQueryEngine::Explain(
 
 Result<QueryResult> PredictiveQueryEngine::ExecuteParsed(
     const ParsedQuery& parsed) {
+  RELGRAPH_TRACE_SPAN("pq/execute");
+  RELGRAPH_COUNTER_INC("pq_queries_total");
+  Result<QueryResult> out = ExecuteParsedImpl(parsed);
+  if (!out.ok()) RELGRAPH_COUNTER_INC("pq_query_errors_total");
+  return out;
+}
+
+Result<QueryResult> PredictiveQueryEngine::ExecuteParsedImpl(
+    const ParsedQuery& parsed) {
   Timer timer;
   RELGRAPH_RETURN_IF_ERROR(EnsureValidated());
-  RELGRAPH_ASSIGN_OR_RETURN(ResolvedQuery rq, AnalyzeQuery(parsed, *db_));
+  auto analyze = [&] {
+    RELGRAPH_TRACE_SPAN("pq/analyze");
+    return AnalyzeQuery(parsed, *db_);
+  };
+  RELGRAPH_ASSIGN_OR_RETURN(ResolvedQuery rq, analyze());
   QueryResult result;
   result.parsed = parsed;
   result.kind = rq.kind;
   result.model = parsed.model;
   result.metric_name = MetricName(rq.kind);
-  RELGRAPH_ASSIGN_OR_RETURN(std::vector<Timestamp> cutoffs,
-                            MakeCutoffs(rq, *db_));
-  RELGRAPH_ASSIGN_OR_RETURN(result.table,
-                            BuildTrainingTable(rq, *db_, cutoffs));
-  RELGRAPH_ASSIGN_OR_RETURN(result.split,
-                            MakeSplit(rq, result.table, cutoffs));
+  std::vector<Timestamp> cutoffs;
+  {
+    RELGRAPH_TRACE_SPAN("pq/label_build");
+    RELGRAPH_ASSIGN_OR_RETURN(std::vector<Timestamp> c,
+                              MakeCutoffs(rq, *db_));
+    cutoffs = std::move(c);
+    RELGRAPH_ASSIGN_OR_RETURN(result.table,
+                              BuildTrainingTable(rq, *db_, cutoffs));
+  }
+  {
+    RELGRAPH_TRACE_SPAN("pq/split");
+    RELGRAPH_ASSIGN_OR_RETURN(result.split,
+                              MakeSplit(rq, result.table, cutoffs));
+  }
 
   Result<QueryResult> out = Status::Internal("unset");
-  if (parsed.model == "GNN") {
-    out = RunGnn(rq, &result);
-  } else if (parsed.model == "POPULAR" || parsed.model == "COOCCUR") {
-    out = RunRankingHeuristic(rq, &result);
-  } else {
-    out = RunTabular(rq, &result);
+  {
+    RELGRAPH_TRACE_SPAN("pq/train");
+    if (parsed.model == "GNN") {
+      out = RunGnn(rq, &result);
+    } else if (parsed.model == "POPULAR" || parsed.model == "COOCCUR") {
+      out = RunRankingHeuristic(rq, &result);
+    } else {
+      out = RunTabular(rq, &result);
+    }
   }
   if (!out.ok()) return out.status();
   QueryResult final = std::move(out).value();

@@ -132,6 +132,10 @@ class PredictiveQueryEngine {
   /// graph construction and records the audit report.
   Status EnsureValidated();
 
+  /// ExecuteParsed body; the public wrapper adds the pq/execute span and
+  /// the query/error counters around it.
+  Result<QueryResult> ExecuteParsedImpl(const ParsedQuery& parsed);
+
   Result<QueryResult> RunGnn(const ResolvedQuery& rq, QueryResult* result);
   Result<QueryResult> RunTabular(const ResolvedQuery& rq,
                                  QueryResult* result);

@@ -43,6 +43,25 @@ bool EvalCompare(CompareOp op, double lhs, double rhs) {
   return false;
 }
 
+namespace {
+
+/// Renders a duration in grammar-accepted units (FormatDuration's compact
+/// "28d" form does not re-parse). Durations that are not a whole number of
+/// hours fall back to fractional hours, which ParseDuration's llround maps
+/// back to the identical tick count.
+std::string DurationClause(Duration d) {
+  if (d % kDay == 0) {
+    return StrFormat("%lld DAYS", static_cast<long long>(d / kDay));
+  }
+  if (d % kHour == 0) {
+    return StrFormat("%lld HOURS", static_cast<long long>(d / kHour));
+  }
+  return StrFormat("%.17g HOURS",
+                   static_cast<double>(d) / static_cast<double>(kHour));
+}
+
+}  // namespace
+
 std::string ParsedQuery::ToString() const {
   std::string s = "PREDICT ";
   if (!bucket_bounds.empty()) s += "BUCKET(";
@@ -57,7 +76,7 @@ std::string ParsedQuery::ToString() const {
     s += StrFormat(" %s %s", CompareOpName(*threshold_op),
                    FormatDouble(threshold_value).c_str());
   }
-  s += " OVER NEXT " + FormatDuration(window);
+  s += " OVER NEXT " + DurationClause(window);
   s += " FOR EACH " + entity_table;
   bool first_pred = true;
   for (const auto& term : where) {
@@ -73,7 +92,7 @@ std::string ParsedQuery::ToString() const {
     first_pred = false;
     s += hist.aggregate.func + "(" + hist.aggregate.table;
     if (!hist.aggregate.column.empty()) s += "." + hist.aggregate.column;
-    s += ") OVER LAST " + FormatDuration(hist.window);
+    s += ") OVER LAST " + DurationClause(hist.window);
     s += StrFormat(" %s %s", CompareOpName(hist.op),
                    FormatDouble(hist.value).c_str());
   }
@@ -89,6 +108,11 @@ std::string ParsedQuery::ToString() const {
     case DeclaredTask::kRanking:
       s += " AS RANKING OF " + ranking_target_table;
       break;
+  }
+  if (stride) s += " EVERY " + DurationClause(*stride);
+  if (val_start && test_start) {
+    s += " SPLIT AT " + DurationClause(static_cast<Duration>(*val_start)) +
+         ", " + DurationClause(static_cast<Duration>(*test_start));
   }
   s += " USING " + model;
   if (!model_options.entries().empty()) {

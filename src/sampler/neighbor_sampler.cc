@@ -4,9 +4,42 @@
 #include <unordered_map>
 
 #include "core/logging.h"
+#include "core/metrics.h"
 #include "core/parallel.h"
 
 namespace relgraph {
+
+namespace {
+
+// One shot of counters per Sample() call; never touches the Rng and runs
+// after the subgraph is fully built, so sampling results are unaffected.
+inline void NoteSample(const Subgraph& sg, int64_t num_seeds,
+                       int64_t num_chunks) {
+#ifndef RELGRAPH_NO_METRICS
+  if (!MetricsEnabled()) return;
+  static Counter* samples =
+      MetricsRegistry::Global().GetCounter("sampler_samples_total");
+  static Counter* seeds =
+      MetricsRegistry::Global().GetCounter("sampler_seeds_total");
+  static Counter* chunks =
+      MetricsRegistry::Global().GetCounter("sampler_chunks_total");
+  static Counter* nodes =
+      MetricsRegistry::Global().GetCounter("sampler_frontier_nodes_total");
+  static Counter* edges =
+      MetricsRegistry::Global().GetCounter("sampler_block_edges_total");
+  samples->Add(1);
+  seeds->Add(num_seeds);
+  chunks->Add(num_chunks);
+  nodes->Add(sg.TotalFrontierNodes());
+  edges->Add(sg.TotalBlockEdges());
+#else
+  (void)sg;
+  (void)num_seeds;
+  (void)num_chunks;
+#endif
+}
+
+}  // namespace
 
 int64_t Subgraph::TotalFrontierNodes() const {
   int64_t total = 0;
@@ -74,7 +107,9 @@ Subgraph NeighborSampler::Sample(NodeTypeId seed_type,
   const int64_t num_chunks = n <= chunk ? 1 : (n + chunk - 1) / chunk;
   if (num_chunks <= 1) {
     Rng chunk_rng = batch_rng.Fork(0);
-    return SampleChunk(seed_type, seeds, cutoffs, &chunk_rng);
+    Subgraph sg = SampleChunk(seed_type, seeds, cutoffs, &chunk_rng);
+    NoteSample(sg, n, 1);
+    return sg;
   }
   std::vector<Subgraph> parts(static_cast<size_t>(num_chunks));
   ParallelFor(0, num_chunks, 1, [&](int64_t c0, int64_t c1) {
@@ -90,7 +125,9 @@ Subgraph NeighborSampler::Sample(NodeTypeId seed_type,
           SampleChunk(seed_type, chunk_seeds, chunk_cutoffs, &chunk_rng);
     }
   });
-  return MergeChunks(parts);
+  Subgraph sg = MergeChunks(parts);
+  NoteSample(sg, n, num_chunks);
+  return sg;
 }
 
 Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
@@ -113,6 +150,9 @@ Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
   sg.frontiers[0].cutoffs[static_cast<size_t>(seed_type)] = cutoffs;
 
   std::vector<int64_t> reservoir;
+  // Accumulated locally and flushed once per chunk: truncation counting
+  // must not put an atomic op on the per-neighbor hot path.
+  int64_t truncations = 0;
   for (int64_t layer = 0; layer < layers; ++layer) {
     const auto& cur = sg.frontiers[static_cast<size_t>(layer)];
     auto& next = sg.frontiers[static_cast<size_t>(layer) + 1];
@@ -171,6 +211,7 @@ Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
           reservoir.push_back(i);
         }
         if (static_cast<int64_t>(reservoir.size()) > fanout) {
+          ++truncations;
           if (options_.policy == SamplePolicy::kMostRecent) {
             std::nth_element(
                 reservoir.begin(), reservoir.begin() + fanout,
@@ -202,6 +243,9 @@ Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
         layer_blocks.push_back(std::move(block));
       }
     }
+  }
+  if (truncations > 0) {
+    RELGRAPH_COUNTER_ADD("sampler_fanout_truncations_total", truncations);
   }
   return sg;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/metrics.h"
 #include "core/parallel.h"
 #include "core/string_util.h"
 
@@ -29,6 +30,29 @@ constexpr int64_t kReduceGrain = 1 << 15;
 // output sub-rows (16 KiB) plus the streamed b sub-row (4 KiB) stay
 // L1-resident. Typical hidden dims fall in a single tile.
 constexpr int64_t kBlockJ = 1024;
+
+// Counts a GEMM dispatch: which route it took and the FLOPs it performed.
+// Cached pointers keep the enabled path at two relaxed adds; the disabled
+// path is a single relaxed load.
+inline void NoteGemmDispatch(int64_t m, int64_t n, int64_t k,
+                             bool parallel) {
+#ifndef RELGRAPH_NO_METRICS
+  if (!MetricsEnabled()) return;
+  static Counter* serial_total =
+      MetricsRegistry::Global().GetCounter("gemm_serial_total");
+  static Counter* parallel_total =
+      MetricsRegistry::Global().GetCounter("gemm_parallel_total");
+  static Counter* flops_total =
+      MetricsRegistry::Global().GetCounter("gemm_flops_total");
+  (parallel ? parallel_total : serial_total)->Add(1);
+  flops_total->Add(2 * m * n * k);
+#else
+  (void)m;
+  (void)n;
+  (void)k;
+  (void)parallel;
+#endif
+}
 
 }  // namespace
 
@@ -270,7 +294,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     }
   };
-  if (m * n * k < kGemmSerialFlops) {
+  const bool parallel = m * n * k >= kGemmSerialFlops;
+  NoteGemmDispatch(m, n, k, parallel);
+  if (!parallel) {
     row_chunk(0, m);
   } else {
     ParallelFor(0, m, kGemmRowGrain, row_chunk);
@@ -301,7 +327,9 @@ Tensor MatMulBT(const Tensor& a, const Tensor& b) {
       }
     }
   };
-  if (m * n * k < kGemmSerialFlops) {
+  const bool parallel = m * n * k >= kGemmSerialFlops;
+  NoteGemmDispatch(m, n, k, parallel);
+  if (!parallel) {
     row_chunk(0, m);
   } else {
     ParallelFor(0, m, kGemmRowGrain, row_chunk);
@@ -333,7 +361,9 @@ Tensor MatMulAT(const Tensor& a, const Tensor& b) {
       }
     }
   };
-  if (m * n * k < kGemmSerialFlops) {
+  const bool parallel = m * n * k >= kGemmSerialFlops;
+  NoteGemmDispatch(m, n, k, parallel);
+  if (!parallel) {
     row_chunk(0, m);
   } else {
     ParallelFor(0, m, kGemmRowGrain, row_chunk);

@@ -8,8 +8,11 @@
 #include "core/atomic_io.h"
 #include "core/fault_injection.h"
 #include "core/logging.h"
+#include "core/metrics.h"
 #include "core/parallel.h"
 #include "core/string_util.h"
+#include "core/timer.h"
+#include "core/trace.h"
 #include "tensor/serialize.h"
 #include "train/metrics.h"
 
@@ -87,6 +90,11 @@ void GnnNodePredictor::RestoreParams(const std::vector<Tensor>& snapshot) {
 }
 
 Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
+  RELGRAPH_TRACE_SPAN("train/fit");
+  Timer fit_timer;
+  epoch_val_metrics_.clear();
+  prefetch_stalls_ = 0;
+  checkpoint_writes_ = 0;
   if (split.train.empty()) {
     return Status::InvalidArgument("empty training split");
   }
@@ -135,6 +143,7 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
     resumed_from_epoch_ = start_epoch;
     rng_.SetState(ts.rng);
     opt.set_lr(ts.lr);
+    RELGRAPH_COUNTER_INC("fit_resumes_total");
     if (trainer_config_.verbose) {
       RELGRAPH_LOG(Info) << "resumed from checkpoint " << ckpt
                          << " at epoch " << start_epoch << " (best val "
@@ -154,7 +163,21 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
 
   FaultInjector& faults = FaultInjector::Global();
   epoch_losses_.clear();
+#ifndef RELGRAPH_NO_METRICS
+  // Resolved once per Fit: the per-batch paths below must stay at one
+  // pointer check each, and the observability switch must not flip
+  // mid-run.
+  const bool metrics_on = MetricsEnabled();
+  Histogram* batch_ms_hist =
+      metrics_on ? MetricsRegistry::Global().GetHistogram(
+                       "fit_batch_ms", LatencyBucketsMs())
+                 : nullptr;
+#else
+  const bool metrics_on = false;
+#endif
+  (void)metrics_on;
   for (int64_t epoch = start_epoch; epoch < trainer_config_.epochs; ++epoch) {
+    RELGRAPH_TRACE_SPAN("train/epoch");
     // Shuffled mini-batches over the training split.
     auto batches = MakeBatches(static_cast<int64_t>(split.train.size()),
                                trainer_config_.batch_size, &rng_);
@@ -187,7 +210,23 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
     bool diverged = false;
     std::future<SampledBatch> pending;
     for (size_t bk = 0; bk < batches.size(); ++bk) {
-      SampledBatch cur = bk == 0 ? prepare(0) : pending.get();
+      SampledBatch cur;
+      if (bk == 0) {
+        cur = prepare(0);
+      } else {
+#ifndef RELGRAPH_NO_METRICS
+        // Non-blocking probe, taken only under the observability switch;
+        // the subsequent get() waits identically either way, so training
+        // results cannot depend on it.
+        if (metrics_on && pending.wait_for(std::chrono::seconds(0)) !=
+                              std::future_status::ready) {
+          ++prefetch_stalls_;
+          RELGRAPH_COUNTER_INC("fit_prefetch_stalls_total");
+        }
+#endif
+        cur = pending.get();
+      }
+      Timer batch_timer;
       if (bk + 1 < batches.size()) {
         // One-batch-deep prefetch: sample the next batch on the pool
         // while this one trains.
@@ -249,6 +288,12 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
       }
       opt.Step();
       epoch_loss += batch_loss * static_cast<double>(batch.size());
+      RELGRAPH_COUNTER_INC("fit_batches_total");
+#ifndef RELGRAPH_NO_METRICS
+      if (batch_ms_hist != nullptr) {
+        batch_ms_hist->Observe(batch_timer.Millis());
+      }
+#endif
     }
     // Drain the pipeline: a subgraph prefetched for a batch we will not
     // train (divergence rollback or early stop) is simply discarded —
@@ -256,6 +301,7 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
     if (pending.valid()) pending.get();
     if (diverged) {
       ++divergence_episodes_;
+      RELGRAPH_COUNTER_INC("fit_divergence_rollbacks_total");
       if (++retries > trainer_config_.max_divergence_retries) {
         return Status::FailedPrecondition(StrFormat(
             "training diverged: non-finite loss or gradient norm persisted "
@@ -283,7 +329,9 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
     }
     epoch_loss /= static_cast<double>(split.train.size());
     epoch_losses_.push_back(epoch_loss);
+    RELGRAPH_COUNTER_INC("fit_epochs_total");
     const double val_metric = Evaluate(table, val_idx);
+    epoch_val_metrics_.push_back(val_metric);
     if (trainer_config_.verbose) {
       RELGRAPH_LOG(Info) << "epoch " << epoch << " loss " << epoch_loss
                          << " val " << val_metric;
@@ -312,11 +360,69 @@ Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {
       ts.next_epoch = stop ? trainer_config_.epochs : epoch + 1;
       ts.retries = retries;
       RELGRAPH_RETURN_IF_ERROR(SaveTrainCheckpoint(ckpt, ts));
+      ++checkpoint_writes_;
+      RELGRAPH_COUNTER_INC("fit_checkpoint_writes_total");
     }
     if (stop) break;
   }
   RestoreParams(best);
+  // Per-run report, written after every checkpoint so a fault-injected
+  // checkpoint failure surfaces first. Best-effort: training succeeded,
+  // so a report-write failure only warns.
+  std::string report_path = trainer_config_.run_report_path;
+  if (report_path.empty() && !ckpt.empty()) {
+    report_path = ckpt + ".run_report.json";
+  }
+  if (!report_path.empty()) {
+    const Status report_status =
+        AtomicWriteFile(report_path, RunReportJson(fit_timer.Seconds()));
+    if (!report_status.ok()) {
+      RELGRAPH_LOG(Warning) << "run report write failed ("
+                            << report_path
+                            << "): " << report_status.message();
+    }
+  }
   return Status::OK();
+}
+
+std::string GnnNodePredictor::RunReportJson(double fit_seconds) const {
+  std::string out = "{\n";
+  out += StrFormat("  \"seed\": %llu,\n",
+                   static_cast<unsigned long long>(trainer_config_.seed));
+  out += StrFormat("  \"task\": \"%s\",\n", TaskKindName(kind_));
+  out += StrFormat("  \"epochs_configured\": %lld,\n",
+                   static_cast<long long>(trainer_config_.epochs));
+  out += StrFormat("  \"epochs_completed\": %zu,\n", epoch_losses_.size());
+  out += StrFormat("  \"resumed_from_epoch\": %lld,\n",
+                   static_cast<long long>(resumed_from_epoch_));
+  out += StrFormat("  \"divergence_episodes\": %lld,\n",
+                   static_cast<long long>(divergence_episodes_));
+  out += StrFormat("  \"prefetch_stalls\": %lld,\n",
+                   static_cast<long long>(prefetch_stalls_));
+  out += StrFormat("  \"checkpoint_writes\": %lld,\n",
+                   static_cast<long long>(checkpoint_writes_));
+  out += StrFormat("  \"best_val_metric\": %.17g,\n", best_val_metric_);
+  // The epochs array is the deterministic heart of the report: %.17g
+  // round-trips doubles exactly, and the recorded losses/metrics are
+  // bit-identical across thread counts. Golden tests compare it verbatim.
+  const int64_t first_epoch = resumed_from_epoch_ >= 0
+                                  ? resumed_from_epoch_
+                                  : 0;
+  out += "  \"epochs\": [";
+  for (size_t i = 0; i < epoch_losses_.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    const double val = i < epoch_val_metrics_.size()
+                           ? epoch_val_metrics_[i]
+                           : 0.0;
+    out += StrFormat(
+        "    {\"epoch\": %lld, \"loss\": %.17g, \"val\": %.17g}",
+        static_cast<long long>(first_epoch + static_cast<int64_t>(i)),
+        epoch_losses_[i], val);
+  }
+  out += epoch_losses_.empty() ? "],\n" : "\n  ],\n";
+  out += StrFormat("  \"fit_seconds\": %.6f\n", fit_seconds);
+  out += "}\n";
+  return out;
 }
 
 namespace {
@@ -403,6 +509,9 @@ Status GnnNodePredictor::LoadTrainCheckpoint(const std::string& path,
 
 std::vector<double> GnnNodePredictor::PredictScores(
     const TrainingTable& table, const std::vector<int64_t>& indices) {
+  RELGRAPH_TRACE_SPAN("train/predict");
+  RELGRAPH_COUNTER_ADD("predict_examples_total",
+                       static_cast<int64_t>(indices.size()));
   std::vector<double> scores;
   scores.reserve(indices.size());
   // Deterministic inference: unshuffled batches, no dropout, and sampling

@@ -48,6 +48,12 @@ struct TrainerConfig {
   /// Fit returns a descriptive error instead of poisoning the weights.
   int64_t max_divergence_retries = 3;
   float divergence_lr_decay = 0.5f;
+
+  /// Where Fit writes its per-run report (seed, per-epoch loss/val,
+  /// counters). Empty derives `<checkpoint_path>.run_report.json` when a
+  /// checkpoint path is set; with both empty no report is written. The
+  /// write is best-effort: a failure logs a warning, never fails Fit.
+  std::string run_report_path;
 };
 
 /// End-to-end trainer for node-level predictive queries: heterogeneous
@@ -94,6 +100,20 @@ class GnnNodePredictor {
 
   /// Epoch the last Fit resumed from (-1 for a fresh run).
   int64_t resumed_from_epoch() const { return resumed_from_epoch_; }
+
+  /// Validation metric of each completed epoch of the last Fit call
+  /// (parallel to epoch_losses()).
+  const std::vector<double>& epoch_val_metrics() const {
+    return epoch_val_metrics_;
+  }
+
+  /// Times the last Fit call found the one-batch-deep prefetch not yet
+  /// done when training wanted it (0 when metrics are disabled: the probe
+  /// only runs under the observability switch).
+  int64_t prefetch_stalls() const { return prefetch_stalls_; }
+
+  /// Checkpoints the last Fit call wrote.
+  int64_t checkpoint_writes() const { return checkpoint_writes_; }
 
   int64_t NumParameters() const;
 
@@ -144,6 +164,11 @@ class GnnNodePredictor {
   Status LoadTrainCheckpoint(const std::string& path, Adam* opt,
                              TrainState* state);
 
+  /// Serializes the per-run report (see TrainerConfig::run_report_path).
+  /// The "epochs" array is byte-stable for a fixed seed: %.17g-formatted
+  /// losses/val metrics that are bit-identical across thread counts.
+  std::string RunReportJson(double fit_seconds) const;
+
   const HeteroGraph* graph_;
   NodeTypeId entity_type_;
   TaskKind kind_;
@@ -158,6 +183,9 @@ class GnnNodePredictor {
   int64_t divergence_episodes_ = 0;
   int64_t resumed_from_epoch_ = -1;
   std::vector<double> epoch_losses_;
+  std::vector<double> epoch_val_metrics_;
+  int64_t prefetch_stalls_ = 0;
+  int64_t checkpoint_writes_ = 0;
   // Regression label standardization (fit on train split).
   double label_mean_ = 0.0;
   double label_std_ = 1.0;

@@ -1,0 +1,221 @@
+// Randomized fuzz tests for the predictive-query front end.
+//
+// The lexer and parser take arbitrary user strings, so they must never
+// crash: every malformed input returns a Status, and every well-formed
+// query round-trips through ParsedQuery::ToString(). All randomness is
+// seeded — a failure reproduces from the seed printed in the assertion
+// message.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "pq/lexer.h"
+#include "pq/parser.h"
+
+namespace relgraph {
+namespace {
+
+// Vocabulary skewed toward grammar fragments so random streams exercise
+// deep parser paths, not just the first-token rejection.
+const char* const kVocab[] = {
+    "PREDICT", "COUNT",   "SUM",     "AVG",    "MIN",     "MAX",
+    "EXISTS",  "LIST",    "BUCKET",  "OVER",   "NEXT",    "LAST",
+    "FOR",     "EACH",    "WHERE",   "AND",    "AS",      "CLASSIFICATION",
+    "REGRESSION", "RANKING", "OF",   "USING",  "WITH",    "SPLIT",
+    "AT",      "EVERY",   "DAYS",    "HOURS",  "WEEKS",   "orders",
+    "users",   "products", "total",  "country", "premium", "GNN",
+    "GBDT",    "MLP",     "(",       ")",      ",",       ".",
+    "*",       "=",       "!=",      "<>",     "<",       "<=",
+    ">",       ">=",      "0",       "1",      "28",      "3.5",
+    "-7",      "'de'",    "''",      "1e9",    "0.0001",  "predict",
+    "over",    "next",    "for",     "each",
+};
+
+constexpr size_t kVocabSize = sizeof(kVocab) / sizeof(kVocab[0]);
+
+// Queries covering every clause of the grammar; the round-trip and
+// mutation fuzzers grow from these.
+const char* const kWellFormed[] = {
+    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users",
+    "PREDICT COUNT(orders) OVER NEXT 7 DAYS FOR EACH users",
+    "PREDICT SUM(orders.total) OVER NEXT 2 WEEKS FOR EACH users "
+    "USING GBDT",
+    "PREDICT AVG(reviews.rating) < 3 OVER NEXT 30 DAYS FOR EACH products",
+    "PREDICT EXISTS(visits) OVER NEXT 24 HOURS FOR EACH users "
+    "WHERE country = 'de'",
+    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+    "WHERE premium = 1 AND country != 'fr'",
+    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+    "WHERE COUNT(orders) OVER LAST 21 DAYS > 0",
+    "PREDICT BUCKET(COUNT(orders), 1, 5) OVER NEXT 28 DAYS FOR EACH users",
+    "PREDICT LIST(orders.product_id) OVER NEXT 28 DAYS FOR EACH users "
+    "AS RANKING OF products USING POPULAR",
+    "PREDICT SUM(orders.total) OVER NEXT 28 DAYS FOR EACH users "
+    "AS REGRESSION USING GNN WITH layers=2, hidden=32, epochs=4",
+    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+    "EVERY 14 DAYS",
+    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+    "SPLIT AT 120 DAYS, 150 DAYS",
+    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users "
+    "USING GNN WITH fanout=8, temporal=true, policy='recent'",
+};
+
+constexpr size_t kNumWellFormed =
+    sizeof(kWellFormed) / sizeof(kWellFormed[0]);
+
+std::string RandomTokenStream(Rng* rng) {
+  const int len = 1 + static_cast<int>(rng->UniformU64(24));
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    if (i > 0) s += ' ';
+    s += kVocab[rng->UniformU64(kVocabSize)];
+  }
+  return s;
+}
+
+// Raw bytes, including characters no token accepts.
+std::string RandomBytes(Rng* rng) {
+  const int len = static_cast<int>(rng->UniformU64(40));
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    s += static_cast<char>(1 + rng->UniformU64(127));
+  }
+  return s;
+}
+
+// ------------------------------------------------------- never crashes
+
+TEST(PqFuzzTest, RandomTokenStreamsNeverCrash) {
+  int parsed_ok = 0;
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(seed);
+    const std::string query = RandomTokenStream(&rng);
+    auto lexed = LexQuery(query);  // must return, never crash
+    auto result = ParseQuery(query);
+    if (result.ok()) {
+      ++parsed_ok;
+      // Whatever parsed must render and re-parse.
+      auto again = ParseQuery(result.value().ToString());
+      EXPECT_TRUE(again.ok())
+          << "seed " << seed << ": round-trip of accidentally-valid "
+          << "query failed\n  input:    " << query
+          << "\n  rendered: " << result.value().ToString();
+    } else {
+      EXPECT_FALSE(result.status().message().empty())
+          << "seed " << seed << ": error without a message for: " << query;
+    }
+  }
+  // Random streams are overwhelmingly malformed; the assertion is only
+  // that the count is sane (the parser rejected them via Status).
+  EXPECT_LT(parsed_ok, 1000);
+}
+
+TEST(PqFuzzTest, RandomBytesNeverCrash) {
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(0xB17E5 ^ (seed * 0x9E3779B97F4A7C15ULL));
+    const std::string query = RandomBytes(&rng);
+    auto lexed = LexQuery(query);
+    auto result = ParseQuery(query);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << "seed " << seed;
+    }
+  }
+}
+
+// --------------------------------------------------------- round trips
+
+TEST(PqFuzzTest, WellFormedQueriesRoundTrip) {
+  for (size_t i = 0; i < kNumWellFormed; ++i) {
+    auto first = ParseQuery(kWellFormed[i]);
+    ASSERT_TRUE(first.ok()) << kWellFormed[i] << "\n  "
+                            << first.status().ToString();
+    const std::string rendered = first.value().ToString();
+    auto second = ParseQuery(rendered);
+    ASSERT_TRUE(second.ok())
+        << "rendering does not re-parse\n  original: " << kWellFormed[i]
+        << "\n  rendered: " << rendered << "\n  "
+        << second.status().ToString();
+    // Fixed point: print(parse(print(parse(q)))) == print(parse(q)).
+    EXPECT_EQ(second.value().ToString(), rendered) << kWellFormed[i];
+  }
+}
+
+// ------------------------------------------------------ mutation fuzz
+
+// Splits a query into whitespace-separated chunks, applies one random
+// mutation (delete / duplicate / swap / replace-with-vocab), rejoins.
+std::string Mutate(const std::string& query, Rng* rng) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : query) {
+    if (c == ' ') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  if (parts.empty()) return query;
+  const size_t pos = rng->UniformU64(parts.size());
+  switch (rng->UniformU64(4)) {
+    case 0:
+      parts.erase(parts.begin() + static_cast<int64_t>(pos));
+      break;
+    case 1:
+      parts.insert(parts.begin() + static_cast<int64_t>(pos), parts[pos]);
+      break;
+    case 2: {
+      const size_t other = rng->UniformU64(parts.size());
+      std::swap(parts[pos], parts[other]);
+      break;
+    }
+    default:
+      parts[pos] = kVocab[rng->UniformU64(kVocabSize)];
+      break;
+  }
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += parts[i];
+  }
+  return out;
+}
+
+TEST(PqFuzzTest, MutatedWellFormedQueriesNeverCrash) {
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    Rng rng(0xF00D ^ (seed * 0x2545F4914F6CDD1DULL));
+    std::string query = kWellFormed[seed % kNumWellFormed];
+    const int rounds = 1 + static_cast<int>(rng.UniformU64(3));
+    for (int r = 0; r < rounds; ++r) query = Mutate(query, &rng);
+    auto result = ParseQuery(query);
+    if (result.ok()) {
+      auto again = ParseQuery(result.value().ToString());
+      EXPECT_TRUE(again.ok())
+          << "seed " << seed << ": mutant parsed but did not round-trip: "
+          << query;
+    }
+  }
+}
+
+// Lexer-level invariant: every successful lex ends in exactly one kEnd.
+TEST(PqFuzzTest, LexedStreamsEndWithEndToken) {
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    Rng rng(seed + 77);
+    auto lexed = LexQuery(RandomTokenStream(&rng));
+    if (!lexed.ok()) continue;
+    const auto& tokens = lexed.value();
+    ASSERT_FALSE(tokens.empty()) << "seed " << seed;
+    EXPECT_EQ(tokens.back().kind, TokenKind::kEnd) << "seed " << seed;
+    for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+      EXPECT_NE(tokens[i].kind, TokenKind::kEnd)
+          << "seed " << seed << ": interior end token at " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relgraph

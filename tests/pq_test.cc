@@ -234,11 +234,12 @@ TEST(ParserTest, HistoryPredicateRendersInToString) {
                 "WHERE COUNT(orders) OVER LAST 21 DAYS > 0")
                .value();
   std::string rendered = q.ToString();
-  EXPECT_NE(rendered.find("OVER LAST 21d"), std::string::npos);
-  // The rendered query must re-parse to the same structure.
-  // (Durations render compactly but the parser only takes DAYS/HOURS/WEEKS,
-  // so just check structural markers here.)
+  EXPECT_NE(rendered.find("OVER LAST 21 DAYS"), std::string::npos);
   EXPECT_NE(rendered.find("WHERE COUNT(orders)"), std::string::npos);
+  // The rendering must re-parse to an identical query.
+  auto again = ParseQuery(rendered);
+  ASSERT_TRUE(again.ok()) << rendered;
+  EXPECT_EQ(again.value().ToString(), rendered);
 }
 
 // ---------------------------------------------------------------- Analyzer
