@@ -9,7 +9,7 @@
 #   scripts/ci.sh all        # default full + asan + tsan
 #
 # Test lanes are ctest labels (see tests/CMakeLists.txt): unit |
-# integration | slow.
+# integration | serve | slow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,9 +28,11 @@ run_preset() {
 case "$MODE" in
   unit)
     run_preset default -L unit
+    run_preset default -L serve
     ;;
   full | default)
     run_preset default -L unit
+    run_preset default -L serve
     run_preset default -L integration
     run_preset default -L slow
     scripts/check_run_report.sh build
@@ -40,12 +42,13 @@ case "$MODE" in
     ;;
   tsan)
     # The concurrency surface: thread-pool runtime, metrics/trace layer,
-    # parallel GEMM, trainer prefetch. The gtest binaries run whole (ctest
-    # names tests by suite, not binary, so -R cannot select them); any
-    # TSan report is fatal.
+    # parallel GEMM, trainer prefetch, serving engine. The gtest binaries
+    # run whole (ctest names tests by suite, not binary, so -R cannot
+    # select them); any TSan report is fatal.
     cmake --preset tsan >/dev/null
     cmake --build --preset tsan -j "$JOBS"
-    for t in parallel_test observability_test tensor_test train_test; do
+    for t in parallel_test observability_test tensor_test train_test \
+             serve_test; do
       TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
     done
     ;;

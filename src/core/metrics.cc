@@ -86,6 +86,12 @@ const std::vector<double>& LatencyBucketsMs() {
   return kBuckets;
 }
 
+const std::vector<double>& FineLatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 500};
+  return kBuckets;
+}
+
 // -------------------------------------------------------------- Registry
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -85,6 +85,11 @@ class Histogram {
 /// Standard latency buckets in milliseconds for the batch/query histograms.
 const std::vector<double>& LatencyBucketsMs();
 
+/// Sub-millisecond-resolution latency buckets for online-serving
+/// histograms, where a warm-cache request completes in microseconds and
+/// the standard buckets would collapse everything into the first bin.
+const std::vector<double>& FineLatencyBucketsMs();
+
 /// The process-wide registry. Metric objects are created on first lookup
 /// and live for the process lifetime, so call sites may cache the returned
 /// pointers (ResetForTesting zeroes values but never invalidates

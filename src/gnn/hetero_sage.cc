@@ -59,6 +59,24 @@ HeteroSageModel::HeteroSageModel(const HeteroGraph* graph,
   }
 }
 
+void HeteroSageModel::RebindGraph(const HeteroGraph* graph) {
+  RELGRAPH_CHECK(graph != nullptr);
+  RELGRAPH_CHECK(graph->num_node_types() == graph_->num_node_types())
+      << "RebindGraph: node-type count mismatch";
+  RELGRAPH_CHECK(graph->num_edge_types() == graph_->num_edge_types())
+      << "RebindGraph: edge-type count mismatch";
+  for (EdgeTypeId e = 0; e < graph->num_edge_types(); ++e) {
+    RELGRAPH_CHECK(graph->edge_src_type(e) == graph_->edge_src_type(e) &&
+                   graph->edge_dst_type(e) == graph_->edge_dst_type(e))
+        << "RebindGraph: edge type " << e << " endpoint mismatch";
+  }
+  for (int32_t t = 0; t < graph->num_node_types(); ++t) {
+    RELGRAPH_CHECK(graph->feature_dim(t) == graph_->feature_dim(t))
+        << "RebindGraph: feature width mismatch for node type " << t;
+  }
+  graph_ = graph;
+}
+
 VarPtr HeteroSageModel::Forward(const Subgraph& sg, NodeTypeId seed_type,
                                 Rng* rng, bool training) const {
   RELGRAPH_CHECK(static_cast<int64_t>(sg.blocks.size()) ==

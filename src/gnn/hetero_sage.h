@@ -76,6 +76,12 @@ class HeteroSageModel : public Module {
 
   std::vector<VarPtr> Parameters() const override;
 
+  /// Swaps the underlying data graph for another with the IDENTICAL
+  /// type/feature layout (same node/edge types, endpoints, and feature
+  /// widths) — e.g. a fresher snapshot of the same database. Weights are
+  /// untouched; a layout mismatch aborts.
+  void RebindGraph(const HeteroGraph* graph);
+
   const GnnConfig& config() const { return config_; }
 
  private:

@@ -322,65 +322,113 @@ Result<QueryResult> PredictiveQueryEngine::ExecuteParsedImpl(
   return final;
 }
 
-Result<QueryResult> PredictiveQueryEngine::RunGnn(const ResolvedQuery& rq,
-                                                  QueryResult* result) {
-  RELGRAPH_ASSIGN_OR_RETURN(const DbGraph* dbg, Graph());
-  const Options& opts = rq.parsed.model_options;
-  GnnConfig gnn;
-  gnn.hidden_dim = opts.GetInt("hidden", 64);
-  gnn.num_layers = opts.GetInt("layers", 2);
-  gnn.dropout = static_cast<float>(opts.GetDouble("dropout", 0.0));
+namespace {
+
+/// Parses the GNN-specific WITH options shared by training (RunGnn) and
+/// serving (CompileForServing). Serving must reproduce the exact
+/// architecture and sampling semantics of the training run, so both paths
+/// go through this single reading of the options.
+Status ParseGnnOptions(const Options& opts, const EngineOptions& engine_opts,
+                       GnnConfig* gnn, SamplerOptions* sampler,
+                       TrainerConfig* tc) {
+  gnn->hidden_dim = opts.GetInt("hidden", 64);
+  gnn->num_layers = opts.GetInt("layers", 2);
+  gnn->dropout = static_cast<float>(opts.GetDouble("dropout", 0.0));
   const std::string agg = ToLower(opts.GetString("agg", "mean"));
   if (agg == "sum") {
-    gnn.aggregation = GnnAggregation::kSum;
+    gnn->aggregation = GnnAggregation::kSum;
   } else if (agg == "max") {
-    gnn.aggregation = GnnAggregation::kMax;
+    gnn->aggregation = GnnAggregation::kMax;
   } else if (agg == "mean") {
-    gnn.aggregation = GnnAggregation::kMean;
+    gnn->aggregation = GnnAggregation::kMean;
   } else {
     return Status::InvalidArgument("unknown agg option: " + agg);
   }
   const std::string conv = ToLower(opts.GetString("conv", "sage"));
   if (conv == "gat" || conv == "attention") {
-    gnn.conv = GnnConv::kAttention;
+    gnn->conv = GnnConv::kAttention;
   } else if (conv != "sage") {
     return Status::InvalidArgument("unknown conv option: " + conv);
   }
-  gnn.time_encoding = opts.GetBool("time_enc", true);
-  gnn.degree_encoding = opts.GetBool("degree_enc", true);
-  gnn.layer_norm = opts.GetBool("norm", false);
-  if (gnn.num_layers < 1) {
+  gnn->time_encoding = opts.GetBool("time_enc", true);
+  gnn->degree_encoding = opts.GetBool("degree_enc", true);
+  gnn->layer_norm = opts.GetBool("norm", false);
+  if (gnn->num_layers < 1) {
     return Status::InvalidArgument(
         "USING GNN needs layers >= 1; for an entity-columns-only baseline "
         "use USING MLP WITH hops=0");
   }
-  SamplerOptions sampler;
-  sampler.fanouts.assign(static_cast<size_t>(gnn.num_layers),
-                         opts.GetInt("fanout", 10));
-  sampler.temporal = opts.GetBool("temporal", true);
+  sampler->fanouts.assign(static_cast<size_t>(gnn->num_layers),
+                          opts.GetInt("fanout", 10));
+  sampler->temporal = opts.GetBool("temporal", true);
   const std::string policy = ToLower(opts.GetString("policy", "uniform"));
   if (policy == "recent") {
-    sampler.policy = SamplePolicy::kMostRecent;
+    sampler->policy = SamplePolicy::kMostRecent;
   } else if (policy != "uniform") {
     return Status::InvalidArgument("unknown policy option: " + policy);
   }
+  tc->epochs = opts.GetInt("epochs", 8);
+  tc->batch_size = opts.GetInt("batch", 128);
+  tc->lr = static_cast<float>(opts.GetDouble("lr", 0.01));
+  tc->patience = opts.GetInt("patience", 3);
+  tc->seed = static_cast<uint64_t>(
+      opts.GetInt("seed", static_cast<int64_t>(engine_opts.seed)));
+  tc->verbose = engine_opts.verbose;
+  tc->checkpoint_path =
+      opts.GetString("checkpoint", engine_opts.checkpoint_path);
+  tc->resume = opts.GetBool("resume", engine_opts.resume);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ServePlan> PredictiveQueryEngine::CompileForServing(
+    const std::string& query_text) {
+  RELGRAPH_TRACE_SPAN("pq/compile_for_serving");
+  RELGRAPH_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(query_text));
+  RELGRAPH_RETURN_IF_ERROR(EnsureValidated());
+  RELGRAPH_ASSIGN_OR_RETURN(ResolvedQuery rq, AnalyzeQuery(parsed, *db_));
+  if (rq.kind == TaskKind::kRanking) {
+    return Status::InvalidArgument(
+        "ranking queries are not servable through CompileForServing; "
+        "scalar Score() serving needs a node-level task");
+  }
+  if (parsed.model != "GNN") {
+    return Status::InvalidArgument(
+        "CompileForServing supports USING GNN only, got " + parsed.model);
+  }
+  RELGRAPH_ASSIGN_OR_RETURN(const DbGraph* dbg, Graph());
+  ServePlan plan;
+  plan.parsed = parsed;
+  plan.kind = rq.kind;
+  plan.num_classes = rq.num_classes;
+  plan.entity_table = rq.entity->name();
+  plan.entity_type = dbg->type_of(rq.entity->name());
+  plan.graph = &dbg->graph;
   TrainerConfig tc;
-  tc.epochs = opts.GetInt("epochs", 8);
-  tc.batch_size = opts.GetInt("batch", 128);
-  tc.lr = static_cast<float>(opts.GetDouble("lr", 0.01));
-  tc.patience = opts.GetInt("patience", 3);
-  tc.seed = static_cast<uint64_t>(opts.GetInt("seed",
-                                              static_cast<int64_t>(
-                                                  options_.seed)));
-  tc.verbose = options_.verbose;
-  tc.checkpoint_path = opts.GetString("checkpoint", options_.checkpoint_path);
-  tc.resume = opts.GetBool("resume", options_.resume);
+  RELGRAPH_RETURN_IF_ERROR(ParseGnnOptions(parsed.model_options, options_,
+                                           &plan.gnn, &plan.sampler, &tc));
+  plan.seed = tc.seed;
+  // One past the last recorded event: serving predicts "from now on", so
+  // every event in the snapshot is legitimate input.
+  plan.now_cutoff = db_->TimeRange().second + 1;
+  return plan;
+}
+
+Result<QueryResult> PredictiveQueryEngine::RunGnn(const ResolvedQuery& rq,
+                                                  QueryResult* result) {
+  RELGRAPH_ASSIGN_OR_RETURN(const DbGraph* dbg, Graph());
+  GnnConfig gnn;
+  SamplerOptions sampler;
+  TrainerConfig tc;
+  RELGRAPH_RETURN_IF_ERROR(ParseGnnOptions(rq.parsed.model_options, options_,
+                                           &gnn, &sampler, &tc));
 
   const NodeTypeId entity_type = dbg->type_of(rq.entity->name());
   if (rq.kind == TaskKind::kRanking) {
     const NodeTypeId target_type = dbg->type_of(rq.ranking_target->name());
     GnnRecommender rec(&dbg->graph, entity_type, target_type, gnn, sampler,
-                       tc, opts.GetBool("id_emb", true));
+                       tc, rq.parsed.model_options.GetBool("id_emb", true));
     RELGRAPH_RETURN_IF_ERROR(rec.Fit(result->table, result->split));
     result->train_metric =
         rec.EvaluateMapAtK(result->table, result->split.train, 10);

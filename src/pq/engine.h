@@ -10,8 +10,36 @@
 #include "pq/analyzer.h"
 #include "pq/label_builder.h"
 #include "train/task.h"
+#include "train/trainer.h"
 
 namespace relgraph {
+
+/// A predictive query compiled for online serving: everything an
+/// InferenceEngine needs to answer Score() requests for a trained
+/// checkpoint of the same query — task kind, resolved entity type, the
+/// graph view, and the GNN/sampler configuration the checkpoint was
+/// trained with. No training table or split is materialized.
+struct ServePlan {
+  ParsedQuery parsed;
+  TaskKind kind = TaskKind::kBinaryClassification;
+  int64_t num_classes = 2;
+
+  /// FOR EACH table and its node type in `graph`.
+  std::string entity_table;
+  NodeTypeId entity_type = 0;
+
+  /// The engine's lazily-built graph view (owned by the engine; the plan
+  /// is valid while the engine lives).
+  const HeteroGraph* graph = nullptr;
+
+  GnnConfig gnn;
+  SamplerOptions sampler;
+  uint64_t seed = 1;
+
+  /// Serving-time cutoff: one past the database's max event time, so
+  /// every recorded event is visible to feature sampling.
+  Timestamp now_cutoff = 0;
+};
 
 /// Everything a predictive query returns: the materialized task, the
 /// temporal split, the trained model's scores on the held-out test
@@ -115,6 +143,13 @@ class PredictiveQueryEngine {
 
   /// The lazily-built graph view of the database.
   Result<const DbGraph*> Graph();
+
+  /// Compiles a query for online serving (no training): resolves the
+  /// schema, builds the graph view, and returns the ServePlan an
+  /// InferenceEngine consumes together with a checkpoint trained by the
+  /// same query (same WITH options). Ranking queries are not servable
+  /// through this path.
+  Result<ServePlan> CompileForServing(const std::string& query_text);
 
   const Database& db() const { return *db_; }
 

@@ -12,7 +12,7 @@ NegativeSampler::NegativeSampler(
   positive_keys_.reserve(positives.size() * 2);
   for (const auto& [s, t] : positives) {
     RELGRAPH_CHECK(t >= 0 && t < num_targets);
-    positive_keys_.insert(s * num_targets_ + t);
+    positive_keys_.insert({s, t});
   }
 }
 
@@ -32,12 +32,34 @@ std::vector<int64_t> NegativeSampler::SampleNegatives(int64_t source,
                                                       Rng* rng) const {
   std::vector<int64_t> out;
   out.reserve(static_cast<size_t>(k));
-  for (int64_t i = 0; i < k; ++i) out.push_back(SampleNegative(source, rng));
+  // Distinct within the draw: the same negative returned twice for one
+  // source double-counts its gradient in BPR/BCE-style losses.
+  std::unordered_set<int64_t> seen;
+  seen.reserve(static_cast<size_t>(k) * 2);
+  for (int64_t i = 0; i < k; ++i) {
+    int64_t picked = -1;
+    for (int tries = 0; tries < 64; ++tries) {
+      const int64_t t = static_cast<int64_t>(
+          rng->UniformU64(static_cast<uint64_t>(num_targets_)));
+      if (seen.count(t) > 0 || IsPositive(source, t)) continue;
+      picked = t;
+      break;
+    }
+    if (picked < 0) {
+      // Fewer admissible distinct targets than requested: relax the
+      // distinctness requirement but keep avoiding positives where
+      // possible (SampleNegative itself degenerates to a uniform draw
+      // only for a source that is positive on essentially everything).
+      picked = SampleNegative(source, rng);
+    }
+    seen.insert(picked);
+    out.push_back(picked);
+  }
   return out;
 }
 
 bool NegativeSampler::IsPositive(int64_t source, int64_t target) const {
-  return positive_keys_.count(source * num_targets_ + target) > 0;
+  return positive_keys_.count({source, target}) > 0;
 }
 
 }  // namespace relgraph

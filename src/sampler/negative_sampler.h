@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/rng.h"
@@ -25,8 +26,11 @@ class NegativeSampler {
   /// Degenerates to a uniform draw if a source is positive on everything.
   int64_t SampleNegative(int64_t source, Rng* rng) const;
 
-  /// Draws `k` negatives for `source` (with replacement across draws but
-  /// each avoiding positives).
+  /// Draws `k` negatives for `source`, distinct within the call (and each
+  /// avoiding positives). When fewer than `k` admissible distinct targets
+  /// exist the tail relaxes distinctness but still avoids positives,
+  /// degenerating to uniform draws only for a pathological source that is
+  /// positive on essentially every target.
   std::vector<int64_t> SampleNegatives(int64_t source, int64_t k,
                                        Rng* rng) const;
 
@@ -34,8 +38,21 @@ class NegativeSampler {
   bool IsPositive(int64_t source, int64_t target) const;
 
  private:
+  /// Exact pair set. A composite integer key (s * num_targets + t) would
+  /// overflow int64 for large source ids × target counts and silently
+  /// alias distinct pairs; storing the pair itself keeps equality exact no
+  /// matter how the hash collides.
+  struct PairHash {
+    size_t operator()(const std::pair<int64_t, int64_t>& p) const {
+      uint64_t h = static_cast<uint64_t>(p.first) * 0x9E3779B97F4A7C15ULL;
+      h ^= static_cast<uint64_t>(p.second) + 0x9E3779B97F4A7C15ULL +
+           (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
   int64_t num_targets_;
-  std::unordered_set<int64_t> positive_keys_;  // source * num_targets + target
+  std::unordered_set<std::pair<int64_t, int64_t>, PairHash> positive_keys_;
 };
 
 }  // namespace relgraph

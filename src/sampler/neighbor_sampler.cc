@@ -130,6 +130,44 @@ Subgraph NeighborSampler::Sample(NodeTypeId seed_type,
   return sg;
 }
 
+namespace {
+
+// splitmix64 finalizer — full-avalanche 64-bit mix for seed derivation.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Subgraph NeighborSampler::SampleForServing(NodeTypeId seed_type,
+                                           int64_t node, Timestamp cutoff,
+                                           uint64_t salt) const {
+  // Stream derived from (salt, node, cutoff) only: equal inputs replay the
+  // exact draw sequence, so a recomputed subgraph is bit-identical to a
+  // cached one regardless of request order or batch composition.
+  uint64_t seed = Mix64(salt ^ Mix64(static_cast<uint64_t>(node)));
+  seed = Mix64(seed ^ Mix64(static_cast<uint64_t>(cutoff)));
+  Rng rng(seed);
+  const std::vector<int64_t> seeds = {node};
+  const std::vector<Timestamp> cutoffs = {cutoff};
+  Subgraph sg = SampleChunk(seed_type, seeds, cutoffs, &rng);
+  NoteSample(sg, 1, 1);
+  return sg;
+}
+
+uint64_t OptionsFingerprint(const SamplerOptions& options) {
+  uint64_t h = Mix64(static_cast<uint64_t>(options.fanouts.size()));
+  for (int64_t f : options.fanouts) {
+    h = Mix64(h ^ Mix64(static_cast<uint64_t>(f)));
+  }
+  h = Mix64(h ^ (options.temporal ? 0x5851F42D4C957F2DULL : 0));
+  h = Mix64(h ^ Mix64(static_cast<uint64_t>(options.policy)));
+  return h;
+}
+
 Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
                                       const std::vector<int64_t>& seeds,
                                       const std::vector<Timestamp>& cutoffs,
@@ -354,6 +392,126 @@ Subgraph NeighborSampler::MergeChunks(
       merged.edge_type = e;
       for (size_t c = 0; c < num_parts; ++c) {
         for (const auto& b : parts[c].blocks[static_cast<size_t>(l)]) {
+          if (b.edge_type != e) continue;
+          const auto& tgt_map = map[c][static_cast<size_t>(tgt_type)];
+          const auto& src_map = next_map[c][static_cast<size_t>(src_type)];
+          for (size_t k = 0; k < b.target_local.size(); ++k) {
+            merged.target_local.push_back(
+                tgt_map[static_cast<size_t>(b.target_local[k])]);
+            merged.source_local.push_back(
+                src_map[static_cast<size_t>(b.source_local[k])]);
+          }
+        }
+      }
+      if (!merged.target_local.empty()) {
+        sg.blocks[static_cast<size_t>(l)].push_back(std::move(merged));
+      }
+    }
+    map = std::move(next_map);
+  }
+  return sg;
+}
+
+Subgraph ConcatSubgraphs(const HeteroGraph* graph,
+                         const std::vector<Subgraph>& parts) {
+  std::vector<const Subgraph*> ptrs;
+  ptrs.reserve(parts.size());
+  for (const auto& p : parts) ptrs.push_back(&p);
+  return ConcatSubgraphs(graph, ptrs);
+}
+
+Subgraph ConcatSubgraphs(const HeteroGraph* graph,
+                         const std::vector<const Subgraph*>& parts) {
+  RELGRAPH_CHECK(graph != nullptr);
+  RELGRAPH_CHECK(!parts.empty());
+  const int32_t num_types = graph->num_node_types();
+  const int64_t layers = static_cast<int64_t>(parts[0]->blocks.size());
+  for (const auto* p : parts) {
+    RELGRAPH_CHECK(p != nullptr);
+    RELGRAPH_CHECK(static_cast<int64_t>(p->blocks.size()) == layers);
+  }
+
+  Subgraph sg;
+  sg.frontiers.resize(static_cast<size_t>(layers) + 1);
+  sg.blocks.resize(static_cast<size_t>(layers));
+  for (auto& f : sg.frontiers) {
+    f.nodes.resize(static_cast<size_t>(num_types));
+    f.cutoffs.resize(static_cast<size_t>(num_types));
+  }
+
+  const size_t num_parts = parts.size();
+  // map[c][t][i] = merged index of part c's i-th node of type t at the
+  // current level. Level 0 is plain concatenation in part order.
+  std::vector<std::vector<std::vector<int64_t>>> map(num_parts);
+  for (size_t c = 0; c < num_parts; ++c) {
+    map[c].resize(static_cast<size_t>(num_types));
+    for (int32_t t = 0; t < num_types; ++t) {
+      auto& merged_nodes = sg.frontiers[0].nodes[static_cast<size_t>(t)];
+      auto& merged_cuts = sg.frontiers[0].cutoffs[static_cast<size_t>(t)];
+      const auto& part_nodes =
+          parts[c]->frontiers[0].nodes[static_cast<size_t>(t)];
+      const auto& part_cuts =
+          parts[c]->frontiers[0].cutoffs[static_cast<size_t>(t)];
+      auto& m = map[c][static_cast<size_t>(t)];
+      m.resize(part_nodes.size());
+      for (size_t i = 0; i < part_nodes.size(); ++i) {
+        m[i] = static_cast<int64_t>(merged_nodes.size());
+        merged_nodes.push_back(part_nodes[i]);
+        merged_cuts.push_back(part_cuts[i]);
+      }
+    }
+  }
+
+  for (int64_t l = 0; l < layers; ++l) {
+    const auto& cur = sg.frontiers[static_cast<size_t>(l)];
+    auto& next = sg.frontiers[static_cast<size_t>(l) + 1];
+    // Self-prefix invariant: the merged next frontier starts as a copy of
+    // the merged current one.
+    next.nodes = cur.nodes;
+    next.cutoffs = cur.cutoffs;
+    // Each part's NEW nodes at this level append in part order — no
+    // cross-part dedup, so a node reached by two parts keeps both copies
+    // and each part aggregates only its own sampled edges.
+    std::vector<std::vector<std::vector<int64_t>>> next_map(num_parts);
+    for (size_t c = 0; c < num_parts; ++c) {
+      next_map[c].resize(static_cast<size_t>(num_types));
+      for (int32_t t = 0; t < num_types; ++t) {
+        const auto& part_nodes =
+            parts[c]->frontiers[static_cast<size_t>(l) + 1]
+                .nodes[static_cast<size_t>(t)];
+        const auto& part_cuts =
+            parts[c]->frontiers[static_cast<size_t>(l) + 1]
+                .cutoffs[static_cast<size_t>(t)];
+        const size_t prefix = parts[c]
+                                  ->frontiers[static_cast<size_t>(l)]
+                                  .nodes[static_cast<size_t>(t)]
+                                  .size();
+        auto& m = next_map[c][static_cast<size_t>(t)];
+        m.resize(part_nodes.size());
+        auto& merged_nodes = next.nodes[static_cast<size_t>(t)];
+        auto& merged_cuts = next.cutoffs[static_cast<size_t>(t)];
+        for (size_t i = 0; i < part_nodes.size(); ++i) {
+          if (i < prefix) {
+            // The part's next frontier starts with its current frontier,
+            // whose merged positions are already known.
+            m[i] = map[c][static_cast<size_t>(t)][i];
+            continue;
+          }
+          m[i] = static_cast<int64_t>(merged_nodes.size());
+          merged_nodes.push_back(part_nodes[i]);
+          merged_cuts.push_back(part_cuts[i]);
+        }
+      }
+    }
+    // One merged block per edge type, edges appended in part order with
+    // indices rewritten into the merged numbering.
+    for (EdgeTypeId e = 0; e < graph->num_edge_types(); ++e) {
+      const NodeTypeId tgt_type = graph->edge_src_type(e);
+      const NodeTypeId src_type = graph->edge_dst_type(e);
+      Subgraph::Block merged;
+      merged.edge_type = e;
+      for (size_t c = 0; c < num_parts; ++c) {
+        for (const auto& b : parts[c]->blocks[static_cast<size_t>(l)]) {
           if (b.edge_type != e) continue;
           const auto& tgt_map = map[c][static_cast<size_t>(tgt_type)];
           const auto& src_map = next_map[c][static_cast<size_t>(src_type)];

@@ -67,6 +67,19 @@ class NeighborSampler {
   /// ablation to evaluate a leakily-trained model under honest sampling).
   void set_temporal(bool temporal) { options_.temporal = temporal; }
 
+  /// Samples the ego-subgraph of ONE seed for online serving.
+  ///
+  /// The result is a pure function of (salt, node, cutoff, options): the
+  /// RNG stream is derived from those values alone, never from call order
+  /// or batch composition. That is what makes per-seed subgraphs cacheable
+  /// — a cached subgraph and a freshly sampled one are bit-identical, and
+  /// concatenating per-seed subgraphs (ConcatSubgraphs) yields the same
+  /// per-seed scores at any micro-batch composition. Callers fold the
+  /// fanout/policy fingerprint (OptionsFingerprint) into `salt` so distinct
+  /// sampler configurations get distinct streams.
+  Subgraph SampleForServing(NodeTypeId seed_type, int64_t node,
+                            Timestamp cutoff, uint64_t salt) const;
+
  private:
   /// The serial sampling kernel: one chunk of seeds, one RNG stream.
   Subgraph SampleChunk(NodeTypeId seed_type,
@@ -86,6 +99,28 @@ class NeighborSampler {
 /// Splits [0, n) into shuffled batches of at most `batch_size` indices.
 std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
                                               Rng* rng);
+
+/// Stable fingerprint of the sampling semantics (fanouts, temporal flag,
+/// policy). Two option sets with equal fingerprints sample identically per
+/// seed. `parallel_chunk_seeds` is deliberately excluded: the serving path
+/// samples each seed serially, so chunking never affects its output.
+uint64_t OptionsFingerprint(const SamplerOptions& options);
+
+/// Block-diagonal concatenation of independently sampled subgraphs, with NO
+/// cross-part dedup — unlike the training-path chunk merge, a node reached
+/// by several parts keeps one copy per part, so each part's aggregation
+/// pools exactly its own sampled edges and per-seed outputs are independent
+/// of what else is in the batch (the property the serving caches rely on).
+/// Rebuilds the self-prefix invariant: merged frontier k+1 = merged
+/// frontier k, then each part's new nodes in part order, indices remapped.
+/// All parts must come from samplers with equal depth over `graph`.
+Subgraph ConcatSubgraphs(const HeteroGraph* graph,
+                         const std::vector<Subgraph>& parts);
+
+/// Pointer-span variant — the serving path concatenates cached subgraphs
+/// without copying them.
+Subgraph ConcatSubgraphs(const HeteroGraph* graph,
+                         const std::vector<const Subgraph*>& parts);
 
 }  // namespace relgraph
 

@@ -1,0 +1,327 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "core/logging.h"
+#include "core/metrics.h"
+#include "core/timer.h"
+#include "core/trace.h"
+#include "tensor/serialize.h"
+
+namespace relgraph {
+
+namespace {
+
+// One observation per Score call; runs after the scores are computed so
+// instrumentation can never perturb them.
+inline void NoteScore(double millis) {
+#ifndef RELGRAPH_NO_METRICS
+  if (!MetricsEnabled()) return;
+  static Histogram* latency = MetricsRegistry::Global().GetHistogram(
+      "serve_score_latency_ms", FineLatencyBucketsMs());
+  latency->Observe(millis);
+#else
+  (void)millis;
+#endif
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const HeteroGraph* graph,
+                                 NodeTypeId entity_type, TaskKind kind,
+                                 int64_t num_classes, const GnnConfig& gnn,
+                                 const SamplerOptions& sampler_options,
+                                 Timestamp now_cutoff,
+                                 const ServeOptions& serve)
+    : entity_type_(entity_type),
+      kind_(kind),
+      num_classes_(num_classes),
+      gnn_(gnn),
+      sampler_options_(sampler_options),
+      serve_(serve),
+      salt_(serve.seed ^ OptionsFingerprint(sampler_options)),
+      graph_(graph),
+      now_cutoff_(now_cutoff),
+      subgraph_cache_(serve.subgraph_cache_capacity),
+      embedding_cache_(serve.embedding_cache_capacity) {
+  RELGRAPH_CHECK(graph_ != nullptr);
+  RELGRAPH_CHECK(kind_ != TaskKind::kRanking)
+      << "InferenceEngine serves node-level (scalar) tasks only";
+  RELGRAPH_CHECK(static_cast<int64_t>(sampler_options_.fanouts.size()) ==
+                 gnn_.num_layers)
+      << "sampler depth must match GNN layers";
+  RELGRAPH_CHECK(serve_.micro_batch_size > 0);
+  sampler_ = std::make_unique<NeighborSampler>(graph_, sampler_options_);
+  // Weight init is placeholder — LoadCheckpoint overwrites every tensor.
+  Rng init_rng(serve_.seed);
+  model_ = std::make_unique<HeteroSageModel>(graph_, gnn_, &init_rng);
+  if (kind_ == TaskKind::kMulticlassClassification) {
+    cls_head_ = std::make_unique<ClassificationHead>(gnn_.hidden_dim,
+                                                     num_classes_, &init_rng);
+  } else {
+    scalar_head_ = std::make_unique<ScalarHead>(gnn_.hidden_dim, &init_rng);
+  }
+}
+
+InferenceEngine::InferenceEngine(const ServePlan& plan,
+                                 const ServeOptions& serve)
+    : InferenceEngine(plan.graph, plan.entity_type, plan.kind,
+                      plan.num_classes, plan.gnn, plan.sampler,
+                      plan.now_cutoff, [&] {
+                        ServeOptions s = serve;
+                        s.seed = plan.seed;
+                        return s;
+                      }()) {}
+
+Status InferenceEngine::LoadCheckpoint(const std::string& path) {
+  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  RELGRAPH_ASSIGN_OR_RETURN(TensorBundle bundle, LoadTensorBundle(path));
+  const std::vector<Tensor> current = ParameterValues({model_.get(), head()});
+  if (bundle.tensors.size() != current.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(bundle.tensors.size()) +
+        " tensors, serving model has " + std::to_string(current.size()) +
+        " (architecture mismatch?)");
+  }
+  for (size_t i = 0; i < current.size(); ++i) {
+    if (!bundle.tensors[i].SameShape(current[i])) {
+      return Status::InvalidArgument("checkpoint tensor " +
+                                     std::to_string(i) + " shape mismatch");
+    }
+  }
+  if (bundle.scalars.size() != 3) {
+    return Status::InvalidArgument("checkpoint scalar block malformed");
+  }
+  AssignParameterValues({model_.get(), head()}, bundle.tensors);
+  label_mean_ = bundle.scalars[0];
+  label_std_ = bundle.scalars[1];
+  loaded_ = true;
+  // Cached embeddings were produced by the previous weights; subgraphs
+  // depend only on the sampler and survive a weight swap.
+  embedding_cache_.Clear();
+  return Status::OK();
+}
+
+std::shared_ptr<const Subgraph> InferenceEngine::GetSubgraph(int64_t node) {
+  if (!serve_.enable_subgraph_cache) {
+    RELGRAPH_COUNTER_INC("serve_subgraph_cache_misses_total");
+    return std::make_shared<const Subgraph>(sampler_->SampleForServing(
+        entity_type_, node, now_cutoff_, salt_));
+  }
+  const SubgraphKey key{node, snapshot_version_.load(std::memory_order_relaxed),
+                        OptionsFingerprint(sampler_options_)};
+  std::shared_ptr<const Subgraph> sg;
+  if (subgraph_cache_.Get(key, &sg)) {
+    RELGRAPH_COUNTER_INC("serve_subgraph_cache_hits_total");
+    return sg;
+  }
+  RELGRAPH_COUNTER_INC("serve_subgraph_cache_misses_total");
+  sg = std::make_shared<const Subgraph>(
+      sampler_->SampleForServing(entity_type_, node, now_cutoff_, salt_));
+  subgraph_cache_.Put(key, sg);
+  return sg;
+}
+
+Tensor InferenceEngine::EmbedMicroBatch(const std::vector<int64_t>& ids) {
+  // Per-seed subgraphs (cached or freshly sampled) concatenate
+  // block-diagonally; the encoder forward is then per-row bit-identical
+  // to running each seed alone, so batch composition never leaks into a
+  // seed's embedding.
+  std::vector<std::shared_ptr<const Subgraph>> held;
+  std::vector<const Subgraph*> parts;
+  held.reserve(ids.size());
+  parts.reserve(ids.size());
+  for (int64_t id : ids) {
+    held.push_back(GetSubgraph(id));
+    parts.push_back(held.back().get());
+  }
+  const Subgraph sg = ConcatSubgraphs(graph_, parts);
+  VarPtr emb = model_->Forward(sg, entity_type_, /*rng=*/nullptr,
+                               /*training=*/false);
+  RELGRAPH_CHECK(emb->rows() == static_cast<int64_t>(ids.size()));
+  return emb->value();
+}
+
+Result<std::vector<double>> InferenceEngine::ScoreLocked(
+    const std::vector<int64_t>& entity_ids, bool count_request) {
+  if (!loaded_) {
+    return Status::FailedPrecondition(
+        "no checkpoint loaded; call LoadCheckpoint before Score");
+  }
+  const int64_t n = static_cast<int64_t>(entity_ids.size());
+  if (n == 0) return std::vector<double>{};
+  const int64_t num_entities = graph_->num_nodes(entity_type_);
+  for (int64_t id : entity_ids) {
+    if (id < 0 || id >= num_entities) {
+      return Status::InvalidArgument(
+          "entity id " + std::to_string(id) + " out of range [0, " +
+          std::to_string(num_entities) + ")");
+    }
+  }
+  Timer timer;
+  const int64_t hidden = gnn_.hidden_dim;
+  Tensor emb = Tensor::Zeros(n, hidden);
+
+  // Probe the embedding cache; collect distinct uncached ids (a duplicate
+  // id in one request is computed once — its embedding is a pure function
+  // of the id, so every position gets the identical row).
+  std::vector<int64_t> pending;
+  std::unordered_map<int64_t, std::vector<int64_t>> rows_of;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = entity_ids[static_cast<size_t>(i)];
+    if (serve_.enable_embedding_cache) {
+      std::shared_ptr<const std::vector<float>> row;
+      if (embedding_cache_.Get(id, &row)) {
+        RELGRAPH_COUNTER_INC("serve_embedding_cache_hits_total");
+        std::memcpy(&emb.at(i, 0), row->data(),
+                    sizeof(float) * static_cast<size_t>(hidden));
+        continue;
+      }
+      RELGRAPH_COUNTER_INC("serve_embedding_cache_misses_total");
+    }
+    auto [it, inserted] = rows_of.try_emplace(id);
+    if (inserted) pending.push_back(id);
+    it->second.push_back(i);
+  }
+
+  // Coalesce uncached ids into fixed-size micro-batches through the
+  // batched (parallel-GEMM) forward path.
+  for (size_t start = 0; start < pending.size();
+       start += static_cast<size_t>(serve_.micro_batch_size)) {
+    const size_t end =
+        std::min(pending.size(),
+                 start + static_cast<size_t>(serve_.micro_batch_size));
+    const std::vector<int64_t> batch(pending.begin() + static_cast<int64_t>(start),
+                                     pending.begin() + static_cast<int64_t>(end));
+    const Tensor batch_emb = EmbedMicroBatch(batch);
+    for (size_t j = 0; j < batch.size(); ++j) {
+      const int64_t id = batch[j];
+      const float* src =
+          batch_emb.data() + static_cast<int64_t>(j) * hidden;
+      for (int64_t i : rows_of.at(id)) {
+        std::memcpy(&emb.at(i, 0), src,
+                    sizeof(float) * static_cast<size_t>(hidden));
+      }
+      if (serve_.enable_embedding_cache) {
+        auto row = std::make_shared<std::vector<float>>(src, src + hidden);
+        embedding_cache_.Put(id, std::move(row));
+      }
+    }
+  }
+
+  // One head forward over the assembled embeddings; the head MLP is
+  // row-wise, so each score is still a pure per-entity function.
+  VarPtr out = cls_head_ ? cls_head_->Forward(ag::Constant(emb))
+                         : scalar_head_->Forward(ag::Constant(emb));
+  std::vector<double> scores;
+  scores.reserve(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) {
+    switch (kind_) {
+      case TaskKind::kBinaryClassification:
+        scores.push_back(1.0 / (1.0 + std::exp(-out->value().at(r, 0))));
+        break;
+      case TaskKind::kRegression:
+        scores.push_back(out->value().at(r, 0) * label_std_ + label_mean_);
+        break;
+      case TaskKind::kMulticlassClassification: {
+        int64_t arg = 0;
+        for (int64_t c = 1; c < out->cols(); ++c) {
+          if (out->value().at(r, c) > out->value().at(r, arg)) arg = c;
+        }
+        scores.push_back(static_cast<double>(arg));
+        break;
+      }
+      case TaskKind::kRanking:
+        break;
+    }
+  }
+  if (count_request) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    entities_scored_.fetch_add(n, std::memory_order_relaxed);
+    RELGRAPH_COUNTER_INC("serve_requests_total");
+    RELGRAPH_COUNTER_ADD("serve_entities_scored_total", n);
+  }
+  NoteScore(timer.Millis());
+  return scores;
+}
+
+Result<std::vector<double>> InferenceEngine::Score(
+    const std::vector<int64_t>& entity_ids) {
+  RELGRAPH_TRACE_SPAN("serve/score");
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  return ScoreLocked(entity_ids);
+}
+
+Status InferenceEngine::WarmUp(const std::vector<int64_t>& entity_ids) {
+  RELGRAPH_TRACE_SPAN("serve/warmup");
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  RELGRAPH_COUNTER_ADD("serve_warmup_entities_total",
+                       static_cast<int64_t>(entity_ids.size()));
+  RELGRAPH_ASSIGN_OR_RETURN(std::vector<double> ignored,
+                            ScoreLocked(entity_ids, /*count_request=*/false));
+  (void)ignored;
+  return Status::OK();
+}
+
+Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
+                                        Timestamp now_cutoff) {
+  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  if (graph == nullptr) {
+    return Status::InvalidArgument("AdvanceSnapshot: null graph");
+  }
+  if (graph->num_node_types() != graph_->num_node_types() ||
+      graph->num_edge_types() != graph_->num_edge_types()) {
+    return Status::InvalidArgument(
+        "AdvanceSnapshot: snapshot layout mismatch (type counts)");
+  }
+  for (EdgeTypeId e = 0; e < graph->num_edge_types(); ++e) {
+    if (graph->edge_src_type(e) != graph_->edge_src_type(e) ||
+        graph->edge_dst_type(e) != graph_->edge_dst_type(e)) {
+      return Status::InvalidArgument(
+          "AdvanceSnapshot: snapshot layout mismatch (edge endpoints)");
+    }
+  }
+  for (int32_t t = 0; t < graph->num_node_types(); ++t) {
+    if (graph->feature_dim(t) != graph_->feature_dim(t)) {
+      return Status::InvalidArgument(
+          "AdvanceSnapshot: snapshot layout mismatch (feature widths)");
+    }
+  }
+  model_->RebindGraph(graph);
+  graph_ = graph;
+  sampler_ = std::make_unique<NeighborSampler>(graph_, sampler_options_);
+  now_cutoff_ = now_cutoff;
+  snapshot_version_.fetch_add(1, std::memory_order_relaxed);
+  // Old-version subgraph keys can no longer match; the LRU ages them out.
+  // Embeddings have no version in their key — drop them outright.
+  embedding_cache_.Clear();
+  RELGRAPH_COUNTER_INC("serve_snapshot_advances_total");
+  return Status::OK();
+}
+
+ServeStats InferenceEngine::stats() const {
+  ServeStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.entities_scored = entities_scored_.load(std::memory_order_relaxed);
+  s.subgraph_hits = subgraph_cache_.hits();
+  s.subgraph_misses = subgraph_cache_.misses();
+  s.embedding_hits = embedding_cache_.hits();
+  s.embedding_misses = embedding_cache_.misses();
+  s.snapshot_version = snapshot_version_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Timestamp InferenceEngine::now_cutoff() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  return now_cutoff_;
+}
+
+bool InferenceEngine::loaded() const {
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  return loaded_;
+}
+
+}  // namespace relgraph

@@ -1,0 +1,200 @@
+#ifndef RELGRAPH_SERVE_INFERENCE_ENGINE_H_
+#define RELGRAPH_SERVE_INFERENCE_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "gnn/heads.h"
+#include "gnn/hetero_sage.h"
+#include "pq/engine.h"
+#include "sampler/neighbor_sampler.h"
+#include "serve/lru_cache.h"
+
+namespace relgraph {
+
+/// Knobs of the online inference engine.
+struct ServeOptions {
+  /// Entities scored per forward pass. Uncached entities are coalesced
+  /// into micro-batches of this size so the GEMMs run at batch shapes
+  /// instead of row-at-a-time. Has no effect on the scores themselves:
+  /// per-seed forwards are bit-identical at any micro-batch composition.
+  int64_t micro_batch_size = 32;
+
+  /// Capacity (entries) of the sampled-subgraph LRU cache.
+  int64_t subgraph_cache_capacity = 4096;
+
+  /// Capacity (entries) of the entity-embedding LRU cache.
+  int64_t embedding_cache_capacity = 8192;
+
+  /// Disable either cache (the engine then recomputes every request).
+  /// Scores are bit-identical either way — caching is purely a
+  /// throughput optimization.
+  bool enable_subgraph_cache = true;
+  bool enable_embedding_cache = true;
+
+  /// Folded (with the sampler-options fingerprint) into the per-seed
+  /// sampling salt. Two engines with equal seed + sampler options sample
+  /// identical subgraphs for every entity.
+  uint64_t seed = 1;
+};
+
+/// Point-in-time cache/traffic statistics of an InferenceEngine.
+struct ServeStats {
+  int64_t requests = 0;          ///< Score() calls answered
+  int64_t entities_scored = 0;   ///< total ids across those calls
+  int64_t subgraph_hits = 0;
+  int64_t subgraph_misses = 0;
+  int64_t embedding_hits = 0;
+  int64_t embedding_misses = 0;
+  int64_t snapshot_version = 0;
+};
+
+/// Online inference engine for a trained node-level predictive query.
+///
+/// Loads a GnnNodePredictor checkpoint (SaveWeights format) and answers
+/// `Score(entity_ids)` requests: probability for binary tasks, predicted
+/// value for regression, argmax class index for multiclass — the same
+/// conversions as GnnNodePredictor::PredictScores.
+///
+/// Request path: each id first probes the entity-embedding cache; misses
+/// coalesce into fixed-size micro-batches whose per-seed subgraphs come
+/// from the subgraph LRU cache or, on a miss, from the deterministic
+/// per-seed sampler (NeighborSampler::SampleForServing). Micro-batch
+/// subgraphs concatenate block-diagonally (ConcatSubgraphs — no
+/// cross-seed dedup), so every per-seed embedding is a pure function of
+/// (engine seed, sampler options, entity id, snapshot) and NEVER of the
+/// surrounding batch. That purity is the engine's core guarantee: scores
+/// are bit-identical with caches on, off, or partially warm, at any
+/// micro-batch size.
+///
+/// Concurrency: Score/WarmUp may run from any number of threads
+/// concurrently (caches are internally locked; model weights are
+/// read-only after LoadCheckpoint). AdvanceSnapshot and LoadCheckpoint
+/// take the write lock and may run concurrently with readers.
+///
+/// Snapshots: AdvanceSnapshot rebinds the engine to a fresher graph of
+/// the SAME layout and bumps the snapshot version. Subgraph cache keys
+/// carry the version (stale entries age out of the LRU); the embedding
+/// cache is cleared outright.
+class InferenceEngine {
+ public:
+  /// `graph` must outlive the engine; `now_cutoff` is the serving-time
+  /// cutoff (one past the snapshot's max event time).
+  InferenceEngine(const HeteroGraph* graph, NodeTypeId entity_type,
+                  TaskKind kind, int64_t num_classes, const GnnConfig& gnn,
+                  const SamplerOptions& sampler_options,
+                  Timestamp now_cutoff, const ServeOptions& serve = {});
+
+  /// Convenience: build from a compiled predictive query (see
+  /// PredictiveQueryEngine::CompileForServing). `serve.seed` is
+  /// overridden by the plan's seed so sampling matches the query.
+  InferenceEngine(const ServePlan& plan, const ServeOptions& serve = {});
+
+  /// Restores weights saved by GnnNodePredictor::SaveWeights for the
+  /// identical architecture; errors on shape/count mismatch. Clears the
+  /// embedding cache (old embeddings belong to the old weights).
+  Status LoadCheckpoint(const std::string& path);
+
+  /// Scores the given entity node ids at the current snapshot's "now"
+  /// cutoff. Requires a loaded checkpoint; ids must be valid node ids of
+  /// the entity type. Safe to call concurrently.
+  Result<std::vector<double>> Score(const std::vector<int64_t>& entity_ids);
+
+  /// Pre-populates both caches for the given (e.g. hottest) entities so
+  /// the first real requests hit warm. Equivalent to a discarded Score,
+  /// except it is not counted in the request/entity traffic stats.
+  Status WarmUp(const std::vector<int64_t>& entity_ids);
+
+  /// Switches to a fresher graph snapshot (same layout — table schema and
+  /// FK structure must be unchanged) with a new "now" cutoff. Bumps the
+  /// snapshot version and invalidates the embedding cache.
+  Status AdvanceSnapshot(const HeteroGraph* graph, Timestamp now_cutoff);
+
+  ServeStats stats() const;
+
+  int64_t snapshot_version() const {
+    return snapshot_version_.load(std::memory_order_relaxed);
+  }
+  Timestamp now_cutoff() const;
+  bool loaded() const;
+  const GnnConfig& gnn_config() const { return gnn_; }
+  const ServeOptions& serve_options() const { return serve_; }
+
+ private:
+  /// Subgraph cache key. The sampler-options fingerprint is constant per
+  /// engine but kept in the key so entries are self-describing; the
+  /// snapshot version retires stale entries without a scan.
+  struct SubgraphKey {
+    int64_t node;
+    int64_t version;
+    uint64_t fingerprint;
+    bool operator==(const SubgraphKey& o) const {
+      return node == o.node && version == o.version &&
+             fingerprint == o.fingerprint;
+    }
+  };
+  struct SubgraphKeyHash {
+    size_t operator()(const SubgraphKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.node) * 0x9E3779B97F4A7C15ULL;
+      h ^= static_cast<uint64_t>(k.version) + (h << 6) + (h >> 2);
+      h ^= k.fingerprint + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Score body; callers hold the shared snapshot lock. WarmUp passes
+  /// `count_request` false so pre-population is not counted as traffic.
+  Result<std::vector<double>> ScoreLocked(
+      const std::vector<int64_t>& entity_ids, bool count_request = true);
+
+  /// Embedding rows for one micro-batch of distinct uncached ids, in
+  /// input order ([ids.size() × hidden]).
+  Tensor EmbedMicroBatch(const std::vector<int64_t>& ids);
+
+  /// Fetches (or samples and caches) the per-seed subgraph of one entity.
+  std::shared_ptr<const Subgraph> GetSubgraph(int64_t node);
+
+  const Module* head() const {
+    return cls_head_ ? static_cast<const Module*>(cls_head_.get())
+                     : static_cast<const Module*>(scalar_head_.get());
+  }
+
+  NodeTypeId entity_type_;
+  TaskKind kind_;
+  int64_t num_classes_;
+  GnnConfig gnn_;
+  SamplerOptions sampler_options_;
+  ServeOptions serve_;
+  uint64_t salt_;  // serve_.seed ^ OptionsFingerprint(sampler_options_)
+
+  /// Guards the snapshot-mutable state (graph_, sampler_, now_cutoff_,
+  /// model weights, label stats): Score/WarmUp take it shared,
+  /// LoadCheckpoint/AdvanceSnapshot exclusive.
+  mutable std::shared_mutex snapshot_mu_;
+  const HeteroGraph* graph_;
+  std::unique_ptr<NeighborSampler> sampler_;
+  Timestamp now_cutoff_;
+  std::unique_ptr<HeteroSageModel> model_;
+  std::unique_ptr<ClassificationHead> cls_head_;
+  std::unique_ptr<ScalarHead> scalar_head_;
+  bool loaded_ = false;
+  double label_mean_ = 0.0;
+  double label_std_ = 1.0;
+
+  std::atomic<int64_t> snapshot_version_{0};
+  std::atomic<int64_t> requests_{0};
+  std::atomic<int64_t> entities_scored_{0};
+
+  LruCache<SubgraphKey, std::shared_ptr<const Subgraph>, SubgraphKeyHash>
+      subgraph_cache_;
+  LruCache<int64_t, std::shared_ptr<const std::vector<float>>>
+      embedding_cache_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_SERVE_INFERENCE_ENGINE_H_

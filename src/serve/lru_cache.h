@@ -1,0 +1,98 @@
+#ifndef RELGRAPH_SERVE_LRU_CACHE_H_
+#define RELGRAPH_SERVE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace relgraph {
+
+/// Thread-safe LRU cache with a fixed entry capacity.
+///
+/// All operations take one mutex, so the cache is safe to share across
+/// concurrently scoring threads; hit/miss tallies are exact. Values are
+/// returned by copy — store a shared_ptr for large payloads (the serving
+/// subgraph cache does) so a Get never copies the payload and an entry
+/// evicted while a reader still uses it stays alive until the reader
+/// drops it.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(int64_t capacity) : capacity_(capacity) {
+    RELGRAPH_CHECK(capacity > 0);
+  }
+
+  /// Copies the cached value into `*out` and marks the entry most
+  /// recently used. Returns false (and leaves `*out` alone) on a miss.
+  bool Get(const Key& key, Value* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    *out = it->second->second;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Inserts or refreshes an entry, evicting the least recently used one
+  /// when at capacity.
+  void Put(const Key& key, Value value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    if (static_cast<int64_t>(order_.size()) >= capacity_) {
+      index_.erase(order_.back().first);
+      order_.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+  }
+
+  /// Drops every entry (hit/miss tallies are preserved).
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    order_.clear();
+    index_.clear();
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(order_.size());
+  }
+
+  int64_t capacity() const { return capacity_; }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  using Entry = std::pair<Key, Value>;
+
+  const int64_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_SERVE_LRU_CACHE_H_

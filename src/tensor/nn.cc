@@ -15,6 +15,33 @@ void Module::ZeroGrad() const {
   for (const auto& p : Parameters()) p->ZeroGrad();
 }
 
+std::vector<Tensor> ParameterValues(
+    const std::vector<const Module*>& modules) {
+  std::vector<Tensor> values;
+  for (const Module* m : modules) {
+    RELGRAPH_CHECK(m != nullptr);
+    for (const auto& p : m->Parameters()) values.push_back(p->value());
+  }
+  return values;
+}
+
+void AssignParameterValues(const std::vector<const Module*>& modules,
+                           const std::vector<Tensor>& values) {
+  size_t i = 0;
+  for (const Module* m : modules) {
+    RELGRAPH_CHECK(m != nullptr);
+    for (const auto& p : m->Parameters()) {
+      RELGRAPH_CHECK(i < values.size())
+          << "parameter snapshot too short: " << values.size() << " tensors";
+      RELGRAPH_CHECK(values[i].SameShape(p->value()))
+          << "parameter snapshot tensor " << i << " shape mismatch";
+      p->mutable_value() = values[i++];
+    }
+  }
+  RELGRAPH_CHECK(i == values.size())
+      << "parameter snapshot has " << values.size() - i << " extra tensors";
+}
+
 Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
     : in_features_(in_features), out_features_(out_features) {
   RELGRAPH_CHECK(in_features > 0 && out_features > 0);

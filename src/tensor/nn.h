@@ -28,6 +28,18 @@ class Module {
   void ZeroGrad() const;
 };
 
+/// Copies of every parameter value of `modules`, concatenated in module
+/// order and, within a module, in Parameters() order — the canonical
+/// flat-snapshot layout shared by training checkpoints and the serving
+/// loader.
+std::vector<Tensor> ParameterValues(
+    const std::vector<const Module*>& modules);
+
+/// Assigns a snapshot produced by ParameterValues back onto the same
+/// module sequence. Checks count and per-tensor shape.
+void AssignParameterValues(const std::vector<const Module*>& modules,
+                           const std::vector<Tensor>& values);
+
 /// Affine map y = x W + b with Glorot-uniform weights.
 class Linear : public Module {
  public:

@@ -28,7 +28,10 @@ double MulticlassAccuracy(const std::vector<int64_t>& predictions,
   if (predictions.empty()) return 0.0;
   int64_t hits = 0;
   for (size_t i = 0; i < predictions.size(); ++i) {
-    hits += (predictions[i] == static_cast<int64_t>(labels[i]));
+    // Round to the nearest class: labels that went through float storage
+    // can arrive as 2.9999999, which a raw truncating cast would turn
+    // into class 2 and silently mismatch.
+    hits += (predictions[i] == std::llround(labels[i]));
   }
   return static_cast<double>(hits) / static_cast<double>(predictions.size());
 }
@@ -132,7 +135,11 @@ double R2Score(const std::vector<double>& predictions,
     sse += (predictions[i] - targets[i]) * (predictions[i] - targets[i]);
     sst += (targets[i] - mean) * (targets[i] - mean);
   }
-  if (sst < 1e-12) return 0.0;
+  if (sst < 1e-12) {
+    // Constant targets: R² is undefined. Exact predictions are a perfect
+    // fit (1.0); anything else scores 0.0 rather than -inf.
+    return sse < 1e-12 ? 1.0 : 0.0;
+  }
   return 1.0 - sse / sst;
 }
 
@@ -147,10 +154,15 @@ double MeanAveragePrecisionAtK(
     std::unordered_set<int64_t> rel(relevant[q].begin(), relevant[q].end());
     double ap = 0.0;
     int64_t hits = 0;
+    // A ranked list may repeat an id; only its first occurrence can be a
+    // hit, otherwise one relevant item is credited multiple times.
+    std::unordered_set<int64_t> seen;
     const int64_t limit =
         std::min<int64_t>(k, static_cast<int64_t>(ranked[q].size()));
     for (int64_t i = 0; i < limit; ++i) {
-      if (rel.count(ranked[q][static_cast<size_t>(i)])) {
+      const int64_t id = ranked[q][static_cast<size_t>(i)];
+      if (!seen.insert(id).second) continue;
+      if (rel.count(id)) {
         ++hits;
         ap += static_cast<double>(hits) / static_cast<double>(i + 1);
       }
@@ -173,10 +185,15 @@ double RecallAtK(const std::vector<std::vector<int64_t>>& ranked,
     if (relevant[q].empty()) continue;
     std::unordered_set<int64_t> rel(relevant[q].begin(), relevant[q].end());
     int64_t hits = 0;
+    // Count each ranked id at most once so a duplicated relevant id cannot
+    // push recall above 1.0.
+    std::unordered_set<int64_t> seen;
     const int64_t limit =
         std::min<int64_t>(k, static_cast<int64_t>(ranked[q].size()));
     for (int64_t i = 0; i < limit; ++i) {
-      hits += rel.count(ranked[q][static_cast<size_t>(i)]) ? 1 : 0;
+      const int64_t id = ranked[q][static_cast<size_t>(i)];
+      if (!seen.insert(id).second) continue;
+      hits += rel.count(id) ? 1 : 0;
     }
     total += static_cast<double>(hits) / static_cast<double>(rel.size());
     ++queries;

@@ -67,26 +67,17 @@ VarPtr GnnNodePredictor::ForwardSampled(const Subgraph& sg, Rng* rng,
 }
 
 std::vector<Tensor> GnnNodePredictor::SnapshotParams() const {
-  std::vector<Tensor> snap;
-  for (const auto& p : model_->Parameters()) snap.push_back(p->value());
   const Module* head =
       cls_head_ ? static_cast<const Module*>(cls_head_.get())
                 : static_cast<const Module*>(scalar_head_.get());
-  for (const auto& p : head->Parameters()) snap.push_back(p->value());
-  return snap;
+  return ParameterValues({model_.get(), head});
 }
 
 void GnnNodePredictor::RestoreParams(const std::vector<Tensor>& snapshot) {
-  size_t i = 0;
-  for (const auto& p : model_->Parameters()) {
-    p->mutable_value() = snapshot[i++];
-  }
   const Module* head =
       cls_head_ ? static_cast<const Module*>(cls_head_.get())
                 : static_cast<const Module*>(scalar_head_.get());
-  for (const auto& p : head->Parameters()) {
-    p->mutable_value() = snapshot[i++];
-  }
+  AssignParameterValues({model_.get(), head}, snapshot);
 }
 
 Status GnnNodePredictor::Fit(const TrainingTable& table, const Split& split) {

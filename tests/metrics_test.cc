@@ -1,0 +1,106 @@
+// Edge-case tests for the evaluation metrics: constant targets, near-integer
+// labels, tied scores, duplicated ranked ids, and empty ranked lists. These
+// pin the fixes for defects that silently skewed served/benchmarked numbers
+// (recall > 1.0 from duplicate ids, exact predictions scored 0.0, labels
+// stored as 2.9999999 mismatching their class).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "train/metrics.h"
+
+namespace relgraph {
+namespace {
+
+// ---------------------------------------------------------------- R2Score
+
+TEST(MetricsEdgeCaseTest, R2ExactPredictionsOnConstantTargetIsOne) {
+  // sst ~ 0 AND sse ~ 0: a perfect fit of a constant target is R² = 1,
+  // not 0 — the model explained everything there was to explain.
+  EXPECT_DOUBLE_EQ(R2Score({3.0, 3.0, 3.0}, {3.0, 3.0, 3.0}), 1.0);
+}
+
+TEST(MetricsEdgeCaseTest, R2WrongPredictionsOnConstantTargetIsZero) {
+  EXPECT_DOUBLE_EQ(R2Score({1.0, 2.0}, {3.0, 3.0}), 0.0);
+}
+
+TEST(MetricsEdgeCaseTest, R2IdentityIsOneAndWorseThanMeanIsNegative) {
+  const std::vector<double> targets = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(R2Score(targets, targets), 1.0);
+  EXPECT_LT(R2Score({4.0, 3.0, 2.0, 1.0}, targets), 0.0);
+}
+
+// ----------------------------------------------------- MulticlassAccuracy
+
+TEST(MetricsEdgeCaseTest, MulticlassAccuracyRoundsNearIntegerLabels) {
+  // A label that went through float storage can arrive as 2.9999999; a
+  // truncating cast turned it into class 2 and failed the match.
+  EXPECT_DOUBLE_EQ(MulticlassAccuracy({3, 0}, {2.9999999, 0.0000001}), 1.0);
+  EXPECT_DOUBLE_EQ(MulticlassAccuracy({2, 1}, {2.9999999, 1.0}), 0.5);
+}
+
+// ------------------------------------------------------------------ RocAuc
+
+TEST(MetricsEdgeCaseTest, RocAucTiedScoresUseMidranks) {
+  // All scores equal: every ordering is as good as chance.
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+  // One tied pair straddling the classes contributes half a concordance.
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.7, 0.7}, {1, 1, 0}), 0.75);
+}
+
+// ------------------------------------------------------ RecallAtK / MAP@K
+
+TEST(MetricsEdgeCaseTest, RecallIgnoresDuplicateRankedIds) {
+  // Duplicated relevant id in the ranked list: counted once, so recall
+  // caps at 1.0 (it used to report 1.5 here).
+  const std::vector<std::vector<int64_t>> ranked = {{1, 1, 2}};
+  const std::vector<std::vector<int64_t>> relevant = {{1, 2}};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 3), 1.0);
+}
+
+TEST(MetricsEdgeCaseTest, RecallDuplicateConsumesAPosition) {
+  // The duplicate still occupies a rank slot: with k=2 the second "1" is
+  // skipped as a duplicate and id 2 falls outside the cutoff.
+  const std::vector<std::vector<int64_t>> ranked = {{1, 1, 2}};
+  const std::vector<std::vector<int64_t>> relevant = {{1, 2}};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 2), 0.5);
+}
+
+TEST(MetricsEdgeCaseTest, RecallEmptyRankedListScoresZero) {
+  const std::vector<std::vector<int64_t>> ranked = {{}, {4}};
+  const std::vector<std::vector<int64_t>> relevant = {{1}, {4}};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 5), 0.5);
+}
+
+TEST(MetricsEdgeCaseTest, RecallSkipsQueriesWithNoRelevantItems) {
+  const std::vector<std::vector<int64_t>> ranked = {{1, 2}, {3}};
+  const std::vector<std::vector<int64_t>> relevant = {{}, {3}};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, relevant, 2), 1.0);
+}
+
+TEST(MetricsEdgeCaseTest, MapIgnoresDuplicateRankedIds) {
+  // ranked {5,5}: the old code credited the relevant id twice (AP = 2.0).
+  const std::vector<std::vector<int64_t>> ranked = {{5, 5}};
+  const std::vector<std::vector<int64_t>> relevant = {{5}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecisionAtK(ranked, relevant, 2), 1.0);
+}
+
+TEST(MetricsEdgeCaseTest, MapDuplicateDoesNotInflateLaterHits) {
+  // ranked {7, 7, 8} vs relevant {7, 8}: hits at ranks 1 and 3 (the
+  // duplicate at rank 2 is ignored but still occupies the position).
+  const std::vector<std::vector<int64_t>> ranked = {{7, 7, 8}};
+  const std::vector<std::vector<int64_t>> relevant = {{7, 8}};
+  // AP = (1/1 + 2/3) / 2.
+  EXPECT_DOUBLE_EQ(MeanAveragePrecisionAtK(ranked, relevant, 3),
+                   (1.0 + 2.0 / 3.0) / 2.0);
+}
+
+TEST(MetricsEdgeCaseTest, MapEmptyRankedListScoresZero) {
+  const std::vector<std::vector<int64_t>> ranked = {{}};
+  const std::vector<std::vector<int64_t>> relevant = {{1, 2}};
+  EXPECT_DOUBLE_EQ(MeanAveragePrecisionAtK(ranked, relevant, 4), 0.0);
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -259,5 +259,195 @@ TEST(NegativeSamplerTest, DegenerateAllPositive) {
   EXPECT_LT(t, 2);
 }
 
+TEST(NegativeSamplerTest, LargeIdsStayExact) {
+  // The old composite key (source * num_targets + target) overflowed
+  // int64 for billion-scale sources × large target sets and aliased
+  // distinct pairs; the pair set must stay exact at any magnitude.
+  const int64_t big_source = int64_t{1} << 40;
+  const int64_t num_targets = int64_t{1} << 31;
+  NegativeSampler ns(num_targets,
+                     {{big_source, 5}, {big_source - 1, 7}, {0, 9}});
+  EXPECT_TRUE(ns.IsPositive(big_source, 5));
+  EXPECT_TRUE(ns.IsPositive(big_source - 1, 7));
+  EXPECT_TRUE(ns.IsPositive(0, 9));
+  // Near-miss pairs that a wrapped composite key could collide with.
+  EXPECT_FALSE(ns.IsPositive(big_source, 7));
+  EXPECT_FALSE(ns.IsPositive(big_source - 1, 5));
+  EXPECT_FALSE(ns.IsPositive(big_source + 1, 5));
+  EXPECT_FALSE(ns.IsPositive(0, 5));
+  EXPECT_FALSE(ns.IsPositive(5, big_source % num_targets));
+}
+
+TEST(NegativeSamplerTest, SampleNegativesDistinctWithinDraw) {
+  NegativeSampler ns(50, {{3, 1}, {3, 2}});
+  Rng rng(14);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto negs = ns.SampleNegatives(3, 10, &rng);
+    ASSERT_EQ(negs.size(), 10u);
+    std::set<int64_t> uniq(negs.begin(), negs.end());
+    // Drawing WITH replacement used to hand back repeats; every draw must
+    // now be distinct when enough admissible targets exist.
+    EXPECT_EQ(uniq.size(), negs.size());
+    for (int64_t t : negs) {
+      EXPECT_FALSE(ns.IsPositive(3, t));
+      EXPECT_GE(t, 0);
+      EXPECT_LT(t, 50);
+    }
+  }
+}
+
+TEST(NegativeSamplerTest, SampleNegativesPathologicalFallback) {
+  // Only one admissible target but three requested: the tail relaxes
+  // distinctness yet still avoids the positives.
+  NegativeSampler ns(3, {{0, 0}, {0, 1}});
+  Rng rng(15);
+  auto negs = ns.SampleNegatives(0, 3, &rng);
+  ASSERT_EQ(negs.size(), 3u);
+  for (int64_t t : negs) EXPECT_EQ(t, 2);
+}
+
+// ---------------------------------------------------------------- serving
+
+bool SubgraphsEqual(const Subgraph& a, const Subgraph& b) {
+  if (a.frontiers.size() != b.frontiers.size()) return false;
+  for (size_t f = 0; f < a.frontiers.size(); ++f) {
+    if (a.frontiers[f].nodes != b.frontiers[f].nodes) return false;
+    if (a.frontiers[f].cutoffs != b.frontiers[f].cutoffs) return false;
+  }
+  if (a.blocks.size() != b.blocks.size()) return false;
+  for (size_t k = 0; k < a.blocks.size(); ++k) {
+    if (a.blocks[k].size() != b.blocks[k].size()) return false;
+    for (size_t e = 0; e < a.blocks[k].size(); ++e) {
+      if (a.blocks[k][e].edge_type != b.blocks[k][e].edge_type ||
+          a.blocks[k][e].target_local != b.blocks[k][e].target_local ||
+          a.blocks[k][e].source_local != b.blocks[k][e].source_local) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(ServingSamplerTest, SampleForServingIsPureInArguments) {
+  ECommerceConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_products = 20;
+  cfg.num_categories = 4;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  auto dbg = BuildDbGraph(db).value();
+  SamplerOptions opts;
+  opts.fanouts = {4, 4};
+  NeighborSampler sampler(&dbg.graph, opts);
+  NodeTypeId users = dbg.graph.FindNodeType("users").value();
+  const uint64_t salt = 0x1234 ^ OptionsFingerprint(opts);
+
+  Subgraph first = sampler.SampleForServing(users, 7, Days(50), salt);
+  // Interleave unrelated sampling: per-seed results must not depend on
+  // call order or other traffic (that is what makes them cacheable).
+  (void)sampler.SampleForServing(users, 3, Days(50), salt);
+  (void)sampler.SampleForServing(users, 7, Days(20), salt);
+  Subgraph again = sampler.SampleForServing(users, 7, Days(50), salt);
+  EXPECT_TRUE(SubgraphsEqual(first, again));
+
+  // Different salt, node, or cutoff means an independent stream.
+  Subgraph other_salt = sampler.SampleForServing(users, 7, Days(50), salt + 1);
+  EXPECT_EQ(other_salt.frontiers[0].nodes[users],
+            (std::vector<int64_t>{7}));
+  Subgraph other_node = sampler.SampleForServing(users, 8, Days(50), salt);
+  EXPECT_EQ(other_node.frontiers[0].nodes[users],
+            (std::vector<int64_t>{8}));
+}
+
+TEST(ServingSamplerTest, OptionsFingerprintSeparatesSemantics) {
+  SamplerOptions a;
+  a.fanouts = {4, 4};
+  SamplerOptions b = a;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  b.fanouts = {4, 8};
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  b = a;
+  b.temporal = false;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  b = a;
+  b.policy = SamplePolicy::kMostRecent;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  // Chunking is an execution detail, not a sampling-semantics change.
+  b = a;
+  b.parallel_chunk_seeds = 1;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+}
+
+TEST(ServingSamplerTest, ConcatRebuildsInvariantsWithoutDedup) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {2, 2};
+  NeighborSampler sampler(&g, opts);
+  NodeTypeId users = g.FindNodeType("users").value();
+  const uint64_t salt = OptionsFingerprint(opts);
+
+  // Both parts share seed node 0 at the same cutoff: a deduping merge
+  // would pool their edges; block-diagonal concat must keep both copies.
+  Subgraph p0 = sampler.SampleForServing(users, 0, 100, salt);
+  Subgraph p1 = sampler.SampleForServing(users, 0, 100, salt);
+  Subgraph p2 = sampler.SampleForServing(users, 1, 100, salt);
+  Subgraph merged = ConcatSubgraphs(&g, {p0, p1, p2});
+
+  // Seeds concatenate in part order, duplicates preserved.
+  EXPECT_EQ(merged.frontiers[0].nodes[users],
+            (std::vector<int64_t>{0, 0, 1}));
+
+  // Self-prefix invariant holds after the merge.
+  for (size_t k = 0; k + 1 < merged.frontiers.size(); ++k) {
+    for (size_t t = 0; t < merged.frontiers[k].nodes.size(); ++t) {
+      const auto& cur = merged.frontiers[k].nodes[t];
+      const auto& next = merged.frontiers[k + 1].nodes[t];
+      ASSERT_GE(next.size(), cur.size());
+      for (size_t i = 0; i < cur.size(); ++i) {
+        ASSERT_EQ(next[i], cur[i]) << "layer " << k << " type " << t;
+      }
+    }
+  }
+
+  // Node and edge counts add exactly — nothing pooled across parts.
+  EXPECT_EQ(merged.TotalFrontierNodes(), p0.TotalFrontierNodes() +
+                                             p1.TotalFrontierNodes() +
+                                             p2.TotalFrontierNodes());
+  EXPECT_EQ(merged.TotalBlockEdges(),
+            p0.TotalBlockEdges() + p1.TotalBlockEdges() +
+                p2.TotalBlockEdges());
+
+  // Block indices stay within the merged frontier bounds.
+  for (size_t k = 0; k < merged.blocks.size(); ++k) {
+    for (const auto& b : merged.blocks[k]) {
+      const NodeTypeId tgt_type = g.edge_src_type(b.edge_type);
+      const NodeTypeId src_type = g.edge_dst_type(b.edge_type);
+      const int64_t n_tgt =
+          static_cast<int64_t>(merged.frontiers[k].nodes[tgt_type].size());
+      const int64_t n_src = static_cast<int64_t>(
+          merged.frontiers[k + 1].nodes[src_type].size());
+      ASSERT_EQ(b.target_local.size(), b.source_local.size());
+      for (size_t i = 0; i < b.target_local.size(); ++i) {
+        ASSERT_GE(b.target_local[i], 0);
+        ASSERT_LT(b.target_local[i], n_tgt);
+        ASSERT_GE(b.source_local[i], 0);
+        ASSERT_LT(b.source_local[i], n_src);
+      }
+    }
+  }
+}
+
+TEST(ServingSamplerTest, ConcatOfSinglePartIsIdentity) {
+  HeteroGraph g = MakeToyGraph();
+  SamplerOptions opts;
+  opts.fanouts = {2, 2};
+  NeighborSampler sampler(&g, opts);
+  NodeTypeId users = g.FindNodeType("users").value();
+  Subgraph part =
+      sampler.SampleForServing(users, 1, 100, OptionsFingerprint(opts));
+  Subgraph merged = ConcatSubgraphs(&g, {part});
+  EXPECT_TRUE(SubgraphsEqual(part, merged));
+}
+
 }  // namespace
 }  // namespace relgraph

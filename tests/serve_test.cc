@@ -1,0 +1,460 @@
+// Tests of the online inference engine (src/serve/): LRU cache semantics,
+// bit-identical scores across every cache/micro-batch configuration,
+// warm-up, snapshot advancement, checkpoint validation, query compilation
+// for serving, and concurrent request correctness.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/ecommerce.h"
+#include "db2graph/graph_builder.h"
+#include "pq/engine.h"
+#include "pq/label_builder.h"
+#include "pq/parser.h"
+#include "serve/inference_engine.h"
+#include "serve/lru_cache.h"
+#include "train/trainer.h"
+
+namespace relgraph {
+namespace {
+
+// ---------------------------------------------------------------- LruCache
+
+TEST(LruCacheTest, GetReturnsWhatPutStored) {
+  LruCache<int64_t, int> cache(4);
+  int v = 0;
+  EXPECT_FALSE(cache.Get(1, &v));
+  cache.Put(1, 10);
+  ASSERT_TRUE(cache.Get(1, &v));
+  EXPECT_EQ(v, 10);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int64_t, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  int v = 0;
+  ASSERT_TRUE(cache.Get(1, &v));  // refresh 1: now 2 is the LRU entry
+  cache.Put(3, 30);               // evicts 2
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_FALSE(cache.Get(2, &v));
+  EXPECT_TRUE(cache.Get(1, &v));
+  EXPECT_TRUE(cache.Get(3, &v));
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  LruCache<int64_t, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // refresh + overwrite, no eviction
+  EXPECT_EQ(cache.evictions(), 0);
+  cache.Put(3, 30);  // now 2 is the LRU entry
+  int v = 0;
+  EXPECT_FALSE(cache.Get(2, &v));
+  ASSERT_TRUE(cache.Get(1, &v));
+  EXPECT_EQ(v, 11);
+}
+
+TEST(LruCacheTest, ClearEmptiesButKeepsTallies) {
+  LruCache<int64_t, int> cache(4);
+  cache.Put(1, 10);
+  int v = 0;
+  ASSERT_TRUE(cache.Get(1, &v));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Get(1, &v));
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+// ----------------------------------------------------------- ServingFixture
+
+constexpr const char* kQuery =
+    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users";
+
+/// Trains a small churn model ONCE and shares the checkpoint, database and
+/// graph across all serving tests (training dominates the suite runtime).
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ECommerceConfig cfg;
+    cfg.num_users = 80;
+    cfg.num_products = 25;
+    cfg.num_categories = 4;
+    cfg.horizon_days = 150;
+    db_ = new Database(MakeECommerceDb(cfg));
+    dbg_ = new DbGraph(BuildDbGraph(*db_).value());
+    // An independent build of the same database: a fresher snapshot with
+    // the identical layout, for AdvanceSnapshot tests.
+    dbg2_ = new DbGraph(BuildDbGraph(*db_).value());
+    users_ = dbg_->graph.FindNodeType("users").value();
+
+    auto rq = AnalyzeQuery(ParseQuery(kQuery).value(), *db_).value();
+    auto cutoffs = MakeCutoffs(rq, *db_).value();
+    auto table = BuildTrainingTable(rq, *db_, cutoffs).value();
+    auto split = MakeSplit(rq, table, cutoffs).value();
+
+    TrainerConfig tc;
+    tc.epochs = 2;
+    tc.seed = 3;
+    GnnNodePredictor trainer(&dbg_->graph, users_,
+                             TaskKind::kBinaryClassification, 2, Gnn(),
+                             Sampler(), tc);
+    ASSERT_TRUE(trainer.Fit(table, split).ok());
+    ckpt_path_ = ::testing::TempDir() + "/serve_test.ckpt";
+    ASSERT_TRUE(trainer.SaveWeights(ckpt_path_).ok());
+  }
+
+  static void TearDownTestSuite() {
+    delete dbg2_;
+    delete dbg_;
+    delete db_;
+    dbg2_ = dbg_ = nullptr;
+    db_ = nullptr;
+  }
+
+  static GnnConfig Gnn() {
+    GnnConfig gnn;
+    gnn.hidden_dim = 16;
+    gnn.num_layers = 2;
+    return gnn;
+  }
+
+  static SamplerOptions Sampler() {
+    SamplerOptions sopts;
+    sopts.fanouts = {4, 4};
+    sopts.policy = SamplePolicy::kMostRecent;
+    return sopts;
+  }
+
+  static Timestamp Now() { return db_->TimeRange().second + 1; }
+
+  /// A loaded engine over the shared checkpoint.
+  static std::unique_ptr<InferenceEngine> MakeEngine(
+      const ServeOptions& serve = {}) {
+    auto engine = std::make_unique<InferenceEngine>(
+        &dbg_->graph, users_, TaskKind::kBinaryClassification, 2, Gnn(),
+        Sampler(), Now(), serve);
+    EXPECT_TRUE(engine->LoadCheckpoint(ckpt_path_).ok());
+    return engine;
+  }
+
+  static Database* db_;
+  static DbGraph* dbg_;
+  static DbGraph* dbg2_;
+  static NodeTypeId users_;
+  static std::string ckpt_path_;
+};
+
+Database* ServeTest::db_ = nullptr;
+DbGraph* ServeTest::dbg_ = nullptr;
+DbGraph* ServeTest::dbg2_ = nullptr;
+NodeTypeId ServeTest::users_ = 0;
+std::string ServeTest::ckpt_path_;
+
+// A request mixing repeats and scattered ids, larger than one micro-batch
+// at size 7.
+std::vector<int64_t> MixedIds() {
+  return {5, 17, 5, 3, 42, 17, 8, 0, 3, 61, 42, 79, 1, 5};
+}
+
+// ----------------------------------------------------------- basic contract
+
+TEST_F(ServeTest, ScoreBeforeLoadFails) {
+  InferenceEngine engine(&dbg_->graph, users_,
+                         TaskKind::kBinaryClassification, 2, Gnn(), Sampler(),
+                         Now());
+  EXPECT_FALSE(engine.loaded());
+  EXPECT_FALSE(engine.Score({0}).ok());
+}
+
+TEST_F(ServeTest, LoadCheckpointRejectsMissingAndMismatched) {
+  InferenceEngine engine(&dbg_->graph, users_,
+                         TaskKind::kBinaryClassification, 2, Gnn(), Sampler(),
+                         Now());
+  EXPECT_FALSE(engine.LoadCheckpoint("/nonexistent/nope.ckpt").ok());
+
+  GnnConfig wrong = Gnn();
+  wrong.hidden_dim = 24;
+  InferenceEngine mismatched(&dbg_->graph, users_,
+                             TaskKind::kBinaryClassification, 2, wrong,
+                             Sampler(), Now());
+  EXPECT_FALSE(mismatched.LoadCheckpoint(ckpt_path_).ok());
+}
+
+TEST_F(ServeTest, RejectsOutOfRangeIds) {
+  auto engine = MakeEngine();
+  EXPECT_FALSE(engine->Score({-1}).ok());
+  EXPECT_FALSE(engine->Score({dbg_->graph.num_nodes(users_)}).ok());
+  auto empty = engine->Score({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST_F(ServeTest, ScoresAreProbabilities) {
+  auto engine = MakeEngine();
+  auto scores = engine->Score(MixedIds());
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores.value().size(), MixedIds().size());
+  for (double s : scores.value()) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+  // Repeated ids in one request get identical scores.
+  EXPECT_EQ(scores.value()[0], scores.value()[2]);   // id 5
+  EXPECT_EQ(scores.value()[1], scores.value()[5]);   // id 17
+  EXPECT_EQ(scores.value()[3], scores.value()[8]);   // id 3
+}
+
+// ----------------------------------------------------- bit-identity matrix
+
+TEST_F(ServeTest, ScoresBitIdenticalAcrossCacheAndBatchConfigs) {
+  auto reference = MakeEngine();  // defaults: both caches, micro-batch 32
+  const auto expected = reference->Score(MixedIds());
+  ASSERT_TRUE(expected.ok());
+
+  std::vector<ServeOptions> configs;
+  {
+    ServeOptions off;
+    off.enable_subgraph_cache = false;
+    off.enable_embedding_cache = false;
+    configs.push_back(off);
+    ServeOptions subgraph_only = off;
+    subgraph_only.enable_subgraph_cache = true;
+    configs.push_back(subgraph_only);
+    ServeOptions embedding_only = off;
+    embedding_only.enable_embedding_cache = true;
+    configs.push_back(embedding_only);
+    ServeOptions tiny_batches;
+    tiny_batches.micro_batch_size = 1;
+    configs.push_back(tiny_batches);
+    ServeOptions odd_batches;
+    odd_batches.micro_batch_size = 7;
+    configs.push_back(odd_batches);
+  }
+  for (size_t c = 0; c < configs.size(); ++c) {
+    auto engine = MakeEngine(configs[c]);
+    auto got = engine->Score(MixedIds());
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(got.value().size(), expected.value().size());
+    for (size_t i = 0; i < expected.value().size(); ++i) {
+      // Exact double equality: caching and batching must not perturb a
+      // single bit of any score.
+      EXPECT_EQ(got.value()[i], expected.value()[i])
+          << "config " << c << " id index " << i;
+    }
+  }
+}
+
+TEST_F(ServeTest, WarmRepeatIsBitIdenticalAndHitsCaches) {
+  auto engine = MakeEngine();
+  const auto cold = engine->Score(MixedIds());
+  ASSERT_TRUE(cold.ok());
+  const ServeStats after_cold = engine->stats();
+  EXPECT_GT(after_cold.subgraph_misses, 0);
+  EXPECT_GT(after_cold.embedding_misses, 0);
+
+  const auto warm = engine->Score(MixedIds());
+  ASSERT_TRUE(warm.ok());
+  for (size_t i = 0; i < cold.value().size(); ++i) {
+    EXPECT_EQ(warm.value()[i], cold.value()[i]);
+  }
+  const ServeStats after_warm = engine->stats();
+  // The repeat is served entirely from the embedding cache.
+  EXPECT_GT(after_warm.embedding_hits, after_cold.embedding_hits);
+  EXPECT_EQ(after_warm.embedding_misses, after_cold.embedding_misses);
+  EXPECT_EQ(after_warm.requests, 2);
+  EXPECT_EQ(after_warm.entities_scored,
+            2 * static_cast<int64_t>(MixedIds().size()));
+}
+
+TEST_F(ServeTest, SingleIdScoresMatchBatchedScores) {
+  auto batch_engine = MakeEngine();
+  const std::vector<int64_t> ids = {0, 7, 19, 33, 54, 79};
+  const auto batched = batch_engine->Score(ids);
+  ASSERT_TRUE(batched.ok());
+
+  ServeOptions cold;
+  cold.enable_subgraph_cache = false;
+  cold.enable_embedding_cache = false;
+  auto single_engine = MakeEngine(cold);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto one = single_engine->Score({ids[i]});
+    ASSERT_TRUE(one.ok());
+    ASSERT_EQ(one.value().size(), 1u);
+    EXPECT_EQ(one.value()[0], batched.value()[i]) << "id " << ids[i];
+  }
+}
+
+TEST_F(ServeTest, TinyCachesEvictButStayCorrect) {
+  ServeOptions tiny;
+  tiny.subgraph_cache_capacity = 2;
+  tiny.embedding_cache_capacity = 2;
+  auto engine = MakeEngine(tiny);
+  ServeOptions off;
+  off.enable_subgraph_cache = false;
+  off.enable_embedding_cache = false;
+  auto reference = MakeEngine(off);
+
+  // Two passes over more ids than fit: constant eviction churn, yet every
+  // score stays bit-identical to the cacheless engine.
+  const std::vector<int64_t> ids = {0, 11, 22, 33, 44, 55, 66, 77};
+  for (int pass = 0; pass < 2; ++pass) {
+    auto got = engine->Score(ids);
+    auto want = reference->Score(ids);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(got.value()[i], want.value()[i]) << "pass " << pass;
+    }
+  }
+}
+
+// ------------------------------------------------------------------ warm-up
+
+TEST_F(ServeTest, WarmUpMakesFirstRequestHit) {
+  auto engine = MakeEngine();
+  const std::vector<int64_t> hot = {2, 4, 6, 8};
+  ASSERT_TRUE(engine->WarmUp(hot).ok());
+  const ServeStats warmed = engine->stats();
+  EXPECT_EQ(warmed.requests, 0);  // warm-up is not a served request
+
+  auto scores = engine->Score(hot);
+  ASSERT_TRUE(scores.ok());
+  const ServeStats after = engine->stats();
+  EXPECT_EQ(after.embedding_hits - warmed.embedding_hits,
+            static_cast<int64_t>(hot.size()));
+  EXPECT_EQ(after.embedding_misses, warmed.embedding_misses);
+}
+
+// ---------------------------------------------------------------- snapshots
+
+TEST_F(ServeTest, AdvanceSnapshotBumpsVersionAndInvalidatesEmbeddings) {
+  auto engine = MakeEngine();
+  const auto before = engine->Score(MixedIds());
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(engine->snapshot_version(), 0);
+
+  // Advance onto an independently built graph of the same database: same
+  // layout, same data, so scores must not change — but the engine cannot
+  // know that, so cached embeddings are dropped and recomputed.
+  const ServeStats pre = engine->stats();
+  ASSERT_TRUE(engine->AdvanceSnapshot(&dbg2_->graph, Now()).ok());
+  EXPECT_EQ(engine->snapshot_version(), 1);
+
+  const auto after = engine->Score(MixedIds());
+  ASSERT_TRUE(after.ok());
+  const ServeStats post = engine->stats();
+  // Fresh misses on both caches: embeddings were cleared, and the old
+  // subgraph entries are dead keys under the new snapshot version.
+  EXPECT_GT(post.embedding_misses, pre.embedding_misses);
+  EXPECT_GT(post.subgraph_misses, pre.subgraph_misses);
+  for (size_t i = 0; i < before.value().size(); ++i) {
+    EXPECT_EQ(after.value()[i], before.value()[i]);
+  }
+}
+
+TEST_F(ServeTest, AdvanceSnapshotRejectsMismatchedLayout) {
+  auto engine = MakeEngine();
+  HeteroGraph other;
+  ASSERT_TRUE(other.AddNodeType("users", 3).ok());
+  ASSERT_TRUE(other.SetNodeFeatures(0, Tensor::Ones(3, 2)).ok());
+  EXPECT_FALSE(engine->AdvanceSnapshot(&other, 1).ok());
+  EXPECT_FALSE(engine->AdvanceSnapshot(nullptr, 1).ok());
+  EXPECT_EQ(engine->snapshot_version(), 0);
+}
+
+// ----------------------------------------------------------- query compile
+
+TEST_F(ServeTest, CompileForServingResolvesThePlan) {
+  PredictiveQueryEngine pq(db_);
+  auto plan = pq.CompileForServing(
+      std::string(kQuery) +
+      " USING GNN WITH hidden=16, layers=2, fanout=4, policy=recent, seed=3");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan.value().kind, TaskKind::kBinaryClassification);
+  EXPECT_EQ(plan.value().entity_table, "users");
+  ASSERT_NE(plan.value().graph, nullptr);
+  EXPECT_EQ(plan.value().gnn.hidden_dim, 16);
+  EXPECT_EQ(plan.value().sampler.fanouts, (std::vector<int64_t>{4, 4}));
+  EXPECT_EQ(plan.value().sampler.policy, SamplePolicy::kMostRecent);
+  EXPECT_EQ(plan.value().seed, 3u);
+  EXPECT_EQ(plan.value().now_cutoff, db_->TimeRange().second + 1);
+
+  // Ranking queries and non-GNN models are not servable through this path.
+  EXPECT_FALSE(pq.CompileForServing(
+                     "PREDICT LIST(orders.product_id) OVER NEXT 28 DAYS "
+                     "FOR EACH users USING POPULAR")
+                   .ok());
+  EXPECT_FALSE(
+      pq.CompileForServing(std::string(kQuery) + " USING GBDT").ok());
+}
+
+TEST_F(ServeTest, PlanConstructedEngineServesTheCheckpoint) {
+  PredictiveQueryEngine pq(db_);
+  auto plan = pq.CompileForServing(
+      std::string(kQuery) +
+      " USING GNN WITH hidden=16, layers=2, fanout=4, policy=recent, seed=3");
+  ASSERT_TRUE(plan.ok());
+  InferenceEngine engine(plan.value());
+  ASSERT_TRUE(engine.LoadCheckpoint(ckpt_path_).ok());
+  auto scores = engine.Score({1, 2, 3});
+  ASSERT_TRUE(scores.ok());
+  ASSERT_EQ(scores.value().size(), 3u);
+  for (double s : scores.value()) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+  }
+}
+
+// -------------------------------------------------------------- concurrency
+
+TEST_F(ServeTest, ConcurrentScoresMatchSerialReference) {
+  ServeOptions off;
+  off.enable_subgraph_cache = false;
+  off.enable_embedding_cache = false;
+  auto reference = MakeEngine(off);
+
+  const int kThreads = 4;
+  const int kIters = 5;
+  // Per-thread id lists with heavy overlap so threads race on the same
+  // cache entries.
+  std::vector<std::vector<int64_t>> requests;
+  for (int t = 0; t < kThreads; ++t) {
+    requests.push_back({static_cast<int64_t>(t), 10, 20, 30,
+                        static_cast<int64_t>(40 + t), 50});
+  }
+  std::vector<std::vector<double>> expected;
+  for (const auto& req : requests) {
+    auto want = reference->Score(req);
+    ASSERT_TRUE(want.ok());
+    expected.push_back(want.value());
+  }
+
+  auto engine = MakeEngine();
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        auto got = engine->Score(requests[t]);
+        if (!got.ok() || got.value() != expected[t]) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace relgraph
