@@ -21,6 +21,8 @@
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "core/timer.h"
+#include "tensor/nn.h"
+#include "tensor/simd_kernels.h"
 #include "tensor/tensor.h"
 
 using namespace relgraph;
@@ -74,7 +76,8 @@ double BestMs(const Fn& fn, int min_reps = 3) {
 }
 
 struct Case {
-  const char* kernel;  // matmul | matmul_bt | matmul_at | naive_matmul
+  // matmul | matmul_bt | matmul_at | matmul_packed | naive_matmul
+  const char* kernel;
   int64_t m, k, n;
 };
 
@@ -94,6 +97,11 @@ void RunCase(const Case& c, int threads, std::vector<BenchRecord>* out) {
     a = RandomTensor(c.m, c.k, &rng);
     b = RandomTensor(c.k, c.n, &rng);
   }
+  // The Linear-layer scenario: B is packed once (per optimizer step) and
+  // the panels are reused across every batch, so packing stays outside the
+  // timed region.
+  const PackedMatrix packed =
+      kernel == "matmul_packed" ? PackForMatMul(b) : PackedMatrix{};
   float sink = 0.0f;
   auto run = [&] {
     Tensor r;
@@ -103,6 +111,8 @@ void RunCase(const Case& c, int threads, std::vector<BenchRecord>* out) {
       r = MatMulBT(a, b);
     } else if (kernel == "matmul_at") {
       r = MatMulAT(a, b);
+    } else if (kernel == "matmul_packed") {
+      r = MatMulPacked(a, packed);
     } else {
       r = NaiveMatMul(a, b);
     }
@@ -128,10 +138,52 @@ void RunCase(const Case& c, int threads, std::vector<BenchRecord>* out) {
   // disabled, where the counters never move).
   rec.extra.emplace_back("dispatch_parallel",
                          static_cast<double>(parallel_route));
+  // 1 on the AVX2 build, 0 on the portable scalar build — the scalar-vs-
+  // SIMD comparison is this file diffed across the two CMake configs
+  // (results are bit-identical; only the times move).
+  rec.extra.emplace_back("simd", kern::SimdEnabled() ? 1.0 : 0.0);
   out->push_back(rec);
   std::printf("%-32s %10.3f ms %10.2f GFLOP/s\n", rec.name.c_str(), ms,
               flops / (ms * 1e6));
   if (sink == 12345.678f) std::printf(" \n");  // defeat dead-code elim
+}
+
+/// Packed vs unpacked Linear forward (the autograd-level consumer of the
+/// packed kernel): same weights, same input, one timed forward each.
+void RunLinearCase(int64_t batch, int64_t in, int64_t out_dim, int threads,
+                   std::vector<BenchRecord>* out) {
+  Rng rng(9);
+  Linear lin(in, out_dim, &rng);
+  Tensor x = RandomTensor(batch, in, &rng);
+  (void)lin.GetPackedWeight();  // pack outside the timed region
+  float sink = 0.0f;
+  for (const bool use_packed : {false, true}) {
+    auto run = [&] {
+      VarPtr xin = ag::Constant(x);
+      VarPtr y = use_packed
+                     ? lin.Forward(xin)
+                     : ag::AddBias(ag::MatMul(xin, lin.weight()), lin.bias());
+      sink += y->value().data()[0];
+    };
+    const double ms = BestMs(run);
+    BenchRecord rec;
+    rec.name = StrFormat("linear_fwd_%s_%" PRId64 "x%" PRId64 "x%" PRId64
+                         "/t%d",
+                         use_packed ? "packed" : "unpacked", batch, in,
+                         out_dim, threads);
+    rec.wall_ms = ms;
+    rec.rate = static_cast<double>(batch) / (ms / 1e3);
+    rec.threads = threads;
+    const double flops = 2.0 * static_cast<double>(batch) *
+                         static_cast<double>(in) *
+                         static_cast<double>(out_dim);
+    rec.extra.emplace_back("gflops", flops / (ms * 1e6));
+    rec.extra.emplace_back("simd", kern::SimdEnabled() ? 1.0 : 0.0);
+    out->push_back(rec);
+    std::printf("%-32s %10.3f ms %10.2f GFLOP/s\n", rec.name.c_str(), ms,
+                flops / (ms * 1e6));
+  }
+  if (sink == 12345.678f) std::printf(" \n");
 }
 
 }  // namespace
@@ -146,11 +198,14 @@ int main(int argc, char** argv) {
       {"matmul", 512, 512, 512},
       {"matmul_bt", 512, 512, 512},
       {"matmul_at", 512, 512, 512},
+      {"matmul_packed", 512, 512, 512},
       {"matmul", 128, 64, 64},
       {"matmul", 2048, 128, 128},
+      {"matmul_packed", 2048, 128, 128},
   };
   std::vector<BenchRecord> records;
-  std::printf("=== GEMM kernels (best-of-N wall time) ===\n");
+  std::printf("=== GEMM kernels (best-of-N wall time, %s build) ===\n",
+              kern::SimdName());
   for (int t : thread_counts) {
     ThreadPool::SetNumThreadsForTesting(t);
     for (const Case& c : cases) {
@@ -160,5 +215,7 @@ int main(int argc, char** argv) {
       RunCase(c, t, &records);
     }
   }
+  ThreadPool::SetNumThreadsForTesting(1);
+  RunLinearCase(2048, 128, 128, 1, &records);
   return WriteBenchJson(out_path, "gemm_kernels", records) ? 0 : 1;
 }

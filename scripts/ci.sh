@@ -4,9 +4,11 @@
 #   scripts/ci.sh            # default build: unit lane, then everything
 #   scripts/ci.sh unit       # default build: unit lane only (pre-commit)
 #   scripts/ci.sh full       # default build: all labels
+#   scripts/ci.sh nosimd     # RELGRAPH_SIMD=OFF build: full suite on the
+#                            # portable scalar kernels (bits must match)
 #   scripts/ci.sh asan       # ASan+UBSan preset over the full suite
 #   scripts/ci.sh tsan       # TSan preset over the concurrency-heavy tests
-#   scripts/ci.sh all        # default full + asan + tsan
+#   scripts/ci.sh all        # default full + nosimd + asan + tsan
 #
 # Test lanes are ctest labels (see tests/CMakeLists.txt): unit |
 # integration | serve | slow.
@@ -37,6 +39,11 @@ case "$MODE" in
     run_preset default -L slow
     scripts/check_run_report.sh build
     ;;
+  nosimd)
+    # The scalar-kernel lane: same tests, same goldens, vectorization off.
+    # A pass here certifies the SIMD/portable bit-equality contract.
+    run_preset nosimd
+    ;;
   asan)
     run_preset asan
     ;;
@@ -48,17 +55,18 @@ case "$MODE" in
     cmake --preset tsan >/dev/null
     cmake --build --preset tsan -j "$JOBS"
     for t in parallel_test observability_test tensor_test train_test \
-             serve_test; do
+             serve_test arena_test; do
       TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
     done
     ;;
   all)
     "$0" full
+    "$0" nosimd
     "$0" asan
     "$0" tsan
     ;;
   *)
-    echo "usage: $0 [unit|full|asan|tsan|all]" >&2
+    echo "usage: $0 [unit|full|nosimd|asan|tsan|all]" >&2
     exit 2
     ;;
 esac

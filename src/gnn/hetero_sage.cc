@@ -113,9 +113,10 @@ VarPtr HeteroSageModel::Forward(const Subgraph& sg, NodeTypeId seed_type,
           frontier.nodes[static_cast<size_t>(t)].size());
       if (n == 0) continue;
       RELGRAPH_CHECK(h[static_cast<size_t>(t)] != nullptr);
-      std::vector<int64_t> prefix(static_cast<size_t>(n));
-      for (int64_t i = 0; i < n; ++i) prefix[static_cast<size_t>(i)] = i;
-      VarPtr self = ag::GatherRows(h[static_cast<size_t>(t)], prefix);
+      // The frontier's nodes are the first n rows of the deeper frontier's
+      // representation by construction, so the self term is a zero-copy
+      // row view rather than a gathered copy.
+      VarPtr self = ag::SliceRows(h[static_cast<size_t>(t)], 0, n);
       next_h[static_cast<size_t>(t)] =
           layer.self[static_cast<size_t>(t)]->Forward(self);
     }

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "core/logging.h"
+#include "tensor/simd_kernels.h"
 
 namespace relgraph {
 
@@ -60,6 +61,24 @@ VarPtr MatMul(const VarPtr& a, const VarPtr& b) {
   });
 }
 
+VarPtr MatMulPacked(const VarPtr& a,
+                    std::shared_ptr<const PackedMatrix> packed,
+                    const VarPtr& w) {
+  RELGRAPH_CHECK(packed != nullptr);
+  RELGRAPH_CHECK(packed->rows == w->rows() && packed->cols == w->cols())
+      << "packed panels are for a " << packed->rows << "x" << packed->cols
+      << " matrix, not " << w->rows() << "x" << w->cols();
+  Tensor out = relgraph::MatMulPacked(a->value(), *packed);
+  // Backward reads the unpacked weight; the panels are a forward-only
+  // artifact (the node keeps them alive via the closure for nothing more
+  // than symmetry — gradients never touch them).
+  return MakeNode(std::move(out), {a, w}, [a, w](Var* node) {
+    const Tensor& g = node->grad();
+    if (a->requires_grad()) a->grad().Add(MatMulBT(g, w->value()));
+    if (w->requires_grad()) w->grad().Add(MatMulAT(a->value(), g));
+  });
+}
+
 VarPtr Add(const VarPtr& a, const VarPtr& b) {
   Tensor out = relgraph::Add(a->value(), b->value());
   return MakeNode(std::move(out), {a, b}, [a, b](Var* node) {
@@ -75,9 +94,7 @@ VarPtr Sub(const VarPtr& a, const VarPtr& b) {
     const Tensor& g = node->grad();
     if (a->requires_grad()) a->grad().Add(g);
     if (b->requires_grad()) {
-      Tensor neg = g;
-      neg.Scale(-1.0f);
-      b->grad().Add(neg);
+      kern::AxpyInto(b->grad().data(), g.data(), -1.0f, g.numel());
     }
   });
 }
@@ -105,9 +122,8 @@ VarPtr Scale(const VarPtr& a, float s) {
   out.Scale(s);
   return MakeNode(std::move(out), {a}, [a, s](Var* node) {
     if (!a->requires_grad()) return;
-    Tensor g = node->grad();
-    g.Scale(s);
-    a->grad().Add(g);
+    const Tensor& g = node->grad();
+    kern::AxpyInto(a->grad().data(), g.data(), s, g.numel());
   });
 }
 
@@ -222,18 +238,13 @@ VarPtr SegmentSoftmax(const VarPtr& scores,
 }
 
 VarPtr Relu(const VarPtr& a) {
-  Tensor out = a->value();
-  for (int64_t i = 0; i < out.numel(); ++i) {
-    out.data()[i] = std::max(0.0f, out.data()[i]);
-  }
+  Tensor out(a->rows(), a->cols());
+  kern::ReluOut(out.data(), a->value().data(), out.numel());
   return MakeNode(std::move(out), {a}, [a](Var* node) {
     if (!a->requires_grad()) return;
     const Tensor& g = node->grad();
-    Tensor& ag = a->grad();
-    const Tensor& x = a->value();
-    for (int64_t i = 0; i < g.numel(); ++i) {
-      if (x.data()[i] > 0.0f) ag.data()[i] += g.data()[i];
-    }
+    kern::ReluGradAccum(a->grad().data(), g.data(), a->value().data(),
+                        g.numel());
   });
 }
 
@@ -333,15 +344,35 @@ VarPtr ConcatCols(const std::vector<VarPtr>& parts) {
     for (const auto& p : parts) {
       if (p->requires_grad()) {
         Tensor& pg = p->grad();
+        const int64_t pcols = p->cols();
         for (int64_t r = 0; r < p->rows(); ++r) {
-          for (int64_t c = 0; c < p->cols(); ++c) {
-            pg.at(r, c) += g.data()[r * cols + off + c];
-          }
+          kern::AddInto(pg.data() + r * pcols, g.data() + r * cols + off,
+                        pcols);
         }
       }
       off += p->cols();
     }
   });
+}
+
+VarPtr SliceRows(const VarPtr& a, int64_t row_begin, int64_t num_rows) {
+  if (row_begin == 0 && num_rows == a->rows()) return a;
+  Tensor view = Tensor::RowView(a->value(), row_begin, num_rows);
+  const bool needs = a->requires_grad();
+  auto out = std::make_shared<Var>(std::move(view), needs);
+  Var* raw = out.get();
+  std::function<void()> backward;
+  if (needs) {
+    backward = [a, raw, row_begin]() {
+      const Tensor& g = raw->grad();
+      kern::AddInto(a->grad().data() + row_begin * g.cols(), g.data(),
+                    g.numel());
+    };
+  }
+  // The parent edge is wired even when no gradient flows: the node's value
+  // aliases a's storage, so the edge is what keeps `a` alive.
+  out->SetEdge({a}, std::move(backward));
+  return out;
 }
 
 VarPtr GatherRows(const VarPtr& a, std::vector<int64_t> indices) {
@@ -354,9 +385,8 @@ VarPtr GatherRows(const VarPtr& a, std::vector<int64_t> indices) {
     const int64_t cols = g.cols();
     for (size_t i = 0; i < idx->size(); ++i) {
       const int64_t r = (*idx)[i];
-      for (int64_t c = 0; c < cols; ++c) {
-        ag.at(r, c) += g.at(static_cast<int64_t>(i), c);
-      }
+      kern::AddInto(ag.data() + r * cols,
+                    g.data() + static_cast<int64_t>(i) * cols, cols);
     }
   });
 }
@@ -364,24 +394,25 @@ VarPtr GatherRows(const VarPtr& a, std::vector<int64_t> indices) {
 VarPtr SegmentSum(const VarPtr& a, std::vector<int64_t> segment_ids,
                   int64_t num_segments) {
   RELGRAPH_CHECK(static_cast<int64_t>(segment_ids.size()) == a->rows());
-  Tensor out(num_segments, a->cols());
+  const int64_t cols = a->cols();
+  Tensor out(num_segments, cols);
+  const float* src = a->value().data();
+  float* dst = out.data();
   for (size_t i = 0; i < segment_ids.size(); ++i) {
     const int64_t s = segment_ids[i];
     RELGRAPH_CHECK(s >= 0 && s < num_segments) << "segment id " << s;
-    for (int64_t c = 0; c < a->cols(); ++c) {
-      out.at(s, c) += a->value().at(static_cast<int64_t>(i), c);
-    }
+    kern::AddInto(dst + s * cols, src + static_cast<int64_t>(i) * cols,
+                  cols);
   }
   auto ids = std::make_shared<std::vector<int64_t>>(std::move(segment_ids));
-  return MakeNode(std::move(out), {a}, [a, ids](Var* node) {
+  return MakeNode(std::move(out), {a}, [a, ids, cols](Var* node) {
     if (!a->requires_grad()) return;
     const Tensor& g = node->grad();
     Tensor& ag = a->grad();
     for (size_t i = 0; i < ids->size(); ++i) {
       const int64_t s = (*ids)[i];
-      for (int64_t c = 0; c < g.cols(); ++c) {
-        ag.at(static_cast<int64_t>(i), c) += g.at(s, c);
-      }
+      kern::AddInto(ag.data() + static_cast<int64_t>(i) * cols,
+                    g.data() + s * cols, cols);
     }
   });
 }
@@ -395,25 +426,26 @@ VarPtr SegmentMean(const VarPtr& a, std::vector<int64_t> segment_ids,
     RELGRAPH_CHECK(s >= 0 && s < num_segments) << "segment id " << s;
     (*counts)[static_cast<size_t>(s)] += 1.0f;
   }
-  Tensor out(num_segments, a->cols());
+  const int64_t cols = a->cols();
+  Tensor out(num_segments, cols);
+  const float* src = a->value().data();
+  float* dst = out.data();
   for (size_t i = 0; i < segment_ids.size(); ++i) {
     const int64_t s = segment_ids[i];
     const float inv = 1.0f / (*counts)[static_cast<size_t>(s)];
-    for (int64_t c = 0; c < a->cols(); ++c) {
-      out.at(s, c) += inv * a->value().at(static_cast<int64_t>(i), c);
-    }
+    kern::AxpyInto(dst + s * cols, src + static_cast<int64_t>(i) * cols,
+                   inv, cols);
   }
   auto ids = std::make_shared<std::vector<int64_t>>(std::move(segment_ids));
-  return MakeNode(std::move(out), {a}, [a, ids, counts](Var* node) {
+  return MakeNode(std::move(out), {a}, [a, ids, counts, cols](Var* node) {
     if (!a->requires_grad()) return;
     const Tensor& g = node->grad();
     Tensor& ag = a->grad();
     for (size_t i = 0; i < ids->size(); ++i) {
       const int64_t s = (*ids)[i];
       const float inv = 1.0f / (*counts)[static_cast<size_t>(s)];
-      for (int64_t c = 0; c < g.cols(); ++c) {
-        ag.at(static_cast<int64_t>(i), c) += inv * g.at(s, c);
-      }
+      kern::AxpyInto(ag.data() + static_cast<int64_t>(i) * cols,
+                     g.data() + s * cols, inv, cols);
     }
   });
 }

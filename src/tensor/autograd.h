@@ -24,7 +24,16 @@ class Var {
       : value_(std::move(value)), requires_grad_(requires_grad) {}
 
   const Tensor& value() const { return value_; }
-  Tensor& mutable_value() { return value_; }
+
+  /// Mutable access bumps value_version() so caches derived from the
+  /// value (e.g. Linear's packed weights) can detect staleness.
+  Tensor& mutable_value() {
+    ++value_version_;
+    return value_;
+  }
+
+  /// Monotonic counter incremented by every mutable_value() call.
+  int64_t value_version() const { return value_version_; }
 
   bool requires_grad() const { return requires_grad_; }
 
@@ -50,6 +59,7 @@ class Var {
 
   Tensor value_;
   Tensor grad_;
+  int64_t value_version_ = 0;
   bool grad_init_ = false;
   bool requires_grad_;
   std::vector<std::shared_ptr<Var>> parents_;
@@ -70,6 +80,13 @@ VarPtr Param(Tensor value);
 
 /// a @ b.
 VarPtr MatMul(const VarPtr& a, const VarPtr& b);
+
+/// a @ w through pre-packed panels: `packed` must be
+/// PackForMatMul(w->value()) for the current value of `w`, which supplies
+/// the backward path. Bit-identical to MatMul(a, w).
+VarPtr MatMulPacked(const VarPtr& a,
+                    std::shared_ptr<const PackedMatrix> packed,
+                    const VarPtr& w);
 
 /// Elementwise a + b (same shape).
 VarPtr Add(const VarPtr& a, const VarPtr& b);
@@ -112,6 +129,13 @@ VarPtr ConcatCols(const std::vector<VarPtr>& parts);
 
 /// out[i] = a[indices[i]]; gradient scatters (accumulating duplicates).
 VarPtr GatherRows(const VarPtr& a, std::vector<int64_t> indices);
+
+/// Zero-copy view of rows [row_begin, row_begin + num_rows) of `a`. The
+/// result's value aliases a's storage (no per-batch copy; the node's
+/// parent edge keeps `a` alive even in no-grad mode), and backward adds
+/// the slice gradient into the matching rows of a. Slicing the full range
+/// returns `a` itself.
+VarPtr SliceRows(const VarPtr& a, int64_t row_begin, int64_t num_rows);
 
 // ------------------------------------------------------------ aggregation
 

@@ -52,9 +52,20 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng, bool bias)
 VarPtr Linear::Forward(const VarPtr& x) const {
   RELGRAPH_CHECK(x->cols() == in_features_)
       << "Linear expected " << in_features_ << " features, got " << x->cols();
-  VarPtr y = ag::MatMul(x, weight_);
+  VarPtr y = ag::MatMulPacked(x, GetPackedWeight(), weight_);
   if (bias_) y = ag::AddBias(y, bias_);
   return y;
+}
+
+std::shared_ptr<const PackedMatrix> Linear::GetPackedWeight() const {
+  std::lock_guard<std::mutex> lock(pack_mu_);
+  const int64_t v = weight_->value_version();
+  if (packed_ == nullptr || packed_version_ != v) {
+    packed_ = std::make_shared<const PackedMatrix>(
+        PackForMatMul(weight_->value()));
+    packed_version_ = v;
+  }
+  return packed_;
 }
 
 std::vector<VarPtr> Linear::Parameters() const {

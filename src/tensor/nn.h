@@ -2,6 +2,7 @@
 #define RELGRAPH_TENSOR_NN_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -56,11 +57,20 @@ class Linear : public Module {
   const VarPtr& weight() const { return weight_; }
   const VarPtr& bias() const { return bias_; }
 
+  /// The weight packed into GEMM panels, repacked lazily whenever the
+  /// weight's value_version moves (optimizer steps bump it via
+  /// mutable_value). Thread-safe; concurrent forwards share one packing.
+  std::shared_ptr<const PackedMatrix> GetPackedWeight() const;
+
  private:
   int64_t in_features_;
   int64_t out_features_;
   VarPtr weight_;  // in×out
   VarPtr bias_;    // 1×out or nullptr
+
+  mutable std::mutex pack_mu_;
+  mutable std::shared_ptr<const PackedMatrix> packed_;
+  mutable int64_t packed_version_ = -1;
 };
 
 /// Learnable lookup table mapping integer ids to dense rows.

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/buffer_pool.h"
 #include "core/logging.h"
 #include "core/metrics.h"
 #include "core/parallel.h"
 #include "core/string_util.h"
+#include "tensor/simd_kernels.h"
 
 namespace relgraph {
 
@@ -25,11 +27,6 @@ constexpr int64_t kElemSerial = 1 << 15;
 constexpr int64_t kGemmRowGrain = 8;
 constexpr int64_t kElemGrain = 1 << 14;
 constexpr int64_t kReduceGrain = 1 << 15;
-
-// Output-column tile for the MatMul inner kernel: four accumulating
-// output sub-rows (16 KiB) plus the streamed b sub-row (4 KiB) stay
-// L1-resident. Typical hidden dims fall in a single tile.
-constexpr int64_t kBlockJ = 1024;
 
 // Counts a GEMM dispatch: which route it took and the FLOPs it performed.
 // Cached pointers keep the enabled path at two relaxed adds; the disabled
@@ -56,16 +53,82 @@ inline void NoteGemmDispatch(int64_t m, int64_t n, int64_t k,
 
 }  // namespace
 
-Tensor::Tensor(int64_t rows, int64_t cols)
-    : rows_(rows), cols_(cols),
-      data_(static_cast<size_t>(rows * cols), 0.0f) {
+Tensor::Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols) {
   RELGRAPH_CHECK(rows >= 0 && cols >= 0);
+  const size_t n = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  data_ = FloatBufferPool::Global().Acquire(n);
+  // Pooled buffers come back with unspecified contents; assign (never
+  // resize) so recycled bytes are always overwritten.
+  data_.assign(n, 0.0f);
 }
 
 Tensor::Tensor(int64_t rows, int64_t cols, std::vector<float> data)
     : rows_(rows), cols_(cols), data_(std::move(data)) {
   RELGRAPH_CHECK(static_cast<int64_t>(data_.size()) == rows * cols)
       << "data size " << data_.size() << " != " << rows << "x" << cols;
+}
+
+Tensor::Tensor(const Tensor& other) : rows_(other.rows_), cols_(other.cols_) {
+  const size_t n = static_cast<size_t>(other.numel());
+  data_ = FloatBufferPool::Global().Acquire(n);
+  const float* src = other.data();
+  data_.assign(src, src + n);
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)),
+      view_data_(other.view_data_) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.view_data_ = nullptr;
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  const size_t n = static_cast<size_t>(other.numel());
+  const float* src = other.data();
+  if (view_data_ != nullptr || data_.capacity() < n) {
+    ReleaseStorage();
+    data_ = FloatBufferPool::Global().Acquire(n);
+  }
+  data_.assign(src, src + n);
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  return *this;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseStorage();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = std::move(other.data_);
+  view_data_ = other.view_data_;
+  other.rows_ = 0;
+  other.cols_ = 0;
+  other.view_data_ = nullptr;
+  return *this;
+}
+
+Tensor::~Tensor() { ReleaseStorage(); }
+
+void Tensor::ReleaseStorage() {
+  view_data_ = nullptr;
+  FloatBufferPool::Global().Release(std::move(data_));
+}
+
+Tensor Tensor::RowView(const Tensor& parent, int64_t row_begin,
+                       int64_t nrows) {
+  RELGRAPH_CHECK(row_begin >= 0 && nrows >= 0 &&
+                 row_begin + nrows <= parent.rows_)
+      << "row view [" << row_begin << ", " << row_begin + nrows << ") of "
+      << parent.rows_ << " rows";
+  Tensor v;
+  v.rows_ = nrows;
+  v.cols_ = parent.cols_;
+  v.view_data_ =
+      const_cast<float*>(parent.data()) + row_begin * parent.cols_;
+  return v;
 }
 
 Tensor Tensor::Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
@@ -99,26 +162,27 @@ Tensor Tensor::Col(std::vector<float> values) {
 float Tensor::item() const {
   RELGRAPH_CHECK(numel() == 1) << "item() on tensor with " << numel()
                                << " elements";
-  return data_[0];
+  return data()[0];
 }
 
 void Tensor::Fill(float value) {
-  std::fill(data_.begin(), data_.end(), value);
+  float* d = data();
+  std::fill(d, d + numel(), value);
 }
 
 void Tensor::Add(const Tensor& other) {
   RELGRAPH_CHECK(SameShape(other));
-  float* dst = data_.data();
-  const float* src = other.data_.data();
+  float* dst = data();
+  const float* src = other.data();
   ParallelFor(0, numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) dst[i] += src[i];
+    kern::AddInto(dst + lo, src + lo, hi - lo);
   });
 }
 
 void Tensor::Scale(float s) {
-  float* dst = data_.data();
+  float* dst = data();
   ParallelFor(0, numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) dst[i] *= s;
+    kern::ScaleInPlace(dst + lo, s, hi - lo);
   });
 }
 
@@ -127,7 +191,7 @@ float Tensor::Sum() const {
   // size, partials fold in chunk order — bit-identical at any thread
   // count (and identical to the single-loop fold for tensors that fit in
   // one chunk).
-  const float* src = data_.data();
+  const float* src = data();
   const double total = ParallelReduce<double>(
       0, numel(), kReduceGrain, 0.0,
       [src](int64_t lo, int64_t hi) {
@@ -145,7 +209,7 @@ float Tensor::Mean() const {
 }
 
 float Tensor::AbsMax() const {
-  const float* src = data_.data();
+  const float* src = data();
   return ParallelReduce<float>(
       0, numel(), kReduceGrain, 0.0f,
       [src](int64_t lo, int64_t hi) {
@@ -157,7 +221,7 @@ float Tensor::AbsMax() const {
 }
 
 float Tensor::Norm() const {
-  const float* src = data_.data();
+  const float* src = data();
   const double total = ParallelReduce<double>(
       0, numel(), kReduceGrain, 0.0,
       [src](int64_t lo, int64_t hi) {
@@ -176,13 +240,14 @@ Tensor Tensor::GatherRows(const std::vector<int64_t>& indices) const {
   Tensor out(n, cols_);
   const int64_t grain =
       std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols_));
+  const float* src = data();
+  float* dst = out.data();
   ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const int64_t r = indices[static_cast<size_t>(i)];
       RELGRAPH_CHECK(r >= 0 && r < rows_)
           << "gather row " << r << " of " << rows_;
-      std::copy(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_,
-                out.data_.begin() + i * cols_);
+      std::copy(src + r * cols_, src + (r + 1) * cols_, dst + i * cols_);
     }
   });
   return out;
@@ -199,8 +264,8 @@ Tensor Tensor::Transposed() const {
   // 32x32 tiles keep both the read and the write side cache-resident;
   // tiles write disjoint outputs so any schedule gives identical bits.
   constexpr int64_t kTile = 32;
-  const float* src = data_.data();
-  float* dst = out.data_.data();
+  const float* src = data();
+  float* dst = out.data();
   ParallelFor(0, cols_, kTile, [&](int64_t c0, int64_t c1) {
     for (int64_t r0 = 0; r0 < rows_; r0 += kTile) {
       const int64_t r1 = std::min(rows_, r0 + kTile);
@@ -236,13 +301,12 @@ std::string Tensor::ToString() const {
   return s;
 }
 
-// All three GEMMs parallelize over chunks of output rows. For any fixed
-// output element the accumulation order over the inner dimension is always
-// 0..k-1 — tiling and row chunking never reorder it — so every schedule
-// (including fully serial) produces identical bits. The inner loops are
-// branch-free: the old `if (av == 0.0f) continue;` skip cost a data-
-// dependent branch per multiply-accumulate step on dense activations and
-// changed results for non-finite inputs; dense is the common case here.
+// All four GEMMs parallelize over chunks of output rows and delegate the
+// chunk bodies to the kern:: microkernels (AVX2 or the portable twins —
+// bit-identical either way; see simd_kernels.h for the numeric contract).
+// For any fixed output element the accumulation order over the inner
+// dimension is fixed by that contract, so every schedule (including fully
+// serial) produces identical bits.
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   RELGRAPH_CHECK(a.cols() == b.rows())
@@ -254,45 +318,45 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* B = b.data();
   float* O = out.data();
   auto row_chunk = [&](int64_t i0, int64_t i1) {
-    // Register-block four output rows per sweep of the inner dimension:
-    // each streamed row of b feeds four accumulating output rows, cutting
-    // b traffic 4x versus the rank-1 form. j is tiled only when the four
-    // output sub-rows plus the b sub-row would overflow L1. For any fixed
-    // output element the updates still arrive in p order 0..k-1.
-    for (int64_t jb = 0; jb < n; jb += kBlockJ) {
-      const int64_t je = std::min(n, jb + kBlockJ);
-      int64_t i = i0;
-      for (; i + 4 <= i1; i += 4) {
-        const float* a0 = A + i * k;
-        const float* a1 = a0 + k;
-        const float* a2 = a1 + k;
-        const float* a3 = a2 + k;
-        float* o0 = O + i * n;
-        float* o1 = o0 + n;
-        float* o2 = o1 + n;
-        float* o3 = o2 + n;
-        for (int64_t p = 0; p < k; ++p) {
-          const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
-          const float* brow = B + p * n;
-          for (int64_t j = jb; j < je; ++j) {
-            const float bv = brow[j];
-            o0[j] += v0 * bv;
-            o1[j] += v1 * bv;
-            o2[j] += v2 * bv;
-            o3[j] += v3 * bv;
-          }
-        }
-      }
-      for (; i < i1; ++i) {
-        const float* arow = A + i * k;
-        float* orow = O + i * n;
-        for (int64_t p = 0; p < k; ++p) {
-          const float av = arow[p];
-          const float* brow = B + p * n;
-          for (int64_t j = jb; j < je; ++j) orow[j] += av * brow[j];
-        }
-      }
-    }
+    kern::GemmRowChunk(A, B, O, i0, i1, k, n);
+  };
+  const bool parallel = m * n * k >= kGemmSerialFlops;
+  NoteGemmDispatch(m, n, k, parallel);
+  if (!parallel) {
+    row_chunk(0, m);
+  } else {
+    ParallelFor(0, m, kGemmRowGrain, row_chunk);
+  }
+  return out;
+}
+
+PackedMatrix::~PackedMatrix() {
+  FloatBufferPool::Global().Release(std::move(data));
+}
+
+PackedMatrix PackForMatMul(const Tensor& b) {
+  PackedMatrix pm;
+  pm.rows = b.rows();
+  pm.cols = b.cols();
+  const size_t need =
+      static_cast<size_t>(kern::PackedSize(b.rows(), b.cols()));
+  pm.data = FloatBufferPool::Global().Acquire(need);
+  pm.data.resize(need);
+  kern::PackB(b.data(), b.rows(), b.cols(), pm.data.data());
+  return pm;
+}
+
+Tensor MatMulPacked(const Tensor& a, const PackedMatrix& b) {
+  RELGRAPH_CHECK(a.cols() == b.rows)
+      << "matmul-packed shape mismatch: " << a.cols() << " vs " << b.rows;
+  Tensor out(a.rows(), b.cols);
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols;
+  if (m == 0 || k == 0 || n == 0) return out;
+  const float* A = a.data();
+  const float* P = b.data.data();
+  float* O = out.data();
+  auto row_chunk = [&](int64_t i0, int64_t i1) {
+    kern::GemmPackedRowChunk(A, P, O, i0, i1, k, n);
   };
   const bool parallel = m * n * k >= kGemmSerialFlops;
   NoteGemmDispatch(m, n, k, parallel);
@@ -314,18 +378,7 @@ Tensor MatMulBT(const Tensor& a, const Tensor& b) {
   const float* B = b.data();
   float* O = out.data();
   auto row_chunk = [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      const float* arow = A + i * k;
-      float* orow = O + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = B + j * k;
-        double acc = 0.0;
-        for (int64_t p = 0; p < k; ++p) {
-          acc += static_cast<double>(arow[p]) * brow[p];
-        }
-        orow[j] = static_cast<float>(acc);
-      }
-    }
+    kern::GemmBTRowChunk(A, B, O, i0, i1, k, n);
   };
   const bool parallel = m * n * k >= kGemmSerialFlops;
   NoteGemmDispatch(m, n, k, parallel);
@@ -347,19 +400,7 @@ Tensor MatMulAT(const Tensor& a, const Tensor& b) {
   const float* B = b.data();
   float* O = out.data();
   auto row_chunk = [&](int64_t i0, int64_t i1) {
-    // p stays outermost so each pass streams one row of a and b; the
-    // chunk's output panel stays cache-resident across passes, and the
-    // per-element accumulation order (p ascending) matches the serial
-    // kernel exactly.
-    for (int64_t p = 0; p < k; ++p) {
-      const float* arow = A + p * m;
-      const float* brow = B + p * n;
-      for (int64_t i = i0; i < i1; ++i) {
-        const float av = arow[i];
-        float* orow = O + i * n;
-        for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-      }
-    }
+    kern::GemmATRowChunk(A, B, O, i0, i1, m, k, n);
   };
   const bool parallel = m * n * k >= kGemmSerialFlops;
   NoteGemmDispatch(m, n, k, parallel);
@@ -385,7 +426,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] - pb[i];
+    kern::SubOut(po + lo, pa + lo, pb + lo, hi - lo);
   });
   return out;
 }
@@ -397,7 +438,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* po = out.data();
   ParallelFor(0, a.numel(), kElemGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+    kern::MulOut(po + lo, pa + lo, pb + lo, hi - lo);
   });
   return out;
 }
@@ -441,22 +482,26 @@ Tensor SumRows(const Tensor& m) {
 
 Tensor SoftmaxRows(const Tensor& logits) {
   Tensor out(logits.rows(), logits.cols());
-  const int64_t grain = std::max<int64_t>(
-      1, kElemGrain / std::max<int64_t>(1, logits.cols()));
+  const int64_t cols = logits.cols();
+  if (logits.rows() == 0 || cols == 0) return out;
+  const float* px = logits.data();
+  float* po = out.data();
+  const int64_t grain =
+      std::max<int64_t>(1, kElemGrain / std::max<int64_t>(1, cols));
+  // exp(x - rowmax) comes from the shared kern polynomial (one exp per
+  // element instead of the old two double-precision ones); the denominator
+  // folds the exps in column order in double, so rows are bit-identical at
+  // any thread count and across the SIMD/portable builds.
   ParallelFor(0, logits.rows(), grain, [&](int64_t lo, int64_t hi) {
     for (int64_t r = lo; r < hi; ++r) {
-      float maxv = -1e30f;
-      for (int64_t c = 0; c < logits.cols(); ++c) {
-        maxv = std::max(maxv, logits.at(r, c));
-      }
+      const float* xrow = px + r * cols;
+      float* orow = po + r * cols;
+      const float maxv = kern::RowMax(xrow, cols);
+      kern::ExpShiftedRow(orow, xrow, maxv, cols);
       double denom = 0.0;
-      for (int64_t c = 0; c < logits.cols(); ++c) {
-        denom += std::exp(static_cast<double>(logits.at(r, c)) - maxv);
-      }
-      for (int64_t c = 0; c < logits.cols(); ++c) {
-        out.at(r, c) = static_cast<float>(
-            std::exp(static_cast<double>(logits.at(r, c)) - maxv) / denom);
-      }
+      for (int64_t c = 0; c < cols; ++c) denom += orow[c];
+      const float inv = static_cast<float>(1.0 / denom);
+      kern::ScaleInPlace(orow, inv, cols);
     }
   });
   return out;

@@ -12,6 +12,12 @@ namespace relgraph {
 ///
 /// `Tensor` is a plain value type with no autograd state — see
 /// `tensor/autograd.h` for differentiable computation built on top of it.
+///
+/// Storage comes from the process-wide `FloatBufferPool`: constructors
+/// acquire a recycled buffer and the destructor returns it, so steady-state
+/// batch loops allocate nothing from the heap. A tensor can also be a
+/// non-owning row *view* into another tensor (`RowView`), in which case it
+/// carries no storage at all.
 class Tensor {
  public:
   /// Empty 0x0 tensor.
@@ -23,6 +29,24 @@ class Tensor {
   /// Builds from a flat row-major buffer; `data.size()` must equal
   /// rows*cols.
   Tensor(int64_t rows, int64_t cols, std::vector<float> data);
+
+  /// Copies deep-copy into pooled storage (copying a view materializes
+  /// it); moves transfer the buffer or the aliasing pointer.
+  Tensor(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(const Tensor& other);
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
+
+  /// Zero-copy view of `nrows` consecutive rows of `parent` starting at
+  /// `row_begin`. The view aliases the parent's storage: the caller must
+  /// keep the parent alive for the view's lifetime (autograd nodes do this
+  /// through their parent edge) and must not write through the view unless
+  /// it also owns the parent.
+  static Tensor RowView(const Tensor& parent, int64_t row_begin,
+                        int64_t nrows);
+
+  bool is_view() const { return view_data_ != nullptr; }
 
   static Tensor Zeros(int64_t rows, int64_t cols);
   static Tensor Ones(int64_t rows, int64_t cols);
@@ -40,11 +64,13 @@ class Tensor {
   int64_t numel() const { return rows_ * cols_; }
   bool empty() const { return numel() == 0; }
 
-  float& at(int64_t r, int64_t c) { return data_[r * cols_ + c]; }
-  float at(int64_t r, int64_t c) const { return data_[r * cols_ + c]; }
+  float& at(int64_t r, int64_t c) { return data()[r * cols_ + c]; }
+  float at(int64_t r, int64_t c) const { return data()[r * cols_ + c]; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return view_data_ ? view_data_ : data_.data(); }
+  const float* data() const {
+    return view_data_ ? view_data_ : data_.data();
+  }
 
   /// Scalar accessor; requires numel()==1.
   float item() const;
@@ -85,10 +111,37 @@ class Tensor {
   std::string ToString() const;
 
  private:
+  /// Returns owned storage (if any) to the pool and drops view aliasing.
+  void ReleaseStorage();
+
   int64_t rows_;
   int64_t cols_;
-  std::vector<float> data_;
+  std::vector<float> data_;        // owned storage; empty for views
+  float* view_data_ = nullptr;     // aliased storage when is_view()
 };
+
+/// A weight matrix pre-packed into the cache-friendly panel layout the
+/// packed GEMM microkernel consumes (see kern::PackB). Pack once per
+/// weight version, reuse across every batch. Movable, not copyable; the
+/// panel buffer is pooled like tensor storage.
+struct PackedMatrix {
+  PackedMatrix() = default;
+  ~PackedMatrix();
+  PackedMatrix(PackedMatrix&&) noexcept = default;
+  PackedMatrix& operator=(PackedMatrix&&) noexcept = default;
+  PackedMatrix(const PackedMatrix&) = delete;
+  PackedMatrix& operator=(const PackedMatrix&) = delete;
+
+  int64_t rows = 0;          ///< logical k of the source k×n matrix
+  int64_t cols = 0;          ///< logical n of the source k×n matrix
+  std::vector<float> data;   ///< panel-layout buffer
+};
+
+/// Packs `b` for reuse as the right operand of MatMulPacked.
+PackedMatrix PackForMatMul(const Tensor& b);
+
+/// out = a @ b using the packed panels; bit-identical to MatMul(a, b_src).
+Tensor MatMulPacked(const Tensor& a, const PackedMatrix& b);
 
 /// out = a @ b. Shapes must be compatible; checked.
 Tensor MatMul(const Tensor& a, const Tensor& b);

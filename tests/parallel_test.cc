@@ -206,6 +206,13 @@ TEST_F(TensorParityTest, GemmKernelsMatchSerialAtOddSizes) {
                                 "MatMulBT " + dims);
     ExpectSameBitsAcrossThreads([&] { return MatMulAT(at, b); },
                                 "MatMulAT " + dims);
+    const PackedMatrix packed = PackForMatMul(b);
+    ExpectSameBitsAcrossThreads([&] { return MatMulPacked(a, packed); },
+                                "MatMulPacked " + dims);
+    // Packing must be a pure relayout: same bits as the unpacked product.
+    ThreadPool::SetNumThreadsForTesting(1);
+    ExpectBitEqual(MatMul(a, b), MatMulPacked(a, packed),
+                   "MatMulPacked vs MatMul " + dims);
   }
 }
 

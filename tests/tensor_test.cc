@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 
 #include "core/rng.h"
@@ -8,6 +9,7 @@
 #include "tensor/init.h"
 #include "tensor/nn.h"
 #include "tensor/optim.h"
+#include "tensor/simd_kernels.h"
 #include "tensor/tensor.h"
 
 namespace relgraph {
@@ -583,6 +585,272 @@ TEST(InitTest, HeNormalVariance) {
   }
   var /= w.numel();
   EXPECT_NEAR(var, 2.0 / 200.0, 2.0 / 200.0 * 0.15);
+}
+
+// -------------------------------------------------- SIMD microkernel parity
+//
+// Both kernel builds (AVX2 and the portable scalar twin) must match plain
+// reference loops bit for bit — these tests pin the documented contracts at
+// widths that exercise the vector remainder paths (n % 8 != 0, n % 16 != 0).
+
+std::vector<float> RandVec(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<float>(rng.Normal(0, 1));
+  return v;
+}
+
+TEST(KernelTest, ElementwiseKernelsMatchPlainLoopsAtOddWidths) {
+  for (const int64_t n : {1, 3, 7, 8, 9, 16, 31, 33, 100, 257}) {
+    const std::vector<float> a = RandVec(n, 60);
+    const std::vector<float> b = RandVec(n, 61);
+    std::vector<float> got(a), want(a);
+    kern::AddInto(got.data(), b.data(), n);
+    for (int64_t i = 0; i < n; ++i) want[i] += b[i];
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+        << "AddInto n=" << n;
+
+    kern::SubOut(got.data(), a.data(), b.data(), n);
+    for (int64_t i = 0; i < n; ++i) want[i] = a[i] - b[i];
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+        << "SubOut n=" << n;
+
+    kern::MulOut(got.data(), a.data(), b.data(), n);
+    for (int64_t i = 0; i < n; ++i) want[i] = a[i] * b[i];
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+        << "MulOut n=" << n;
+
+    got = a;
+    want = a;
+    kern::ScaleInPlace(got.data(), 1.7f, n);
+    for (int64_t i = 0; i < n; ++i) want[i] *= 1.7f;
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+        << "ScaleInPlace n=" << n;
+
+    got = a;
+    want = a;
+    kern::AxpyInto(got.data(), b.data(), -0.3f, n);
+    for (int64_t i = 0; i < n; ++i) want[i] += -0.3f * b[i];
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+        << "AxpyInto n=" << n;
+
+    kern::ReluOut(got.data(), a.data(), n);
+    for (int64_t i = 0; i < n; ++i) want[i] = std::max(0.0f, a[i]);
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+        << "ReluOut n=" << n;
+
+    got = b;
+    want = b;
+    kern::ReluGradAccum(got.data(), b.data(), a.data(), n);
+    for (int64_t i = 0; i < n; ++i) want[i] += (a[i] > 0.0f) ? b[i] : 0.0f;
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), n * sizeof(float)), 0)
+        << "ReluGradAccum n=" << n;
+  }
+}
+
+TEST(KernelTest, ReluOutMapsNanToZero) {
+  const float x[3] = {std::nanf(""), -1.0f, 2.0f};
+  float o[3] = {9, 9, 9};
+  kern::ReluOut(o, x, 3);
+  EXPECT_EQ(o[0], 0.0f);
+  EXPECT_EQ(o[1], 0.0f);
+  EXPECT_EQ(o[2], 2.0f);
+}
+
+TEST(KernelTest, LaneDotMatchesDocumentedContract) {
+  for (const int64_t k : {0, 1, 5, 7, 8, 9, 16, 23, 64, 100}) {
+    const std::vector<float> a = RandVec(k, 70);
+    const std::vector<float> b = RandVec(k, 71);
+    // The contract spelled out longhand: lane l accumulates elements 8t+l,
+    // lanes combine in the fixed tree, tail folds in ascending order.
+    float lane[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    const int64_t k8 = k - (k % 8);
+    for (int64_t t = 0; t < k8; t += 8) {
+      for (int l = 0; l < 8; ++l) lane[l] += a[t + l] * b[t + l];
+    }
+    float want = ((lane[0] + lane[4]) + (lane[2] + lane[6])) +
+                 ((lane[1] + lane[5]) + (lane[3] + lane[7]));
+    for (int64_t i = k8; i < k; ++i) want += a[i] * b[i];
+    const float got = kern::LaneDot(a.data(), b.data(), k);
+    EXPECT_EQ(std::memcmp(&got, &want, sizeof(float)), 0) << "k=" << k;
+  }
+}
+
+TEST(KernelTest, MatMulBTOutputsAreLaneDots) {
+  const Tensor a = RandT(7, 23, 72);
+  const Tensor bt = RandT(5, 23, 73);
+  const Tensor o = MatMulBT(a, bt);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      const float want =
+          kern::LaneDot(a.data() + i * 23, bt.data() + j * 23, 23);
+      EXPECT_EQ(o.at(i, j), want) << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(KernelTest, MatMulPackedBitEqualsMatMul) {
+  // Shapes with full panels, one partial panel, and sub-panel widths.
+  const int64_t shapes[][3] = {
+      {1, 1, 1}, {3, 5, 7}, {17, 33, 9}, {32, 64, 40}, {5, 8, 16}, {6, 10, 47}};
+  for (const auto& s : shapes) {
+    const Tensor a = RandT(s[0], s[1], 80);
+    const Tensor b = RandT(s[1], s[2], 81);
+    const Tensor want = MatMul(a, b);
+    const PackedMatrix packed = PackForMatMul(b);
+    const Tensor got = MatMulPacked(a, packed);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    EXPECT_EQ(std::memcmp(got.data(), want.data(),
+                          static_cast<size_t>(want.numel()) * sizeof(float)),
+              0)
+        << s[0] << "x" << s[1] << "x" << s[2];
+  }
+}
+
+TEST(KernelTest, SoftmaxRowsMatchesExpRefReference) {
+  const Tensor x = RandT(9, 37, 82);
+  const Tensor got = SoftmaxRows(x);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* row = x.data() + i * x.cols();
+    const float m = kern::RowMax(row, x.cols());
+    std::vector<float> e(static_cast<size_t>(x.cols()));
+    double denom = 0.0;
+    for (int64_t j = 0; j < x.cols(); ++j) {
+      e[static_cast<size_t>(j)] = kern::ExpRef(row[j] - m);
+      denom += static_cast<double>(e[static_cast<size_t>(j)]);
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < x.cols(); ++j) {
+      const float want = e[static_cast<size_t>(j)] * inv;
+      EXPECT_EQ(got.at(i, j), want) << "row " << i << " col " << j;
+    }
+  }
+}
+
+// ------------------------------------------------------- SliceRows views
+
+TEST(SliceRowsTest, ViewIsZeroCopyIntoParentStorage) {
+  auto a = ag::Param(RandT(6, 4, 90));
+  auto s = ag::SliceRows(a, 2, 3);
+  EXPECT_EQ(s->rows(), 3);
+  EXPECT_EQ(s->cols(), 4);
+  EXPECT_TRUE(s->value().is_view());
+  EXPECT_EQ(s->value().data(), a->value().data() + 2 * 4);
+}
+
+TEST(SliceRowsTest, FullRangeReturnsParentNode) {
+  auto a = ag::Param(RandT(4, 3, 91));
+  auto s = ag::SliceRows(a, 0, 4);
+  EXPECT_EQ(s.get(), a.get());
+}
+
+TEST(SliceRowsTest, ViewSurvivesParentScopeExit) {
+  // The tape edge (wired even without grad) must keep the parent's storage
+  // alive after the caller's handle to it goes away.
+  VarPtr s;
+  Tensor expected(1, 1);
+  {
+    Tensor t = RandT(5, 3, 92);
+    expected = Tensor(1, 1);
+    expected.at(0, 0) = t.at(2, 1);
+    s = ag::SliceRows(ag::Constant(std::move(t)), 2, 2);
+  }
+  EXPECT_EQ(s->value().at(0, 1), expected.at(0, 0));
+}
+
+TEST(SliceRowsTest, BackwardScattersIntoParentRowsLikeGatherRows) {
+  const Tensor weights = RandT(3, 4, 93);
+  auto slice_parent = ag::Param(RandT(7, 4, 94));
+  auto gather_parent = ag::Param(slice_parent->value());
+
+  auto loss_a =
+      ag::Sum(ag::Mul(ag::SliceRows(slice_parent, 2, 3), ag::Constant(weights)));
+  Backward(loss_a);
+  auto loss_b = ag::Sum(
+      ag::Mul(ag::GatherRows(gather_parent, {2, 3, 4}), ag::Constant(weights)));
+  Backward(loss_b);
+
+  ASSERT_TRUE(slice_parent->value().SameShape(gather_parent->value()));
+  EXPECT_EQ(std::memcmp(slice_parent->grad().data(),
+                        gather_parent->grad().data(),
+                        static_cast<size_t>(7 * 4) * sizeof(float)),
+            0);
+  // Rows outside the slice get exactly zero gradient.
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(slice_parent->grad().at(0, j), 0.0f);
+    EXPECT_EQ(slice_parent->grad().at(6, j), 0.0f);
+  }
+}
+
+TEST(SliceRowsTest, GradientMatchesFiniteDifferences) {
+  auto a = ag::Param(RandT(5, 2, 95));
+  CheckGradients({a}, [](const std::vector<VarPtr>& in) {
+    auto s = ag::SliceRows(in[0], 1, 3);
+    return ag::Sum(ag::Mul(s, s));
+  });
+}
+
+TEST(AutogradTest, SegmentMeanEmptySegmentBackward) {
+  auto a = ag::Param(Tensor(2, 1, {3.0f, 5.0f}));
+  auto loss = ag::Sum(ag::SegmentMean(a, {0, 2}, 4));
+  Backward(loss);
+  // Each input is the sole member of its segment: d(mean)/dx = 1, and the
+  // empty segments contribute nothing (no NaN from 0/0).
+  EXPECT_FLOAT_EQ(a->grad().at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(a->grad().at(1, 0), 1.0f);
+}
+
+// ------------------------------------------------- packed-weight autograd
+
+TEST(AutogradTest, MatMulPackedGradientsBitEqualMatMul) {
+  auto x1 = ag::Param(RandT(6, 5, 96));
+  auto w1 = ag::Param(RandT(5, 3, 97));
+  auto x2 = ag::Param(x1->value());
+  auto w2 = ag::Param(w1->value());
+
+  auto packed = std::make_shared<const PackedMatrix>(PackForMatMul(w1->value()));
+  auto loss1 = ag::Sum(ag::MatMulPacked(x1, packed, w1));
+  Backward(loss1);
+  auto loss2 = ag::Sum(ag::MatMul(x2, w2));
+  Backward(loss2);
+
+  EXPECT_EQ(loss1->value().item(), loss2->value().item());
+  EXPECT_EQ(std::memcmp(x1->grad().data(), x2->grad().data(),
+                        static_cast<size_t>(x1->value().numel()) *
+                            sizeof(float)),
+            0);
+  EXPECT_EQ(std::memcmp(w1->grad().data(), w2->grad().data(),
+                        static_cast<size_t>(w1->value().numel()) *
+                            sizeof(float)),
+            0);
+}
+
+TEST(NnTest, LinearRepacksAfterWeightUpdate) {
+  Rng rng(98);
+  Linear lin(4, 3, &rng);
+  const Tensor x = RandT(2, 4, 99);
+
+  auto y1 = lin.Forward(ag::Constant(x));
+  Tensor want1 = MatMul(x, lin.weight()->value());
+  // Packed forward must agree with the unpacked product (plus bias).
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(y1->value().at(i, j),
+                want1.at(i, j) + lin.bias()->value().at(0, j));
+    }
+  }
+
+  // An optimizer-style in-place update must invalidate the pack cache.
+  lin.weight()->mutable_value().Scale(0.5f);
+  auto y2 = lin.Forward(ag::Constant(x));
+  Tensor want2 = MatMul(x, lin.weight()->value());
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(y2->value().at(i, j),
+                want2.at(i, j) + lin.bias()->value().at(0, j));
+    }
+  }
 }
 
 }  // namespace
