@@ -7,6 +7,8 @@
 // numbers for the seeds baked in here.
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <utility>
 #include <vector>
@@ -98,6 +100,19 @@ struct BenchRecord {
   std::vector<std::pair<std::string, double>> extra;
 };
 
+/// One result object of the stable BENCH_*.json shape, no trailing comma.
+inline std::string FormatBenchRecord(const BenchRecord& r) {
+  std::string json = StrFormat(
+      "    {\"name\": \"%s\", \"wall_ms\": %.4f, \"rows_per_s\": %.1f, "
+      "\"threads\": %d",
+      r.name.c_str(), r.wall_ms, r.rate, r.threads);
+  for (const auto& [key, value] : r.extra) {
+    json += StrFormat(", \"%s\": %.4f", key.c_str(), value);
+  }
+  json += "}";
+  return json;
+}
+
 /// Writes machine-readable benchmark output. The JSON shape is stable —
 /// perf tracking across PRs diffs these files directly:
 ///   {"bench": "...", "results": [{"name": ..., "wall_ms": ...,
@@ -107,16 +122,8 @@ inline bool WriteBenchJson(const std::string& path, const std::string& bench,
                            const std::vector<BenchRecord>& records) {
   std::string json = "{\n  \"bench\": \"" + bench + "\",\n  \"results\": [";
   for (size_t i = 0; i < records.size(); ++i) {
-    const BenchRecord& r = records[i];
     json += i == 0 ? "\n" : ",\n";
-    json += StrFormat(
-        "    {\"name\": \"%s\", \"wall_ms\": %.4f, \"rows_per_s\": %.1f, "
-        "\"threads\": %d",
-        r.name.c_str(), r.wall_ms, r.rate, r.threads);
-    for (const auto& [key, value] : r.extra) {
-      json += StrFormat(", \"%s\": %.4f", key.c_str(), value);
-    }
-    json += "}";
+    json += FormatBenchRecord(records[i]);
   }
   json += "\n  ]\n}\n";
   Status st = AtomicWriteFile(path, json);
@@ -126,6 +133,37 @@ inline bool WriteBenchJson(const std::string& path, const std::string& bench,
     return false;
   }
   std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+  return true;
+}
+
+/// Splices records into an existing WriteBenchJson file so several bench
+/// binaries can share one BENCH_*.json (e.g. bench_serve_overload appends
+/// to the file bench_serve_throughput writes). Falls back to a fresh
+/// WriteBenchJson when the file is missing or not in the expected shape.
+inline bool AppendBenchJson(const std::string& path, const std::string& bench,
+                            const std::vector<BenchRecord>& records) {
+  std::ifstream in(path);
+  std::string existing((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  const size_t tail = existing.rfind("\n  ]\n}");
+  if (existing.empty() || tail == std::string::npos || tail == 0) {
+    return WriteBenchJson(path, bench, records);
+  }
+  std::string body;
+  bool first = existing[tail - 1] == '[';  // existing results array is empty
+  for (const BenchRecord& r : records) {
+    body += first ? "\n" : ",\n";
+    first = false;
+    body += FormatBenchRecord(r);
+  }
+  existing.insert(tail, body);
+  Status st = AtomicWriteFile(path, existing);
+  if (!st.ok()) {
+    std::fprintf(stderr, "failed to append to %s: %s\n", path.c_str(),
+                 st.ToString().c_str());
+    return false;
+  }
+  std::printf("appended %zu records to %s\n", records.size(), path.c_str());
   return true;
 }
 

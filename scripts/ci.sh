@@ -8,10 +8,13 @@
 #                            # portable scalar kernels (bits must match)
 #   scripts/ci.sh asan       # ASan+UBSan preset over the full suite
 #   scripts/ci.sh tsan       # TSan preset over the concurrency-heavy tests
-#   scripts/ci.sh all        # default full + nosimd + asan + tsan
+#   scripts/ci.sh chaos      # fault-injection chaos tests under ASan,
+#                            # then under TSan (serving must stay
+#                            # crash-free and race-free while faults fire)
+#   scripts/ci.sh all        # default full + nosimd + asan + tsan + chaos
 #
 # Test lanes are ctest labels (see tests/CMakeLists.txt): unit |
-# integration | serve | slow.
+# integration | serve | chaos | slow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +38,7 @@ case "$MODE" in
   full | default)
     run_preset default -L unit
     run_preset default -L serve
+    run_preset default -L chaos
     run_preset default -L integration
     run_preset default -L slow
     scripts/check_run_report.sh build
@@ -55,18 +59,28 @@ case "$MODE" in
     cmake --preset tsan >/dev/null
     cmake --build --preset tsan -j "$JOBS"
     for t in parallel_test observability_test tensor_test train_test \
-             serve_test arena_test; do
+             serve_test serve_resilience_test arena_test; do
       TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
     done
+    ;;
+  chaos)
+    # The chaos lane: seeded fault-injection tests under both sanitizers.
+    # Deterministic degraded answers only mean something if the paths that
+    # produce them are memory-error- and data-race-free while faults fire.
+    run_preset asan -L chaos
+    cmake --preset tsan >/dev/null
+    cmake --build --preset tsan -j "$JOBS"
+    TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/chaos_test
     ;;
   all)
     "$0" full
     "$0" nosimd
     "$0" asan
     "$0" tsan
+    "$0" chaos
     ;;
   *)
-    echo "usage: $0 [unit|full|nosimd|asan|tsan|all]" >&2
+    echo "usage: $0 [unit|full|nosimd|asan|tsan|chaos|all]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,39 @@
+#include "core/deadline.h"
+
+#include <chrono>
+
+namespace relgraph {
+
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+}  // namespace
+
+const Clock* Clock::Real() {
+  static const SteadyClock instance;
+  return &instance;
+}
+
+Deadline Deadline::AfterMillis(double millis, const Clock* clock) {
+  return AfterNanos(static_cast<int64_t>(millis * 1e6), clock);
+}
+
+Deadline Deadline::AfterNanos(int64_t nanos, const Clock* clock) {
+  if (clock == nullptr) clock = Clock::Real();
+  return Deadline(clock, clock->NowNanos() + nanos);
+}
+
+Deadline Deadline::AtNanos(int64_t deadline_nanos, const Clock* clock) {
+  if (clock == nullptr) clock = Clock::Real();
+  return Deadline(clock, deadline_nanos);
+}
+
+}  // namespace relgraph

@@ -1,0 +1,125 @@
+#ifndef RELGRAPH_CORE_DEADLINE_H_
+#define RELGRAPH_CORE_DEADLINE_H_
+
+// Request deadlines over an injectable monotonic clock.
+//
+// A `Deadline` is a point on a `Clock`: serving code checks `expired()` at
+// stage boundaries (admission, per-subgraph sampling, per micro-batch
+// forward) and returns `Status::DeadlineExceeded` instead of running over
+// budget. Production uses the process steady clock; tests inject a
+// `FakeClock` so expiry is a deterministic function of the test script —
+// never of machine load — which is what lets the chaos harness demand
+// bit-identical outcomes across runs.
+
+#include <cstdint>
+#include <limits>
+
+#include <atomic>
+
+namespace relgraph {
+
+/// Monotonic nanosecond clock interface. Implementations must be
+/// thread-safe; `NowNanos` must never decrease.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowNanos() const = 0;
+
+  /// The process-wide steady (monotonic) clock.
+  static const Clock* Real();
+};
+
+/// Manually driven clock for deterministic deadline tests.
+///
+/// Time moves only when the test says so: `Advance*` jumps forward, and an
+/// optional `auto_advance` step makes every `NowNanos` call tick the clock
+/// by a fixed amount — a deterministic stand-in for "work takes time",
+/// letting single-threaded tests hit mid-request expiry at an exact,
+/// reproducible stage. All state is atomic, so a FakeClock may be shared
+/// across threads (though cross-thread tick order is then scheduling-
+/// dependent, as real time would be).
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    const int64_t step = auto_advance_nanos_.load(std::memory_order_relaxed);
+    if (step == 0) return now_.load(std::memory_order_relaxed);
+    // Returns the pre-tick time: the first call after construction reads
+    // the start time, like a plain clock would.
+    return now_.fetch_add(step, std::memory_order_relaxed);
+  }
+
+  void AdvanceNanos(int64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_relaxed);
+  }
+  void AdvanceMillis(double millis) {
+    AdvanceNanos(static_cast<int64_t>(millis * 1e6));
+  }
+
+  /// Every NowNanos() call advances the clock by `nanos` (0 disables).
+  void set_auto_advance_nanos(int64_t nanos) {
+    auto_advance_nanos_.store(nanos, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<int64_t> now_;
+  std::atomic<int64_t> auto_advance_nanos_{0};
+};
+
+/// An absolute expiry point on a clock. Copyable and cheap: two words.
+/// The default-constructed deadline is infinite (never expires), so every
+/// pre-resilience call site keeps its old semantics for free.
+class Deadline {
+ public:
+  /// Never expires.
+  Deadline() : clock_(Clock::Real()), deadline_ns_(kInfinite) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `millis` from now on `clock` (default: the real clock).
+  static Deadline AfterMillis(double millis, const Clock* clock = nullptr);
+
+  /// Expires `nanos` from now on `clock` (default: the real clock).
+  static Deadline AfterNanos(int64_t nanos, const Clock* clock = nullptr);
+
+  /// Expires at the absolute clock reading `deadline_nanos`.
+  static Deadline AtNanos(int64_t deadline_nanos,
+                          const Clock* clock = nullptr);
+
+  bool is_infinite() const { return deadline_ns_ == kInfinite; }
+
+  /// True once the clock has reached the expiry point. Infinite deadlines
+  /// never expire and never read the clock.
+  bool expired() const {
+    if (is_infinite()) return false;
+    return clock_->NowNanos() >= deadline_ns_;
+  }
+
+  /// Nanoseconds until expiry (<= 0 once expired); INT64_MAX if infinite.
+  int64_t remaining_nanos() const {
+    if (is_infinite()) return kInfinite;
+    return deadline_ns_ - clock_->NowNanos();
+  }
+
+  double remaining_millis() const {
+    if (is_infinite()) return std::numeric_limits<double>::infinity();
+    return static_cast<double>(remaining_nanos()) / 1e6;
+  }
+
+  const Clock* clock() const { return clock_; }
+
+ private:
+  static constexpr int64_t kInfinite =
+      std::numeric_limits<int64_t>::max();
+
+  Deadline(const Clock* clock, int64_t deadline_ns)
+      : clock_(clock), deadline_ns_(deadline_ns) {}
+
+  const Clock* clock_;
+  int64_t deadline_ns_;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_CORE_DEADLINE_H_

@@ -20,6 +20,8 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  kDeadlineExceeded,
+  kOverloaded,
 };
 
 /// Returns a human-readable name for a status code.
@@ -63,6 +65,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -158,6 +158,29 @@ Subgraph NeighborSampler::SampleForServing(NodeTypeId seed_type,
   return sg;
 }
 
+Result<Subgraph> NeighborSampler::SampleForServing(
+    NodeTypeId seed_type, int64_t node, Timestamp cutoff, uint64_t salt,
+    const Deadline& deadline) const {
+  if (deadline.expired()) {
+    return Status::DeadlineExceeded("deadline expired before sampling");
+  }
+  // Same stream derivation as the deadline-free overload: the deadline
+  // gates whether a subgraph is produced, never which subgraph.
+  uint64_t seed = Mix64(salt ^ Mix64(static_cast<uint64_t>(node)));
+  seed = Mix64(seed ^ Mix64(static_cast<uint64_t>(cutoff)));
+  Rng rng(seed);
+  const std::vector<int64_t> seeds = {node};
+  const std::vector<Timestamp> cutoffs = {cutoff};
+  bool expired = false;
+  Subgraph sg =
+      SampleChunk(seed_type, seeds, cutoffs, &rng, &deadline, &expired);
+  if (expired) {
+    return Status::DeadlineExceeded("deadline expired during sampling");
+  }
+  NoteSample(sg, 1, 1);
+  return sg;
+}
+
 uint64_t OptionsFingerprint(const SamplerOptions& options) {
   uint64_t h = Mix64(static_cast<uint64_t>(options.fanouts.size()));
   for (int64_t f : options.fanouts) {
@@ -171,7 +194,8 @@ uint64_t OptionsFingerprint(const SamplerOptions& options) {
 Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
                                       const std::vector<int64_t>& seeds,
                                       const std::vector<Timestamp>& cutoffs,
-                                      Rng* rng) const {
+                                      Rng* rng, const Deadline* deadline,
+                                      bool* deadline_expired) const {
   const int32_t num_types = graph_->num_node_types();
   const int64_t layers = num_layers();
 
@@ -192,6 +216,12 @@ Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
   // must not put an atomic op on the per-neighbor hot path.
   int64_t truncations = 0;
   for (int64_t layer = 0; layer < layers; ++layer) {
+    // Per-hop budget check: refuse to start a hop past the deadline (the
+    // caller discards the partial result, so no draw divergence leaks).
+    if (deadline != nullptr && deadline->expired()) {
+      *deadline_expired = true;
+      return sg;
+    }
     const auto& cur = sg.frontiers[static_cast<size_t>(layer)];
     auto& next = sg.frontiers[static_cast<size_t>(layer) + 1];
     // Self-prefix invariant: next frontier starts as a copy of the current.

@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/rng.h"
+#include "core/status.h"
 #include "sampler/subgraph.h"
 
 namespace relgraph {
@@ -80,12 +82,25 @@ class NeighborSampler {
   Subgraph SampleForServing(NodeTypeId seed_type, int64_t node,
                             Timestamp cutoff, uint64_t salt) const;
 
+  /// Deadline-aware serving sample: bit-identical to the overload above
+  /// whenever the deadline holds through the sample. The deadline is
+  /// checked before each hop; on expiry the partial subgraph is discarded
+  /// and `Status::DeadlineExceeded` returned — a late answer is refused,
+  /// never approximated, so deadlines can never change a served score.
+  Result<Subgraph> SampleForServing(NodeTypeId seed_type, int64_t node,
+                                    Timestamp cutoff, uint64_t salt,
+                                    const Deadline& deadline) const;
+
  private:
   /// The serial sampling kernel: one chunk of seeds, one RNG stream.
+  /// When `deadline` is non-null it is checked before each hop; on expiry
+  /// `*deadline_expired` is set and the (incomplete) subgraph returned —
+  /// callers must discard it.
   Subgraph SampleChunk(NodeTypeId seed_type,
                        const std::vector<int64_t>& seeds,
-                       const std::vector<Timestamp>& cutoffs,
-                       Rng* rng) const;
+                       const std::vector<Timestamp>& cutoffs, Rng* rng,
+                       const Deadline* deadline = nullptr,
+                       bool* deadline_expired = nullptr) const;
 
   /// Merges independently sampled chunk subgraphs in chunk order:
   /// frontiers concatenate with cross-chunk (node, cutoff) dedup, block

@@ -1,0 +1,78 @@
+#include "serve/admission_gate.h"
+
+#include <chrono>
+
+#include "core/logging.h"
+
+namespace relgraph {
+
+AdmissionGate::AdmissionGate(int64_t max_inflight, int64_t max_queue,
+                             const Clock* clock)
+    : max_inflight_(max_inflight),
+      max_queue_(max_queue),
+      clock_(clock != nullptr ? clock : Clock::Real()) {
+  RELGRAPH_CHECK(max_inflight_ > 0);
+  RELGRAPH_CHECK(max_queue_ >= 0);
+}
+
+AdmissionGate::Outcome AdmissionGate::Admit(const Deadline& deadline,
+                                            double* queue_wait_ms) {
+  if (queue_wait_ms != nullptr) *queue_wait_ms = 0.0;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (deadline.expired()) return Outcome::kDeadlineExpired;
+  if (inflight_ < max_inflight_) {
+    ++inflight_;
+    return Outcome::kAdmitted;
+  }
+  if (queued_ >= max_queue_) return Outcome::kShedQueueFull;
+
+  ++queued_;
+  const int64_t wait_start_ns = clock_->NowNanos();
+  // Finite deadlines poll in short slices so expiry is noticed promptly
+  // even when no Release() arrives (the deadline may live on a clock the
+  // condition variable knows nothing about); infinite deadlines block
+  // outright.
+  while (inflight_ >= max_inflight_) {
+    if (deadline.is_infinite()) {
+      cv_.wait(lock);
+    } else {
+      if (deadline.expired()) {
+        --queued_;
+        if (queue_wait_ms != nullptr) {
+          *queue_wait_ms =
+              static_cast<double>(clock_->NowNanos() - wait_start_ns) / 1e6;
+        }
+        return Outcome::kDeadlineExpired;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+  }
+  --queued_;
+  ++inflight_;
+  if (queue_wait_ms != nullptr) {
+    *queue_wait_ms =
+        static_cast<double>(clock_->NowNanos() - wait_start_ns) / 1e6;
+  }
+  return Outcome::kAdmitted;
+}
+
+void AdmissionGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    RELGRAPH_CHECK(inflight_ > 0) << "Release without a matching Admit";
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+int64_t AdmissionGate::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+int64_t AdmissionGate::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+}  // namespace relgraph

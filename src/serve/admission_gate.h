@@ -1,0 +1,93 @@
+#ifndef RELGRAPH_SERVE_ADMISSION_GATE_H_
+#define RELGRAPH_SERVE_ADMISSION_GATE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "core/deadline.h"
+
+namespace relgraph {
+
+/// Bounded admission gate in front of the serving engine: at most
+/// `max_inflight` requests execute at once, at most `max_queue` more wait
+/// for a slot, and everything beyond that is shed immediately with
+/// `Status::Overloaded` — the queue can never grow without bound, so
+/// admitted-request latency stays bounded no matter how hard the engine
+/// is flooded (the property `bench_serve_overload` measures).
+///
+/// A queued waiter re-checks its request deadline while waiting and gives
+/// its slot up (`kDeadlineExpired`) rather than being admitted dead.
+/// Queue-wait time is measured on the gate's injectable clock so
+/// deterministic tests see deterministic (zero) waits.
+class AdmissionGate {
+ public:
+  /// `max_inflight` must be > 0; `max_queue` >= 0 (0 = shed as soon as all
+  /// inflight slots are taken). `clock` defaults to the real steady clock.
+  AdmissionGate(int64_t max_inflight, int64_t max_queue,
+                const Clock* clock = nullptr);
+
+  enum class Outcome {
+    kAdmitted,        ///< slot acquired — caller must Release() when done
+    kShedQueueFull,   ///< inflight and queue both saturated
+    kDeadlineExpired  ///< deadline expired at or while waiting in the gate
+  };
+
+  /// Blocks until a slot is free, the deadline expires, or the queue is
+  /// full. On kAdmitted the caller owns one inflight slot and must call
+  /// Release() exactly once. `queue_wait_ms` (optional) receives the time
+  /// spent queued (0 when admitted immediately or not admitted).
+  Outcome Admit(const Deadline& deadline, double* queue_wait_ms = nullptr);
+
+  /// Returns an admitted request's slot and wakes one waiter.
+  void Release();
+
+  int64_t inflight() const;
+  int64_t queued() const;
+  int64_t max_inflight() const { return max_inflight_; }
+  int64_t max_queue() const { return max_queue_; }
+
+ private:
+  const int64_t max_inflight_;
+  const int64_t max_queue_;
+  const Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t inflight_ = 0;
+  int64_t queued_ = 0;
+};
+
+/// RAII slot: admits on construction, releases on destruction when (and
+/// only when) admission succeeded.
+class AdmissionTicket {
+ public:
+  /// `gate` may be null (admission control off): the ticket then reports
+  /// kAdmitted and does nothing.
+  AdmissionTicket(AdmissionGate* gate, const Deadline& deadline)
+      : gate_(gate), outcome_(AdmissionGate::Outcome::kAdmitted) {
+    if (gate_ != nullptr) outcome_ = gate_->Admit(deadline, &queue_wait_ms_);
+  }
+  ~AdmissionTicket() {
+    if (gate_ != nullptr && outcome_ == AdmissionGate::Outcome::kAdmitted) {
+      gate_->Release();
+    }
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  AdmissionGate::Outcome outcome() const { return outcome_; }
+  bool admitted() const {
+    return outcome_ == AdmissionGate::Outcome::kAdmitted;
+  }
+  double queue_wait_ms() const { return queue_wait_ms_; }
+
+ private:
+  AdmissionGate* gate_;
+  AdmissionGate::Outcome outcome_;
+  double queue_wait_ms_ = 0.0;
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_SERVE_ADMISSION_GATE_H_

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
 
+#include "core/fault_injection.h"
 #include "core/logging.h"
 #include "core/metrics.h"
 #include "core/timer.h"
@@ -28,7 +30,87 @@ inline void NoteScore(double millis) {
 #endif
 }
 
+inline void NoteQueueWait(double millis) {
+#ifndef RELGRAPH_NO_METRICS
+  if (!MetricsEnabled()) return;
+  static Histogram* wait = MetricsRegistry::Global().GetHistogram(
+      "serve_queue_wait_ms", FineLatencyBucketsMs());
+  wait->Observe(millis);
+#else
+  (void)millis;
+#endif
+}
+
+inline void NoteStaleness(double seconds) {
+#ifndef RELGRAPH_NO_METRICS
+  if (!MetricsEnabled()) return;
+  static Gauge* staleness =
+      MetricsRegistry::Global().GetGauge("serve_snapshot_staleness_s");
+  staleness->Set(seconds);
+#else
+  (void)seconds;
+#endif
+}
+
+// Once per process, on the first engine construction: arm fault sites from
+// RELGRAPH_FAULTS so unmodified serving binaries can join a chaos run with
+// one env var. A malformed spec is loudly ignored rather than fatal — a
+// typo'd chaos config must never take down a server that would otherwise
+// run clean.
+void ArmChaosFromEnvOnce() {
+  static const bool armed = [] {
+    auto result = FaultInjector::Global().ArmFromEnv();
+    if (!result.ok()) {
+      RELGRAPH_LOG(Error) << "ignoring malformed RELGRAPH_FAULTS: "
+                          << result.status().ToString();
+      return false;
+    }
+    if (result.value() > 0) {
+      RELGRAPH_LOG(Info) << "chaos: armed " << result.value()
+                         << " fault site(s) from RELGRAPH_FAULTS";
+    }
+    return result.value() > 0;
+  }();
+  (void)armed;
+}
+
 }  // namespace
+
+const char* DegradeModeName(DegradeMode mode) {
+  switch (mode) {
+    case DegradeMode::kFailFast:
+      return "fail_fast";
+    case DegradeMode::kStaleSnapshot:
+      return "stale_snapshot";
+    case DegradeMode::kCacheOnly:
+      return "cache_only";
+  }
+  return "unknown";
+}
+
+const char* ServeStateName(ServeState state) {
+  switch (state) {
+    case ServeState::kServing:
+      return "serving";
+    case ServeState::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+const char* DegradeReasonName(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kNone:
+      return "none";
+    case DegradeReason::kDeadline:
+      return "deadline";
+    case DegradeReason::kBreakerOpen:
+      return "breaker_open";
+    case DegradeReason::kDependencyFault:
+      return "dependency_fault";
+  }
+  return "unknown";
+}
 
 InferenceEngine::InferenceEngine(const HeteroGraph* graph,
                                  NodeTypeId entity_type, TaskKind kind,
@@ -43,10 +125,12 @@ InferenceEngine::InferenceEngine(const HeteroGraph* graph,
       sampler_options_(sampler_options),
       serve_(serve),
       salt_(serve.seed ^ OptionsFingerprint(sampler_options)),
+      clock_(serve.clock != nullptr ? serve.clock : Clock::Real()),
       graph_(graph),
       now_cutoff_(now_cutoff),
       subgraph_cache_(serve.subgraph_cache_capacity),
       embedding_cache_(serve.embedding_cache_capacity) {
+  ArmChaosFromEnvOnce();
   RELGRAPH_CHECK(graph_ != nullptr);
   RELGRAPH_CHECK(kind_ != TaskKind::kRanking)
       << "InferenceEngine serves node-level (scalar) tasks only";
@@ -54,6 +138,14 @@ InferenceEngine::InferenceEngine(const HeteroGraph* graph,
                  gnn_.num_layers)
       << "sampler depth must match GNN layers";
   RELGRAPH_CHECK(serve_.micro_batch_size > 0);
+  RELGRAPH_CHECK(serve_.breaker_threshold >= 1);
+  RELGRAPH_CHECK(serve_.max_queue >= 0);
+  if (serve_.max_inflight > 0) {
+    gate_ = std::make_unique<AdmissionGate>(serve_.max_inflight,
+                                            serve_.max_queue, clock_);
+  }
+  last_advance_success_ns_.store(clock_->NowNanos(),
+                                 std::memory_order_relaxed);
   sampler_ = std::make_unique<NeighborSampler>(graph_, sampler_options_);
   // Weight init is placeholder — LoadCheckpoint overwrites every tensor.
   Rng init_rng(serve_.seed);
@@ -78,6 +170,13 @@ InferenceEngine::InferenceEngine(const ServePlan& plan,
 
 Status InferenceEngine::LoadCheckpoint(const std::string& path) {
   std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  if (FaultInjector::Global().ShouldFire(FaultSite::kServeCheckpointLoad)) {
+    Status st = Status::IoError(
+        "injected checkpoint load fault (site serve_checkpoint_load): " +
+        path);
+    SetLastError(st);
+    return st;
+  }
   RELGRAPH_ASSIGN_OR_RETURN(TensorBundle bundle, LoadTensorBundle(path));
   const std::vector<Tensor> current = ParameterValues({model_.get(), head()});
   if (bundle.tensors.size() != current.size()) {
@@ -105,65 +204,112 @@ Status InferenceEngine::LoadCheckpoint(const std::string& path) {
   return Status::OK();
 }
 
-std::shared_ptr<const Subgraph> InferenceEngine::GetSubgraph(int64_t node) {
+bool InferenceEngine::TryGetCachedSubgraph(
+    int64_t node, std::shared_ptr<const Subgraph>* out) {
   if (!serve_.enable_subgraph_cache) {
     RELGRAPH_COUNTER_INC("serve_subgraph_cache_misses_total");
-    return std::make_shared<const Subgraph>(sampler_->SampleForServing(
-        entity_type_, node, now_cutoff_, salt_));
+    return false;
   }
-  const SubgraphKey key{node, snapshot_version_.load(std::memory_order_relaxed),
+  const SubgraphKey key{node,
+                        snapshot_version_.load(std::memory_order_relaxed),
                         OptionsFingerprint(sampler_options_)};
-  std::shared_ptr<const Subgraph> sg;
-  if (subgraph_cache_.Get(key, &sg)) {
+  if (subgraph_cache_.Get(key, out)) {
     RELGRAPH_COUNTER_INC("serve_subgraph_cache_hits_total");
-    return sg;
+    return true;
   }
   RELGRAPH_COUNTER_INC("serve_subgraph_cache_misses_total");
-  sg = std::make_shared<const Subgraph>(
-      sampler_->SampleForServing(entity_type_, node, now_cutoff_, salt_));
-  subgraph_cache_.Put(key, sg);
-  return sg;
+  return false;
 }
 
-Tensor InferenceEngine::EmbedMicroBatch(const std::vector<int64_t>& ids) {
+Result<std::shared_ptr<const Subgraph>> InferenceEngine::SampleSubgraph(
+    int64_t node, const Deadline& deadline) {
+  if (FaultInjector::Global().ShouldFire(FaultSite::kServeSample)) {
+    return Status::Internal(
+        "injected sampler fault (site serve_sample) for entity " +
+        std::to_string(node));
+  }
+  RELGRAPH_ASSIGN_OR_RETURN(
+      Subgraph sg, sampler_->SampleForServing(entity_type_, node, now_cutoff_,
+                                              salt_, deadline));
+  auto sp = std::make_shared<const Subgraph>(std::move(sg));
+  if (serve_.enable_subgraph_cache) {
+    const SubgraphKey key{node,
+                          snapshot_version_.load(std::memory_order_relaxed),
+                          OptionsFingerprint(sampler_options_)};
+    subgraph_cache_.Put(key, sp);
+  }
+  return sp;
+}
+
+Tensor InferenceEngine::EmbedParts(const std::vector<const Subgraph*>& parts) {
   // Per-seed subgraphs (cached or freshly sampled) concatenate
   // block-diagonally; the encoder forward is then per-row bit-identical
   // to running each seed alone, so batch composition never leaks into a
   // seed's embedding.
-  std::vector<std::shared_ptr<const Subgraph>> held;
-  std::vector<const Subgraph*> parts;
-  held.reserve(ids.size());
-  parts.reserve(ids.size());
-  for (int64_t id : ids) {
-    held.push_back(GetSubgraph(id));
-    parts.push_back(held.back().get());
-  }
   const Subgraph sg = ConcatSubgraphs(graph_, parts);
   VarPtr emb = model_->Forward(sg, entity_type_, /*rng=*/nullptr,
                                /*training=*/false);
-  RELGRAPH_CHECK(emb->rows() == static_cast<int64_t>(ids.size()));
+  RELGRAPH_CHECK(emb->rows() == static_cast<int64_t>(parts.size()));
   return emb->value();
 }
 
-Result<std::vector<double>> InferenceEngine::ScoreLocked(
-    const std::vector<int64_t>& entity_ids, bool count_request) {
+Result<ScoreResponse> InferenceEngine::ScoreLocked(
+    const std::vector<int64_t>& entity_ids, const Deadline& deadline,
+    double queue_wait_ms, InvalidIdPolicy policy, bool count_request) {
   if (!loaded_) {
     return Status::FailedPrecondition(
         "no checkpoint loaded; call LoadCheckpoint before Score");
   }
+  const ServeState state = this->state();
+  const bool breaker_open = state == ServeState::kDegraded;
+  const DegradeMode mode = serve_.degrade_mode;
+
+  if (breaker_open && mode == DegradeMode::kFailFast) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    RELGRAPH_COUNTER_INC("serve_shed_total");
+    return Status::Overloaded(
+        "circuit breaker open (consecutive snapshot-advance failures); "
+        "engine configured fail_fast");
+  }
+  if (deadline.expired()) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    RELGRAPH_COUNTER_INC("serve_deadline_exceeded_total");
+    return Status::DeadlineExceeded("deadline expired before scoring began");
+  }
+
+  ScoreResponse resp;
+  resp.mode = mode;
+  resp.state = state;
+  resp.snapshot_version = snapshot_version_.load(std::memory_order_relaxed);
+  resp.staleness_s = StalenessSeconds();
+  resp.queue_wait_ms = queue_wait_ms;
+
   const int64_t n = static_cast<int64_t>(entity_ids.size());
-  if (n == 0) return std::vector<double>{};
+  if (n == 0) return resp;
+
   const int64_t num_entities = graph_->num_nodes(entity_type_);
-  for (int64_t id : entity_ids) {
+  // nan_row[i]: 1 = unresolved under the degrade policy, 2 = invalid id.
+  std::vector<char> nan_row(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = entity_ids[static_cast<size_t>(i)];
     if (id < 0 || id >= num_entities) {
-      return Status::InvalidArgument(
-          "entity id " + std::to_string(id) + " out of range [0, " +
-          std::to_string(num_entities) + ")");
+      if (policy == InvalidIdPolicy::kReject) {
+        return Status::InvalidArgument(
+            "entity id " + std::to_string(id) + " out of range [0, " +
+            std::to_string(num_entities) + ")");
+      }
+      nan_row[static_cast<size_t>(i)] = 2;
+      ++resp.rows_invalid;
     }
   }
+
   Timer timer;
   const int64_t hidden = gnn_.hidden_dim;
   Tensor emb = Tensor::Zeros(n, hidden);
+  // Under an open breaker in cache-only mode, fresh sampling is forbidden:
+  // only embedding-cache hits and live-version subgraph-cache hits resolve.
+  const bool cache_only = breaker_open && mode == DegradeMode::kCacheOnly;
+  bool deadline_nan = false;  // some rows unresolved by deadline expiry
 
   // Probe the embedding cache; collect distinct uncached ids (a duplicate
   // id in one request is computed once — its embedding is a pure function
@@ -171,6 +317,7 @@ Result<std::vector<double>> InferenceEngine::ScoreLocked(
   std::vector<int64_t> pending;
   std::unordered_map<int64_t, std::vector<int64_t>> rows_of;
   for (int64_t i = 0; i < n; ++i) {
+    if (nan_row[static_cast<size_t>(i)] != 0) continue;
     const int64_t id = entity_ids[static_cast<size_t>(i)];
     if (serve_.enable_embedding_cache) {
       std::shared_ptr<const std::vector<float>> row;
@@ -187,20 +334,91 @@ Result<std::vector<double>> InferenceEngine::ScoreLocked(
     it->second.push_back(i);
   }
 
+  // Marks every request row of a pending id as policy-NaN.
+  auto degrade_id = [&](int64_t id) {
+    for (int64_t i : rows_of.at(id)) nan_row[static_cast<size_t>(i)] = 1;
+  };
+
   // Coalesce uncached ids into fixed-size micro-batches through the
-  // batched (parallel-GEMM) forward path.
-  for (size_t start = 0; start < pending.size();
-       start += static_cast<size_t>(serve_.micro_batch_size)) {
-    const size_t end =
-        std::min(pending.size(),
-                 start + static_cast<size_t>(serve_.micro_batch_size));
-    const std::vector<int64_t> batch(pending.begin() + static_cast<int64_t>(start),
-                                     pending.begin() + static_cast<int64_t>(end));
-    const Tensor batch_emb = EmbedMicroBatch(batch);
-    for (size_t j = 0; j < batch.size(); ++j) {
-      const int64_t id = batch[j];
-      const float* src =
-          batch_emb.data() + static_cast<int64_t>(j) * hidden;
+  // batched (parallel-GEMM) forward path. The deadline is re-checked
+  // before every micro-batch and inside every fresh sample; under
+  // fail_fast expiry aborts the request, under the degrade modes it
+  // NaNs the unresolved remainder and serves what is already paid for.
+  size_t p = 0;
+  bool out_of_time = false;
+  while (p < pending.size() && !out_of_time) {
+    if (deadline.expired()) {
+      if (mode == DegradeMode::kFailFast) {
+        deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+        RELGRAPH_COUNTER_INC("serve_deadline_exceeded_total");
+        return Status::DeadlineExceeded(
+            "deadline expired before micro-batch " +
+            std::to_string(p / static_cast<size_t>(serve_.micro_batch_size)));
+      }
+      for (; p < pending.size(); ++p) degrade_id(pending[p]);
+      deadline_nan = true;
+      break;
+    }
+
+    std::vector<std::shared_ptr<const Subgraph>> held;
+    std::vector<const Subgraph*> parts;
+    std::vector<int64_t> batch_ids;
+    while (p < pending.size() &&
+           batch_ids.size() < static_cast<size_t>(serve_.micro_batch_size)) {
+      const int64_t id = pending[p];
+      std::shared_ptr<const Subgraph> sg;
+      if (TryGetCachedSubgraph(id, &sg)) {
+        ++p;
+        held.push_back(std::move(sg));
+        parts.push_back(held.back().get());
+        batch_ids.push_back(id);
+        continue;
+      }
+      if (cache_only) {
+        degrade_id(id);
+        ++p;
+        continue;
+      }
+      Result<std::shared_ptr<const Subgraph>> sampled =
+          SampleSubgraph(id, deadline);
+      if (sampled.ok()) {
+        ++p;
+        held.push_back(std::move(sampled).value());
+        parts.push_back(held.back().get());
+        batch_ids.push_back(id);
+        continue;
+      }
+      if (sampled.status().code() == StatusCode::kDeadlineExceeded) {
+        if (mode == DegradeMode::kFailFast) {
+          deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+          RELGRAPH_COUNTER_INC("serve_deadline_exceeded_total");
+          return sampled.status();
+        }
+        for (; p < pending.size(); ++p) degrade_id(pending[p]);
+        deadline_nan = true;
+        out_of_time = true;
+        break;
+      }
+      // Injected dependency fault.
+      if (mode == DegradeMode::kFailFast) return sampled.status();
+      degrade_id(id);
+      ++p;
+    }
+    if (batch_ids.empty()) continue;
+
+    if (FaultInjector::Global().ShouldFire(FaultSite::kServeAlloc)) {
+      if (mode == DegradeMode::kFailFast) {
+        return Status::Internal(
+            "injected allocation fault (site serve_alloc)");
+      }
+      for (int64_t id : batch_ids) degrade_id(id);
+      continue;
+    }
+
+    const Tensor batch_emb = EmbedParts(parts);
+    for (size_t j = 0; j < batch_ids.size(); ++j) {
+      const int64_t id = batch_ids[j];
+      const float* src = batch_emb.data() + static_cast<int64_t>(j) * hidden;
       for (int64_t i : rows_of.at(id)) {
         std::memcpy(&emb.at(i, 0), src,
                     sizeof(float) * static_cast<size_t>(hidden));
@@ -212,31 +430,56 @@ Result<std::vector<double>> InferenceEngine::ScoreLocked(
     }
   }
 
+  if (deadline.expired() && mode == DegradeMode::kFailFast) {
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    RELGRAPH_COUNTER_INC("serve_deadline_exceeded_total");
+    return Status::DeadlineExceeded("deadline expired before head forward");
+  }
+
   // One head forward over the assembled embeddings; the head MLP is
   // row-wise, so each score is still a pure per-entity function.
+  // Unresolved rows hold zero embeddings here and are overwritten with
+  // NaN below — they can never influence a resolved row.
   VarPtr out = cls_head_ ? cls_head_->Forward(ag::Constant(emb))
                          : scalar_head_->Forward(ag::Constant(emb));
-  std::vector<double> scores;
-  scores.reserve(static_cast<size_t>(n));
+  resp.scores.reserve(static_cast<size_t>(n));
+  const double nan = std::numeric_limits<double>::quiet_NaN();
   for (int64_t r = 0; r < n; ++r) {
+    if (nan_row[static_cast<size_t>(r)] != 0) {
+      resp.scores.push_back(nan);
+      if (nan_row[static_cast<size_t>(r)] == 1) ++resp.rows_degraded;
+      continue;
+    }
     switch (kind_) {
       case TaskKind::kBinaryClassification:
-        scores.push_back(1.0 / (1.0 + std::exp(-out->value().at(r, 0))));
+        resp.scores.push_back(1.0 /
+                              (1.0 + std::exp(-out->value().at(r, 0))));
         break;
       case TaskKind::kRegression:
-        scores.push_back(out->value().at(r, 0) * label_std_ + label_mean_);
+        resp.scores.push_back(out->value().at(r, 0) * label_std_ +
+                              label_mean_);
         break;
       case TaskKind::kMulticlassClassification: {
         int64_t arg = 0;
         for (int64_t c = 1; c < out->cols(); ++c) {
           if (out->value().at(r, c) > out->value().at(r, arg)) arg = c;
         }
-        scores.push_back(static_cast<double>(arg));
+        resp.scores.push_back(static_cast<double>(arg));
         break;
       }
       case TaskKind::kRanking:
         break;
     }
+  }
+  resp.rows_resolved = n - resp.rows_degraded - resp.rows_invalid;
+  resp.degraded = breaker_open || resp.rows_degraded > 0;
+  if (resp.degraded) {
+    resp.reason = breaker_open      ? DegradeReason::kBreakerOpen
+                  : deadline_nan    ? DegradeReason::kDeadline
+                                    : DegradeReason::kDependencyFault;
+    degraded_answers_.fetch_add(1, std::memory_order_relaxed);
+    RELGRAPH_COUNTER_INC("serve_degraded_answers_total");
+    RELGRAPH_COUNTER_ADD("serve_degraded_rows_total", resp.rows_degraded);
   }
   if (count_request) {
     requests_.fetch_add(1, std::memory_order_relaxed);
@@ -245,14 +488,50 @@ Result<std::vector<double>> InferenceEngine::ScoreLocked(
     RELGRAPH_COUNTER_ADD("serve_entities_scored_total", n);
   }
   NoteScore(timer.Millis());
-  return scores;
+  NoteStaleness(resp.staleness_s);
+  return resp;
+}
+
+Result<ScoreResponse> InferenceEngine::ScoreGated(
+    const std::vector<int64_t>& entity_ids, const Deadline& deadline,
+    InvalidIdPolicy policy) {
+  AdmissionTicket ticket(gate_.get(), deadline);
+  if (!ticket.admitted()) {
+    if (ticket.outcome() == AdmissionGate::Outcome::kShedQueueFull) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      RELGRAPH_COUNTER_INC("serve_shed_total");
+      return Status::Overloaded(
+          "admission queue full (max_inflight=" +
+          std::to_string(serve_.max_inflight) +
+          ", max_queue=" + std::to_string(serve_.max_queue) + ")");
+    }
+    deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    RELGRAPH_COUNTER_INC("serve_deadline_exceeded_total");
+    return Status::DeadlineExceeded("deadline expired in admission queue");
+  }
+  RELGRAPH_COUNTER_INC("serve_admitted_total");
+  if (gate_ != nullptr) NoteQueueWait(ticket.queue_wait_ms());
+  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+  return ScoreLocked(entity_ids, deadline, ticket.queue_wait_ms(), policy,
+                     /*count_request=*/true);
+  // ~lock releases the snapshot before ~ticket returns the gate slot.
 }
 
 Result<std::vector<double>> InferenceEngine::Score(
     const std::vector<int64_t>& entity_ids) {
   RELGRAPH_TRACE_SPAN("serve/score");
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  return ScoreLocked(entity_ids);
+  // No deadline, strict id validation: the original serving contract.
+  RELGRAPH_ASSIGN_OR_RETURN(
+      ScoreResponse resp,
+      ScoreGated(entity_ids, Deadline(), InvalidIdPolicy::kReject));
+  return std::move(resp.scores);
+}
+
+Result<ScoreResponse> InferenceEngine::ScoreWithOptions(
+    const ScoreRequest& request) {
+  RELGRAPH_TRACE_SPAN("serve/score");
+  return ScoreGated(request.entity_ids, request.deadline,
+                    serve_.invalid_id_policy);
 }
 
 Status InferenceEngine::WarmUp(const std::vector<int64_t>& entity_ids) {
@@ -260,15 +539,16 @@ Status InferenceEngine::WarmUp(const std::vector<int64_t>& entity_ids) {
   std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
   RELGRAPH_COUNTER_ADD("serve_warmup_entities_total",
                        static_cast<int64_t>(entity_ids.size()));
-  RELGRAPH_ASSIGN_OR_RETURN(std::vector<double> ignored,
-                            ScoreLocked(entity_ids, /*count_request=*/false));
+  RELGRAPH_ASSIGN_OR_RETURN(
+      ScoreResponse ignored,
+      ScoreLocked(entity_ids, Deadline(), /*queue_wait_ms=*/0.0,
+                  InvalidIdPolicy::kReject, /*count_request=*/false));
   (void)ignored;
   return Status::OK();
 }
 
-Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
-                                        Timestamp now_cutoff) {
-  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+Status InferenceEngine::ValidateSnapshotLocked(
+    const HeteroGraph* graph) const {
   if (graph == nullptr) {
     return Status::InvalidArgument("AdvanceSnapshot: null graph");
   }
@@ -290,6 +570,25 @@ Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
           "AdvanceSnapshot: snapshot layout mismatch (feature widths)");
     }
   }
+  return Status::OK();
+}
+
+Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
+                                        Timestamp now_cutoff) {
+  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  Status st = ValidateSnapshotLocked(graph);
+  // The poison site fires after validation and before ANY mutation, so an
+  // injected failure exercises exactly the atomicity contract: the
+  // previous snapshot must remain fully servable.
+  if (st.ok() &&
+      FaultInjector::Global().ShouldFire(FaultSite::kServeSnapshotAdvance)) {
+    st = Status::Internal(
+        "injected snapshot poison (site serve_snapshot_advance)");
+  }
+  if (!st.ok()) {
+    RecordAdvanceFailure(st);
+    return st;
+  }
   model_->RebindGraph(graph);
   graph_ = graph;
   sampler_ = std::make_unique<NeighborSampler>(graph_, sampler_options_);
@@ -298,8 +597,58 @@ Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
   // Old-version subgraph keys can no longer match; the LRU ages them out.
   // Embeddings have no version in their key — drop them outright.
   embedding_cache_.Clear();
+  // A successful advance closes the breaker and resets staleness.
+  advance_failures_.store(0, std::memory_order_relaxed);
+  state_.store(static_cast<int>(ServeState::kServing),
+               std::memory_order_relaxed);
+  last_advance_success_ns_.store(clock_->NowNanos(),
+                                 std::memory_order_relaxed);
+  SetLastError(Status::OK());
   RELGRAPH_COUNTER_INC("serve_snapshot_advances_total");
+  NoteStaleness(0.0);
   return Status::OK();
+}
+
+void InferenceEngine::RecordAdvanceFailure(const Status& status) {
+  const int64_t failures =
+      advance_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  RELGRAPH_COUNTER_INC("serve_snapshot_advance_failures_total");
+  SetLastError(status);
+  if (failures >= serve_.breaker_threshold &&
+      state_.load(std::memory_order_relaxed) !=
+          static_cast<int>(ServeState::kDegraded)) {
+    state_.store(static_cast<int>(ServeState::kDegraded),
+                 std::memory_order_relaxed);
+    RELGRAPH_COUNTER_INC("serve_breaker_open_total");
+  }
+}
+
+void InferenceEngine::SetLastError(const Status& status) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  last_error_ = status.ok() ? std::string() : status.ToString();
+}
+
+ServeHealth InferenceEngine::HealthStatus() const {
+  ServeHealth h;
+  h.state = state();
+  h.snapshot_version = snapshot_version_.load(std::memory_order_relaxed);
+  h.consecutive_advance_failures =
+      advance_failures_.load(std::memory_order_relaxed);
+  {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    h.loaded = loaded_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    h.last_error = last_error_;
+  }
+  h.staleness_s = StalenessSeconds();
+  if (gate_ != nullptr) {
+    h.inflight = gate_->inflight();
+    h.queued = gate_->queued();
+  }
+  NoteStaleness(h.staleness_s);
+  return h;
 }
 
 ServeStats InferenceEngine::stats() const {
@@ -311,6 +660,9 @@ ServeStats InferenceEngine::stats() const {
   s.embedding_hits = embedding_cache_.hits();
   s.embedding_misses = embedding_cache_.misses();
   s.snapshot_version = snapshot_version_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.degraded_answers = degraded_answers_.load(std::memory_order_relaxed);
   return s;
 }
 

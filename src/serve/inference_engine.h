@@ -3,18 +3,67 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "core/deadline.h"
 #include "core/status.h"
 #include "gnn/heads.h"
 #include "gnn/hetero_sage.h"
 #include "pq/engine.h"
 #include "sampler/neighbor_sampler.h"
+#include "serve/admission_gate.h"
 #include "serve/lru_cache.h"
 
 namespace relgraph {
+
+/// What the engine does when it cannot answer a request the normal way —
+/// the request's deadline expired mid-flight, a serving dependency
+/// (sampler, allocation) faulted, or the snapshot-advance circuit breaker
+/// has latched the engine into its degraded state.
+enum class DegradeMode {
+  /// Refuse: DeadlineExceeded / Overloaded / Internal, never a partial
+  /// answer. The right mode when callers retry elsewhere.
+  kFailFast = 0,
+  /// Keep answering the full pipeline from the last healthy snapshot
+  /// (stale-but-valid), flagged `degraded` with a staleness figure. Rows
+  /// that still cannot be computed (mid-request deadline expiry, faults)
+  /// come back NaN.
+  kStaleSnapshot,
+  /// Answer only what the caches already hold: embedding hits directly,
+  /// subgraph hits through the forward; everything needing fresh sampling
+  /// comes back NaN. The cheapest mode, and the only one that keeps
+  /// answering when the sampler itself is the sick dependency.
+  kCacheOnly,
+};
+const char* DegradeModeName(DegradeMode mode);
+
+/// Engine health state machine: kServing flips to kDegraded when
+/// `breaker_threshold` consecutive AdvanceSnapshot failures latch the
+/// circuit breaker; the next successful advance resets it.
+enum class ServeState {
+  kServing = 0,
+  kDegraded,
+};
+const char* ServeStateName(ServeState state);
+
+/// Why a response is flagged degraded (the primary cause when several
+/// apply: breaker > deadline > dependency fault).
+enum class DegradeReason {
+  kNone = 0,
+  kDeadline,         ///< request deadline expired mid-flight
+  kBreakerOpen,      ///< engine latched degraded by advance failures
+  kDependencyFault,  ///< sampler/allocation failure during resolution
+};
+const char* DegradeReasonName(DegradeReason reason);
+
+/// What Score does with an unknown / out-of-range entity id.
+enum class InvalidIdPolicy {
+  kReject = 0,  ///< whole request fails with InvalidArgument (default)
+  kNanRow,      ///< the row scores NaN; valid rows are served normally
+};
 
 /// Knobs of the online inference engine.
 struct ServeOptions {
@@ -40,6 +89,72 @@ struct ServeOptions {
   /// sampling salt. Two engines with equal seed + sampler options sample
   /// identical subgraphs for every entity.
   uint64_t seed = 1;
+
+  // ---- resilience ------------------------------------------------------
+
+  /// Admission control: at most `max_inflight` Score calls execute at
+  /// once and at most `max_queue` more wait for a slot; beyond that
+  /// requests are shed with Status::Overloaded. 0 disables the gate
+  /// (every request admitted immediately — the pre-resilience behavior).
+  int64_t max_inflight = 0;
+  int64_t max_queue = 0;
+
+  /// What to do under expired deadlines, dependency faults, or a latched
+  /// breaker. Surfaced in every ScoreResponse's metadata.
+  DegradeMode degrade_mode = DegradeMode::kFailFast;
+
+  /// Consecutive AdvanceSnapshot failures that latch the engine into
+  /// ServeState::kDegraded (must be >= 1).
+  int64_t breaker_threshold = 3;
+
+  /// Unknown-id semantics for ScoreWithOptions (the plain Score(ids)
+  /// wrapper always rejects, preserving its documented contract).
+  InvalidIdPolicy invalid_id_policy = InvalidIdPolicy::kReject;
+
+  /// Clock behind deadlines, queue-wait measurement and staleness.
+  /// nullptr = the process steady clock; tests inject a FakeClock for
+  /// deterministic expiry.
+  const Clock* clock = nullptr;
+};
+
+/// One scoring request: ids plus an execution-policy budget. The default
+/// deadline is infinite.
+struct ScoreRequest {
+  std::vector<int64_t> entity_ids;
+  Deadline deadline;
+};
+
+/// A scored answer plus the resilience metadata every response carries:
+/// how it was produced (state/mode), whether it is degraded and why, and
+/// which snapshot version answered. Rows the engine could not resolve
+/// under the active policy are NaN (`rows_degraded` counts them);
+/// `rows_invalid` counts NaN rows from out-of-range ids under
+/// InvalidIdPolicy::kNanRow.
+struct ScoreResponse {
+  std::vector<double> scores;
+  bool degraded = false;
+  DegradeReason reason = DegradeReason::kNone;
+  DegradeMode mode = DegradeMode::kFailFast;
+  ServeState state = ServeState::kServing;
+  int64_t snapshot_version = 0;
+  double staleness_s = 0.0;
+  double queue_wait_ms = 0.0;
+  int64_t rows_resolved = 0;
+  int64_t rows_degraded = 0;
+  int64_t rows_invalid = 0;
+};
+
+/// Health probe snapshot: the state machine, breaker progress, last
+/// recorded error, snapshot staleness, and gate occupancy.
+struct ServeHealth {
+  ServeState state = ServeState::kServing;
+  bool loaded = false;
+  int64_t snapshot_version = 0;
+  int64_t consecutive_advance_failures = 0;
+  std::string last_error;
+  double staleness_s = 0.0;
+  int64_t inflight = 0;
+  int64_t queued = 0;
 };
 
 /// Point-in-time cache/traffic statistics of an InferenceEngine.
@@ -51,6 +166,9 @@ struct ServeStats {
   int64_t embedding_hits = 0;
   int64_t embedding_misses = 0;
   int64_t snapshot_version = 0;
+  int64_t shed = 0;               ///< requests rejected Overloaded
+  int64_t deadline_exceeded = 0;  ///< requests rejected DeadlineExceeded
+  int64_t degraded_answers = 0;   ///< responses flagged degraded
 };
 
 /// Online inference engine for a trained node-level predictive query.
@@ -71,6 +189,15 @@ struct ServeStats {
 /// are bit-identical with caches on, off, or partially warm, at any
 /// micro-batch size.
 ///
+/// Resilience (see docs/serving.md "Serving resilience"): ScoreWithOptions
+/// threads a request deadline through admission, per-seed sampling and
+/// per-micro-batch forwards; an optional bounded admission gate sheds
+/// excess load with Status::Overloaded; a circuit breaker around
+/// AdvanceSnapshot latches the engine into its configured DegradeMode
+/// after `breaker_threshold` consecutive failures; HealthStatus() reports
+/// the state machine. Degraded answers stay deterministic: with a fake
+/// clock and seeded faults, same inputs give bit-identical responses.
+///
 /// Concurrency: Score/WarmUp may run from any number of threads
 /// concurrently (caches are internally locked; model weights are
 /// read-only after LoadCheckpoint). AdvanceSnapshot and LoadCheckpoint
@@ -79,7 +206,9 @@ struct ServeStats {
 /// Snapshots: AdvanceSnapshot rebinds the engine to a fresher graph of
 /// the SAME layout and bumps the snapshot version. Subgraph cache keys
 /// carry the version (stale entries age out of the LRU); the embedding
-/// cache is cleared outright.
+/// cache is cleared outright. A failed advance — validation failure or
+/// injected poison — leaves the previous snapshot fully intact and
+/// servable: all checks precede all mutations.
 class InferenceEngine {
  public:
   /// `graph` must outlive the engine; `now_cutoff` is the serving-time
@@ -96,28 +225,55 @@ class InferenceEngine {
 
   /// Restores weights saved by GnnNodePredictor::SaveWeights for the
   /// identical architecture; errors on shape/count mismatch. Clears the
-  /// embedding cache (old embeddings belong to the old weights).
+  /// embedding cache (old embeddings belong to the old weights). A failed
+  /// load leaves the previously loaded weights (if any) untouched.
   Status LoadCheckpoint(const std::string& path);
 
   /// Scores the given entity node ids at the current snapshot's "now"
-  /// cutoff. Requires a loaded checkpoint; ids must be valid node ids of
-  /// the entity type. Safe to call concurrently.
+  /// cutoff, with no deadline and strict id validation. Requires a loaded
+  /// checkpoint. Safe to call concurrently. Equivalent to
+  /// ScoreWithOptions({ids}) under InvalidIdPolicy::kReject, keeping only
+  /// the scores.
   Result<std::vector<double>> Score(const std::vector<int64_t>& entity_ids);
+
+  /// Full-policy scoring: admission control, deadline propagation and
+  /// graceful degradation, with per-response resilience metadata.
+  ///
+  /// Outcomes: an OK result whose response is either clean or flagged
+  /// `degraded` (NaN rows under the active DegradeMode), or exactly one
+  /// of Status::Overloaded (shed at the admission gate, or fail-fast with
+  /// the breaker open), Status::DeadlineExceeded (budget exhausted under
+  /// kFailFast or before admission), Status::InvalidArgument (bad ids
+  /// under kReject), Status::FailedPrecondition (no checkpoint), or
+  /// Status::Internal (dependency fault under kFailFast).
+  Result<ScoreResponse> ScoreWithOptions(const ScoreRequest& request);
 
   /// Pre-populates both caches for the given (e.g. hottest) entities so
   /// the first real requests hit warm. Equivalent to a discarded Score,
-  /// except it is not counted in the request/entity traffic stats.
+  /// except it is not counted in the request/entity traffic stats and
+  /// never passes the admission gate.
   Status WarmUp(const std::vector<int64_t>& entity_ids);
 
   /// Switches to a fresher graph snapshot (same layout — table schema and
   /// FK structure must be unchanged) with a new "now" cutoff. Bumps the
-  /// snapshot version and invalidates the embedding cache.
+  /// snapshot version and invalidates the embedding cache. On failure the
+  /// previous snapshot stays fully servable; `breaker_threshold`
+  /// consecutive failures latch the engine into ServeState::kDegraded
+  /// (reset by the next success).
   Status AdvanceSnapshot(const HeteroGraph* graph, Timestamp now_cutoff);
+
+  /// Health probe: state machine, breaker progress, last error, snapshot
+  /// staleness, gate occupancy. Also refreshes the
+  /// serve_snapshot_staleness_s gauge.
+  ServeHealth HealthStatus() const;
 
   ServeStats stats() const;
 
   int64_t snapshot_version() const {
     return snapshot_version_.load(std::memory_order_relaxed);
+  }
+  ServeState state() const {
+    return static_cast<ServeState>(state_.load(std::memory_order_relaxed));
   }
   Timestamp now_cutoff() const;
   bool loaded() const;
@@ -146,17 +302,51 @@ class InferenceEngine {
     }
   };
 
+  /// Shared entry of Score and ScoreWithOptions: admission gate, then the
+  /// locked score body. `policy` lets the plain Score wrapper keep strict
+  /// id validation regardless of the engine's configured policy.
+  Result<ScoreResponse> ScoreGated(const std::vector<int64_t>& entity_ids,
+                                   const Deadline& deadline,
+                                   InvalidIdPolicy policy);
+
   /// Score body; callers hold the shared snapshot lock. WarmUp passes
   /// `count_request` false so pre-population is not counted as traffic.
-  Result<std::vector<double>> ScoreLocked(
-      const std::vector<int64_t>& entity_ids, bool count_request = true);
+  Result<ScoreResponse> ScoreLocked(const std::vector<int64_t>& entity_ids,
+                                    const Deadline& deadline,
+                                    double queue_wait_ms,
+                                    InvalidIdPolicy policy,
+                                    bool count_request);
 
-  /// Embedding rows for one micro-batch of distinct uncached ids, in
-  /// input order ([ids.size() × hidden]).
-  Tensor EmbedMicroBatch(const std::vector<int64_t>& ids);
+  /// Layout checks of a candidate snapshot; no mutation. Exclusive lock
+  /// held.
+  Status ValidateSnapshotLocked(const HeteroGraph* graph) const;
 
-  /// Fetches (or samples and caches) the per-seed subgraph of one entity.
-  std::shared_ptr<const Subgraph> GetSubgraph(int64_t node);
+  /// Probes the subgraph cache at the current snapshot version.
+  bool TryGetCachedSubgraph(int64_t node,
+                            std::shared_ptr<const Subgraph>* out);
+
+  /// Samples (and caches) one entity's subgraph under the deadline;
+  /// DeadlineExceeded on expiry, Internal on an injected sampler fault.
+  Result<std::shared_ptr<const Subgraph>> SampleSubgraph(
+      int64_t node, const Deadline& deadline);
+
+  /// Embedding rows for one micro-batch of per-seed subgraphs, in part
+  /// order ([parts.size() × hidden]).
+  Tensor EmbedParts(const std::vector<const Subgraph*>& parts);
+
+  /// Registers a failed advance under the exclusive snapshot lock:
+  /// counts toward the breaker, latches kDegraded at the threshold,
+  /// records the error for HealthStatus().
+  void RecordAdvanceFailure(const Status& status);
+
+  void SetLastError(const Status& status);
+
+  double StalenessSeconds() const {
+    return static_cast<double>(
+               clock_->NowNanos() -
+               last_advance_success_ns_.load(std::memory_order_relaxed)) /
+           1e9;
+  }
 
   const Module* head() const {
     return cls_head_ ? static_cast<const Module*>(cls_head_.get())
@@ -170,6 +360,8 @@ class InferenceEngine {
   SamplerOptions sampler_options_;
   ServeOptions serve_;
   uint64_t salt_;  // serve_.seed ^ OptionsFingerprint(sampler_options_)
+  const Clock* clock_;
+  std::unique_ptr<AdmissionGate> gate_;  // null = admission control off
 
   /// Guards the snapshot-mutable state (graph_, sampler_, now_cutoff_,
   /// model weights, label stats): Score/WarmUp take it shared,
@@ -188,6 +380,17 @@ class InferenceEngine {
   std::atomic<int64_t> snapshot_version_{0};
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> entities_scored_{0};
+
+  // Resilience state machine (reads are lock-free; writers hold the
+  // exclusive snapshot lock).
+  std::atomic<int> state_{static_cast<int>(ServeState::kServing)};
+  std::atomic<int64_t> advance_failures_{0};
+  std::atomic<int64_t> last_advance_success_ns_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> deadline_exceeded_{0};
+  std::atomic<int64_t> degraded_answers_{0};
+  mutable std::mutex health_mu_;  // guards last_error_ only
+  std::string last_error_;
 
   LruCache<SubgraphKey, std::shared_ptr<const Subgraph>, SubgraphKeyHash>
       subgraph_cache_;

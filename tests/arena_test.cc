@@ -5,8 +5,10 @@
 // matching throughput numbers live in bench/bench_forward.cc.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,11 +89,15 @@ class ArenaTest : public ::testing::Test {
 
     auto trainer = MakeTrainer();
     ASSERT_TRUE(trainer->Fit(*table_, *split_).ok());
-    ckpt_path_ = ::testing::TempDir() + "/arena_test.ckpt";
+    // Pid-unique path: ctest runs each TEST of this binary as its own
+    // process, possibly in parallel — a shared path would race.
+    ckpt_path_ = ::testing::TempDir() + "/arena_test." +
+                 std::to_string(getpid()) + ".ckpt";
     ASSERT_TRUE(trainer->SaveWeights(ckpt_path_).ok());
   }
 
   static void TearDownTestSuite() {
+    std::remove(ckpt_path_.c_str());
     delete split_;
     delete table_;
     delete dbg_;

@@ -1,0 +1,418 @@
+// Chaos harness for the serving stack: seeded probabilistic faults injected
+// into the sampler, allocation, checkpoint-load and snapshot-advance sites
+// while requests flood the engine past its admission capacity.
+//
+// Invariants under chaos (the ctest `chaos` label; also run under ASan and
+// TSan by scripts/ci.sh):
+//   - the engine never crashes or deadlocks;
+//   - every request resolves to exactly one of {ok, ok-degraded,
+//     Overloaded, DeadlineExceeded};
+//   - no answer is ever computed from a snapshot other than the one its
+//     response metadata claims (checked against per-version reference
+//     scores over two same-layout databases with DIFFERENT data);
+//   - with a fake clock and fixed fault seeds, a single-threaded chaos
+//     script replays bit-identically: same outcomes, same scores, same
+//     NaN pattern, same shed decisions.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/deadline.h"
+#include "core/fault_injection.h"
+#include "datagen/ecommerce.h"
+#include "db2graph/graph_builder.h"
+#include "pq/engine.h"
+#include "pq/label_builder.h"
+#include "pq/parser.h"
+#include "serve/inference_engine.h"
+#include "train/trainer.h"
+
+namespace relgraph {
+namespace {
+
+constexpr const char* kQuery =
+    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH users";
+
+/// Shared world: one trained checkpoint over database A, plus a second
+/// database B generated with a different seed — same schema and layout
+/// (AdvanceSnapshot accepts it) but different data, so its scores differ
+/// and a wrong-version answer is detectable.
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ECommerceConfig cfg;
+    cfg.num_users = 80;
+    cfg.num_products = 25;
+    cfg.num_categories = 4;
+    cfg.horizon_days = 150;
+    db_a_ = new Database(MakeECommerceDb(cfg));
+    cfg.seed = 43;  // different world, identical layout
+    db_b_ = new Database(MakeECommerceDb(cfg));
+    dbg_a_ = new DbGraph(BuildDbGraph(*db_a_).value());
+    dbg_b_ = new DbGraph(BuildDbGraph(*db_b_).value());
+    users_ = dbg_a_->graph.FindNodeType("users").value();
+
+    auto rq = AnalyzeQuery(ParseQuery(kQuery).value(), *db_a_).value();
+    auto cutoffs = MakeCutoffs(rq, *db_a_).value();
+    auto table = BuildTrainingTable(rq, *db_a_, cutoffs).value();
+    auto split = MakeSplit(rq, table, cutoffs).value();
+    TrainerConfig tc;
+    tc.epochs = 2;
+    tc.seed = 3;
+    GnnNodePredictor trainer(&dbg_a_->graph, users_,
+                             TaskKind::kBinaryClassification, 2, Gnn(),
+                             Sampler(), tc);
+    ASSERT_TRUE(trainer.Fit(table, split).ok());
+    // Pid-unique path: ctest runs each TEST of this binary as its own
+    // process, possibly in parallel — a shared path would race.
+    ckpt_path_ = ::testing::TempDir() + "/chaos_test." +
+                 std::to_string(getpid()) + ".ckpt";
+    ASSERT_TRUE(trainer.SaveWeights(ckpt_path_).ok());
+
+    // Per-graph reference scores for every user id, computed cacheless and
+    // fault-free: the ground truth each served answer is checked against.
+    ref_a_ = ReferenceScores(&dbg_a_->graph);
+    ref_b_ = ReferenceScores(&dbg_b_->graph);
+    bool differs = false;
+    for (size_t i = 0; i < ref_a_.size(); ++i) {
+      if (ref_a_[i] != ref_b_[i]) differs = true;
+    }
+    // The wrong-version check has teeth only if the two snapshots score
+    // differently.
+    ASSERT_TRUE(differs);
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(ckpt_path_.c_str());
+    delete dbg_b_;
+    delete dbg_a_;
+    delete db_b_;
+    delete db_a_;
+    dbg_b_ = dbg_a_ = nullptr;
+    db_b_ = db_a_ = nullptr;
+  }
+
+  void SetUp() override { FaultInjector::Global().Reset(); }
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  static GnnConfig Gnn() {
+    GnnConfig gnn;
+    gnn.hidden_dim = 16;
+    gnn.num_layers = 2;
+    return gnn;
+  }
+
+  static SamplerOptions Sampler() {
+    SamplerOptions sopts;
+    sopts.fanouts = {4, 4};
+    sopts.policy = SamplePolicy::kMostRecent;
+    return sopts;
+  }
+
+  static Timestamp Now() {
+    // One cutoff covering both worlds keeps advances interchangeable.
+    return std::max(db_a_->TimeRange().second, db_b_->TimeRange().second) + 1;
+  }
+
+  static std::unique_ptr<InferenceEngine> MakeEngine(
+      const HeteroGraph* graph, const ServeOptions& serve) {
+    auto engine = std::make_unique<InferenceEngine>(
+        graph, users_, TaskKind::kBinaryClassification, 2, Gnn(), Sampler(),
+        Now(), serve);
+    EXPECT_TRUE(engine->LoadCheckpoint(ckpt_path_).ok());
+    return engine;
+  }
+
+  static std::vector<double> ReferenceScores(const HeteroGraph* graph) {
+    ServeOptions off;
+    off.enable_subgraph_cache = false;
+    off.enable_embedding_cache = false;
+    auto engine = MakeEngine(graph, off);
+    std::vector<int64_t> ids(80);
+    for (int64_t i = 0; i < 80; ++i) ids[static_cast<size_t>(i)] = i;
+    auto scores = engine->Score(ids);
+    EXPECT_TRUE(scores.ok());
+    return scores.value();
+  }
+
+  static Database* db_a_;
+  static Database* db_b_;
+  static DbGraph* dbg_a_;
+  static DbGraph* dbg_b_;
+  static NodeTypeId users_;
+  static std::string ckpt_path_;
+  static std::vector<double> ref_a_;
+  static std::vector<double> ref_b_;
+};
+
+Database* ChaosTest::db_a_ = nullptr;
+Database* ChaosTest::db_b_ = nullptr;
+DbGraph* ChaosTest::dbg_a_ = nullptr;
+DbGraph* ChaosTest::dbg_b_ = nullptr;
+NodeTypeId ChaosTest::users_ = 0;
+std::string ChaosTest::ckpt_path_;
+std::vector<double> ChaosTest::ref_a_;
+std::vector<double> ChaosTest::ref_b_;
+
+// ------------------------------------------------------------- determinism
+
+/// One recorded step of the single-threaded chaos script.
+struct StepRecord {
+  int status_code = 0;  // StatusCode of the result (kOk for answers)
+  bool degraded = false;
+  int reason = 0;
+  int64_t version = -1;
+  int64_t rows_degraded = 0;
+  std::vector<double> scores;  // empty for non-ok outcomes
+};
+
+bool SameScores(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isnan(a[i]) != std::isnan(b[i])) return false;
+    if (!std::isnan(a[i]) && a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+TEST_F(ChaosTest, SeededChaosScriptReplaysBitIdentically) {
+  // The whole universe is deterministic: a fake clock that ticks a fixed
+  // amount per read stands in for elapsing time, and every fault site
+  // draws from its own (seed, hit-index) stream. Re-running the script
+  // from scratch must reproduce every outcome bit-for-bit.
+  auto run_script = [&]() {
+    std::vector<StepRecord> records;
+    FaultInjector::Global().Reset();
+    FaultInjector::Global().ArmProbability(FaultSite::kServeSample, 0.15, 7);
+    FaultInjector::Global().ArmProbability(FaultSite::kServeAlloc, 0.10, 11);
+    FaultInjector::Global().ArmProbability(FaultSite::kServeSnapshotAdvance,
+                                           0.50, 13);
+    FakeClock clock;
+    clock.set_auto_advance_nanos(500'000);  // 0.5ms per clock read
+    ServeOptions serve;
+    serve.clock = &clock;
+    serve.degrade_mode = DegradeMode::kStaleSnapshot;
+    serve.breaker_threshold = 2;
+    auto engine = MakeEngine(&dbg_a_->graph, serve);
+    const DbGraph* graphs[2] = {dbg_b_, dbg_a_};
+
+    for (int step = 0; step < 30; ++step) {
+      if (step % 5 == 4) {
+        // Operator plane: advances are poisoned with p=0.5 and may latch
+        // the breaker; record their outcome too.
+        StepRecord rec;
+        rec.status_code = static_cast<int>(
+            engine->AdvanceSnapshot(&graphs[(step / 5) % 2]->graph, Now())
+                .code());
+        rec.version = engine->snapshot_version();
+        records.push_back(std::move(rec));
+        continue;
+      }
+      ScoreRequest request;
+      request.entity_ids = {step % 80, (3 * step) % 80, (7 * step + 1) % 80};
+      if (step % 3 == 1) {
+        // Tight budgets (under one 0.5ms tick) are dead on arrival and
+        // must be refused; loose ones survive the whole request.
+        request.deadline =
+            Deadline::AfterMillis(step % 6 == 1 ? 0.2 : 50.0, &clock);
+      }
+      auto resp = engine->ScoreWithOptions(request);
+      StepRecord rec;
+      if (resp.ok()) {
+        rec.status_code = static_cast<int>(StatusCode::kOk);
+        rec.degraded = resp.value().degraded;
+        rec.reason = static_cast<int>(resp.value().reason);
+        rec.version = resp.value().snapshot_version;
+        rec.rows_degraded = resp.value().rows_degraded;
+        rec.scores = resp.value().scores;
+      } else {
+        rec.status_code = static_cast<int>(resp.status().code());
+        // Chaos outcome contract: a refused request is exactly Overloaded
+        // or DeadlineExceeded, never anything else.
+        EXPECT_TRUE(resp.status().code() == StatusCode::kOverloaded ||
+                    resp.status().code() == StatusCode::kDeadlineExceeded)
+            << resp.status().ToString();
+      }
+      records.push_back(std::move(rec));
+    }
+    FaultInjector::Global().Reset();
+    return records;
+  };
+
+  const std::vector<StepRecord> first = run_script();
+  const std::vector<StepRecord> second = run_script();
+  ASSERT_EQ(first.size(), second.size());
+  int degraded_steps = 0;
+  int refused_steps = 0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].status_code, second[i].status_code) << "step " << i;
+    EXPECT_EQ(first[i].degraded, second[i].degraded) << "step " << i;
+    EXPECT_EQ(first[i].reason, second[i].reason) << "step " << i;
+    EXPECT_EQ(first[i].version, second[i].version) << "step " << i;
+    EXPECT_EQ(first[i].rows_degraded, second[i].rows_degraded)
+        << "step " << i;
+    EXPECT_TRUE(SameScores(first[i].scores, second[i].scores))
+        << "step " << i;
+    if (first[i].degraded) ++degraded_steps;
+    if (first[i].status_code != static_cast<int>(StatusCode::kOk)) {
+      ++refused_steps;
+    }
+  }
+  // The script must actually exercise chaos, not sail through cleanly.
+  EXPECT_GT(degraded_steps, 0);
+  EXPECT_GT(refused_steps, 0);
+}
+
+// ------------------------------------------------------- multi-thread flood
+
+TEST_F(ChaosTest, FloodWithFaultsUpholdsInvariants) {
+  // Real clock, real threads: outcomes are scheduling-dependent, so this
+  // test asserts invariants, not exact sequences — the 4-outcome contract,
+  // accounting consistency, and version-consistent answers.
+  FaultInjector::Global().ArmProbability(FaultSite::kServeSample, 0.05, 1);
+  FaultInjector::Global().ArmProbability(FaultSite::kServeAlloc, 0.02, 2);
+  FaultInjector::Global().ArmProbability(FaultSite::kServeSnapshotAdvance,
+                                         0.50, 3);
+  ServeOptions serve;
+  serve.degrade_mode = DegradeMode::kStaleSnapshot;
+  serve.breaker_threshold = 3;
+  serve.max_inflight = 2;
+  serve.max_queue = 1;
+  auto engine = MakeEngine(&dbg_a_->graph, serve);
+
+  // graph_of_version[v] = which reference table answers from snapshot
+  // version v must match. Written only by the advancing (main) thread and
+  // read only after join.
+  std::vector<const std::vector<double>*> graph_of_version = {&ref_a_};
+
+  struct OkAnswer {
+    std::vector<int64_t> ids;
+    std::vector<double> scores;
+    int64_t version;
+  };
+  const int kThreads = 4;
+  const int kIters = 50;
+  std::vector<std::vector<OkAnswer>> answers(kThreads);
+  std::atomic<int> ok_count{0}, degraded_count{0}, shed_count{0},
+      deadline_count{0}, other_count{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        ScoreRequest request;
+        const int64_t base = (t * 31 + it * 7) % 80;
+        request.entity_ids = {base, (base + 13) % 80};
+        if (it % 4 == 3) {
+          // A tight real-time budget: warm answers make it, cold ones
+          // run out — either way the outcome must be in-contract.
+          request.deadline = Deadline::AfterMillis(0.2);
+        }
+        auto resp = engine->ScoreWithOptions(request);
+        if (resp.ok()) {
+          ++ok_count;
+          if (resp.value().degraded) ++degraded_count;
+          answers[static_cast<size_t>(t)].push_back(
+              OkAnswer{request.entity_ids, resp.value().scores,
+                       resp.value().snapshot_version});
+        } else if (resp.status().code() == StatusCode::kOverloaded) {
+          ++shed_count;
+        } else if (resp.status().code() == StatusCode::kDeadlineExceeded) {
+          ++deadline_count;
+        } else {
+          ++other_count;
+        }
+      }
+    });
+  }
+
+  const std::vector<double>* refs[2] = {&ref_b_, &ref_a_};
+  const DbGraph* graphs[2] = {dbg_b_, dbg_a_};
+  for (int round = 0; round < 20; ++round) {
+    if (engine->AdvanceSnapshot(&graphs[round % 2]->graph, Now()).ok()) {
+      graph_of_version.push_back(refs[round % 2]);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& th : threads) th.join();
+
+  // Every request resolved to exactly one of the four allowed outcomes.
+  EXPECT_EQ(other_count.load(), 0);
+  EXPECT_EQ(ok_count.load() + shed_count.load() + deadline_count.load(),
+            kThreads * kIters);
+  // The engine's own books agree with the callers' tallies.
+  const ServeStats stats = engine->stats();
+  EXPECT_EQ(stats.requests, ok_count.load());
+  EXPECT_EQ(stats.shed, shed_count.load());
+  EXPECT_EQ(stats.deadline_exceeded, deadline_count.load());
+  EXPECT_EQ(stats.degraded_answers, degraded_count.load());
+
+  // No answer may deviate from the reference scores of the snapshot
+  // version its response claims — a mismatch means a request read one
+  // snapshot's graph under another's version (or a torn advance).
+  ASSERT_EQ(graph_of_version.size(),
+            static_cast<size_t>(engine->snapshot_version()) + 1);
+  int checked = 0;
+  for (const auto& per_thread : answers) {
+    for (const OkAnswer& a : per_thread) {
+      ASSERT_GE(a.version, 0);
+      ASSERT_LT(static_cast<size_t>(a.version), graph_of_version.size());
+      const std::vector<double>& ref = *graph_of_version[a.version];
+      for (size_t i = 0; i < a.ids.size(); ++i) {
+        if (std::isnan(a.scores[i])) continue;  // degraded row
+        EXPECT_EQ(a.scores[i], ref[static_cast<size_t>(a.ids[i])])
+            << "id " << a.ids[i] << " at version " << a.version;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+  // The gate drained completely.
+  const ServeHealth health = engine->HealthStatus();
+  EXPECT_EQ(health.inflight, 0);
+  EXPECT_EQ(health.queued, 0);
+}
+
+// --------------------------------------------------------------- env config
+
+TEST_F(ChaosTest, EnvVarArmsTheChaosConfiguration) {
+  ServeOptions serve;
+  serve.degrade_mode = DegradeMode::kStaleSnapshot;
+  serve.enable_subgraph_cache = false;
+  serve.enable_embedding_cache = false;
+  auto engine = MakeEngine(&dbg_a_->graph, serve);
+
+  ::setenv("RELGRAPH_FAULTS", "serve_sample=p1.0@5,serve_snapshot_advance=1",
+           /*overwrite=*/1);
+  auto armed = FaultInjector::Global().ArmFromEnv();
+  ::unsetenv("RELGRAPH_FAULTS");
+  ASSERT_TRUE(armed.ok());
+  EXPECT_EQ(armed.value(), 2);
+
+  // p=1.0 sampler faults: every fresh sample fails, every row degrades.
+  ScoreRequest request;
+  request.entity_ids = {1, 2, 3};
+  auto resp = engine->ScoreWithOptions(request);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp.value().degraded);
+  EXPECT_EQ(resp.value().rows_degraded, 3);
+  for (double s : resp.value().scores) EXPECT_TRUE(std::isnan(s));
+
+  // The one-shot advance poison fires once, then advances work again.
+  EXPECT_FALSE(engine->AdvanceSnapshot(&dbg_b_->graph, Now()).ok());
+  EXPECT_TRUE(engine->AdvanceSnapshot(&dbg_b_->graph, Now()).ok());
+}
+
+}  // namespace
+}  // namespace relgraph

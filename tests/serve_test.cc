@@ -4,8 +4,10 @@
 // for serving, and concurrent request correctness.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
@@ -109,11 +111,15 @@ class ServeTest : public ::testing::Test {
                              TaskKind::kBinaryClassification, 2, Gnn(),
                              Sampler(), tc);
     ASSERT_TRUE(trainer.Fit(table, split).ok());
-    ckpt_path_ = ::testing::TempDir() + "/serve_test.ckpt";
+    // Pid-unique path: ctest runs each TEST of this binary as its own
+    // process, possibly in parallel — a shared path would race.
+    ckpt_path_ = ::testing::TempDir() + "/serve_test." +
+                 std::to_string(getpid()) + ".ckpt";
     ASSERT_TRUE(trainer.SaveWeights(ckpt_path_).ok());
   }
 
   static void TearDownTestSuite() {
+    std::remove(ckpt_path_.c_str());
     delete dbg2_;
     delete dbg_;
     delete db_;
