@@ -14,7 +14,7 @@
 #   scripts/ci.sh all        # default full + nosimd + asan + tsan + chaos
 #
 # Test lanes are ctest labels (see tests/CMakeLists.txt): unit |
-# integration | serve | chaos | slow.
+# integration | serve | serve_mt | chaos | slow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,10 +34,12 @@ case "$MODE" in
   unit)
     run_preset default -L unit
     run_preset default -L serve
+    run_preset default -L serve_mt
     ;;
   full | default)
     run_preset default -L unit
     run_preset default -L serve
+    run_preset default -L serve_mt
     run_preset default -L chaos
     run_preset default -L integration
     run_preset default -L slow
@@ -59,9 +61,17 @@ case "$MODE" in
     cmake --preset tsan >/dev/null
     cmake --build --preset tsan -j "$JOBS"
     for t in parallel_test observability_test tensor_test train_test \
-             serve_test serve_resilience_test arena_test; do
+             serve_test serve_resilience_test serve_coalesce_test \
+             arena_test; do
       TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
     done
+    ;;
+  serve_mt)
+    # The coalescing/shard-swap concurrency suite alone, under TSan — the
+    # quick lane to run after touching the scheduler or the epoch caches.
+    cmake --preset tsan >/dev/null
+    cmake --build --preset tsan -j "$JOBS"
+    TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/serve_coalesce_test
     ;;
   chaos)
     # The chaos lane: seeded fault-injection tests under both sanitizers.
@@ -80,7 +90,7 @@ case "$MODE" in
     "$0" chaos
     ;;
   *)
-    echo "usage: $0 [unit|full|nosimd|asan|tsan|chaos|all]" >&2
+    echo "usage: $0 [unit|full|nosimd|asan|tsan|serve_mt|chaos|all]" >&2
     exit 2
     ;;
 esac

@@ -109,6 +109,24 @@ class Deadline {
 
   const Clock* clock() const { return clock_; }
 
+  /// The deadline that expires first / last of the two, compared by
+  /// remaining budget on each deadline's own clock (callers normally
+  /// combine deadlines sharing one clock; across clocks this compares
+  /// remaining time, the only meaningful common currency). An infinite
+  /// deadline loses EarlierOf and wins LaterOf. The coalescing scheduler
+  /// uses LaterOf to run a shared micro-batch under the most generous
+  /// member budget and refuses late members individually afterwards.
+  static Deadline EarlierOf(const Deadline& a, const Deadline& b) {
+    if (a.is_infinite()) return b;
+    if (b.is_infinite()) return a;
+    return a.remaining_nanos() <= b.remaining_nanos() ? a : b;
+  }
+  static Deadline LaterOf(const Deadline& a, const Deadline& b) {
+    if (a.is_infinite()) return a;
+    if (b.is_infinite()) return b;
+    return a.remaining_nanos() >= b.remaining_nanos() ? a : b;
+  }
+
  private:
   static constexpr int64_t kInfinite =
       std::numeric_limits<int64_t>::max();

@@ -92,6 +92,12 @@ const std::vector<double>& FineLatencyBucketsMs() {
   return kBuckets;
 }
 
+const std::vector<double>& BatchRowBuckets() {
+  static const std::vector<double> kBuckets = {1,  2,   4,   8,   16,  32,
+                                               64, 128, 256, 512, 1024};
+  return kBuckets;
+}
+
 // -------------------------------------------------------------- Registry
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -90,6 +90,10 @@ const std::vector<double>& LatencyBucketsMs();
 /// the standard buckets would collapse everything into the first bin.
 const std::vector<double>& FineLatencyBucketsMs();
 
+/// Power-of-two row-count buckets for batch-size histograms (e.g. rows per
+/// coalesced serving micro-batch).
+const std::vector<double>& BatchRowBuckets();
+
 /// The process-wide registry. Metric objects are created on first lookup
 /// and live for the process lifetime, so call sites may cache the returned
 /// pointers (ResetForTesting zeroes values but never invalidates

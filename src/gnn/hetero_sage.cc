@@ -79,11 +79,18 @@ void HeteroSageModel::RebindGraph(const HeteroGraph* graph) {
 
 VarPtr HeteroSageModel::Forward(const Subgraph& sg, NodeTypeId seed_type,
                                 Rng* rng, bool training) const {
+  return ForwardOn(graph_, sg, seed_type, rng, training);
+}
+
+VarPtr HeteroSageModel::ForwardOn(const HeteroGraph* graph,
+                                  const Subgraph& sg, NodeTypeId seed_type,
+                                  Rng* rng, bool training) const {
+  RELGRAPH_CHECK(graph != nullptr);
   RELGRAPH_CHECK(static_cast<int64_t>(sg.blocks.size()) ==
                  config_.num_layers)
       << "subgraph depth " << sg.blocks.size() << " != model layers "
       << config_.num_layers;
-  const int32_t num_types = graph_->num_node_types();
+  const int32_t num_types = graph->num_node_types();
   const size_t deepest = sg.frontiers.size() - 1;
 
   // Encode raw features of the deepest frontier.
@@ -93,7 +100,7 @@ VarPtr HeteroSageModel::Forward(const Subgraph& sg, NodeTypeId seed_type,
     if (nodes.empty()) continue;
     const auto& cutoffs =
         sg.frontiers[deepest].cutoffs[static_cast<size_t>(t)];
-    VarPtr x = ag::Constant(InputFeatures(t, nodes, cutoffs));
+    VarPtr x = ag::Constant(InputFeatures(graph, t, nodes, cutoffs));
     VarPtr enc =
         ag::Relu(encoders_[static_cast<size_t>(t)]->Forward(x));
     if (training && config_.dropout > 0.0f) {
@@ -122,8 +129,8 @@ VarPtr HeteroSageModel::Forward(const Subgraph& sg, NodeTypeId seed_type,
     }
     // Message terms per sampled block.
     for (const auto& block : sg.blocks[static_cast<size_t>(k)]) {
-      const NodeTypeId tgt_type = graph_->edge_src_type(block.edge_type);
-      const NodeTypeId src_type = graph_->edge_dst_type(block.edge_type);
+      const NodeTypeId tgt_type = graph->edge_src_type(block.edge_type);
+      const NodeTypeId src_type = graph->edge_dst_type(block.edge_type);
       RELGRAPH_CHECK(h[static_cast<size_t>(src_type)] != nullptr);
       RELGRAPH_CHECK(next_h[static_cast<size_t>(tgt_type)] != nullptr);
       const int64_t n_tgt = static_cast<int64_t>(
@@ -183,10 +190,11 @@ VarPtr HeteroSageModel::Forward(const Subgraph& sg, NodeTypeId seed_type,
 }
 
 Tensor HeteroSageModel::InputFeatures(
-    NodeTypeId type, const std::vector<int64_t>& nodes,
+    const HeteroGraph* graph, NodeTypeId type,
+    const std::vector<int64_t>& nodes,
     const std::vector<Timestamp>& cutoffs) const {
   const int64_t n = static_cast<int64_t>(nodes.size());
-  const Tensor& table_feats = graph_->node_features(type);
+  const Tensor& table_feats = graph->node_features(type);
   const int64_t base_dim = table_feats.empty() ? 1 : table_feats.cols();
   int64_t dim = base_dim;
   if (config_.time_encoding) dim += 2;
@@ -211,7 +219,7 @@ Tensor HeteroSageModel::InputFeatures(
       }
     }
     if (config_.time_encoding) {
-      const Timestamp t = graph_->node_time(type, node);
+      const Timestamp t = graph->node_time(type, node);
       if (t == kNoTimestamp) {
         out.at(i, col++) = 0.0f;
         out.at(i, col++) = 1.0f;  // is_static
@@ -228,7 +236,7 @@ Tensor HeteroSageModel::InputFeatures(
         const int64_t* dst;
         const Timestamp* times;
         int64_t count;
-        graph_->Neighbors(e, node, &dst, &times, &count);
+        graph->Neighbors(e, node, &dst, &times, &count);
         int64_t valid = 0;
         for (int64_t k = 0; k < count; ++k) {
           if (times[k] == kNoTimestamp || times[k] < cutoff) ++valid;

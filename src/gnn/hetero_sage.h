@@ -70,9 +70,17 @@ class HeteroSageModel : public Module {
 
   /// Runs message passing over `sg` (which must have been sampled with
   /// depth == config.num_layers) and returns the seed embeddings
-  /// [num_seeds × hidden_dim].
+  /// [num_seeds × hidden_dim]. Reads features from the bound graph.
   VarPtr Forward(const Subgraph& sg, NodeTypeId seed_type, Rng* rng,
                  bool training) const;
+
+  /// Forward over an explicit data graph with the IDENTICAL layout as the
+  /// bound one, without rebinding. This is the epoch-snapshot serving
+  /// entry: concurrent readers each pass their own pinned snapshot's
+  /// graph, so the model itself stays read-only and multiple forwards over
+  /// different snapshot versions can run at once.
+  VarPtr ForwardOn(const HeteroGraph* graph, const Subgraph& sg,
+                   NodeTypeId seed_type, Rng* rng, bool training) const;
 
   std::vector<VarPtr> Parameters() const override;
 
@@ -98,8 +106,9 @@ class HeteroSageModel : public Module {
   };
 
   /// Raw input features for the deepest frontier of one node type,
-  /// including the time/degree encodings.
-  Tensor InputFeatures(NodeTypeId type, const std::vector<int64_t>& nodes,
+  /// including the time/degree encodings, read from `graph`.
+  Tensor InputFeatures(const HeteroGraph* graph, NodeTypeId type,
+                       const std::vector<int64_t>& nodes,
                        const std::vector<Timestamp>& cutoffs) const;
 
   const HeteroGraph* graph_;

@@ -142,15 +142,19 @@ inline uint64_t Mix64(uint64_t x) {
 
 }  // namespace
 
+uint64_t ServingSeedFingerprint(uint64_t salt, int64_t node,
+                                Timestamp cutoff) {
+  uint64_t seed = Mix64(salt ^ Mix64(static_cast<uint64_t>(node)));
+  return Mix64(seed ^ Mix64(static_cast<uint64_t>(cutoff)));
+}
+
 Subgraph NeighborSampler::SampleForServing(NodeTypeId seed_type,
                                            int64_t node, Timestamp cutoff,
                                            uint64_t salt) const {
   // Stream derived from (salt, node, cutoff) only: equal inputs replay the
   // exact draw sequence, so a recomputed subgraph is bit-identical to a
   // cached one regardless of request order or batch composition.
-  uint64_t seed = Mix64(salt ^ Mix64(static_cast<uint64_t>(node)));
-  seed = Mix64(seed ^ Mix64(static_cast<uint64_t>(cutoff)));
-  Rng rng(seed);
+  Rng rng(ServingSeedFingerprint(salt, node, cutoff));
   const std::vector<int64_t> seeds = {node};
   const std::vector<Timestamp> cutoffs = {cutoff};
   Subgraph sg = SampleChunk(seed_type, seeds, cutoffs, &rng);
@@ -166,9 +170,7 @@ Result<Subgraph> NeighborSampler::SampleForServing(
   }
   // Same stream derivation as the deadline-free overload: the deadline
   // gates whether a subgraph is produced, never which subgraph.
-  uint64_t seed = Mix64(salt ^ Mix64(static_cast<uint64_t>(node)));
-  seed = Mix64(seed ^ Mix64(static_cast<uint64_t>(cutoff)));
-  Rng rng(seed);
+  Rng rng(ServingSeedFingerprint(salt, node, cutoff));
   const std::vector<int64_t> seeds = {node};
   const std::vector<Timestamp> cutoffs = {cutoff};
   bool expired = false;

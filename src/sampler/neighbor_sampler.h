@@ -121,6 +121,18 @@ std::vector<std::vector<int64_t>> MakeBatches(int64_t n, int64_t batch_size,
 /// samples each seed serially, so chunking never affects its output.
 uint64_t OptionsFingerprint(const SamplerOptions& options);
 
+/// Stream fingerprint of one serving-time seed: the exact splitmix-derived
+/// key `SampleForServing` seeds its RNG from, as a pure function of
+/// (salt, node, cutoff). Two seeds with equal fingerprints sample (and
+/// therefore score) bit-identically, which is what lets the serving layer
+/// dedup seed work ACROSS concurrent requests: the coalescing scheduler
+/// keys its cross-request dedup map on this value, so two clients asking
+/// about the same entity at the same cutoff sample and forward once.
+/// Callers fold OptionsFingerprint into `salt` (the engine already does)
+/// so distinct sampler configurations keep distinct streams.
+uint64_t ServingSeedFingerprint(uint64_t salt, int64_t node,
+                                Timestamp cutoff);
+
 /// Block-diagonal concatenation of independently sampled subgraphs, with NO
 /// cross-part dedup — unlike the training-path chunk merge, a node reached
 /// by several parts keeps one copy per part, so each part's aggregation

@@ -52,6 +52,17 @@ inline void NoteStaleness(double seconds) {
 #endif
 }
 
+inline void NoteShardSwap(double millis) {
+#ifndef RELGRAPH_NO_METRICS
+  if (!MetricsEnabled()) return;
+  static Histogram* swap = MetricsRegistry::Global().GetHistogram(
+      "serve_shard_swap_ms", FineLatencyBucketsMs());
+  swap->Observe(millis);
+#else
+  (void)millis;
+#endif
+}
+
 // Once per process, on the first engine construction: arm fault sites from
 // RELGRAPH_FAULTS so unmodified serving binaries can join a chaos run with
 // one env var. A malformed spec is loudly ignored rather than fatal — a
@@ -126,12 +137,12 @@ InferenceEngine::InferenceEngine(const HeteroGraph* graph,
       serve_(serve),
       salt_(serve.seed ^ OptionsFingerprint(sampler_options)),
       clock_(serve.clock != nullptr ? serve.clock : Clock::Real()),
-      graph_(graph),
-      now_cutoff_(now_cutoff),
-      subgraph_cache_(serve.subgraph_cache_capacity),
-      embedding_cache_(serve.embedding_cache_capacity) {
+      num_shards_(RoundUpPow2(static_cast<uint32_t>(
+          std::max<int64_t>(1, serve.cache_shards)))),
+      subgraph_cache_(serve.subgraph_cache_capacity, num_shards_),
+      embedding_cache_(serve.embedding_cache_capacity, num_shards_) {
   ArmChaosFromEnvOnce();
-  RELGRAPH_CHECK(graph_ != nullptr);
+  RELGRAPH_CHECK(graph != nullptr);
   RELGRAPH_CHECK(kind_ != TaskKind::kRanking)
       << "InferenceEngine serves node-level (scalar) tasks only";
   RELGRAPH_CHECK(static_cast<int64_t>(sampler_options_.fanouts.size()) ==
@@ -146,16 +157,24 @@ InferenceEngine::InferenceEngine(const HeteroGraph* graph,
   }
   last_advance_success_ns_.store(clock_->NowNanos(),
                                  std::memory_order_relaxed);
-  sampler_ = std::make_unique<NeighborSampler>(graph_, sampler_options_);
-  // Weight init is placeholder — LoadCheckpoint overwrites every tensor.
+  auto snap = std::make_shared<EngineSnapshot>();
+  snap->graph = graph;
+  snap->sampler = std::make_unique<NeighborSampler>(graph, sampler_options_);
+  snap->now_cutoff = now_cutoff;
+  snap->version = 0;
+  snapshot_.store(std::shared_ptr<const EngineSnapshot>(std::move(snap)));
+  // Weight init is placeholder — LoadCheckpoint publishes a fresh state.
+  auto state = std::make_shared<ModelState>();
   Rng init_rng(serve_.seed);
-  model_ = std::make_unique<HeteroSageModel>(graph_, gnn_, &init_rng);
+  state->model = std::make_unique<HeteroSageModel>(graph, gnn_, &init_rng);
   if (kind_ == TaskKind::kMulticlassClassification) {
-    cls_head_ = std::make_unique<ClassificationHead>(gnn_.hidden_dim,
-                                                     num_classes_, &init_rng);
+    state->cls_head = std::make_unique<ClassificationHead>(
+        gnn_.hidden_dim, num_classes_, &init_rng);
   } else {
-    scalar_head_ = std::make_unique<ScalarHead>(gnn_.hidden_dim, &init_rng);
+    state->scalar_head =
+        std::make_unique<ScalarHead>(gnn_.hidden_dim, &init_rng);
   }
+  model_.store(std::shared_ptr<const ModelState>(std::move(state)));
 }
 
 InferenceEngine::InferenceEngine(const ServePlan& plan,
@@ -169,7 +188,7 @@ InferenceEngine::InferenceEngine(const ServePlan& plan,
                       }()) {}
 
 Status InferenceEngine::LoadCheckpoint(const std::string& path) {
-  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   if (FaultInjector::Global().ShouldFire(FaultSite::kServeCheckpointLoad)) {
     Status st = Status::IoError(
         "injected checkpoint load fault (site serve_checkpoint_load): " +
@@ -178,7 +197,24 @@ Status InferenceEngine::LoadCheckpoint(const std::string& path) {
     return st;
   }
   RELGRAPH_ASSIGN_OR_RETURN(TensorBundle bundle, LoadTensorBundle(path));
-  const std::vector<Tensor> current = ParameterValues({model_.get(), head()});
+  // Build the replacement off to the side against the current snapshot's
+  // graph (layouts are identical across snapshots by the advance
+  // contract); in-flight forwards keep the previously published weights.
+  const std::shared_ptr<const EngineSnapshot> snap = PinSnapshot();
+  const std::shared_ptr<const ModelState> prev = PinModel();
+  auto next = std::make_shared<ModelState>();
+  Rng init_rng(serve_.seed);
+  next->model =
+      std::make_unique<HeteroSageModel>(snap->graph, gnn_, &init_rng);
+  if (kind_ == TaskKind::kMulticlassClassification) {
+    next->cls_head = std::make_unique<ClassificationHead>(
+        gnn_.hidden_dim, num_classes_, &init_rng);
+  } else {
+    next->scalar_head =
+        std::make_unique<ScalarHead>(gnn_.hidden_dim, &init_rng);
+  }
+  const std::vector<Tensor> current =
+      ParameterValues({next->model.get(), next->head()});
   if (bundle.tensors.size() != current.size()) {
     return Status::InvalidArgument(
         "checkpoint has " + std::to_string(bundle.tensors.size()) +
@@ -194,26 +230,30 @@ Status InferenceEngine::LoadCheckpoint(const std::string& path) {
   if (bundle.scalars.size() != 3) {
     return Status::InvalidArgument("checkpoint scalar block malformed");
   }
-  AssignParameterValues({model_.get(), head()}, bundle.tensors);
-  label_mean_ = bundle.scalars[0];
-  label_std_ = bundle.scalars[1];
-  loaded_ = true;
-  // Cached embeddings were produced by the previous weights; subgraphs
-  // depend only on the sampler and survive a weight swap.
-  embedding_cache_.Clear();
+  AssignParameterValues({next->model.get(), next->head()}, bundle.tensors);
+  next->label_mean = bundle.scalars[0];
+  next->label_std = bundle.scalars[1];
+  next->epoch = prev->epoch + 1;
+  model_.store(std::shared_ptr<const ModelState>(std::move(next)));
+  loaded_.store(true, std::memory_order_release);
+  // Cached embeddings were produced by the previous weights; their keys
+  // carry the old epoch (so they can never be served again) and the
+  // epoch swap reclaims the memory. Subgraphs depend only on the sampler
+  // and survive a weight swap.
+  embedding_cache_.EpochSwap();
   return Status::OK();
 }
 
 bool InferenceEngine::TryGetCachedSubgraph(
-    int64_t node, std::shared_ptr<const Subgraph>* out) {
+    const EngineSnapshot& snap, int64_t node,
+    std::shared_ptr<const Subgraph>* out) {
   if (!serve_.enable_subgraph_cache) {
     RELGRAPH_COUNTER_INC("serve_subgraph_cache_misses_total");
     return false;
   }
-  const SubgraphKey key{node,
-                        snapshot_version_.load(std::memory_order_relaxed),
+  const SubgraphKey key{node, snap.version,
                         OptionsFingerprint(sampler_options_)};
-  if (subgraph_cache_.Get(key, out)) {
+  if (subgraph_cache_.Get(EntityShard(node, num_shards_), key, out)) {
     RELGRAPH_COUNTER_INC("serve_subgraph_cache_hits_total");
     return true;
   }
@@ -222,41 +262,44 @@ bool InferenceEngine::TryGetCachedSubgraph(
 }
 
 Result<std::shared_ptr<const Subgraph>> InferenceEngine::SampleSubgraph(
-    int64_t node, const Deadline& deadline) {
+    const EngineSnapshot& snap, int64_t node, const Deadline& deadline) {
   if (FaultInjector::Global().ShouldFire(FaultSite::kServeSample)) {
     return Status::Internal(
         "injected sampler fault (site serve_sample) for entity " +
         std::to_string(node));
   }
   RELGRAPH_ASSIGN_OR_RETURN(
-      Subgraph sg, sampler_->SampleForServing(entity_type_, node, now_cutoff_,
-                                              salt_, deadline));
+      Subgraph sg, snap.sampler->SampleForServing(
+                       entity_type_, node, snap.now_cutoff, salt_, deadline));
   auto sp = std::make_shared<const Subgraph>(std::move(sg));
   if (serve_.enable_subgraph_cache) {
-    const SubgraphKey key{node,
-                          snapshot_version_.load(std::memory_order_relaxed),
+    const SubgraphKey key{node, snap.version,
                           OptionsFingerprint(sampler_options_)};
-    subgraph_cache_.Put(key, sp);
+    subgraph_cache_.Put(EntityShard(node, num_shards_), key, sp);
   }
   return sp;
 }
 
-Tensor InferenceEngine::EmbedParts(const std::vector<const Subgraph*>& parts) {
+Tensor InferenceEngine::EmbedParts(const EngineSnapshot& snap,
+                                   const ModelState& model,
+                                   const std::vector<const Subgraph*>& parts) {
   // Per-seed subgraphs (cached or freshly sampled) concatenate
   // block-diagonally; the encoder forward is then per-row bit-identical
   // to running each seed alone, so batch composition never leaks into a
-  // seed's embedding.
-  const Subgraph sg = ConcatSubgraphs(graph_, parts);
-  VarPtr emb = model_->Forward(sg, entity_type_, /*rng=*/nullptr,
-                               /*training=*/false);
+  // seed's embedding. The forward reads features from the pinned
+  // snapshot's graph, never from the (possibly fresher) published one.
+  const Subgraph sg = ConcatSubgraphs(snap.graph, parts);
+  VarPtr emb = model.model->ForwardOn(snap.graph, sg, entity_type_,
+                                      /*rng=*/nullptr, /*training=*/false);
   RELGRAPH_CHECK(emb->rows() == static_cast<int64_t>(parts.size()));
   return emb->value();
 }
 
-Result<ScoreResponse> InferenceEngine::ScoreLocked(
+Result<ScoreResponse> InferenceEngine::ScoreOnSnapshot(
+    const EngineSnapshot& snap, const ModelState& model,
     const std::vector<int64_t>& entity_ids, const Deadline& deadline,
     double queue_wait_ms, InvalidIdPolicy policy, bool count_request) {
-  if (!loaded_) {
+  if (!loaded()) {
     return Status::FailedPrecondition(
         "no checkpoint loaded; call LoadCheckpoint before Score");
   }
@@ -280,16 +323,15 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
   ScoreResponse resp;
   resp.mode = mode;
   resp.state = state;
-  resp.snapshot_version = snapshot_version_.load(std::memory_order_relaxed);
+  resp.snapshot_version = snap.version;
   resp.staleness_s = StalenessSeconds();
   resp.queue_wait_ms = queue_wait_ms;
 
   const int64_t n = static_cast<int64_t>(entity_ids.size());
   if (n == 0) return resp;
 
-  const int64_t num_entities = graph_->num_nodes(entity_type_);
-  // nan_row[i]: 1 = unresolved under the degrade policy, 2 = invalid id.
-  std::vector<char> nan_row(static_cast<size_t>(n), 0);
+  const int64_t num_entities = snap.graph->num_nodes(entity_type_);
+  resp.row_flags.assign(static_cast<size_t>(n), kRowResolved);
   for (int64_t i = 0; i < n; ++i) {
     const int64_t id = entity_ids[static_cast<size_t>(i)];
     if (id < 0 || id >= num_entities) {
@@ -298,7 +340,7 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
             "entity id " + std::to_string(id) + " out of range [0, " +
             std::to_string(num_entities) + ")");
       }
-      nan_row[static_cast<size_t>(i)] = 2;
+      resp.row_flags[static_cast<size_t>(i)] = kRowInvalid;
       ++resp.rows_invalid;
     }
   }
@@ -317,11 +359,12 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
   std::vector<int64_t> pending;
   std::unordered_map<int64_t, std::vector<int64_t>> rows_of;
   for (int64_t i = 0; i < n; ++i) {
-    if (nan_row[static_cast<size_t>(i)] != 0) continue;
+    if (resp.row_flags[static_cast<size_t>(i)] != kRowResolved) continue;
     const int64_t id = entity_ids[static_cast<size_t>(i)];
     if (serve_.enable_embedding_cache) {
       std::shared_ptr<const std::vector<float>> row;
-      if (embedding_cache_.Get(id, &row)) {
+      const EmbeddingKey key{id, snap.version, model.epoch};
+      if (embedding_cache_.Get(EntityShard(id, num_shards_), key, &row)) {
         RELGRAPH_COUNTER_INC("serve_embedding_cache_hits_total");
         std::memcpy(&emb.at(i, 0), row->data(),
                     sizeof(float) * static_cast<size_t>(hidden));
@@ -336,7 +379,9 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
 
   // Marks every request row of a pending id as policy-NaN.
   auto degrade_id = [&](int64_t id) {
-    for (int64_t i : rows_of.at(id)) nan_row[static_cast<size_t>(i)] = 1;
+    for (int64_t i : rows_of.at(id)) {
+      resp.row_flags[static_cast<size_t>(i)] = kRowDegraded;
+    }
   };
 
   // Coalesce uncached ids into fixed-size micro-batches through the
@@ -367,7 +412,7 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
            batch_ids.size() < static_cast<size_t>(serve_.micro_batch_size)) {
       const int64_t id = pending[p];
       std::shared_ptr<const Subgraph> sg;
-      if (TryGetCachedSubgraph(id, &sg)) {
+      if (TryGetCachedSubgraph(snap, id, &sg)) {
         ++p;
         held.push_back(std::move(sg));
         parts.push_back(held.back().get());
@@ -380,7 +425,7 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
         continue;
       }
       Result<std::shared_ptr<const Subgraph>> sampled =
-          SampleSubgraph(id, deadline);
+          SampleSubgraph(snap, id, deadline);
       if (sampled.ok()) {
         ++p;
         held.push_back(std::move(sampled).value());
@@ -415,7 +460,7 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
       continue;
     }
 
-    const Tensor batch_emb = EmbedParts(parts);
+    const Tensor batch_emb = EmbedParts(snap, model, parts);
     for (size_t j = 0; j < batch_ids.size(); ++j) {
       const int64_t id = batch_ids[j];
       const float* src = batch_emb.data() + static_cast<int64_t>(j) * hidden;
@@ -425,7 +470,9 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
       }
       if (serve_.enable_embedding_cache) {
         auto row = std::make_shared<std::vector<float>>(src, src + hidden);
-        embedding_cache_.Put(id, std::move(row));
+        const EmbeddingKey key{id, snap.version, model.epoch};
+        embedding_cache_.Put(EntityShard(id, num_shards_), key,
+                             std::move(row));
       }
     }
   }
@@ -440,14 +487,17 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
   // row-wise, so each score is still a pure per-entity function.
   // Unresolved rows hold zero embeddings here and are overwritten with
   // NaN below — they can never influence a resolved row.
-  VarPtr out = cls_head_ ? cls_head_->Forward(ag::Constant(emb))
-                         : scalar_head_->Forward(ag::Constant(emb));
+  VarPtr out = model.cls_head
+                   ? model.cls_head->Forward(ag::Constant(emb))
+                   : model.scalar_head->Forward(ag::Constant(emb));
   resp.scores.reserve(static_cast<size_t>(n));
   const double nan = std::numeric_limits<double>::quiet_NaN();
   for (int64_t r = 0; r < n; ++r) {
-    if (nan_row[static_cast<size_t>(r)] != 0) {
+    if (resp.row_flags[static_cast<size_t>(r)] != kRowResolved) {
       resp.scores.push_back(nan);
-      if (nan_row[static_cast<size_t>(r)] == 1) ++resp.rows_degraded;
+      if (resp.row_flags[static_cast<size_t>(r)] == kRowDegraded) {
+        ++resp.rows_degraded;
+      }
       continue;
     }
     switch (kind_) {
@@ -456,8 +506,8 @@ Result<ScoreResponse> InferenceEngine::ScoreLocked(
                               (1.0 + std::exp(-out->value().at(r, 0))));
         break;
       case TaskKind::kRegression:
-        resp.scores.push_back(out->value().at(r, 0) * label_std_ +
-                              label_mean_);
+        resp.scores.push_back(out->value().at(r, 0) * model.label_std +
+                              model.label_mean);
         break;
       case TaskKind::kMulticlassClassification: {
         int64_t arg = 0;
@@ -511,10 +561,15 @@ Result<ScoreResponse> InferenceEngine::ScoreGated(
   }
   RELGRAPH_COUNTER_INC("serve_admitted_total");
   if (gate_ != nullptr) NoteQueueWait(ticket.queue_wait_ms());
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  return ScoreLocked(entity_ids, deadline, ticket.queue_wait_ms(), policy,
-                     /*count_request=*/true);
-  // ~lock releases the snapshot before ~ticket returns the gate slot.
+  // Pin the published world: two atomic loads, no reader lock. A writer
+  // publishing mid-request never perturbs this request — it finishes on
+  // its pinned snapshot and the retired state drains by refcount.
+  const std::shared_ptr<const EngineSnapshot> snap = PinSnapshot();
+  const std::shared_ptr<const ModelState> model = PinModel();
+  return ScoreOnSnapshot(*snap, *model, entity_ids, deadline,
+                         ticket.queue_wait_ms(), policy,
+                         /*count_request=*/true);
+  // snap/model release before ~ticket returns the gate slot.
 }
 
 Result<std::vector<double>> InferenceEngine::Score(
@@ -534,38 +589,57 @@ Result<ScoreResponse> InferenceEngine::ScoreWithOptions(
                     serve_.invalid_id_policy);
 }
 
+Result<ScoreResponse> InferenceEngine::ScoreForCoalescing(
+    const std::vector<int64_t>& entity_ids, const Deadline& deadline) {
+  RELGRAPH_TRACE_SPAN("serve/score_coalesced");
+  // Always kNanRow: an invalid row must NaN itself only — the scheduler
+  // translates invalid rows back into each member's outcome under the
+  // engine's configured policy.
+  Result<ScoreResponse> result =
+      ScoreGated(entity_ids, deadline, InvalidIdPolicy::kNanRow);
+  if (result.ok()) {
+    coalesced_batches_.fetch_add(1, std::memory_order_relaxed);
+    coalesced_rows_.fetch_add(static_cast<int64_t>(entity_ids.size()),
+                              std::memory_order_relaxed);
+  }
+  return result;
+}
+
 Status InferenceEngine::WarmUp(const std::vector<int64_t>& entity_ids) {
   RELGRAPH_TRACE_SPAN("serve/warmup");
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
   RELGRAPH_COUNTER_ADD("serve_warmup_entities_total",
                        static_cast<int64_t>(entity_ids.size()));
+  const std::shared_ptr<const EngineSnapshot> snap = PinSnapshot();
+  const std::shared_ptr<const ModelState> model = PinModel();
   RELGRAPH_ASSIGN_OR_RETURN(
       ScoreResponse ignored,
-      ScoreLocked(entity_ids, Deadline(), /*queue_wait_ms=*/0.0,
-                  InvalidIdPolicy::kReject, /*count_request=*/false));
+      ScoreOnSnapshot(*snap, *model, entity_ids, Deadline(),
+                      /*queue_wait_ms=*/0.0, InvalidIdPolicy::kReject,
+                      /*count_request=*/false));
   (void)ignored;
   return Status::OK();
 }
 
-Status InferenceEngine::ValidateSnapshotLocked(
-    const HeteroGraph* graph) const {
+Status InferenceEngine::ValidateSnapshot(const EngineSnapshot& current,
+                                         const HeteroGraph* graph) const {
   if (graph == nullptr) {
     return Status::InvalidArgument("AdvanceSnapshot: null graph");
   }
-  if (graph->num_node_types() != graph_->num_node_types() ||
-      graph->num_edge_types() != graph_->num_edge_types()) {
+  const HeteroGraph* base = current.graph;
+  if (graph->num_node_types() != base->num_node_types() ||
+      graph->num_edge_types() != base->num_edge_types()) {
     return Status::InvalidArgument(
         "AdvanceSnapshot: snapshot layout mismatch (type counts)");
   }
   for (EdgeTypeId e = 0; e < graph->num_edge_types(); ++e) {
-    if (graph->edge_src_type(e) != graph_->edge_src_type(e) ||
-        graph->edge_dst_type(e) != graph_->edge_dst_type(e)) {
+    if (graph->edge_src_type(e) != base->edge_src_type(e) ||
+        graph->edge_dst_type(e) != base->edge_dst_type(e)) {
       return Status::InvalidArgument(
           "AdvanceSnapshot: snapshot layout mismatch (edge endpoints)");
     }
   }
   for (int32_t t = 0; t < graph->num_node_types(); ++t) {
-    if (graph->feature_dim(t) != graph_->feature_dim(t)) {
+    if (graph->feature_dim(t) != base->feature_dim(t)) {
       return Status::InvalidArgument(
           "AdvanceSnapshot: snapshot layout mismatch (feature widths)");
     }
@@ -575,11 +649,12 @@ Status InferenceEngine::ValidateSnapshotLocked(
 
 Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
                                         Timestamp now_cutoff) {
-  std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
-  Status st = ValidateSnapshotLocked(graph);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::shared_ptr<const EngineSnapshot> current = PinSnapshot();
+  Status st = ValidateSnapshot(*current, graph);
   // The poison site fires after validation and before ANY mutation, so an
   // injected failure exercises exactly the atomicity contract: the
-  // previous snapshot must remain fully servable.
+  // previous snapshot must remain fully published and servable.
   if (st.ok() &&
       FaultInjector::Global().ShouldFire(FaultSite::kServeSnapshotAdvance)) {
     st = Status::Internal(
@@ -589,14 +664,25 @@ Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
     RecordAdvanceFailure(st);
     return st;
   }
-  model_->RebindGraph(graph);
-  graph_ = graph;
-  sampler_ = std::make_unique<NeighborSampler>(graph_, sampler_options_);
-  now_cutoff_ = now_cutoff;
+  // Build the complete replacement off to the side, then publish with one
+  // pointer swap. Readers pinned to the old snapshot finish against it;
+  // new requests see the new world immediately.
+  auto next = std::make_shared<EngineSnapshot>();
+  next->graph = graph;
+  next->sampler = std::make_unique<NeighborSampler>(graph, sampler_options_);
+  next->now_cutoff = now_cutoff;
+  next->version = current->version + 1;
+  snapshot_.store(std::shared_ptr<const EngineSnapshot>(std::move(next)));
   snapshot_version_.fetch_add(1, std::memory_order_relaxed);
   // Old-version subgraph keys can no longer match; the LRU ages them out.
-  // Embeddings have no version in their key — drop them outright.
-  embedding_cache_.Clear();
+  // Embedding entries carry the retired version in their keys — the
+  // per-shard epoch swap reclaims them without blocking readers.
+  {
+    Timer swap_timer;
+    embedding_cache_.EpochSwap();
+    NoteShardSwap(swap_timer.Millis());
+    RELGRAPH_COUNTER_INC("serve_shard_swaps_total");
+  }
   // A successful advance closes the breaker and resets staleness.
   advance_failures_.store(0, std::memory_order_relaxed);
   state_.store(static_cast<int>(ServeState::kServing),
@@ -631,13 +717,10 @@ void InferenceEngine::SetLastError(const Status& status) {
 ServeHealth InferenceEngine::HealthStatus() const {
   ServeHealth h;
   h.state = state();
+  h.loaded = loaded();
   h.snapshot_version = snapshot_version_.load(std::memory_order_relaxed);
   h.consecutive_advance_failures =
       advance_failures_.load(std::memory_order_relaxed);
-  {
-    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-    h.loaded = loaded_;
-  }
   {
     std::lock_guard<std::mutex> lock(health_mu_);
     h.last_error = last_error_;
@@ -647,6 +730,10 @@ ServeHealth InferenceEngine::HealthStatus() const {
     h.inflight = gate_->inflight();
     h.queued = gate_->queued();
   }
+  h.cache_shards = static_cast<int64_t>(num_shards_);
+  h.shard_swaps = embedding_cache_.swaps();
+  h.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
+  h.coalesced_rows = coalesced_rows_.load(std::memory_order_relaxed);
   NoteStaleness(h.staleness_s);
   return h;
 }
@@ -663,17 +750,14 @@ ServeStats InferenceEngine::stats() const {
   s.shed = shed_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.degraded_answers = degraded_answers_.load(std::memory_order_relaxed);
+  s.shard_swaps = embedding_cache_.swaps();
+  s.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
+  s.coalesced_rows = coalesced_rows_.load(std::memory_order_relaxed);
   return s;
 }
 
 Timestamp InferenceEngine::now_cutoff() const {
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  return now_cutoff_;
-}
-
-bool InferenceEngine::loaded() const {
-  std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
-  return loaded_;
+  return PinSnapshot()->now_cutoff;
 }
 
 }  // namespace relgraph

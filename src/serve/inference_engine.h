@@ -4,7 +4,6 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,7 +14,7 @@
 #include "pq/engine.h"
 #include "sampler/neighbor_sampler.h"
 #include "serve/admission_gate.h"
-#include "serve/lru_cache.h"
+#include "serve/snapshot_shards.h"
 
 namespace relgraph {
 
@@ -65,6 +64,11 @@ enum class InvalidIdPolicy {
   kNanRow,      ///< the row scores NaN; valid rows are served normally
 };
 
+/// Per-row outcome markers in ScoreResponse::row_flags.
+inline constexpr uint8_t kRowResolved = 0;
+inline constexpr uint8_t kRowDegraded = 1;  ///< NaN under the degrade policy
+inline constexpr uint8_t kRowInvalid = 2;   ///< NaN from an out-of-range id
+
 /// Knobs of the online inference engine.
 struct ServeOptions {
   /// Entities scored per forward pass. Uncached entities are coalesced
@@ -84,6 +88,14 @@ struct ServeOptions {
   /// throughput optimization.
   bool enable_subgraph_cache = true;
   bool enable_embedding_cache = true;
+
+  /// Shards per cache (rounded up to a power of two). Each entity hashes
+  /// to one shard, so concurrent scorers of different entities contend on
+  /// different shard mutexes, and snapshot/checkpoint swaps retire the
+  /// embedding cache shard-by-shard (epoch publication) instead of
+  /// write-locking the world. Pure throughput knob — never affects
+  /// scores.
+  int64_t cache_shards = 8;
 
   /// Folded (with the sampler-options fingerprint) into the per-seed
   /// sampling salt. Two engines with equal seed + sampler options sample
@@ -129,9 +141,13 @@ struct ScoreRequest {
 /// which snapshot version answered. Rows the engine could not resolve
 /// under the active policy are NaN (`rows_degraded` counts them);
 /// `rows_invalid` counts NaN rows from out-of-range ids under
-/// InvalidIdPolicy::kNanRow.
+/// InvalidIdPolicy::kNanRow. `row_flags` marks each row's outcome
+/// (kRowResolved / kRowDegraded / kRowInvalid) so scatter layers — the
+/// coalescing scheduler in particular — can map per-row fates back to
+/// their own callers without parsing NaNs.
 struct ScoreResponse {
   std::vector<double> scores;
+  std::vector<uint8_t> row_flags;
   bool degraded = false;
   DegradeReason reason = DegradeReason::kNone;
   DegradeMode mode = DegradeMode::kFailFast;
@@ -145,7 +161,8 @@ struct ScoreResponse {
 };
 
 /// Health probe snapshot: the state machine, breaker progress, last
-/// recorded error, snapshot staleness, and gate occupancy.
+/// recorded error, snapshot staleness, gate occupancy, and the sharding /
+/// coalescing picture.
 struct ServeHealth {
   ServeState state = ServeState::kServing;
   bool loaded = false;
@@ -155,6 +172,10 @@ struct ServeHealth {
   double staleness_s = 0.0;
   int64_t inflight = 0;
   int64_t queued = 0;
+  int64_t cache_shards = 0;       ///< shards per cache (power of two)
+  int64_t shard_swaps = 0;        ///< embedding-cache epoch swaps so far
+  int64_t coalesced_batches = 0;  ///< scheduler batches executed here
+  int64_t coalesced_rows = 0;     ///< unique rows across those batches
 };
 
 /// Point-in-time cache/traffic statistics of an InferenceEngine.
@@ -169,6 +190,9 @@ struct ServeStats {
   int64_t shed = 0;               ///< requests rejected Overloaded
   int64_t deadline_exceeded = 0;  ///< requests rejected DeadlineExceeded
   int64_t degraded_answers = 0;   ///< responses flagged degraded
+  int64_t shard_swaps = 0;        ///< embedding-cache epoch swaps
+  int64_t coalesced_batches = 0;  ///< ScoreForCoalescing executions
+  int64_t coalesced_rows = 0;     ///< unique rows across those batches
 };
 
 /// Online inference engine for a trained node-level predictive query.
@@ -198,17 +222,29 @@ struct ServeStats {
 /// the state machine. Degraded answers stay deterministic: with a fake
 /// clock and seeded faults, same inputs give bit-identical responses.
 ///
-/// Concurrency: Score/WarmUp may run from any number of threads
-/// concurrently (caches are internally locked; model weights are
-/// read-only after LoadCheckpoint). AdvanceSnapshot and LoadCheckpoint
-/// take the write lock and may run concurrently with readers.
+/// Concurrency — epoch-published snapshots: the snapshot (graph +
+/// sampler + cutoff) and the model (weights + heads + label stats) each
+/// live behind one published pointer slot (EpochPtr, a shared_ptr whose
+/// guard is held only for the refcount bump). A scoring thread pins
+/// both with two pointer copies and computes entirely against its pinned
+/// state; AdvanceSnapshot / LoadCheckpoint build a complete replacement
+/// off to the side and publish it with one pointer swap, so writers
+/// never block a request in flight and a reader mid-request keeps its
+/// consistent world until it finishes (the retired snapshot drains by
+/// refcount). Cache
+/// state follows the same discipline: both LRU caches are sharded by
+/// entity hash (ShardedLruCache), and invalidation retires shards by
+/// publishing fresh ones rather than clearing under a lock. Cache keys
+/// carry the snapshot version (and, for embeddings, the checkpoint
+/// epoch), so a straggler writing through a retired shard can never
+/// pollute a fresh one.
 ///
-/// Snapshots: AdvanceSnapshot rebinds the engine to a fresher graph of
-/// the SAME layout and bumps the snapshot version. Subgraph cache keys
-/// carry the version (stale entries age out of the LRU); the embedding
-/// cache is cleared outright. A failed advance — validation failure or
+/// Snapshots: AdvanceSnapshot publishes a fresher graph of the SAME
+/// layout and bumps the snapshot version. Subgraph cache keys carry the
+/// version (stale entries age out of the LRU); the embedding cache is
+/// epoch-swapped shard by shard. A failed advance — validation failure or
 /// injected poison — leaves the previous snapshot fully intact and
-/// servable: all checks precede all mutations.
+/// servable: all checks precede publication.
 class InferenceEngine {
  public:
   /// `graph` must outlive the engine; `now_cutoff` is the serving-time
@@ -224,9 +260,11 @@ class InferenceEngine {
   InferenceEngine(const ServePlan& plan, const ServeOptions& serve = {});
 
   /// Restores weights saved by GnnNodePredictor::SaveWeights for the
-  /// identical architecture; errors on shape/count mismatch. Clears the
-  /// embedding cache (old embeddings belong to the old weights). A failed
-  /// load leaves the previously loaded weights (if any) untouched.
+  /// identical architecture; errors on shape/count mismatch. Builds a
+  /// complete fresh model state and publishes it atomically, then
+  /// epoch-swaps the embedding cache (old embeddings belong to the old
+  /// weights). A failed load leaves the previously loaded weights (if
+  /// any) untouched and servable throughout.
   Status LoadCheckpoint(const std::string& path);
 
   /// Scores the given entity node ids at the current snapshot's "now"
@@ -248,6 +286,17 @@ class InferenceEngine {
   /// Status::Internal (dependency fault under kFailFast).
   Result<ScoreResponse> ScoreWithOptions(const ScoreRequest& request);
 
+  /// Executes one already-merged batch of rows on behalf of a coalescing
+  /// scheduler: one admission-gate pass, one scoring pipeline, always
+  /// InvalidIdPolicy::kNanRow (an invalid row must NaN only itself, never
+  /// poison the co-batched requests — the scheduler re-applies the
+  /// engine's configured policy per member when it scatters). Row scores
+  /// are bit-identical to solo ScoreWithOptions calls for the same ids:
+  /// that is the per-seed purity contract, and it is what makes
+  /// cross-request coalescing invisible to callers.
+  Result<ScoreResponse> ScoreForCoalescing(
+      const std::vector<int64_t>& entity_ids, const Deadline& deadline);
+
   /// Pre-populates both caches for the given (e.g. hottest) entities so
   /// the first real requests hit warm. Equivalent to a discarded Score,
   /// except it is not counted in the request/entity traffic stats and
@@ -256,15 +305,16 @@ class InferenceEngine {
 
   /// Switches to a fresher graph snapshot (same layout — table schema and
   /// FK structure must be unchanged) with a new "now" cutoff. Bumps the
-  /// snapshot version and invalidates the embedding cache. On failure the
-  /// previous snapshot stays fully servable; `breaker_threshold`
-  /// consecutive failures latch the engine into ServeState::kDegraded
-  /// (reset by the next success).
+  /// snapshot version, publishes the new snapshot with one pointer swap
+  /// (in-flight readers finish on the old one), and epoch-swaps the
+  /// embedding cache. On failure the previous snapshot stays fully
+  /// servable; `breaker_threshold` consecutive failures latch the engine
+  /// into ServeState::kDegraded (reset by the next success).
   Status AdvanceSnapshot(const HeteroGraph* graph, Timestamp now_cutoff);
 
   /// Health probe: state machine, breaker progress, last error, snapshot
-  /// staleness, gate occupancy. Also refreshes the
-  /// serve_snapshot_staleness_s gauge.
+  /// staleness, gate occupancy, shard/coalesce counters. Also refreshes
+  /// the serve_snapshot_staleness_s gauge.
   ServeHealth HealthStatus() const;
 
   ServeStats stats() const;
@@ -276,11 +326,47 @@ class InferenceEngine {
     return static_cast<ServeState>(state_.load(std::memory_order_relaxed));
   }
   Timestamp now_cutoff() const;
-  bool loaded() const;
+  bool loaded() const { return loaded_.load(std::memory_order_acquire); }
   const GnnConfig& gnn_config() const { return gnn_; }
   const ServeOptions& serve_options() const { return serve_; }
 
+  /// The per-seed sampling salt (engine seed ^ sampler-options
+  /// fingerprint). Combined with an entity id and the current cutoff via
+  /// ServingSeedFingerprint it keys cross-request subgraph dedup in the
+  /// coalescing scheduler.
+  uint64_t serving_salt() const { return salt_; }
+  const Clock* clock() const { return clock_; }
+
  private:
+  /// One immutable serving world: the graph view, a sampler bound to it,
+  /// and the cutoff. Published through `snapshot_`; readers pin it for
+  /// the duration of one request and the retired instance drains by
+  /// refcount when its last reader finishes.
+  struct EngineSnapshot {
+    const HeteroGraph* graph = nullptr;
+    std::unique_ptr<NeighborSampler> sampler;
+    Timestamp now_cutoff = 0;
+    int64_t version = 0;
+  };
+
+  /// One immutable set of model weights (encoder + head + label stats).
+  /// Published through `model_`; LoadCheckpoint builds a complete fresh
+  /// instance and swaps the pointer, so forwards in flight keep their
+  /// weights. `epoch` increments per successful load and is part of the
+  /// embedding cache key.
+  struct ModelState {
+    std::unique_ptr<HeteroSageModel> model;
+    std::unique_ptr<ClassificationHead> cls_head;
+    std::unique_ptr<ScalarHead> scalar_head;
+    double label_mean = 0.0;
+    double label_std = 1.0;
+    int64_t epoch = 0;
+    const Module* head() const {
+      return cls_head ? static_cast<const Module*>(cls_head.get())
+                      : static_cast<const Module*>(scalar_head.get());
+    }
+  };
+
   /// Subgraph cache key. The sampler-options fingerprint is constant per
   /// engine but kept in the key so entries are self-describing; the
   /// snapshot version retires stale entries without a scan.
@@ -302,41 +388,69 @@ class InferenceEngine {
     }
   };
 
-  /// Shared entry of Score and ScoreWithOptions: admission gate, then the
-  /// locked score body. `policy` lets the plain Score wrapper keep strict
-  /// id validation regardless of the engine's configured policy.
+  /// Embedding cache key: versioned by snapshot AND checkpoint epoch so a
+  /// straggler Put from a reader pinned to a retired world lands under a
+  /// key no fresh reader will ever look up — lock-free readers make late
+  /// writes unavoidable; versioned keys make them harmless.
+  struct EmbeddingKey {
+    int64_t node;
+    int64_t version;
+    int64_t model_epoch;
+    bool operator==(const EmbeddingKey& o) const {
+      return node == o.node && version == o.version &&
+             model_epoch == o.model_epoch;
+    }
+  };
+  struct EmbeddingKeyHash {
+    size_t operator()(const EmbeddingKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.node) * 0x9E3779B97F4A7C15ULL;
+      h ^= static_cast<uint64_t>(k.version) + (h << 6) + (h >> 2);
+      h ^= static_cast<uint64_t>(k.model_epoch) + (h << 6) + (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// Shared entry of Score and ScoreWithOptions: admission gate, pin the
+  /// published snapshot + model, then the scoring body. `policy` lets the
+  /// plain Score wrapper keep strict id validation regardless of the
+  /// engine's configured policy.
   Result<ScoreResponse> ScoreGated(const std::vector<int64_t>& entity_ids,
                                    const Deadline& deadline,
                                    InvalidIdPolicy policy);
 
-  /// Score body; callers hold the shared snapshot lock. WarmUp passes
+  /// Scoring body against one pinned snapshot/model pair — the epoch
+  /// successor of the old lock-held ScoreLocked. WarmUp passes
   /// `count_request` false so pre-population is not counted as traffic.
-  Result<ScoreResponse> ScoreLocked(const std::vector<int64_t>& entity_ids,
-                                    const Deadline& deadline,
-                                    double queue_wait_ms,
-                                    InvalidIdPolicy policy,
-                                    bool count_request);
+  Result<ScoreResponse> ScoreOnSnapshot(const EngineSnapshot& snap,
+                                        const ModelState& model,
+                                        const std::vector<int64_t>& entity_ids,
+                                        const Deadline& deadline,
+                                        double queue_wait_ms,
+                                        InvalidIdPolicy policy,
+                                        bool count_request);
 
-  /// Layout checks of a candidate snapshot; no mutation. Exclusive lock
-  /// held.
-  Status ValidateSnapshotLocked(const HeteroGraph* graph) const;
+  /// Layout checks of a candidate snapshot against the current one; no
+  /// mutation. Caller holds writer_mu_.
+  Status ValidateSnapshot(const EngineSnapshot& current,
+                          const HeteroGraph* graph) const;
 
-  /// Probes the subgraph cache at the current snapshot version.
-  bool TryGetCachedSubgraph(int64_t node,
+  /// Probes the subgraph cache for one entity at the pinned version.
+  bool TryGetCachedSubgraph(const EngineSnapshot& snap, int64_t node,
                             std::shared_ptr<const Subgraph>* out);
 
   /// Samples (and caches) one entity's subgraph under the deadline;
   /// DeadlineExceeded on expiry, Internal on an injected sampler fault.
   Result<std::shared_ptr<const Subgraph>> SampleSubgraph(
-      int64_t node, const Deadline& deadline);
+      const EngineSnapshot& snap, int64_t node, const Deadline& deadline);
 
   /// Embedding rows for one micro-batch of per-seed subgraphs, in part
   /// order ([parts.size() × hidden]).
-  Tensor EmbedParts(const std::vector<const Subgraph*>& parts);
+  Tensor EmbedParts(const EngineSnapshot& snap, const ModelState& model,
+                    const std::vector<const Subgraph*>& parts);
 
-  /// Registers a failed advance under the exclusive snapshot lock:
-  /// counts toward the breaker, latches kDegraded at the threshold,
-  /// records the error for HealthStatus().
+  /// Registers a failed advance (caller holds writer_mu_): counts toward
+  /// the breaker, latches kDegraded at the threshold, records the error
+  /// for HealthStatus().
   void RecordAdvanceFailure(const Status& status);
 
   void SetLastError(const Status& status);
@@ -348,9 +462,11 @@ class InferenceEngine {
            1e9;
   }
 
-  const Module* head() const {
-    return cls_head_ ? static_cast<const Module*>(cls_head_.get())
-                     : static_cast<const Module*>(scalar_head_.get());
+  std::shared_ptr<const EngineSnapshot> PinSnapshot() const {
+    return snapshot_.load();
+  }
+  std::shared_ptr<const ModelState> PinModel() const {
+    return model_.load();
   }
 
   NodeTypeId entity_type_;
@@ -361,28 +477,30 @@ class InferenceEngine {
   ServeOptions serve_;
   uint64_t salt_;  // serve_.seed ^ OptionsFingerprint(sampler_options_)
   const Clock* clock_;
+  uint32_t num_shards_;  // power of two
   std::unique_ptr<AdmissionGate> gate_;  // null = admission control off
 
-  /// Guards the snapshot-mutable state (graph_, sampler_, now_cutoff_,
-  /// model weights, label stats): Score/WarmUp take it shared,
-  /// LoadCheckpoint/AdvanceSnapshot exclusive.
-  mutable std::shared_mutex snapshot_mu_;
-  const HeteroGraph* graph_;
-  std::unique_ptr<NeighborSampler> sampler_;
-  Timestamp now_cutoff_;
-  std::unique_ptr<HeteroSageModel> model_;
-  std::unique_ptr<ClassificationHead> cls_head_;
-  std::unique_ptr<ScalarHead> scalar_head_;
-  bool loaded_ = false;
-  double label_mean_ = 0.0;
-  double label_std_ = 1.0;
+  /// Epoch-published serving state: readers pin with one pointer copy
+  /// each (EpochPtr — the critical section is the refcount bump);
+  /// writers (serialized by writer_mu_) build replacements off to the
+  /// side and publish with one pointer swap. Nothing here is ever
+  /// mutated after publication.
+  EpochPtr<const EngineSnapshot> snapshot_;
+  EpochPtr<const ModelState> model_;
 
+  /// Serializes LoadCheckpoint/AdvanceSnapshot against each other only —
+  /// readers never take it.
+  std::mutex writer_mu_;
+
+  std::atomic<bool> loaded_{false};
   std::atomic<int64_t> snapshot_version_{0};
   std::atomic<int64_t> requests_{0};
   std::atomic<int64_t> entities_scored_{0};
+  std::atomic<int64_t> coalesced_batches_{0};
+  std::atomic<int64_t> coalesced_rows_{0};
 
-  // Resilience state machine (reads are lock-free; writers hold the
-  // exclusive snapshot lock).
+  // Resilience state machine (reads are lock-free; writers hold
+  // writer_mu_).
   std::atomic<int> state_{static_cast<int>(ServeState::kServing)};
   std::atomic<int64_t> advance_failures_{0};
   std::atomic<int64_t> last_advance_success_ns_{0};
@@ -392,9 +510,11 @@ class InferenceEngine {
   mutable std::mutex health_mu_;  // guards last_error_ only
   std::string last_error_;
 
-  LruCache<SubgraphKey, std::shared_ptr<const Subgraph>, SubgraphKeyHash>
+  ShardedLruCache<SubgraphKey, std::shared_ptr<const Subgraph>,
+                  SubgraphKeyHash>
       subgraph_cache_;
-  LruCache<int64_t, std::shared_ptr<const std::vector<float>>>
+  ShardedLruCache<EmbeddingKey, std::shared_ptr<const std::vector<float>>,
+                  EmbeddingKeyHash>
       embedding_cache_;
 };
 

@@ -35,6 +35,7 @@
 #include "pq/engine.h"
 #include "pq/label_builder.h"
 #include "pq/parser.h"
+#include "serve/coalescing_scheduler.h"
 #include "serve/inference_engine.h"
 #include "train/trainer.h"
 
@@ -382,6 +383,114 @@ TEST_F(ChaosTest, FloodWithFaultsUpholdsInvariants) {
   const ServeHealth health = engine->HealthStatus();
   EXPECT_EQ(health.inflight, 0);
   EXPECT_EQ(health.queued, 0);
+}
+
+TEST_F(ChaosTest, CoalescedFloodWithFaultsUpholdsInvariants) {
+  // The coalescing scheduler in front of a faulted engine: concurrent
+  // clients share micro-batches while the sampler faults probabilistically
+  // and the snapshot advances underneath. Scheduling-dependent, so the
+  // assertions are invariants — every request lands in-contract, every
+  // delivered row is either NaN-and-flagged or bit-equal to the reference
+  // of the snapshot version its response claims.
+  FaultInjector::Global().ArmProbability(FaultSite::kServeSample, 0.05, 1);
+  FaultInjector::Global().ArmProbability(FaultSite::kServeAlloc, 0.02, 2);
+  FaultInjector::Global().ArmProbability(FaultSite::kServeSnapshotAdvance,
+                                         0.50, 3);
+  ServeOptions serve;
+  serve.degrade_mode = DegradeMode::kStaleSnapshot;
+  serve.breaker_threshold = 3;
+  auto engine = MakeEngine(&dbg_a_->graph, serve);
+  CoalesceOptions copts;
+  copts.wait_window_ms = 0.2;
+  CoalescingScheduler scheduler(engine.get(), copts);
+
+  std::vector<const std::vector<double>*> graph_of_version = {&ref_a_};
+
+  struct OkAnswer {
+    std::vector<int64_t> ids;
+    std::vector<double> scores;
+    std::vector<uint8_t> flags;
+    int64_t version;
+  };
+  const int kThreads = 4;
+  const int kIters = 50;
+  std::vector<std::vector<OkAnswer>> answers(kThreads);
+  std::atomic<int> ok_count{0}, degraded_count{0}, deadline_count{0},
+      other_count{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int it = 0; it < kIters; ++it) {
+        ScoreRequest request;
+        const int64_t base = (t * 31 + it * 7) % 80;
+        request.entity_ids = {base, (base + 13) % 80};
+        if (it % 4 == 3) {
+          request.deadline = Deadline::AfterMillis(0.2);
+        }
+        auto resp = scheduler.Score(request);
+        if (resp.ok()) {
+          ++ok_count;
+          if (resp.value().degraded) ++degraded_count;
+          answers[static_cast<size_t>(t)].push_back(
+              OkAnswer{request.entity_ids, resp.value().scores,
+                       resp.value().row_flags,
+                       resp.value().snapshot_version});
+        } else if (resp.status().code() == StatusCode::kDeadlineExceeded) {
+          ++deadline_count;
+        } else {
+          ++other_count;
+        }
+      }
+    });
+  }
+
+  const std::vector<double>* refs[2] = {&ref_b_, &ref_a_};
+  const DbGraph* graphs[2] = {dbg_b_, dbg_a_};
+  for (int round = 0; round < 20; ++round) {
+    if (engine->AdvanceSnapshot(&graphs[round % 2]->graph, Now()).ok()) {
+      graph_of_version.push_back(refs[round % 2]);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& th : threads) th.join();
+
+  // Under kStaleSnapshot the only non-OK outcome a coalesced request may
+  // see is DeadlineExceeded (refused at enqueue with an expired budget).
+  EXPECT_EQ(other_count.load(), 0);
+  EXPECT_EQ(ok_count.load() + deadline_count.load(), kThreads * kIters);
+
+  // Scheduler books: every request accounted, dedup never invents rows.
+  const CoalesceStats cs = scheduler.stats();
+  EXPECT_EQ(cs.requests, kThreads * kIters);
+  EXPECT_GT(cs.batches, 0);
+  EXPECT_LE(cs.rows_executed + cs.dedup_rows, cs.rows_submitted);
+  // The engine counts batches that executed to an OK response; batches
+  // whose merged deadline (all members tight) expired pre-execution are
+  // scheduler attempts with no engine-side execution.
+  EXPECT_LE(engine->stats().coalesced_batches, cs.batches);
+
+  // Delivered rows: flags agree with the NaN pattern, and every resolved
+  // row matches the claimed version's reference bit-for-bit.
+  ASSERT_EQ(graph_of_version.size(),
+            static_cast<size_t>(engine->snapshot_version()) + 1);
+  int checked = 0;
+  for (const auto& per_thread : answers) {
+    for (const OkAnswer& a : per_thread) {
+      ASSERT_GE(a.version, 0);
+      ASSERT_LT(static_cast<size_t>(a.version), graph_of_version.size());
+      const std::vector<double>& ref = *graph_of_version[a.version];
+      ASSERT_EQ(a.flags.size(), a.ids.size());
+      for (size_t i = 0; i < a.ids.size(); ++i) {
+        EXPECT_EQ(std::isnan(a.scores[i]), a.flags[i] != kRowResolved);
+        if (std::isnan(a.scores[i])) continue;  // degraded row
+        EXPECT_EQ(a.scores[i], ref[static_cast<size_t>(a.ids[i])])
+            << "id " << a.ids[i] << " at version " << a.version;
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
 }
 
 // --------------------------------------------------------------- env config
