@@ -26,6 +26,7 @@
 #include "core/timer.h"
 #include "datagen/ecommerce.h"
 #include "db2graph/graph_builder.h"
+#include "db2graph/streaming.h"
 #include "pq/label_builder.h"
 #include "pq/parser.h"
 #include "serve/inference_engine.h"
@@ -122,12 +123,16 @@ int main(int argc, char** argv) {
               static_cast<long long>(cfg.num_users));
 
   const Timestamp now = db.TimeRange().second + 1;
-  auto make_engine = [&](const ServeOptions& serve) {
+  auto make_engine_on = [&](const HeteroGraph* graph,
+                            const ServeOptions& serve) {
     auto engine = std::make_unique<InferenceEngine>(
-        &dbg.graph, users, TaskKind::kBinaryClassification, 2, ModelConfig(),
+        graph, users, TaskKind::kBinaryClassification, 2, ModelConfig(),
         SamplerConfig(), now, serve);
     if (!engine->LoadCheckpoint(ckpt).ok()) std::exit(1);
     return engine;
+  };
+  auto make_engine = [&](const ServeOptions& serve) {
+    return make_engine_on(&dbg.graph, serve);
   };
 
   ServeOptions cold_opts;
@@ -216,5 +221,144 @@ int main(int argc, char** argv) {
                  "WARNING: warm speedup %.2fx below the 2x target\n",
                  speedup);
   }
+
+  // ---- warm-cache invalidation-precision gate ---------------------------
+  // A published graph delta must invalidate ONLY the touched
+  // neighborhoods. Wholesale invalidation would force every entity back
+  // through the cold path after each streamed batch, erasing the warm
+  // speedup measured above; this gate fails the bench if a single-order
+  // delta evicts more than half the warm set, if a node-only delta evicts
+  // anything, or if post-delta scores diverge from a cold engine on the
+  // refreshed graph.
+  auto dbstream_result = StreamingDbGraph::Create(&db);
+  if (!dbstream_result.ok()) {
+    std::fprintf(stderr, "stream create failed: %s\n",
+                 dbstream_result.status().ToString().c_str());
+    return 1;
+  }
+  auto dbstream = std::move(dbstream_result).value();
+  // The engine tracks graph epochs by raw pointer; hold the base epoch so
+  // it outlives the snapshot that references it (the stream drops its own
+  // reference at the first publish).
+  const auto base_epoch = dbstream->graph();
+  auto delta_engine = make_engine_on(base_epoch.get(), warm_opts);
+  std::vector<int64_t> all_users(static_cast<size_t>(cfg.num_users));
+  for (int64_t i = 0; i < cfg.num_users; ++i) {
+    all_users[static_cast<size_t>(i)] = i;
+  }
+  // Two passes: fill, then confirm fully warm.
+  for (int pass = 0; pass < 2; ++pass) {
+    auto warmup = delta_engine->Score(all_users);
+    if (!warmup.ok()) {
+      std::fprintf(stderr, "warmup score failed: %s\n",
+                   warmup.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Node-only delta (a new user, no edges): zero evictions allowed.
+  AppendBatch user_batch;
+  user_batch.Add("users", {Value(cfg.num_users + 1), Value("zz"),
+                           Value(30.0), Value(false)});
+  auto user_apply = dbstream->Apply(user_batch);
+  if (!user_apply.ok() || !user_apply.value().outcome.clean()) {
+    std::fprintf(stderr, "node-only append failed\n");
+    return 1;
+  }
+  const ServeStats before_node = delta_engine->stats();
+  Status node_st = delta_engine->ApplyDelta(user_apply.value().graph, now,
+                                            user_apply.value().delta);
+  if (!node_st.ok()) {
+    std::fprintf(stderr, "node-only ApplyDelta failed: %s\n",
+                 node_st.ToString().c_str());
+    return 1;
+  }
+  auto rescore_node = delta_engine->Score(all_users);
+  if (!rescore_node.ok()) {
+    std::fprintf(stderr, "post-node-delta score failed: %s\n",
+                 rescore_node.status().ToString().c_str());
+    return 1;
+  }
+  const ServeStats after_node = delta_engine->stats();
+  const int64_t node_evictions =
+      after_node.embedding_misses - before_node.embedding_misses;
+  if (node_evictions != 0) {
+    std::fprintf(stderr,
+                 "INVALIDATION-PRECISION VIOLATION: node-only delta "
+                 "evicted %lld warm entries\n",
+                 static_cast<long long>(node_evictions));
+    return 1;
+  }
+
+  // Single-order delta: only the touched neighborhoods may go cold.
+  AppendBatch order_batch;
+  order_batch.Add("orders",
+                  {Value(int64_t{50000000}), Value(int64_t{1}),
+                   Value(int64_t{1}), Value::Time(now - 1),
+                   Value(int64_t{1}), Value(9.5), Value(9.5)});
+  auto order_apply = dbstream->Apply(order_batch);
+  if (!order_apply.ok() || !order_apply.value().outcome.clean()) {
+    std::fprintf(stderr, "order append failed\n");
+    return 1;
+  }
+  const ServeStats before_edge = delta_engine->stats();
+  if (!delta_engine
+           ->ApplyDelta(order_apply.value().graph, now,
+                        order_apply.value().delta)
+           .ok()) {
+    std::fprintf(stderr, "order ApplyDelta failed\n");
+    return 1;
+  }
+  auto rescore_edge = delta_engine->Score(all_users);
+  if (!rescore_edge.ok()) {
+    std::fprintf(stderr, "post-order-delta score failed: %s\n",
+                 rescore_edge.status().ToString().c_str());
+    return 1;
+  }
+  const ServeStats after_edge = delta_engine->stats();
+  const int64_t invalidated =
+      after_edge.embedding_misses - before_edge.embedding_misses;
+  const double survived_frac =
+      1.0 - static_cast<double>(invalidated) /
+                static_cast<double>(cfg.num_users);
+  std::printf("\ndelta invalidation: %lld of %lld warm entries evicted "
+              "(%.0f%% survived)\n",
+              static_cast<long long>(invalidated),
+              static_cast<long long>(cfg.num_users),
+              survived_frac * 100.0);
+  if (invalidated < 1 || survived_frac < 0.5) {
+    std::fprintf(stderr,
+                 "INVALIDATION-PRECISION VIOLATION: single-order delta "
+                 "evicted %lld/%lld warm entries\n",
+                 static_cast<long long>(invalidated),
+                 static_cast<long long>(cfg.num_users));
+    return 1;
+  }
+
+  // Refreshed scores must still be bit-identical to a cold engine built
+  // directly on the new epoch — surviving cache entries are only allowed
+  // to survive because their inputs did not change.
+  auto fresh = make_engine_on(order_apply.value().graph.get(), cold_opts);
+  const auto want_fresh = fresh->Score(all_users).value();
+  const auto got_fresh = delta_engine->Score(all_users).value();
+  for (size_t i = 0; i < want_fresh.size(); ++i) {
+    if (got_fresh[i] != want_fresh[i]) {
+      std::fprintf(stderr,
+                   "BIT-IDENTITY VIOLATION after delta at user %zu: "
+                   "%.17g != %.17g\n",
+                   i, got_fresh[i], want_fresh[i]);
+      return 1;
+    }
+  }
+  std::printf("invalidation-precision gate passed\n");
+
+  BenchRecord delta_rec;
+  delta_rec.name = "delta_invalidation";
+  delta_rec.rate = survived_frac;
+  delta_rec.extra.emplace_back("invalidated",
+                               static_cast<double>(invalidated));
+  delta_rec.extra.emplace_back("survived_frac", survived_frac);
+  records.push_back(delta_rec);
+
   return WriteBenchJson(out_path, "serve_throughput", records) ? 0 : 1;
 }

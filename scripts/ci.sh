@@ -14,7 +14,7 @@
 #   scripts/ci.sh all        # default full + nosimd + asan + tsan + chaos
 #
 # Test lanes are ctest labels (see tests/CMakeLists.txt): unit |
-# integration | serve | serve_mt | chaos | slow.
+# integration | serve | serve_mt | streaming | chaos | slow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,11 +35,13 @@ case "$MODE" in
     run_preset default -L unit
     run_preset default -L serve
     run_preset default -L serve_mt
+    run_preset default -L streaming
     ;;
   full | default)
     run_preset default -L unit
     run_preset default -L serve
     run_preset default -L serve_mt
+    run_preset default -L streaming
     run_preset default -L chaos
     run_preset default -L integration
     run_preset default -L slow
@@ -62,7 +64,7 @@ case "$MODE" in
     cmake --build --preset tsan -j "$JOBS"
     for t in parallel_test observability_test tensor_test train_test \
              serve_test serve_resilience_test serve_coalesce_test \
-             arena_test; do
+             arena_test incremental_graph_test streaming_serve_test; do
       TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
     done
     ;;
@@ -78,9 +80,13 @@ case "$MODE" in
     # Deterministic degraded answers only mean something if the paths that
     # produce them are memory-error- and data-race-free while faults fire.
     run_preset asan -L chaos
+    # Streaming fault sites (append_apply, compact) fire inside the
+    # differential harness too — run it with the chaos lane.
+    run_preset asan -L streaming
     cmake --preset tsan >/dev/null
     cmake --build --preset tsan -j "$JOBS"
     TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/chaos_test
+    TSAN_OPTIONS="halt_on_error=1" build-tsan/tests/streaming_serve_test
     ;;
   all)
     "$0" full

@@ -11,9 +11,13 @@ cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 cmake --build "$BUILD" -j "$(nproc)" --target observability_test \
-  train_save_serve
+  ingest_test train_save_serve
 RELGRAPH_REGEN_GOLDENS=1 "$BUILD"/tests/observability_test \
   --gtest_filter='GoldenTest.*'
+
+# Streaming-append quarantine report (IngestTest.GoldenAppendQuarantineReport).
+RELGRAPH_REGEN_GOLDENS=1 "$BUILD"/tests/ingest_test \
+  --gtest_filter='IngestTest.GoldenAppendQuarantineReport'
 
 # End-to-end golden: the train_save_serve demo's per-epoch losses
 # (checked by scripts/check_run_report.sh).

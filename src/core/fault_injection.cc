@@ -48,6 +48,10 @@ const char* FaultSiteName(FaultSite site) {
       return "serve_snapshot_advance";
     case FaultSite::kServeAlloc:
       return "serve_alloc";
+    case FaultSite::kAppendApply:
+      return "append_apply";
+    case FaultSite::kCompact:
+      return "compact";
     case FaultSite::kNumSites:
       break;
   }

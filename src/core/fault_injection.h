@@ -25,6 +25,8 @@ enum class FaultSite {
   kServeCheckpointLoad,   ///< serving checkpoint load fails -> IoError
   kServeSnapshotAdvance,  ///< snapshot advance poisoned after validation
   kServeAlloc,            ///< serving micro-batch allocation fails
+  kAppendApply,           ///< streaming append-batch apply poisoned
+  kCompact,               ///< segmented-CSR compaction poisoned
   kNumSites,              ///< sentinel, not a real site
 };
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 
 #include "core/string_util.h"
 
@@ -23,31 +22,21 @@ bool ShouldSkip(const TableSchema& schema, const std::string& col,
 
 }  // namespace
 
-Result<EncodedTable> EncodeTableFeatures(const Table& table,
-                                         const EncodeOptions& options) {
+Result<EncoderPlan> FitEncoderPlan(const Table& table,
+                                   const EncodeOptions& options) {
   const int64_t n = table.num_rows();
-  struct ColPlan {
-    const Column* col;
-    enum { kNumeric, kBool, kOneHot, kHashed } kind;
-    // Numeric stats.
-    double mean = 0.0, stddev = 1.0;
-    // One-hot vocabulary (value -> slot).
-    std::map<std::string, int64_t> vocab;
-    int64_t width = 0;
-    bool add_null_flag = false;
-  };
-  std::vector<ColPlan> plans;
+  EncoderPlan out;
   for (int64_t c = 0; c < table.num_columns(); ++c) {
     const Column& col = table.column(c);
     if (ShouldSkip(table.schema(), col.name(), options)) continue;
-    ColPlan plan;
-    plan.col = &col;
+    ColumnEncoderPlan plan;
+    plan.column = c;
     plan.add_null_flag = options.null_indicators && col.null_count() > 0;
     switch (col.type()) {
       case DataType::kInt64:
       case DataType::kFloat64:
       case DataType::kTimestamp: {
-        plan.kind = ColPlan::kNumeric;
+        plan.kind = ColumnEncoderPlan::kNumeric;
         double sum = 0.0, sum_sq = 0.0;
         int64_t count = 0;
         for (int64_t r = 0; r < n; ++r) {
@@ -67,7 +56,7 @@ Result<EncodedTable> EncodeTableFeatures(const Table& table,
         break;
       }
       case DataType::kBool:
-        plan.kind = ColPlan::kBool;
+        plan.kind = ColumnEncoderPlan::kBool;
         plan.width = 1;
         break;
       case DataType::kString: {
@@ -89,90 +78,141 @@ Result<EncodedTable> EncodeTableFeatures(const Table& table,
           int64_t slot = 0;
           for (auto& [k, v] : sorted) v = slot++;
           plan.vocab = std::move(sorted);
-          plan.kind = ColPlan::kOneHot;
+          plan.kind = ColumnEncoderPlan::kOneHot;
           plan.width = static_cast<int64_t>(plan.vocab.size());
           if (plan.width == 0) plan.width = 1;  // all-null string column
         } else {
-          plan.kind = ColPlan::kHashed;
+          plan.kind = ColumnEncoderPlan::kHashed;
           plan.width = options.hash_buckets;
         }
         break;
       }
     }
-    plans.push_back(std::move(plan));
+    out.columns.push_back(std::move(plan));
   }
 
-  int64_t dim = 0;
-  for (const auto& p : plans) dim += p.width + (p.add_null_flag ? 1 : 0);
+  for (const auto& p : out.columns) {
+    out.dim += p.width + (p.add_null_flag ? 1 : 0);
+  }
 
-  EncodedTable out;
-  out.features = Tensor::Zeros(n, std::max<int64_t>(dim, 1));
-  if (dim == 0) {
-    // Featureless table (e.g. pure link table): single constant column so
-    // downstream encoders have an input.
-    for (int64_t r = 0; r < n; ++r) out.features.at(r, 0) = 1.0f;
+  // Feature names (one per output dimension, in encode order).
+  if (out.dim == 0) {
     out.feature_names.push_back("const:1");
     return out;
   }
-
-  int64_t offset = 0;
-  for (const auto& p : plans) {
-    const Column& col = *p.col;
+  for (const auto& p : out.columns) {
+    const Column& col = table.column(p.column);
     switch (p.kind) {
-      case ColPlan::kNumeric:
+      case ColumnEncoderPlan::kNumeric:
         out.feature_names.push_back(col.name() + ":z");
-        for (int64_t r = 0; r < n; ++r) {
-          const double v = col.IsNull(r) ? p.mean : col.Numeric(r);
-          out.features.at(r, offset) =
-              static_cast<float>((v - p.mean) / p.stddev);
-        }
         break;
-      case ColPlan::kBool:
+      case ColumnEncoderPlan::kBool:
         out.feature_names.push_back(col.name() + ":b");
-        for (int64_t r = 0; r < n; ++r) {
-          out.features.at(r, offset) =
-              (!col.IsNull(r) && col.Bool(r)) ? 1.0f : 0.0f;
-        }
         break;
-      case ColPlan::kOneHot: {
+      case ColumnEncoderPlan::kOneHot: {
         std::vector<std::string> names(static_cast<size_t>(p.width),
                                        col.name() + "=?");
         for (const auto& [value, slot] : p.vocab) {
           names[static_cast<size_t>(slot)] = col.name() + "=" + value;
         }
         for (auto& nm : names) out.feature_names.push_back(nm);
+        break;
+      }
+      case ColumnEncoderPlan::kHashed:
+        for (int64_t b = 0; b < p.width; ++b) {
+          out.feature_names.push_back(StrFormat(
+              "%s#%lld", col.name().c_str(), static_cast<long long>(b)));
+        }
+        break;
+    }
+    if (p.add_null_flag) out.feature_names.push_back(col.name() + ":null");
+  }
+  return out;
+}
+
+Result<Tensor> EncodeRowsWithPlan(const Table& table, const EncoderPlan& plan,
+                                  int64_t begin, int64_t end) {
+  if (begin < 0 || end < begin || end > table.num_rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "encode range [%lld, %lld) out of bounds for table '%s' (%lld rows)",
+        static_cast<long long>(begin), static_cast<long long>(end),
+        table.name().c_str(), static_cast<long long>(table.num_rows())));
+  }
+  const int64_t n = end - begin;
+  Tensor features = Tensor::Zeros(n, plan.output_dim());
+  if (plan.dim == 0) {
+    // Featureless table (e.g. pure link table): single constant column so
+    // downstream encoders have an input.
+    for (int64_t r = 0; r < n; ++r) features.at(r, 0) = 1.0f;
+    return features;
+  }
+
+  int64_t offset = 0;
+  for (const auto& p : plan.columns) {
+    if (p.column >= table.num_columns()) {
+      return Status::InvalidArgument(StrFormat(
+          "encoder plan column %lld out of range for table '%s'",
+          static_cast<long long>(p.column), table.name().c_str()));
+    }
+    const Column& col = table.column(p.column);
+    switch (p.kind) {
+      case ColumnEncoderPlan::kNumeric:
         for (int64_t r = 0; r < n; ++r) {
-          if (col.IsNull(r)) continue;
-          auto it = p.vocab.find(col.String(r));
+          const int64_t src = begin + r;
+          const double v = col.IsNull(src) ? p.mean : col.Numeric(src);
+          features.at(r, offset) =
+              static_cast<float>((v - p.mean) / p.stddev);
+        }
+        break;
+      case ColumnEncoderPlan::kBool:
+        for (int64_t r = 0; r < n; ++r) {
+          const int64_t src = begin + r;
+          features.at(r, offset) =
+              (!col.IsNull(src) && col.Bool(src)) ? 1.0f : 0.0f;
+        }
+        break;
+      case ColumnEncoderPlan::kOneHot:
+        for (int64_t r = 0; r < n; ++r) {
+          const int64_t src = begin + r;
+          if (col.IsNull(src)) continue;
+          // Values outside the frozen vocabulary encode as all-zero.
+          auto it = p.vocab.find(col.String(src));
           if (it != p.vocab.end()) {
-            out.features.at(r, offset + it->second) = 1.0f;
+            features.at(r, offset + it->second) = 1.0f;
           }
         }
         break;
-      }
-      case ColPlan::kHashed:
-        for (int64_t b = 0; b < p.width; ++b) {
-          out.feature_names.push_back(
-              StrFormat("%s#%lld", col.name().c_str(),
-                        static_cast<long long>(b)));
-        }
+      case ColumnEncoderPlan::kHashed:
         for (int64_t r = 0; r < n; ++r) {
-          if (col.IsNull(r)) continue;
+          const int64_t src = begin + r;
+          if (col.IsNull(src)) continue;
           const int64_t bucket = static_cast<int64_t>(
-              Fnv1a64(col.String(r)) % static_cast<uint64_t>(p.width));
-          out.features.at(r, offset + bucket) = 1.0f;
+              Fnv1a64(col.String(src)) % static_cast<uint64_t>(p.width));
+          features.at(r, offset + bucket) = 1.0f;
         }
         break;
     }
     offset += p.width;
     if (p.add_null_flag) {
-      out.feature_names.push_back(col.name() + ":null");
       for (int64_t r = 0; r < n; ++r) {
-        out.features.at(r, offset) = col.IsNull(r) ? 1.0f : 0.0f;
+        features.at(r, offset) = col.IsNull(begin + r) ? 1.0f : 0.0f;
       }
       ++offset;
     }
   }
+  return features;
+}
+
+Result<EncodedTable> EncodeTableFeatures(const Table& table,
+                                         const EncodeOptions& options) {
+  RELGRAPH_ASSIGN_OR_RETURN(EncoderPlan plan,
+                            FitEncoderPlan(table, options));
+  RELGRAPH_ASSIGN_OR_RETURN(
+      Tensor features,
+      EncodeRowsWithPlan(table, plan, 0, table.num_rows()));
+  EncodedTable out;
+  out.features = std::move(features);
+  out.feature_names = std::move(plan.feature_names);
   return out;
 }
 

@@ -1,6 +1,8 @@
 #ifndef RELGRAPH_DB2GRAPH_FEATURE_ENCODER_H_
 #define RELGRAPH_DB2GRAPH_FEATURE_ENCODER_H_
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,10 +36,43 @@ struct EncodedTable {
   std::vector<std::string> feature_names;
 };
 
-/// Encodes the *attribute* columns of a table into standardized dense
-/// features. PK, FK and event-time columns are excluded — identity and
-/// topology belong to the graph, not the feature vector (using raw keys as
-/// features is a classic relational-ML leak).
+/// Frozen per-column encoding recipe: everything FitEncoderPlan learned
+/// from the data (z-score statistics, one-hot vocabulary, hash width, null
+/// flag) so that later rows — e.g. streamed appends — can be encoded
+/// *without* refitting. Refitting on a grown table would silently shift
+/// means and vocabulary slots and change every previously-encoded feature;
+/// freezing the plan is what makes incremental DB→graph maintenance
+/// bit-identical to a batch rebuild that uses the same plan.
+struct ColumnEncoderPlan {
+  enum Kind { kNumeric, kBool, kOneHot, kHashed };
+
+  int64_t column = 0;  ///< column index within the table
+  Kind kind = kNumeric;
+  // Numeric stats (z-score).
+  double mean = 0.0;
+  double stddev = 1.0;
+  // One-hot vocabulary (value -> slot, slots in sorted value order).
+  std::map<std::string, int64_t> vocab;
+  int64_t width = 0;
+  bool add_null_flag = false;
+};
+
+/// Frozen encoding recipe for a whole table.
+struct EncoderPlan {
+  std::vector<ColumnEncoderPlan> columns;
+  std::vector<std::string> feature_names;
+
+  /// Sum of column widths (0 for a featureless table).
+  int64_t dim = 0;
+
+  /// Actual output width: featureless tables emit one constant column.
+  int64_t output_dim() const { return dim == 0 ? 1 : dim; }
+};
+
+/// Fits an encoding plan on the table's current rows. PK, FK and
+/// event-time columns are excluded — identity and topology belong to the
+/// graph, not the feature vector (using raw keys as features is a classic
+/// relational-ML leak).
 ///
 /// Per column type:
 ///   INT64/FLOAT64/TIMESTAMP -> z-scored numeric (nulls imputed to mean,
@@ -45,6 +80,18 @@ struct EncodedTable {
 ///   BOOL                    -> {0,1} (+ null indicator);
 ///   STRING                  -> one-hot over the observed vocabulary, or
 ///                              hashed buckets when the vocabulary is large.
+Result<EncoderPlan> FitEncoderPlan(const Table& table,
+                                   const EncodeOptions& options = {});
+
+/// Encodes rows [begin, end) of `table` under a frozen plan into an
+/// (end - begin) × plan.output_dim() tensor. Streamed values outside a
+/// frozen one-hot vocabulary encode as all-zero (plus the null flag if the
+/// plan has one); numeric nulls impute to the frozen mean.
+Result<Tensor> EncodeRowsWithPlan(const Table& table, const EncoderPlan& plan,
+                                  int64_t begin, int64_t end);
+
+/// Fit + encode of the whole table in one shot (bit-identical to
+/// FitEncoderPlan followed by EncodeRowsWithPlan over all rows).
 Result<EncodedTable> EncodeTableFeatures(const Table& table,
                                          const EncodeOptions& options = {});
 

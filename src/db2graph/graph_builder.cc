@@ -27,11 +27,23 @@ Result<DbGraph> BuildDbGraph(const Database& db,
           NodeTypeId type, out.graph.AddNodeType(table->name(),
                                                  table->num_rows()));
       out.table_type[table->name()] = type;
-      RELGRAPH_ASSIGN_OR_RETURN(EncodedTable encoded,
-                                EncodeTableFeatures(*table, options.encode));
-      out.feature_names[table->name()] = std::move(encoded.feature_names);
-      RELGRAPH_RETURN_IF_ERROR(
-          out.graph.SetNodeFeatures(type, std::move(encoded.features)));
+      auto plan_it = options.frozen_plans.find(table->name());
+      if (plan_it != options.frozen_plans.end()) {
+        RELGRAPH_ASSIGN_OR_RETURN(
+            Tensor features,
+            EncodeRowsWithPlan(*table, plan_it->second, 0,
+                               table->num_rows()));
+        out.feature_names[table->name()] = plan_it->second.feature_names;
+        RELGRAPH_RETURN_IF_ERROR(
+            out.graph.SetNodeFeatures(type, std::move(features)));
+      } else {
+        RELGRAPH_ASSIGN_OR_RETURN(
+            EncodedTable encoded,
+            EncodeTableFeatures(*table, options.encode));
+        out.feature_names[table->name()] = std::move(encoded.feature_names);
+        RELGRAPH_RETURN_IF_ERROR(
+            out.graph.SetNodeFeatures(type, std::move(encoded.features)));
+      }
       if (table->schema().time_column()) {
         std::vector<Timestamp> times(static_cast<size_t>(table->num_rows()));
         for (int64_t r = 0; r < table->num_rows(); ++r) {

@@ -23,6 +23,15 @@ struct GraphBuilderOptions {
   /// conversion. Used when the engine accepts a database that failed
   /// Validate().
   bool lenient = false;
+
+  /// Tables listed here are encoded under the given frozen plans instead
+  /// of refitting encoder statistics on the table's current rows. A
+  /// refit on a grown table shifts means and vocabulary slots, changing
+  /// every feature; the streaming layer freezes plans at stream creation,
+  /// and the differential test harness passes the same plans here so a
+  /// from-scratch batch rebuild is bit-comparable to the incrementally
+  /// maintained graph.
+  std::map<std::string, EncoderPlan> frozen_plans;
 };
 
 /// The result of converting a relational database into a heterogeneous

@@ -1,0 +1,268 @@
+#include "db2graph/streaming.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/fault_injection.h"
+#include "core/metrics.h"
+#include "core/string_util.h"
+#include "core/trace.h"
+
+namespace relgraph {
+
+namespace {
+
+/// Node-delta of one accepted batch as a pure function of the database and
+/// the applied ranges — computable without (and before) any graph
+/// mutation, so the rebuild recovery path reports the same delta as the
+/// incremental path.
+GraphDelta ComputeDelta(const Database& db, const HeteroGraph& before,
+                        const std::map<std::string, NodeTypeId>& table_type,
+                        const AppendOutcome& outcome,
+                        bool add_reverse_edges) {
+  GraphDelta delta;
+  const int32_t num_types = before.num_node_types();
+  delta.first_new_node.resize(static_cast<size_t>(num_types));
+  delta.touched.assign(static_cast<size_t>(num_types), {});
+  for (int32_t t = 0; t < num_types; ++t) {
+    delta.first_new_node[static_cast<size_t>(t)] = before.num_nodes(t);
+  }
+  for (const auto& [name, range] : outcome.applied_ranges) {
+    const Table* table = db.FindTable(name);
+    for (int64_t r = range.first; r < range.second; ++r) {
+      const Timestamp ts = table->RowTime(r);
+      if (ts != kNoTimestamp &&
+          (delta.max_event_time == kNoTimestamp ||
+           ts > delta.max_event_time)) {
+        delta.max_event_time = ts;
+      }
+    }
+    // Forward FK edges always have NEW rows as sources; only the reverse
+    // direction can grow the adjacency of a pre-existing node.
+    if (!add_reverse_edges) continue;
+    for (const ForeignKey& fk : table->schema().foreign_keys()) {
+      const Table* parent = db.FindTable(fk.referenced_table);
+      if (parent == nullptr || !parent->schema().primary_key()) continue;
+      auto tt = table_type.find(fk.referenced_table);
+      if (tt == table_type.end()) continue;
+      const int64_t first_new =
+          delta.first_new_node[static_cast<size_t>(tt->second)];
+      const Column& col = table->column(fk.column);
+      for (int64_t r = range.first; r < range.second; ++r) {
+        if (col.IsNull(r)) continue;
+        auto parent_row = parent->FindByPrimaryKey(col.Int(r));
+        if (!parent_row.ok()) continue;  // dangling: no edge, no touch
+        if (parent_row.value() < first_new) {
+          delta.touched[static_cast<size_t>(tt->second)].push_back(
+              parent_row.value());
+        }
+      }
+    }
+  }
+  for (auto& touched : delta.touched) {
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+  }
+  return delta;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<StreamingDbGraph>> StreamingDbGraph::Create(
+    Database* db, StreamingOptions options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("StreamingDbGraph: null database");
+  }
+  if (options.compact_threshold < 1) {
+    return Status::InvalidArgument("compact_threshold must be >= 1");
+  }
+  auto stream = std::unique_ptr<StreamingDbGraph>(new StreamingDbGraph());
+  stream->db_ = db;
+  // Fit encoder plans on the base tables and freeze them for the stream's
+  // lifetime — refitting after appends would shift every feature.
+  for (const auto& table : db->tables()) {
+    RELGRAPH_ASSIGN_OR_RETURN(
+        EncoderPlan plan, FitEncoderPlan(*table, options.build.encode));
+    stream->plans_[table->name()] = std::move(plan);
+  }
+  options.build.frozen_plans = stream->plans_;
+  stream->options_ = std::move(options);
+  RELGRAPH_ASSIGN_OR_RETURN(DbGraph base,
+                            BuildDbGraph(*db, stream->options_.build));
+  stream->table_type_ = std::move(base.table_type);
+  stream->feature_names_ = std::move(base.feature_names);
+  stream->epoch_ =
+      std::make_shared<const HeteroGraph>(std::move(base.graph));
+  stream->epochs_published_ = 1;
+  return stream;
+}
+
+std::shared_ptr<const HeteroGraph> StreamingDbGraph::graph() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+int64_t StreamingDbGraph::epochs_published() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epochs_published_;
+}
+
+GraphBuilderOptions StreamingDbGraph::RebuildOptions() const {
+  GraphBuilderOptions opts = options_.build;
+  opts.frozen_plans = plans_;
+  return opts;
+}
+
+Result<StreamingApplyResult> StreamingDbGraph::Apply(
+    const AppendBatch& batch) {
+  RELGRAPH_TRACE_SPAN("db2graph/stream_apply");
+  StreamingApplyResult result;
+  std::shared_ptr<const HeteroGraph> before = graph();
+
+  RELGRAPH_ASSIGN_OR_RETURN(result.outcome,
+                            db_->ApplyAppend(batch, options_.ingest));
+  RELGRAPH_COUNTER_INC("streaming_batches_total");
+  RELGRAPH_COUNTER_ADD("streaming_rows_applied_total",
+                       result.outcome.rows_applied);
+  RELGRAPH_COUNTER_ADD("streaming_rows_quarantined_total",
+                       result.outcome.rows_quarantined);
+
+  result.delta = ComputeDelta(*db_, *before, table_type_, result.outcome,
+                              options_.build.add_reverse_edges);
+  if (result.outcome.rows_applied == 0) {
+    result.graph = before;  // nothing to fold in; keep the current epoch
+    return result;
+  }
+
+  auto next = std::make_shared<HeteroGraph>(*before);  // cheap COW copy
+  Status st = ApplyToGraph(next.get(), result.outcome, &result);
+  if (!st.ok()) {
+    // Recovery: the database accepted the rows but the incremental fold
+    // failed (e.g. injected kAppendApply fault). Rebuild from scratch
+    // under the frozen plans — bit-identical contents, single-segment
+    // layout — so database and published graph never diverge.
+    RELGRAPH_COUNTER_INC("streaming_rebuild_recoveries_total");
+    RELGRAPH_ASSIGN_OR_RETURN(DbGraph rebuilt,
+                              BuildDbGraph(*db_, RebuildOptions()));
+    next = std::make_shared<HeteroGraph>(std::move(rebuilt.graph));
+    result.recovered = true;
+    result.compacted_edge_types = 0;
+    result.skipped_dangling_fks.clear();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_ = next;
+    ++epochs_published_;
+  }
+  RELGRAPH_COUNTER_INC("streaming_epochs_published_total");
+  result.graph = std::move(next);
+  return result;
+}
+
+Status StreamingDbGraph::ApplyToGraph(HeteroGraph* g,
+                                      const AppendOutcome& outcome,
+                                      StreamingApplyResult* result) {
+  if (FaultInjector::Global().ShouldFire(FaultSite::kAppendApply)) {
+    return Status::Internal("injected append-apply fault (site append_apply)");
+  }
+
+  // Nodes first (edge endpoints must exist), tables in registration order.
+  for (const auto& table : db_->tables()) {
+    auto range_it = outcome.applied_ranges.find(table->name());
+    if (range_it == outcome.applied_ranges.end()) continue;
+    const auto [begin, end] = range_it->second;
+    const NodeTypeId type = table_type_.at(table->name());
+    if (begin != g->num_nodes(type)) {
+      return Status::Internal(StrFormat(
+          "table '%s' row count %lld disagrees with graph node count %lld "
+          "(database mutated behind the stream?)",
+          table->name().c_str(), static_cast<long long>(begin),
+          static_cast<long long>(g->num_nodes(type))));
+    }
+    RELGRAPH_ASSIGN_OR_RETURN(
+        Tensor features,
+        EncodeRowsWithPlan(*table, plans_.at(table->name()), begin, end));
+    const bool has_times = table->schema().time_column().has_value();
+    std::vector<Timestamp> times;
+    if (has_times) {
+      times.reserve(static_cast<size_t>(end - begin));
+      for (int64_t r = begin; r < end; ++r) times.push_back(table->RowTime(r));
+    }
+    RELGRAPH_RETURN_IF_ERROR(
+        g->AppendNodes(type, end - begin, features, has_times, times));
+  }
+
+  // FK edges of the new rows, in the builder's (table × FK) registration
+  // order. Each edge type gains at most one tail segment per apply.
+  for (const auto& table : db_->tables()) {
+    auto range_it = outcome.applied_ranges.find(table->name());
+    if (range_it == outcome.applied_ranges.end()) continue;
+    const auto [begin, end] = range_it->second;
+    for (const ForeignKey& fk : table->schema().foreign_keys()) {
+      const Table* parent = db_->FindTable(fk.referenced_table);
+      if (parent == nullptr) {
+        return Status::Internal("FK references unknown table '" +
+                                fk.referenced_table + "'");
+      }
+      const std::string edge_name = table->name() + "__" + fk.column;
+      RELGRAPH_ASSIGN_OR_RETURN(EdgeTypeId fwd, g->FindEdgeType(edge_name));
+      const Column& col = table->column(fk.column);
+      std::vector<int64_t> src, dst;
+      std::vector<Timestamp> times;
+      for (int64_t r = begin; r < end; ++r) {
+        if (col.IsNull(r)) continue;
+        auto parent_row = parent->FindByPrimaryKey(col.Int(r));
+        if (!parent_row.ok()) {
+          // ApplyAppend quarantines dangling FKs, so this only triggers
+          // when the ingest options are more lenient than the build's.
+          if (options_.build.lenient) {
+            ++result->skipped_dangling_fks[edge_name];
+            continue;
+          }
+          return Status::Internal(StrFormat(
+              "FK %s.%s=%lld (row %lld) dangles", table->name().c_str(),
+              fk.column.c_str(), static_cast<long long>(col.Int(r)),
+              static_cast<long long>(r)));
+        }
+        src.push_back(r);
+        dst.push_back(parent_row.value());
+        times.push_back(table->RowTime(r));
+      }
+      RELGRAPH_RETURN_IF_ERROR(g->AppendEdges(fwd, src, dst, times));
+      if (options_.build.add_reverse_edges) {
+        RELGRAPH_ASSIGN_OR_RETURN(EdgeTypeId rev,
+                                  g->FindEdgeType("rev_" + edge_name));
+        RELGRAPH_RETURN_IF_ERROR(g->AppendEdges(rev, dst, src, times));
+      }
+      RELGRAPH_COUNTER_ADD("streaming_edges_appended_total",
+                           static_cast<int64_t>(src.size()));
+    }
+  }
+
+  // Compact oversized edge types. A fault here is non-fatal: compaction is
+  // a pure layout optimization, so it simply stays deferred to a later
+  // apply.
+  bool over_threshold = false;
+  for (EdgeTypeId e = 0; e < g->num_edge_types(); ++e) {
+    if (g->num_segments(e) > options_.compact_threshold) {
+      over_threshold = true;
+      break;
+    }
+  }
+  if (over_threshold) {
+    Result<int64_t> compacted =
+        g->CompactSegments(options_.compact_threshold);
+    if (compacted.ok()) {
+      result->compacted_edge_types = compacted.value();
+      RELGRAPH_COUNTER_ADD("streaming_compactions_total",
+                           compacted.value());
+    } else {
+      RELGRAPH_COUNTER_INC("streaming_compactions_deferred_total");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace relgraph

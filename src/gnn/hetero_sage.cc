@@ -233,13 +233,17 @@ Tensor HeteroSageModel::InputFeatures(
     }
     if (config_.degree_encoding) {
       for (EdgeTypeId e : out_edges) {
-        const int64_t* dst;
-        const Timestamp* times;
-        int64_t count;
-        graph->Neighbors(e, node, &dst, &times, &count);
         int64_t valid = 0;
-        for (int64_t k = 0; k < count; ++k) {
-          if (times[k] == kNoTimestamp || times[k] < cutoff) ++valid;
+        const int32_t num_segs = graph->num_segments(e);
+        for (int32_t s = 0; s < num_segs; ++s) {
+          const int64_t* dst;
+          const Timestamp* times;
+          int64_t count;
+          graph->SegmentNeighbors(e, s, node, &dst, &times, &count);
+          (void)dst;
+          for (int64_t k = 0; k < count; ++k) {
+            if (times[k] == kNoTimestamp || times[k] < cutoff) ++valid;
+          }
         }
         out.at(i, col++) =
             static_cast<float>(std::log1p(static_cast<double>(valid)));

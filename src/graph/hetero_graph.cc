@@ -1,9 +1,45 @@
 #include "graph/hetero_graph.h"
 
+#include <algorithm>
+
+#include "core/fault_injection.h"
 #include "core/logging.h"
 #include "core/string_util.h"
 
 namespace relgraph {
+
+namespace {
+
+/// Windowed stable counting sort of (src, dst, time) triples into one CSR
+/// segment covering sources [src_begin, src_begin + window). Stable in
+/// input order per source — the property the whole incremental-equality
+/// contract rests on.
+CsrSegment BuildSegment(int64_t src_begin, int64_t window,
+                        const std::vector<int64_t>& src,
+                        const std::vector<int64_t>& dst,
+                        const std::vector<Timestamp>& times) {
+  CsrSegment seg;
+  seg.src_begin = src_begin;
+  seg.offsets.assign(static_cast<size_t>(window) + 1, 0);
+  for (int64_t s : src) {
+    ++seg.offsets[static_cast<size_t>(s - src_begin) + 1];
+  }
+  for (size_t i = 1; i < seg.offsets.size(); ++i) {
+    seg.offsets[i] += seg.offsets[i - 1];
+  }
+  seg.neighbors.resize(src.size());
+  seg.times.resize(src.size());
+  std::vector<int64_t> cursor(seg.offsets.begin(), seg.offsets.end() - 1);
+  for (size_t i = 0; i < src.size(); ++i) {
+    int64_t& pos = cursor[static_cast<size_t>(src[i] - src_begin)];
+    seg.neighbors[static_cast<size_t>(pos)] = dst[i];
+    seg.times[static_cast<size_t>(pos)] = times[i];
+    ++pos;
+  }
+  return seg;
+}
+
+}  // namespace
 
 Result<NodeTypeId> HeteroGraph::AddNodeType(const std::string& name,
                                             int64_t num_nodes) {
@@ -17,8 +53,8 @@ Result<NodeTypeId> HeteroGraph::AddNodeType(const std::string& name,
   node_index_[name] = id;
   node_names_.push_back(name);
   num_nodes_.push_back(num_nodes);
-  features_.emplace_back();
-  node_times_.emplace_back();
+  features_.push_back(std::make_shared<const Tensor>());
+  node_times_.push_back(std::make_shared<const std::vector<Timestamp>>());
   return id;
 }
 
@@ -33,7 +69,7 @@ Status HeteroGraph::SetNodeFeatures(NodeTypeId type, Tensor features) {
         static_cast<long long>(num_nodes_[type]),
         node_names_[type].c_str()));
   }
-  features_[type] = std::move(features);
+  features_[type] = std::make_shared<const Tensor>(std::move(features));
   return Status::OK();
 }
 
@@ -46,7 +82,8 @@ Status HeteroGraph::SetNodeTimes(NodeTypeId type,
     return Status::InvalidArgument("times size != node count for type '" +
                                    node_names_[type] + "'");
   }
-  node_times_[type] = std::move(times);
+  node_times_[type] =
+      std::make_shared<const std::vector<Timestamp>>(std::move(times));
   return Status::OK();
 }
 
@@ -80,20 +117,9 @@ Result<EdgeTypeId> HeteroGraph::AddEdgeType(
     }
   }
   Csr csr;
-  csr.offsets.assign(static_cast<size_t>(n_src) + 1, 0);
-  for (int64_t s : src) ++csr.offsets[static_cast<size_t>(s) + 1];
-  for (size_t i = 1; i < csr.offsets.size(); ++i) {
-    csr.offsets[i] += csr.offsets[i - 1];
-  }
-  csr.neighbors.resize(src.size());
-  csr.times.resize(src.size());
-  std::vector<int64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
-  for (size_t i = 0; i < src.size(); ++i) {
-    int64_t& pos = cursor[static_cast<size_t>(src[i])];
-    csr.neighbors[static_cast<size_t>(pos)] = dst[i];
-    csr.times[static_cast<size_t>(pos)] = times[i];
-    ++pos;
-  }
+  csr.segments.push_back(std::make_shared<const CsrSegment>(
+      BuildSegment(0, n_src, src, dst, times)));
+  csr.num_edges = static_cast<int64_t>(src.size());
   EdgeTypeId id = static_cast<EdgeTypeId>(edge_names_.size());
   edge_index_[name] = id;
   edge_names_.push_back(name);
@@ -101,6 +127,152 @@ Result<EdgeTypeId> HeteroGraph::AddEdgeType(
   edge_dst_.push_back(dst_type);
   csr_.push_back(std::move(csr));
   return id;
+}
+
+Status HeteroGraph::AppendNodes(NodeTypeId type, int64_t count,
+                                const Tensor& new_features, bool has_times,
+                                const std::vector<Timestamp>& new_times) {
+  if (type < 0 || type >= num_node_types()) {
+    return Status::OutOfRange("AppendNodes: bad node type id");
+  }
+  if (count < 0) {
+    return Status::InvalidArgument("AppendNodes: negative count");
+  }
+  const int64_t old_n = num_nodes_[type];
+  if (count == 0 && new_features.empty() && new_times.empty()) {
+    return Status::OK();
+  }
+  const Tensor& old_feats = *features_[type];
+  const bool has_features = old_feats.cols() > 0;
+  if (has_features) {
+    if (new_features.rows() != count || new_features.cols() != old_feats.cols()) {
+      return Status::InvalidArgument(StrFormat(
+          "AppendNodes('%s'): feature block is %lldx%lld, want %lldx%lld",
+          node_names_[type].c_str(),
+          static_cast<long long>(new_features.rows()),
+          static_cast<long long>(new_features.cols()),
+          static_cast<long long>(count),
+          static_cast<long long>(old_feats.cols())));
+    }
+  } else if (!new_features.empty()) {
+    return Status::InvalidArgument(
+        "AppendNodes: features supplied for a featureless type '" +
+        node_names_[type] + "'");
+  }
+  const std::vector<Timestamp>& old_times = *node_times_[type];
+  if (has_times) {
+    if (static_cast<int64_t>(old_times.size()) != old_n) {
+      return Status::FailedPrecondition(
+          "AppendNodes: type '" + node_names_[type] +
+          "' has no node times but has_times is set");
+    }
+    if (static_cast<int64_t>(new_times.size()) != count) {
+      return Status::InvalidArgument(
+          "AppendNodes: new_times size != count for type '" +
+          node_names_[type] + "'");
+    }
+  } else if (!new_times.empty()) {
+    return Status::InvalidArgument(
+        "AppendNodes: times supplied for a static type '" +
+        node_names_[type] + "'");
+  }
+
+  if (has_features) {
+    const int64_t dim = old_feats.cols();
+    Tensor grown = Tensor::Zeros(old_n + count, dim);
+    std::copy(old_feats.data(), old_feats.data() + old_n * dim,
+              grown.data());
+    std::copy(new_features.data(), new_features.data() + count * dim,
+              grown.data() + old_n * dim);
+    features_[type] = std::make_shared<const Tensor>(std::move(grown));
+  }
+  if (has_times) {
+    auto grown_times =
+        std::make_shared<std::vector<Timestamp>>(old_times);
+    grown_times->insert(grown_times->end(), new_times.begin(),
+                        new_times.end());
+    node_times_[type] = std::move(grown_times);
+  }
+  num_nodes_[type] = old_n + count;
+  return Status::OK();
+}
+
+Status HeteroGraph::AppendEdges(EdgeTypeId e, const std::vector<int64_t>& src,
+                                const std::vector<int64_t>& dst,
+                                const std::vector<Timestamp>& times) {
+  if (e < 0 || e >= num_edge_types()) {
+    return Status::OutOfRange("AppendEdges: bad edge type id");
+  }
+  if (src.size() != dst.size() || src.size() != times.size()) {
+    return Status::InvalidArgument(
+        "AppendEdges: src/dst/times arrays must be the same length");
+  }
+  if (src.empty()) return Status::OK();
+  const int64_t n_src = num_nodes_[edge_src_[e]];
+  const int64_t n_dst = num_nodes_[edge_dst_[e]];
+  int64_t lo = src[0], hi = src[0];
+  for (size_t i = 0; i < src.size(); ++i) {
+    if (src[i] < 0 || src[i] >= n_src) {
+      return Status::OutOfRange(StrFormat(
+          "AppendEdges('%s') edge %zu: src %lld out of range [0,%lld)",
+          edge_names_[e].c_str(), i, static_cast<long long>(src[i]),
+          static_cast<long long>(n_src)));
+    }
+    if (dst[i] < 0 || dst[i] >= n_dst) {
+      return Status::OutOfRange(StrFormat(
+          "AppendEdges('%s') edge %zu: dst %lld out of range [0,%lld)",
+          edge_names_[e].c_str(), i, static_cast<long long>(dst[i]),
+          static_cast<long long>(n_dst)));
+    }
+    lo = std::min(lo, src[i]);
+    hi = std::max(hi, src[i]);
+  }
+  csr_[e].segments.push_back(std::make_shared<const CsrSegment>(
+      BuildSegment(lo, hi - lo + 1, src, dst, times)));
+  csr_[e].num_edges += static_cast<int64_t>(src.size());
+  return Status::OK();
+}
+
+Result<int64_t> HeteroGraph::CompactSegments(int64_t max_segments) {
+  if (max_segments < 1) {
+    return Status::InvalidArgument("CompactSegments: max_segments must be >= 1");
+  }
+  if (FaultInjector::Global().ShouldFire(FaultSite::kCompact)) {
+    return Status::Internal("injected compaction fault (site compact)");
+  }
+  int64_t compacted = 0;
+  for (EdgeTypeId e = 0; e < num_edge_types(); ++e) {
+    Csr& csr = csr_[e];
+    if (static_cast<int64_t>(csr.segments.size()) <= max_segments) continue;
+    const int64_t n_src = num_nodes_[edge_src_[e]];
+    auto merged = std::make_shared<CsrSegment>();
+    merged->src_begin = 0;
+    merged->offsets.assign(static_cast<size_t>(n_src) + 1, 0);
+    merged->neighbors.reserve(static_cast<size_t>(csr.num_edges));
+    merged->times.reserve(static_cast<size_t>(csr.num_edges));
+    // Per node, concatenate segment slices in append order — the same
+    // order a from-scratch bulk build of the final edge list produces.
+    for (int64_t v = 0; v < n_src; ++v) {
+      for (const auto& seg : csr.segments) {
+        if (v < seg->src_begin || v >= seg->src_end()) continue;
+        const size_t w = static_cast<size_t>(v - seg->src_begin);
+        const int64_t begin = seg->offsets[w];
+        const int64_t end = seg->offsets[w + 1];
+        merged->neighbors.insert(
+            merged->neighbors.end(),
+            seg->neighbors.begin() + begin, seg->neighbors.begin() + end);
+        merged->times.insert(merged->times.end(),
+                             seg->times.begin() + begin,
+                             seg->times.begin() + end);
+      }
+      merged->offsets[static_cast<size_t>(v) + 1] =
+          static_cast<int64_t>(merged->neighbors.size());
+    }
+    csr.segments.clear();
+    csr.segments.push_back(std::move(merged));
+    ++compacted;
+  }
+  return compacted;
 }
 
 Result<NodeTypeId> HeteroGraph::FindNodeType(const std::string& name) const {
@@ -127,34 +299,54 @@ int64_t HeteroGraph::TotalNodes() const {
 
 int64_t HeteroGraph::TotalEdges() const {
   int64_t total = 0;
-  for (const auto& csr : csr_) {
-    total += static_cast<int64_t>(csr.neighbors.size());
-  }
+  for (const auto& csr : csr_) total += csr.num_edges;
   return total;
 }
 
 Timestamp HeteroGraph::node_time(NodeTypeId t, int64_t node) const {
-  const auto& times = node_times_[t];
+  const auto& times = *node_times_[t];
   if (times.empty()) return kNoTimestamp;
   return times[static_cast<size_t>(node)];
+}
+
+void HeteroGraph::SegmentNeighbors(EdgeTypeId e, int32_t seg, int64_t node,
+                                   const int64_t** dst_out,
+                                   const Timestamp** time_out,
+                                   int64_t* count_out) const {
+  const CsrSegment& s = *csr_[e].segments[static_cast<size_t>(seg)];
+  if (node < s.src_begin || node >= s.src_end()) {
+    *dst_out = nullptr;
+    *time_out = nullptr;
+    *count_out = 0;
+    return;
+  }
+  const size_t w = static_cast<size_t>(node - s.src_begin);
+  const int64_t begin = s.offsets[w];
+  const int64_t end = s.offsets[w + 1];
+  *dst_out = s.neighbors.data() + begin;
+  *time_out = s.times.data() + begin;
+  *count_out = end - begin;
 }
 
 void HeteroGraph::Neighbors(EdgeTypeId e, int64_t node,
                             const int64_t** dst_out,
                             const Timestamp** time_out,
                             int64_t* count_out) const {
-  const Csr& csr = csr_[e];
-  const int64_t begin = csr.offsets[static_cast<size_t>(node)];
-  const int64_t end = csr.offsets[static_cast<size_t>(node) + 1];
-  *dst_out = csr.neighbors.data() + begin;
-  *time_out = csr.times.data() + begin;
-  *count_out = end - begin;
+  RELGRAPH_CHECK(csr_[e].segments.size() == 1)
+      << "Neighbors() needs a single-segment edge type ('"
+      << edge_names_[e] << "' has " << csr_[e].segments.size()
+      << "); streaming paths must iterate SegmentNeighbors";
+  SegmentNeighbors(e, 0, node, dst_out, time_out, count_out);
 }
 
 int64_t HeteroGraph::Degree(EdgeTypeId e, int64_t node) const {
-  const Csr& csr = csr_[e];
-  return csr.offsets[static_cast<size_t>(node) + 1] -
-         csr.offsets[static_cast<size_t>(node)];
+  int64_t degree = 0;
+  for (const auto& seg : csr_[e].segments) {
+    if (node < seg->src_begin || node >= seg->src_end()) continue;
+    const size_t w = static_cast<size_t>(node - seg->src_begin);
+    degree += seg->offsets[w + 1] - seg->offsets[w];
+  }
+  return degree;
 }
 
 std::string HeteroGraph::Describe() const {

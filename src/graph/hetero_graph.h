@@ -2,6 +2,7 @@
 #define RELGRAPH_GRAPH_HETERO_GRAPH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -19,15 +20,72 @@ using NodeTypeId = int32_t;
 /// Identifies a directed edge type (one per FK direction).
 using EdgeTypeId = int32_t;
 
-/// A directed, typed, timestamped multigraph stored as one CSR structure
-/// per edge type — the in-memory form of a relational database after
-/// DB→graph conversion.
+/// One immutable CSR segment of an edge type: a windowed adjacency slab
+/// over source nodes [src_begin, src_end()). The bulk-loaded base is one
+/// full-window segment; every streaming append adds a small tail segment
+/// covering only the sources it touches. Segments are shared (by
+/// shared_ptr) across graph epochs, so cloning a graph for the next delta
+/// never copies base edges.
+struct CsrSegment {
+  int64_t src_begin = 0;           ///< first source node covered
+  std::vector<int64_t> offsets;    ///< size (src_end - src_begin) + 1
+  std::vector<int64_t> neighbors;  ///< dst node ids
+  std::vector<Timestamp> times;    ///< edge timestamps
+
+  int64_t src_end() const {
+    return src_begin + static_cast<int64_t>(offsets.size()) - 1;
+  }
+  int64_t num_edges() const {
+    return static_cast<int64_t>(neighbors.size());
+  }
+};
+
+/// A node-delta summary of one incremental graph update, produced by the
+/// streaming DB→graph layer and consumed by the serving engine for precise
+/// cache invalidation. Vectors are indexed by NodeTypeId.
+struct GraphDelta {
+  /// Node count of each type BEFORE the delta: ids >= first_new_node[t]
+  /// are new nodes (no pre-delta cache entry can reference them).
+  std::vector<int64_t> first_new_node;
+
+  /// Pre-existing nodes whose adjacency gained edges (source endpoints of
+  /// appended edges, across every edge type), sorted and deduplicated per
+  /// type. A cached computation is invalidated iff it read one of these.
+  std::vector<std::vector<int64_t>> touched;
+
+  /// Latest event timestamp carried by the delta's rows (kNoTimestamp if
+  /// the delta is purely static).
+  Timestamp max_event_time = kNoTimestamp;
+
+  int64_t TotalTouched() const {
+    int64_t total = 0;
+    for (const auto& t : touched) total += static_cast<int64_t>(t.size());
+    return total;
+  }
+};
+
+/// A directed, typed, timestamped multigraph stored as segmented CSR — one
+/// base segment plus zero or more append-tail segments per edge type — the
+/// in-memory form of a relational database after DB→graph conversion.
 ///
 /// Node ids are dense per node type: node `i` of type "orders" is row `i`
 /// of the orders table. Every node carries a timestamp (kNoTimestamp for
 /// static dimension rows) and every edge carries the timestamp of the fact
 /// row that induced it, which is what makes leakage-free temporal neighbor
 /// sampling possible.
+///
+/// Determinism contract: per-node neighbor order is base-segment rows
+/// first, then appended rows in append order — exactly the row order a
+/// from-scratch bulk build of the final table produces (the counting sort
+/// in AddEdgeType is stable in row order, and appended rows always carry
+/// larger row indices). CompactSegments merges in the same order, so a
+/// compacted graph is bit-identical to the rebuilt one.
+///
+/// Copying a HeteroGraph is cheap (O(types + segments)): feature
+/// matrices, node-time vectors and CSR segments are immutable and shared;
+/// mutators on the copy replace pointers instead of touching shared
+/// payloads. This is what makes copy-on-write graph epochs safe under
+/// concurrent lock-free readers.
 class HeteroGraph {
  public:
   HeteroGraph() = default;
@@ -42,12 +100,41 @@ class HeteroGraph {
   Status SetNodeTimes(NodeTypeId type, std::vector<Timestamp> times);
 
   /// Registers a directed edge type and bulk-loads its edges as parallel
-  /// arrays (src node id, dst node id, edge timestamp). Builds CSR by src.
+  /// arrays (src node id, dst node id, edge timestamp). Builds the base
+  /// CSR segment by src (stable in input order per source).
   Result<EdgeTypeId> AddEdgeType(const std::string& name, NodeTypeId src_type,
                                  NodeTypeId dst_type,
                                  const std::vector<int64_t>& src,
                                  const std::vector<int64_t>& dst,
                                  const std::vector<Timestamp>& times);
+
+  // --------------------------------------------------------- streaming
+
+  /// Grows a node type by `count` nodes. `new_features` must carry one row
+  /// per new node when the type has features (matching width; pass an
+  /// empty tensor otherwise). `has_times` says whether the type is
+  /// temporal: then `new_times` must carry one timestamp per new node.
+  /// The previous feature matrix is copied once (O(num_nodes × dim)) into
+  /// a fresh shared payload; other graph copies are unaffected.
+  Status AppendNodes(NodeTypeId type, int64_t count,
+                     const Tensor& new_features, bool has_times,
+                     const std::vector<Timestamp>& new_times);
+
+  /// Appends edges to an existing edge type as a new tail segment windowed
+  /// over the touched sources. Endpoints must be in range; empty input is
+  /// a no-op (no empty segments). Never rebuilds or mutates existing
+  /// segments.
+  Status AppendEdges(EdgeTypeId e, const std::vector<int64_t>& src,
+                     const std::vector<int64_t>& dst,
+                     const std::vector<Timestamp>& times);
+
+  /// Merges every edge type holding more than `max_segments` segments into
+  /// a single full-window base segment, preserving per-node neighbor order
+  /// bit-for-bit (base first, then tails in append order). Returns the
+  /// number of edge types compacted. The kCompact fault site fires before
+  /// any mutation, so a poisoned compaction leaves the graph untouched
+  /// (and still fully readable — compaction is a pure layout optimization).
+  Result<int64_t> CompactSegments(int64_t max_segments);
 
   // -------------------------------------------------------------- lookup
 
@@ -69,9 +156,7 @@ class HeteroGraph {
   }
 
   int64_t num_nodes(NodeTypeId t) const { return num_nodes_[t]; }
-  int64_t num_edges(EdgeTypeId e) const {
-    return static_cast<int64_t>(csr_[e].neighbors.size());
-  }
+  int64_t num_edges(EdgeTypeId e) const { return csr_[e].num_edges; }
   int64_t TotalNodes() const;
   int64_t TotalEdges() const;
 
@@ -79,20 +164,41 @@ class HeteroGraph {
   NodeTypeId edge_dst_type(EdgeTypeId e) const { return edge_dst_[e]; }
 
   /// Feature matrix of a node type (empty tensor if unset).
-  const Tensor& node_features(NodeTypeId t) const { return features_[t]; }
+  const Tensor& node_features(NodeTypeId t) const { return *features_[t]; }
 
   /// Feature width of a node type (0 if unset).
-  int64_t feature_dim(NodeTypeId t) const { return features_[t].cols(); }
+  int64_t feature_dim(NodeTypeId t) const { return features_[t]->cols(); }
 
   /// Timestamp of one node (kNoTimestamp when the type is static).
   Timestamp node_time(NodeTypeId t, int64_t node) const;
 
-  /// Neighborhood of `node` under edge type `e`: spans of the CSR arrays.
-  /// `*dst_out`/`*time_out` point at `*count_out` parallel entries.
+  /// Segment count of an edge type (1 after a bulk build or compaction;
+  /// grows by one per non-empty append).
+  int32_t num_segments(EdgeTypeId e) const {
+    return static_cast<int32_t>(csr_[e].segments.size());
+  }
+
+  /// Direct view of one segment (for invariant checks and benchmarks).
+  const CsrSegment& segment(EdgeTypeId e, int32_t i) const {
+    return *csr_[e].segments[static_cast<size_t>(i)];
+  }
+
+  /// Neighborhood slice of `node` within segment `seg` of edge type `e`:
+  /// `*dst_out`/`*time_out` point at `*count_out` parallel entries
+  /// (count 0 when the node is outside the segment's window). Iterating
+  /// segments 0..num_segments-1 yields the node's full neighbor list in
+  /// canonical (bulk-rebuild) order.
+  void SegmentNeighbors(EdgeTypeId e, int32_t seg, int64_t node,
+                        const int64_t** dst_out, const Timestamp** time_out,
+                        int64_t* count_out) const;
+
+  /// Whole neighborhood of `node` as one contiguous span. Only valid for
+  /// single-segment edge types (bulk-built or compacted graphs) — code on
+  /// streaming paths must iterate SegmentNeighbors instead.
   void Neighbors(EdgeTypeId e, int64_t node, const int64_t** dst_out,
                  const Timestamp** time_out, int64_t* count_out) const;
 
-  /// Degree of a node under an edge type.
+  /// Degree of a node under an edge type (summed across segments).
   int64_t Degree(EdgeTypeId e, int64_t node) const;
 
   /// Summary line per type for logging/examples.
@@ -100,16 +206,17 @@ class HeteroGraph {
 
  private:
   struct Csr {
-    std::vector<int64_t> offsets;    // size num_src_nodes + 1
-    std::vector<int64_t> neighbors;  // dst node ids
-    std::vector<Timestamp> times;    // edge timestamps
+    std::vector<std::shared_ptr<const CsrSegment>> segments;
+    int64_t num_edges = 0;
   };
 
   std::vector<std::string> node_names_;
   std::unordered_map<std::string, NodeTypeId> node_index_;
   std::vector<int64_t> num_nodes_;
-  std::vector<Tensor> features_;
-  std::vector<std::vector<Timestamp>> node_times_;
+  // Shared immutable payloads: mutators publish replacements, never write
+  // through these pointers.
+  std::vector<std::shared_ptr<const Tensor>> features_;
+  std::vector<std::shared_ptr<const std::vector<Timestamp>>> node_times_;
 
   std::vector<std::string> edge_names_;
   std::unordered_map<std::string, EdgeTypeId> edge_index_;

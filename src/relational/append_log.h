@@ -1,0 +1,70 @@
+#ifndef RELGRAPH_RELATIONAL_APPEND_LOG_H_
+#define RELGRAPH_RELATIONAL_APPEND_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/time.h"
+#include "relational/ingest_report.h"
+#include "relational/value.h"
+
+namespace relgraph {
+
+/// One streamed row destined for a table: the full row in schema column
+/// order, exactly as Table::AppendRow takes it.
+struct RowAppend {
+  std::string table;
+  std::vector<Value> values;
+};
+
+/// One batch of streamed rows, applied atomically-per-row by
+/// Database::ApplyAppend. Rows are validated and applied in batch order;
+/// a row may reference primary keys that already exist in the database or
+/// that an EARLIER accepted row of the same batch introduced (forward
+/// references within a batch are dangling — the stream is an ordered log,
+/// not a set).
+struct AppendBatch {
+  std::vector<RowAppend> rows;
+
+  void Add(std::string table, std::vector<Value> values) {
+    rows.push_back({std::move(table), std::move(values)});
+  }
+  bool empty() const { return rows.empty(); }
+  int64_t size() const { return static_cast<int64_t>(rows.size()); }
+};
+
+/// One accepted append, recorded in the database's append log — the audit
+/// trail that lets a consumer (the streaming DB→graph layer, a replica)
+/// replay exactly what was applied and in what order.
+struct AppendLogEntry {
+  int64_t seq = 0;      ///< global append sequence number (1-based)
+  std::string table;
+  int64_t row = 0;      ///< row index the append landed at
+  Timestamp time = kNoTimestamp;  ///< event time (kNoTimestamp if static)
+};
+
+/// Outcome of one ApplyAppend call: what landed, what was quarantined and
+/// why (same per-table report type as the PR 1 lenient-ingest path), and
+/// the contiguous row range each table gained — the delta the incremental
+/// graph maintenance consumes.
+struct AppendOutcome {
+  int64_t rows_applied = 0;
+  int64_t rows_quarantined = 0;
+
+  /// Per-table issue counts and first offenders; `row` numbers in the
+  /// examples are 1-based positions within the batch. Empty when clean.
+  DatabaseIntegrityReport report;
+
+  /// table name -> [begin, end) row indices appended to that table (only
+  /// tables that gained rows appear).
+  std::map<std::string, std::pair<int64_t, int64_t>> applied_ranges;
+
+  bool clean() const { return rows_quarantined == 0; }
+};
+
+}  // namespace relgraph
+
+#endif  // RELGRAPH_RELATIONAL_APPEND_LOG_H_

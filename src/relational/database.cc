@@ -1,6 +1,8 @@
 #include "relational/database.h"
 
 #include <algorithm>
+#include <map>
+#include <unordered_set>
 
 #include "core/logging.h"
 #include "core/string_util.h"
@@ -132,6 +134,220 @@ DatabaseIntegrityReport Database::Audit(int64_t max_examples) const {
     if (tr.TotalIssues() > 0) report.tables.push_back(std::move(tr));
   }
   return report;
+}
+
+namespace {
+
+/// Per-table validation state threaded through one ApplyAppend batch:
+/// what earlier accepted rows of the batch introduced, so later rows can
+/// resolve against them.
+struct PendingTable {
+  std::unordered_set<int64_t> pks;  ///< PKs of earlier accepted batch rows
+  int64_t accepted = 0;
+  Timestamp last_time = kNoTimestamp;  ///< last accepted event time
+};
+
+}  // namespace
+
+Result<AppendOutcome> Database::ApplyAppend(const AppendBatch& batch,
+                                            const IngestOptions& options) {
+  AppendOutcome outcome;
+  std::map<std::string, TableIngestReport> table_reports;
+  std::map<std::string, PendingTable> pending;
+  std::vector<size_t> accepted_rows;
+  accepted_rows.reserve(batch.rows.size());
+
+  const bool lenient = options.mode == IngestMode::kLenient;
+
+  // ------------------------------------------------------------- pass 1
+  // Validate every row in batch order without touching any table. A row is
+  // classified by its FIRST failing check; strict mode aborts right there
+  // (nothing has been applied yet), lenient mode quarantines and moves on.
+  for (size_t i = 0; i < batch.rows.size(); ++i) {
+    const RowAppend& row = batch.rows[i];
+    const int64_t batch_row = static_cast<int64_t>(i) + 1;  // 1-based
+
+    const Table* t = FindTable(row.table);
+    if (t == nullptr) {
+      return Status::InvalidArgument(StrFormat(
+          "append row %lld: unknown table '%s'",
+          static_cast<long long>(batch_row), row.table.c_str()));
+    }
+    const TableSchema& schema = t->schema();
+    const auto& cols = schema.columns();
+    PendingTable& pend = pending[row.table];
+    if (pend.accepted == 0 && pend.last_time == kNoTimestamp &&
+        schema.time_column() && t->num_rows() > 0) {
+      pend.last_time = t->RowTime(t->num_rows() - 1);
+    }
+
+    std::string bad_column;
+    std::string reason;
+    int64_t TableIngestReport::*category = nullptr;
+
+    if (row.values.size() != cols.size()) {
+      category = &TableIngestReport::malformed_cells;
+      reason = StrFormat("row has %zu values, expected %zu",
+                         row.values.size(), cols.size());
+    }
+
+    // Per-cell checks: type probes and null handling, in column order.
+    for (size_t c = 0; category == nullptr && c < cols.size(); ++c) {
+      const Value& v = row.values[c];
+      const bool is_pk =
+          schema.primary_key() && cols[c].name == *schema.primary_key();
+      if (v.is_null()) {
+        if (is_pk) {
+          category = &TableIngestReport::null_pks;
+          bad_column = cols[c].name;
+          reason = "null primary key";
+        } else if (!cols[c].nullable) {
+          category = &TableIngestReport::constraint_violations;
+          bad_column = cols[c].name;
+          reason = "null in non-nullable column";
+        }
+        continue;
+      }
+      Column probe(cols[c].name, cols[c].type);
+      Status st = probe.Append(v);
+      if (!st.ok()) {
+        category = &TableIngestReport::malformed_cells;
+        bad_column = cols[c].name;
+        reason = st.message();
+      }
+    }
+
+    // PK uniqueness vs the base table plus earlier accepted batch rows.
+    int64_t pk_value = 0;
+    bool has_pk = false;
+    if (category == nullptr && schema.primary_key()) {
+      const int pk_col = schema.FindColumn(*schema.primary_key()).value();
+      pk_value = row.values[static_cast<size_t>(pk_col)].as_int();
+      has_pk = true;
+      if (t->FindByPrimaryKey(pk_value).ok() || pend.pks.count(pk_value)) {
+        category = &TableIngestReport::duplicate_pks;
+        bad_column = *schema.primary_key();
+        reason = StrFormat("duplicate primary key %lld",
+                           static_cast<long long>(pk_value));
+      }
+    }
+
+    // FK resolution vs the base target table plus earlier accepted batch
+    // rows of the target. Rows quarantined earlier never enter the pending
+    // set, so an FK pointing at one of them dangles — as does a forward
+    // reference to a row later in the batch.
+    if (category == nullptr) {
+      for (const ForeignKey& fk : schema.foreign_keys()) {
+        const int fk_col = schema.FindColumn(fk.column).value();
+        const Value& v = row.values[static_cast<size_t>(fk_col)];
+        if (v.is_null()) continue;
+        const Table* target = FindTable(fk.referenced_table);
+        if (target == nullptr || !target->schema().primary_key()) continue;
+        const int64_t ref = v.as_int();
+        auto pit = pending.find(fk.referenced_table);
+        const bool in_pending =
+            pit != pending.end() && pit->second.pks.count(ref) > 0;
+        if (!target->FindByPrimaryKey(ref).ok() && !in_pending) {
+          category = &TableIngestReport::dangling_fks;
+          bad_column = fk.column;
+          reason = StrFormat("FK %s=%lld has no match in '%s'",
+                             fk.column.c_str(), static_cast<long long>(ref),
+                             fk.referenced_table.c_str());
+          break;
+        }
+      }
+    }
+
+    // Event-time plausibility and (optional) monotonicity.
+    // Only rows that passed the arity and per-cell probes have a safely
+    // readable time cell (a malformed row may be short or mistyped).
+    Timestamp row_time = kNoTimestamp;
+    if (category == nullptr && schema.time_column()) {
+      const int time_col = schema.FindColumn(*schema.time_column()).value();
+      const Value& v = row.values[static_cast<size_t>(time_col)];
+      if (!v.is_null()) row_time = v.as_time();
+    }
+    if (category == nullptr && row_time != kNoTimestamp) {
+      if (options.min_timestamp != kNoTimestamp &&
+          row_time < options.min_timestamp) {
+        category = &TableIngestReport::out_of_range_timestamps;
+        bad_column = *schema.time_column();
+        reason = StrFormat("timestamp %lld below minimum %lld",
+                           static_cast<long long>(row_time),
+                           static_cast<long long>(options.min_timestamp));
+      } else if (options.max_timestamp != kNoTimestamp &&
+                 row_time > options.max_timestamp) {
+        category = &TableIngestReport::out_of_range_timestamps;
+        bad_column = *schema.time_column();
+        reason = StrFormat("timestamp %lld above maximum %lld",
+                           static_cast<long long>(row_time),
+                           static_cast<long long>(options.max_timestamp));
+      } else if (options.require_monotonic_time &&
+                 pend.last_time != kNoTimestamp &&
+                 row_time < pend.last_time) {
+        category = &TableIngestReport::out_of_order_timestamps;
+        bad_column = *schema.time_column();
+        reason = StrFormat("timestamp %lld precedes previous row's %lld",
+                           static_cast<long long>(row_time),
+                           static_cast<long long>(pend.last_time));
+      }
+    }
+
+    if (category != nullptr) {
+      if (!lenient) {
+        return Status::InvalidArgument(StrFormat(
+            "append row %lld, table '%s'%s%s: %s",
+            static_cast<long long>(batch_row), row.table.c_str(),
+            bad_column.empty() ? "" : ", column ", bad_column.c_str(),
+            reason.c_str()));
+      }
+      TableIngestReport& tr = table_reports[row.table];
+      tr.table = row.table;
+      ++(tr.*category);
+      ++tr.rows_quarantined;
+      ++outcome.rows_quarantined;
+      if (static_cast<int64_t>(tr.examples.size()) < options.max_examples) {
+        tr.examples.push_back({batch_row, bad_column, std::move(reason)});
+      }
+      continue;
+    }
+
+    accepted_rows.push_back(i);
+    ++pend.accepted;
+    if (has_pk) pend.pks.insert(pk_value);
+    if (row_time != kNoTimestamp) pend.last_time = row_time;
+  }
+
+  // ------------------------------------------------------------- pass 2
+  // Apply accepted rows in batch order. Each append was fully validated
+  // above, so a failure here would leave ragged state — treat it as fatal.
+  for (size_t i : accepted_rows) {
+    const RowAppend& row = batch.rows[i];
+    Table* t = FindMutableTable(row.table);
+    const int64_t landed = t->num_rows();
+    Status st = t->AppendRow(row.values);
+    RELGRAPH_CHECK(st.ok()) << "validated append failed: " << st.ToString();
+    auto [it, inserted] =
+        outcome.applied_ranges.emplace(row.table, std::make_pair(landed,
+                                                                 landed + 1));
+    if (!inserted) it->second.second = landed + 1;
+    append_log_.push_back(
+        {++append_seq_, row.table, landed, t->RowTime(landed)});
+    ++outcome.rows_applied;
+  }
+
+  // Emit per-table reports in database registration order so the outcome
+  // (and its JSON rendering) is deterministic.
+  for (const auto& t : tables_) {
+    auto it = table_reports.find(t->name());
+    if (it == table_reports.end()) continue;
+    auto pit = pending.find(t->name());
+    it->second.rows_loaded = pit == pending.end() ? 0 : pit->second.accepted;
+    if (it->second.TotalIssues() > 0) {
+      outcome.report.tables.push_back(std::move(it->second));
+    }
+  }
+  return outcome;
 }
 
 std::pair<Timestamp, Timestamp> Database::TimeRange() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "relational/append_log.h"
 #include "relational/ingest_report.h"
 #include "relational/table.h"
 
@@ -60,6 +61,34 @@ class Database {
   /// surface through Validate().
   DatabaseIntegrityReport Audit(int64_t max_examples = 5) const;
 
+  // ---------------------------------------------------------- streaming
+
+  /// Applies a batch of streamed rows, reusing the lenient-ingest
+  /// validation rules on every row: arity/type probes (malformed cells),
+  /// nullability (null PK counted as a null-PK issue, other non-nullable
+  /// nulls as constraint violations), PK uniqueness against the base table
+  /// plus earlier accepted rows of the batch, FK resolution against the
+  /// base plus earlier accepted batch rows (forward references within a
+  /// batch dangle — the stream is an ordered log), timestamp plausibility
+  /// bounds and optional monotonicity per IngestOptions.
+  ///
+  /// Two-pass: the whole batch is validated first, then accepted rows are
+  /// applied, so strict mode (the default) rejects with a row-precise
+  /// error and ZERO mutation. Lenient mode quarantines offending rows and
+  /// applies the rest; either way accepted rows land contiguously per
+  /// table and are recorded in the append log (see append_log()).
+  /// An unknown table name is a hard error in both modes.
+  Result<AppendOutcome> ApplyAppend(const AppendBatch& batch,
+                                    const IngestOptions& options = {});
+
+  /// Audit trail of every accepted append, in global apply order.
+  const std::vector<AppendLogEntry>& append_log() const {
+    return append_log_;
+  }
+
+  /// Global append sequence number (count of accepted appends so far).
+  int64_t append_seq() const { return append_seq_; }
+
   /// Earliest and latest event timestamps across all temporal tables;
   /// returns {kNoTimestamp, kNoTimestamp} when the DB is fully static.
   std::pair<Timestamp, Timestamp> TimeRange() const;
@@ -71,6 +100,9 @@ class Database {
   std::string name_;
   std::vector<std::unique_ptr<Table>> tables_;
   std::unordered_map<std::string, size_t> index_;
+
+  std::vector<AppendLogEntry> append_log_;
+  int64_t append_seq_ = 0;
 };
 
 }  // namespace relgraph

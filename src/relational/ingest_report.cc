@@ -30,6 +30,69 @@ std::string TableIngestReport::ToString() const {
   return out;
 }
 
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TableIngestReport::ToJson(int indent) const {
+  const std::string pad(static_cast<size_t>(indent), ' ');
+  const std::string in(static_cast<size_t>(indent) + 2, ' ');
+  std::string out = pad + "{\n";
+  auto field = [&out, &in](const char* key, int64_t v, bool comma = true) {
+    out += StrFormat("%s\"%s\": %lld%s\n", in.c_str(), key,
+                     static_cast<long long>(v), comma ? "," : "");
+  };
+  out += in + "\"table\": \"" + JsonEscape(table) + "\",\n";
+  field("rows_loaded", rows_loaded);
+  field("rows_quarantined", rows_quarantined);
+  field("malformed_cells", malformed_cells);
+  field("duplicate_pks", duplicate_pks);
+  field("null_pks", null_pks);
+  field("out_of_range_timestamps", out_of_range_timestamps);
+  field("out_of_order_timestamps", out_of_order_timestamps);
+  field("constraint_violations", constraint_violations);
+  field("dangling_fks", dangling_fks);
+  out += in + "\"examples\": [";
+  for (size_t i = 0; i < examples.size(); ++i) {
+    const QuarantinedRow& q = examples[i];
+    out += StrFormat(
+        "%s\n%s  {\"row\": %lld, \"column\": \"%s\", \"reason\": \"%s\"}",
+        i == 0 ? "" : ",", in.c_str(), static_cast<long long>(q.row),
+        JsonEscape(q.column).c_str(), JsonEscape(q.reason).c_str());
+  }
+  if (!examples.empty()) out += "\n" + in;
+  out += "]\n" + pad + "}";
+  return out;
+}
+
+std::string DatabaseIntegrityReport::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"total_issues\": %lld,\n",
+                   static_cast<long long>(TotalIssues()));
+  out += "  \"tables\": [";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n") + tables[i].ToJson(4);
+  }
+  if (!tables.empty()) out += "\n  ";
+  out += "]\n}\n";
+  return out;
+}
+
 int64_t DatabaseIntegrityReport::TotalIssues() const {
   int64_t total = 0;
   for (const TableIngestReport& t : tables) total += t.TotalIssues();

@@ -51,6 +51,9 @@ struct TableIngestReport {
 
   /// Multi-line human-readable rendering (empty string when clean).
   std::string ToString() const;
+
+  /// JSON object rendering (all count fields, plus examples).
+  std::string ToJson(int indent = 0) const;
 };
 
 /// Whole-database integrity audit outcome (one entry per table with
@@ -61,6 +64,10 @@ struct DatabaseIntegrityReport {
   int64_t TotalIssues() const;
   bool clean() const { return TotalIssues() == 0; }
   std::string ToString() const;
+
+  /// Stable JSON rendering (tables in database registration order) —
+  /// golden-file friendly.
+  std::string ToJson() const;
 };
 
 /// Knobs for fallible ingestion.

@@ -213,6 +213,13 @@ Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
   sg.frontiers[0].nodes[static_cast<size_t>(seed_type)] = seeds;
   sg.frontiers[0].cutoffs[static_cast<size_t>(seed_type)] = cutoffs;
 
+  // Per-node candidate arrays, gathered across CSR segments in segment
+  // order (base slab first, then append tails): the collected sequence is
+  // exactly the single-span neighbor order of a bulk-built graph, so
+  // segmentation is invisible to the draw sequence and the selection —
+  // the incremental-vs-rebuild bit-equality contract.
+  std::vector<int64_t> cand_dst;
+  std::vector<Timestamp> cand_time;
   std::vector<int64_t> reservoir;
   // Accumulated locally and flushed once per chunk: truncation counting
   // must not put an atomic op on the per-neighbor hot path.
@@ -263,30 +270,41 @@ Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
       if (agg_nodes.empty()) continue;
       Subgraph::Block block;
       block.edge_type = e;
+      const int32_t num_segs = graph_->num_segments(e);
       for (size_t vi = 0; vi < agg_nodes.size(); ++vi) {
         const int64_t v = agg_nodes[vi];
         const Timestamp cutoff =
             cur.cutoffs[static_cast<size_t>(agg_type)][vi];
-        const int64_t* dst;
-        const Timestamp* times;
-        int64_t count;
-        graph_->Neighbors(e, v, &dst, &times, &count);
-        // Collect time-valid neighbor positions.
-        reservoir.clear();
-        for (int64_t i = 0; i < count; ++i) {
-          if (options_.temporal && times[i] != kNoTimestamp &&
-              times[i] >= cutoff) {
-            continue;
+        // Collect time-valid neighbors across segments (canonical order).
+        cand_dst.clear();
+        cand_time.clear();
+        for (int32_t s = 0; s < num_segs; ++s) {
+          const int64_t* dst;
+          const Timestamp* times;
+          int64_t count;
+          graph_->SegmentNeighbors(e, s, v, &dst, &times, &count);
+          for (int64_t i = 0; i < count; ++i) {
+            if (options_.temporal && times[i] != kNoTimestamp &&
+                times[i] >= cutoff) {
+              continue;
+            }
+            cand_dst.push_back(dst[i]);
+            cand_time.push_back(times[i]);
           }
-          reservoir.push_back(i);
+        }
+        reservoir.resize(cand_dst.size());
+        for (size_t i = 0; i < reservoir.size(); ++i) {
+          reservoir[i] = static_cast<int64_t>(i);
         }
         if (static_cast<int64_t>(reservoir.size()) > fanout) {
           ++truncations;
           if (options_.policy == SamplePolicy::kMostRecent) {
+            const std::vector<Timestamp>& times = cand_time;
             std::nth_element(
                 reservoir.begin(), reservoir.begin() + fanout,
-                reservoir.end(), [times](int64_t a, int64_t b) {
-                  return times[a] > times[b];
+                reservoir.end(), [&times](int64_t a, int64_t b) {
+                  return times[static_cast<size_t>(a)] >
+                         times[static_cast<size_t>(b)];
                 });
             reservoir.resize(static_cast<size_t>(fanout));
           } else {
@@ -303,7 +321,7 @@ Subgraph NeighborSampler::SampleChunk(NodeTypeId seed_type,
           }
         }
         for (int64_t pos : reservoir) {
-          const int64_t u = dst[pos];
+          const int64_t u = cand_dst[static_cast<size_t>(pos)];
           const int64_t u_local = intern(nbr_type, u, cutoff);
           block.target_local.push_back(static_cast<int64_t>(vi));
           block.source_local.push_back(u_local);

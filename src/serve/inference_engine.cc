@@ -5,6 +5,7 @@
 #include <cstring>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/fault_injection.h"
 #include "core/logging.h"
@@ -175,6 +176,28 @@ InferenceEngine::InferenceEngine(const HeteroGraph* graph,
         std::make_unique<ScalarHead>(gnn_.hidden_dim, &init_rng);
   }
   model_.store(std::shared_ptr<const ModelState>(std::move(state)));
+}
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const HeteroGraph> graph,
+                                 NodeTypeId entity_type, TaskKind kind,
+                                 int64_t num_classes, const GnnConfig& gnn,
+                                 const SamplerOptions& sampler_options,
+                                 Timestamp now_cutoff,
+                                 const ServeOptions& serve)
+    : InferenceEngine(graph.get(), entity_type, kind, num_classes, gnn,
+                      sampler_options, now_cutoff, serve) {
+  // Re-publish the initial snapshot with shared ownership of the epoch.
+  // Construction is single-threaded, so no reader can hold the plain
+  // snapshot the delegated constructor stored.
+  const std::shared_ptr<const EngineSnapshot> current = PinSnapshot();
+  auto snap = std::make_shared<EngineSnapshot>();
+  snap->graph = graph.get();
+  snap->owned = std::move(graph);
+  snap->sampler =
+      std::make_unique<NeighborSampler>(snap->graph, sampler_options_);
+  snap->now_cutoff = current->now_cutoff;
+  snap->version = current->version;
+  snapshot_.store(std::shared_ptr<const EngineSnapshot>(std::move(snap)));
 }
 
 InferenceEngine::InferenceEngine(const ServePlan& plan,
@@ -691,6 +714,149 @@ Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
                                  std::memory_order_relaxed);
   SetLastError(Status::OK());
   RELGRAPH_COUNTER_INC("serve_snapshot_advances_total");
+  NoteStaleness(0.0);
+  return Status::OK();
+}
+
+void InferenceEngine::MigrateCachesForDelta(const EngineSnapshot& current,
+                                            int64_t new_version,
+                                            const GraphDelta& delta) {
+  Timer migrate_timer;
+  // Touched-node lookup per type. New nodes (>= first_new_node) cannot
+  // appear in pre-delta cache entries, so only the touched sets matter.
+  std::vector<std::unordered_set<int64_t>> touched(delta.touched.size());
+  for (size_t t = 0; t < delta.touched.size(); ++t) {
+    touched[t].insert(delta.touched[t].begin(), delta.touched[t].end());
+  }
+
+  // A cached subgraph survives iff no node it ever read gained adjacency.
+  // The deepest frontier contains every node of the subgraph (each
+  // frontier is a prefix of the next), so scanning it alone is exact.
+  auto survives = [&touched](const Subgraph& sg) {
+    if (sg.frontiers.empty()) return true;
+    const Subgraph::Frontier& deepest = sg.frontiers.back();
+    const size_t types = std::min(deepest.nodes.size(), touched.size());
+    for (size_t t = 0; t < types; ++t) {
+      if (touched[t].empty()) continue;
+      for (int64_t node : deepest.nodes[t]) {
+        if (touched[t].count(node)) return false;
+      }
+    }
+    return true;
+  };
+
+  const uint64_t fp = OptionsFingerprint(sampler_options_);
+  std::unordered_set<int64_t> surviving_seeds;
+  int64_t kept_subgraphs = 0, kept_embeddings = 0;
+  if (serve_.enable_subgraph_cache) {
+    subgraph_cache_.MigrateShards(
+        [&](const SubgraphKey& key,
+            const std::shared_ptr<const Subgraph>& value,
+            SubgraphKey* new_key) {
+          if (key.version != current.version || key.fingerprint != fp) {
+            return false;  // stale epoch: drop, as EpochSwap would
+          }
+          if (!survives(*value)) return false;
+          surviving_seeds.insert(key.node);
+          *new_key = SubgraphKey{key.node, new_version, key.fingerprint};
+          ++kept_subgraphs;
+          return true;
+        });
+  }
+  if (serve_.enable_embedding_cache) {
+    const std::shared_ptr<const ModelState> model = PinModel();
+    const int64_t model_epoch = model->epoch;
+    embedding_cache_.MigrateShards(
+        [&](const EmbeddingKey& key,
+            const std::shared_ptr<const std::vector<float>>& value,
+            EmbeddingKey* new_key) {
+          (void)value;
+          if (key.version != current.version ||
+              key.model_epoch != model_epoch) {
+            return false;
+          }
+          // Only embeddings whose seed's subgraph provably avoided the
+          // delta are safe to keep: the forward read exactly that
+          // frontier's features and degrees.
+          if (surviving_seeds.count(key.node) == 0) return false;
+          *new_key = EmbeddingKey{key.node, new_version, key.model_epoch};
+          ++kept_embeddings;
+          return true;
+        });
+  }
+  RELGRAPH_COUNTER_ADD("serve_delta_migrated_subgraphs_total",
+                       kept_subgraphs);
+  RELGRAPH_COUNTER_ADD("serve_delta_migrated_embeddings_total",
+                       kept_embeddings);
+  NoteShardSwap(migrate_timer.Millis());
+}
+
+Status InferenceEngine::ApplyDelta(std::shared_ptr<const HeteroGraph> graph,
+                                   Timestamp now_cutoff,
+                                   const GraphDelta& delta) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  const std::shared_ptr<const EngineSnapshot> current = PinSnapshot();
+  Status st = ValidateSnapshot(*current, graph.get());
+  // Same poison point as AdvanceSnapshot: after validation, before any
+  // mutation — a failed delta apply leaves the previous snapshot fully
+  // published and servable, and counts toward the breaker.
+  if (st.ok() &&
+      FaultInjector::Global().ShouldFire(FaultSite::kServeSnapshotAdvance)) {
+    st = Status::Internal(
+        "injected snapshot poison (site serve_snapshot_advance)");
+  }
+  if (!st.ok()) {
+    RecordAdvanceFailure(st);
+    return st;
+  }
+  auto next = std::make_shared<EngineSnapshot>();
+  next->graph = graph.get();
+  next->owned = std::move(graph);
+  next->sampler =
+      std::make_unique<NeighborSampler>(next->graph, sampler_options_);
+  next->now_cutoff = now_cutoff;
+  next->version = current->version + 1;
+
+  const bool same_cutoff = now_cutoff == current->now_cutoff;
+  // The delta only licenses precise invalidation when it describes the
+  // change from THIS engine's current snapshot: its per-type base counts
+  // must match the graph being replaced. A caller that skipped an epoch
+  // (say, after a failed publish) and passes only the newest delta would
+  // otherwise keep entries the missed delta invalidated — fall back to
+  // wholesale invalidation instead of serving stale cache state.
+  bool chain_intact =
+      delta.first_new_node.size() ==
+      static_cast<size_t>(current->graph->num_node_types());
+  for (NodeTypeId t = 0; chain_intact && t < current->graph->num_node_types();
+       ++t) {
+    chain_intact = delta.first_new_node[t] == current->graph->num_nodes(t);
+  }
+  const bool precise = same_cutoff && chain_intact;
+  if (precise) {
+    // Precise invalidation: migrate untouched entries to the new version
+    // BEFORE publication, so the first reader of the new snapshot already
+    // sees the warm survivors.
+    MigrateCachesForDelta(*current, next->version, delta);
+  }
+  snapshot_.store(std::shared_ptr<const EngineSnapshot>(std::move(next)));
+  snapshot_version_.fetch_add(1, std::memory_order_relaxed);
+  if (!precise) {
+    // Cutoff moved (every per-seed sampling stream changed) or the delta
+    // chain broke: nothing is provably reusable — wholesale epoch swap,
+    // exactly like AdvanceSnapshot.
+    Timer swap_timer;
+    embedding_cache_.EpochSwap();
+    NoteShardSwap(swap_timer.Millis());
+    RELGRAPH_COUNTER_INC("serve_shard_swaps_total");
+  }
+  advance_failures_.store(0, std::memory_order_relaxed);
+  state_.store(static_cast<int>(ServeState::kServing),
+               std::memory_order_relaxed);
+  last_advance_success_ns_.store(clock_->NowNanos(),
+                                 std::memory_order_relaxed);
+  SetLastError(Status::OK());
+  RELGRAPH_COUNTER_INC("serve_snapshot_advances_total");
+  RELGRAPH_COUNTER_INC("serve_delta_advances_total");
   NoteStaleness(0.0);
   return Status::OK();
 }

@@ -254,6 +254,17 @@ class InferenceEngine {
                   const SamplerOptions& sampler_options,
                   Timestamp now_cutoff, const ServeOptions& serve = {});
 
+  /// As above, but shares ownership of the graph epoch: the initial
+  /// snapshot keeps `graph` alive for as long as it is current, so a
+  /// streaming producer (StreamingDbGraph) may publish newer epochs and
+  /// drop its reference without invalidating the engine's snapshot. Use
+  /// this overload whenever the graph's lifetime is not lexically wider
+  /// than the engine's.
+  InferenceEngine(std::shared_ptr<const HeteroGraph> graph,
+                  NodeTypeId entity_type, TaskKind kind, int64_t num_classes,
+                  const GnnConfig& gnn, const SamplerOptions& sampler_options,
+                  Timestamp now_cutoff, const ServeOptions& serve = {});
+
   /// Convenience: build from a compiled predictive query (see
   /// PredictiveQueryEngine::CompileForServing). `serve.seed` is
   /// overridden by the plan's seed so sampling matches the query.
@@ -312,6 +323,41 @@ class InferenceEngine {
   /// into ServeState::kDegraded (reset by the next success).
   Status AdvanceSnapshot(const HeteroGraph* graph, Timestamp now_cutoff);
 
+  /// Streaming snapshot advance: publishes `graph` — a fresher epoch of
+  /// the SAME layout, typically StreamingDbGraph's latest — taking shared
+  /// ownership (the epoch stays alive while any pinned snapshot
+  /// references it), and uses the delta for PRECISE cache invalidation:
+  ///
+  ///  - `now_cutoff` unchanged: cache entries whose sampled neighborhoods
+  ///    avoid every delta-touched node migrate to the new snapshot
+  ///    version (same payload, rekeyed), so only entities actually
+  ///    affected by the appends re-miss. An embedding entry migrates only
+  ///    when its seed's subgraph entry proved untouched — without the
+  ///    subgraph's frontier there is no safe way to know what the
+  ///    embedding read.
+  ///  - `now_cutoff` changed: wholesale invalidation (the per-seed
+  ///    sampling stream is keyed by (salt, node, cutoff), so no cached
+  ///    result is reusable), exactly like AdvanceSnapshot.
+  ///
+  /// Precise migration additionally requires an intact delta chain: the
+  /// delta's `first_new_node` must equal the current snapshot's per-type
+  /// node counts (i.e. it describes the change from exactly the graph
+  /// being replaced). A caller that skipped an epoch — e.g. retrying with
+  /// only the newest delta after a failed publish — gets wholesale
+  /// invalidation instead, so stale cache entries can never survive a
+  /// missed delta.
+  ///
+  /// Same failure/breaker contract as AdvanceSnapshot: validation and the
+  /// poison site precede any mutation, a failed apply leaves the previous
+  /// snapshot fully servable and counts toward the breaker.
+  ///
+  /// Migration preserves bit-equality: a migrated subgraph re-samples
+  /// identically on the new epoch (untouched adjacency, same cutoff) and
+  /// a migrated embedding re-derives identically from it, so scores never
+  /// depend on whether invalidation was precise or wholesale.
+  Status ApplyDelta(std::shared_ptr<const HeteroGraph> graph,
+                    Timestamp now_cutoff, const GraphDelta& delta);
+
   /// Health probe: state machine, breaker progress, last error, snapshot
   /// staleness, gate occupancy, shard/coalesce counters. Also refreshes
   /// the serve_snapshot_staleness_s gauge.
@@ -344,6 +390,10 @@ class InferenceEngine {
   /// refcount when its last reader finishes.
   struct EngineSnapshot {
     const HeteroGraph* graph = nullptr;
+    /// Set by ApplyDelta: keeps the streamed graph epoch alive for the
+    /// snapshot's lifetime (constructor/AdvanceSnapshot graphs are
+    /// caller-owned and leave this null).
+    std::shared_ptr<const HeteroGraph> owned;
     std::unique_ptr<NeighborSampler> sampler;
     Timestamp now_cutoff = 0;
     int64_t version = 0;
@@ -452,6 +502,13 @@ class InferenceEngine {
   /// the breaker, latches kDegraded at the threshold, records the error
   /// for HealthStatus().
   void RecordAdvanceFailure(const Status& status);
+
+  /// Delta-precise cache migration (caller holds writer_mu_; same-cutoff
+  /// ApplyDelta only): rekeys surviving subgraph entries from
+  /// current.version to new_version, then embedding entries whose seeds'
+  /// subgraphs survived.
+  void MigrateCachesForDelta(const EngineSnapshot& current,
+                             int64_t new_version, const GraphDelta& delta);
 
   void SetLastError(const Status& status);
 

@@ -62,6 +62,19 @@ class LruCache {
     index_[key] = order_.begin();
   }
 
+  /// Visits every entry from least- to most-recently used under the cache
+  /// mutex (keep `fn` cheap: no blocking, no re-entry into this cache).
+  /// Visiting does not refresh recency. Built for shard migration: putting
+  /// the visited entries into a fresh cache in visit order reproduces the
+  /// source's LRU order exactly.
+  template <typename Fn>
+  void ForEachLruToMru(Fn&& fn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      fn(it->first, it->second);
+    }
+  }
+
   /// Drops every entry (hit/miss tallies are preserved).
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);

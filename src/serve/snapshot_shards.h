@@ -149,11 +149,45 @@ class ShardedLruCache {
     swaps_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Selective epoch swap: rebuilds every shard through `migrate`, which
+  /// is called per entry (scanned least- to most-recently used) as
+  /// `migrate(key, value, &new_key)` and returns whether the entry
+  /// survives — typically rewriting its versioned key for the new epoch.
+  /// Survivors keep their LRU order and payloads (shared_ptr copies);
+  /// everything else is dropped with the retired shard. Entries a
+  /// concurrent reader Puts into a shard between its scan and its
+  /// publication are lost — harmless for versioned keys, exactly like the
+  /// late Puts EpochSwap already tolerates. Tallies fold like EpochSwap;
+  /// counted under migrations(), not swaps().
+  template <typename Fn>
+  void MigrateShards(Fn&& migrate) {
+    for (auto& slot : slots_) {
+      std::shared_ptr<Shard> old = slot.load();
+      auto fresh = std::make_shared<Shard>(per_shard_capacity_);
+      old->ForEachLruToMru([&](const Key& key, const Value& value) {
+        Key new_key = key;
+        if (migrate(key, value, &new_key)) {
+          fresh->Put(std::move(new_key), value);
+        }
+      });
+      std::shared_ptr<Shard> retired = slot.exchange(std::move(fresh));
+      retired_hits_.fetch_add(retired->hits(), std::memory_order_relaxed);
+      retired_misses_.fetch_add(retired->misses(),
+                                std::memory_order_relaxed);
+      retired_evictions_.fetch_add(retired->evictions(),
+                                   std::memory_order_relaxed);
+    }
+    migrations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   uint32_t num_shards() const { return num_shards_; }
   int64_t capacity() const {
     return per_shard_capacity_ * static_cast<int64_t>(num_shards_);
   }
   int64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
+  int64_t migrations() const {
+    return migrations_.load(std::memory_order_relaxed);
+  }
 
   /// Live entries across current shards (retired shards excluded).
   int64_t size() const {
@@ -194,6 +228,7 @@ class ShardedLruCache {
   std::atomic<int64_t> retired_misses_{0};
   std::atomic<int64_t> retired_evictions_{0};
   std::atomic<int64_t> swaps_{0};
+  std::atomic<int64_t> migrations_{0};
 };
 
 }  // namespace relgraph

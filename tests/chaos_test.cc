@@ -32,6 +32,8 @@
 #include "core/fault_injection.h"
 #include "datagen/ecommerce.h"
 #include "db2graph/graph_builder.h"
+#include "db2graph/streaming.h"
+#include "relational/append_log.h"
 #include "pq/engine.h"
 #include "pq/label_builder.h"
 #include "pq/parser.h"
@@ -521,6 +523,84 @@ TEST_F(ChaosTest, EnvVarArmsTheChaosConfiguration) {
   // The one-shot advance poison fires once, then advances work again.
   EXPECT_FALSE(engine->AdvanceSnapshot(&dbg_b_->graph, Now()).ok());
   EXPECT_TRUE(engine->AdvanceSnapshot(&dbg_b_->graph, Now()).ok());
+}
+
+// ---------------------------------------------------------- streaming chaos
+
+TEST_F(ChaosTest, StreamingPipelineSurvivesSeededFaultStorm) {
+  // The full streaming pipeline — append validation, incremental graph
+  // fold, delta publication — under seeded probabilistic faults at the
+  // kAppendApply, kCompact and kServeSnapshotAdvance sites while the
+  // engine keeps answering. Invariants:
+  //   - Apply never errors for valid batches (faults route to recovery);
+  //   - the graph stays bit-identical to a from-scratch rebuild;
+  //   - every score served at the end matches a fault-free reference.
+  Database db = MakeECommerceDb([] {
+    ECommerceConfig cfg;
+    cfg.num_users = 80;
+    cfg.num_products = 25;
+    cfg.num_categories = 4;
+    cfg.horizon_days = 150;
+    return cfg;
+  }());
+  StreamingOptions sopts;
+  sopts.compact_threshold = 1;  // compact every apply so kCompact gets hit
+  auto stream = StreamingDbGraph::Create(&db, sopts).value();
+  // Pin the base epoch: the raw-pointer engine does not own it, and the
+  // stream drops its reference at the first successful publish.
+  std::shared_ptr<const HeteroGraph> base_epoch = stream->graph();
+  auto engine = MakeEngine(base_epoch.get(), ServeOptions{});
+
+  FaultInjector::Global().ArmProbability(FaultSite::kAppendApply, 0.3, 11);
+  FaultInjector::Global().ArmProbability(FaultSite::kCompact, 0.5, 12);
+  FaultInjector::Global().ArmProbability(FaultSite::kServeSnapshotAdvance,
+                                         0.25, 13);
+
+  std::vector<int64_t> ids = {0, 7, 21, 42, 63, 79};
+  int64_t recoveries = 0, publish_failures = 0;
+  const int64_t next_order = db.table("orders").num_rows() + 1000000;
+  for (int64_t round = 0; round < 12; ++round) {
+    AppendBatch batch;
+    for (int64_t i = 0; i < 3; ++i) {
+      batch.Add("orders",
+                {Value(next_order + round * 3 + i),
+                 Value(round * 5 % 80 + 1), Value(i % 25 + 1),
+                 Value::Time(Now() - 1), Value(int64_t{1}), Value(9.5),
+                 Value(9.5)});
+    }
+    auto result = stream->Apply(batch);
+    ASSERT_TRUE(result.ok()) << result.status().message();
+    ASSERT_EQ(result.value().outcome.rows_applied, 3);
+    recoveries += result.value().recovered ? 1 : 0;
+
+    Status published = engine->ApplyDelta(result.value().graph, Now(),
+                                          result.value().delta);
+    publish_failures += published.ok() ? 0 : 1;
+
+    // The engine must answer every round, whichever snapshot it holds.
+    auto scores = engine->Score(ids);
+    ASSERT_TRUE(scores.ok()) << scores.status().message();
+  }
+  EXPECT_GT(recoveries, 0);
+  EXPECT_GT(publish_failures, 0);
+  EXPECT_GT(FaultInjector::Global().fired(FaultSite::kAppendApply), 0);
+  EXPECT_GT(FaultInjector::Global().fired(FaultSite::kCompact), 0);
+  FaultInjector::Global().Reset();
+
+  // Storm over: the stream still equals its rebuild oracle...
+  auto rebuilt = BuildDbGraph(db, stream->RebuildOptions()).value();
+  // ...and once the newest epoch lands (possibly over a broken delta
+  // chain — the engine swaps wholesale then), served scores are exactly
+  // the fault-free reference's.
+  ASSERT_TRUE(engine
+                  ->ApplyDelta(stream->graph(), Now(), GraphDelta{})
+                  .ok());
+  auto reference = MakeEngine(&rebuilt.graph, ServeOptions{});
+  auto got = engine->Score(ids);
+  auto want = reference->Score(ids);
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_TRUE(SameScores(got.value(), want.value()));
 }
 
 }  // namespace

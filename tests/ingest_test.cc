@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/atomic_io.h"
 #include "core/fault_injection.h"
 #include "db2graph/graph_builder.h"
 #include "pq/engine.h"
@@ -256,6 +262,184 @@ TEST_F(IngestTest, EngineAllowDegradedBuildsLenientGraphWithAudit) {
   EXPECT_TRUE(engine.degraded());
   EXPECT_FALSE(engine.audit().clean());
   EXPECT_EQ(g.value()->TotalSkippedFks(), 1);
+}
+
+// ------------------------------------------- streaming append paths
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Compares `got` against the golden file, or rewrites the golden when
+/// RELGRAPH_REGEN_GOLDENS is set (same contract as observability_test).
+void ExpectMatchesGolden(const std::string& got, const std::string& file) {
+  const std::string path = std::string(RELGRAPH_GOLDEN_DIR) + "/" + file;
+  if (std::getenv("RELGRAPH_REGEN_GOLDENS") != nullptr) {
+    ASSERT_TRUE(AtomicWriteFile(path, got).ok()) << path;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  ASSERT_TRUE(FileExists(path))
+      << path << " missing; run scripts/regen_goldens.sh";
+  EXPECT_EQ(got, ReadAll(path)) << "golden mismatch for " << file
+                                << "; if intentional, run "
+                                   "scripts/regen_goldens.sh and review";
+}
+
+/// Clean two-table base: users {10, 11}, orders {1 -> user 10 @ Days(1),
+/// 2 -> user 11 @ Days(2)}. Appends below are validated against this.
+Database MakeAppendBaseDb() {
+  Database db("shop");
+  Table* users = db.AddTable(UsersSchema()).value();
+  EXPECT_TRUE(users->AppendRow({Value(10), Value("be")}).ok());
+  EXPECT_TRUE(users->AppendRow({Value(11), Value("nl")}).ok());
+  Table* orders = db.AddTable(OrdersSchema()).value();
+  EXPECT_TRUE(orders
+                  ->AppendRow({Value(1), Value(10), Value(5.0),
+                               Value::Time(Days(1))})
+                  .ok());
+  EXPECT_TRUE(orders
+                  ->AppendRow({Value(2), Value(11), Value(6.0),
+                               Value::Time(Days(2))})
+                  .ok());
+  return db;
+}
+
+TEST_F(IngestTest, StrictAppendDuplicatePkRejectsWithZeroMutation) {
+  Database db = MakeAppendBaseDb();
+  AppendBatch batch;
+  batch.Add("orders", {Value(3), Value(10), Value(7.0),
+                       Value::Time(Days(3))});
+  // PK 1 already exists in the base orders table.
+  batch.Add("orders", {Value(1), Value(11), Value(8.0),
+                       Value::Time(Days(4))});
+  auto out = db.ApplyAppend(batch);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out.status().message().find("row 2"), std::string::npos)
+      << out.status().message();
+  EXPECT_NE(out.status().message().find("duplicate primary key 1"),
+            std::string::npos);
+  // Two-pass validation: the valid first row must not have landed either.
+  EXPECT_EQ(db.table("orders").num_rows(), 2);
+  EXPECT_TRUE(db.append_log().empty());
+}
+
+TEST_F(IngestTest, LenientAppendQuarantinesDuplicatePk) {
+  Database db = MakeAppendBaseDb();
+  AppendBatch batch;
+  batch.Add("orders", {Value(1), Value(10), Value(7.0),
+                       Value::Time(Days(3))});
+  batch.Add("orders", {Value(3), Value(11), Value(8.0),
+                       Value::Time(Days(4))});
+  // Duplicate of an EARLIER accepted row of this same batch.
+  batch.Add("orders", {Value(3), Value(10), Value(9.0),
+                       Value::Time(Days(5))});
+  auto out = db.ApplyAppend(batch, Lenient());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().rows_applied, 1);
+  EXPECT_EQ(out.value().rows_quarantined, 2);
+  ASSERT_EQ(out.value().report.tables.size(), 1u);
+  EXPECT_EQ(out.value().report.tables[0].duplicate_pks, 2);
+  EXPECT_EQ(db.table("orders").num_rows(), 3);
+}
+
+TEST_F(IngestTest, AppendFkToQuarantinedRowDangles) {
+  Database db = MakeAppendBaseDb();
+  AppendBatch batch;
+  // User 12 is quarantined: Value(3.14) fails the string-column type
+  // probe on `country`, so the row never lands...
+  batch.Add("users", {Value(12), Value(3.14)});
+  // ...which makes this order's FK to user 12 dangling, not a forward
+  // reference satisfied later.
+  batch.Add("orders", {Value(3), Value(12), Value(7.0),
+                       Value::Time(Days(3))});
+  auto out = db.ApplyAppend(batch, Lenient());
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().rows_applied, 0);
+  EXPECT_EQ(out.value().rows_quarantined, 2);
+  int64_t malformed = 0, dangling = 0;
+  for (const TableIngestReport& t : out.value().report.tables) {
+    malformed += t.malformed_cells;
+    dangling += t.dangling_fks;
+  }
+  EXPECT_EQ(malformed, 1);
+  EXPECT_EQ(dangling, 1);
+  EXPECT_EQ(db.table("users").num_rows(), 2);
+  EXPECT_EQ(db.table("orders").num_rows(), 2);
+}
+
+TEST_F(IngestTest, AppendMonotonicTimeIsSeededFromBaseTable) {
+  Database db = MakeAppendBaseDb();
+  IngestOptions mono = Lenient();
+  mono.require_monotonic_time = true;
+  AppendBatch batch;
+  // Base orders end at Days(2); Days(1) regresses event time.
+  batch.Add("orders", {Value(3), Value(10), Value(7.0),
+                       Value::Time(Days(1))});
+  batch.Add("orders", {Value(4), Value(11), Value(8.0),
+                       Value::Time(Days(3))});
+  auto out = db.ApplyAppend(batch, mono);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().rows_applied, 1);
+  ASSERT_EQ(out.value().report.tables.size(), 1u);
+  EXPECT_EQ(out.value().report.tables[0].out_of_order_timestamps, 1);
+
+  IngestOptions strict_mono;
+  strict_mono.require_monotonic_time = true;
+  AppendBatch regress;
+  regress.Add("orders", {Value(5), Value(10), Value(9.0),
+                         Value::Time(Days(2))});
+  auto rejected = db.ApplyAppend(regress, strict_mono);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("precedes previous"),
+            std::string::npos)
+      << rejected.status().message();
+}
+
+TEST_F(IngestTest, AppendTimestampBoundsQuarantineOutliers) {
+  Database db = MakeAppendBaseDb();
+  IngestOptions bounded = Lenient();
+  bounded.min_timestamp = Days(1);
+  bounded.max_timestamp = Days(10);
+  AppendBatch batch;
+  batch.Add("orders", {Value(3), Value(10), Value(7.0),
+                       Value::Time(Days(99))});
+  batch.Add("orders", {Value(4), Value(11), Value(8.0),
+                       Value::Time(Days(4))});
+  auto out = db.ApplyAppend(batch, bounded);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().rows_applied, 1);
+  ASSERT_EQ(out.value().report.tables.size(), 1u);
+  EXPECT_EQ(out.value().report.tables[0].out_of_range_timestamps, 1);
+}
+
+TEST_F(IngestTest, GoldenAppendQuarantineReport) {
+  Database db = MakeAppendBaseDb();
+  IngestOptions opts = Lenient();
+  opts.require_monotonic_time = true;
+  AppendBatch batch;
+  // One offender per category, plus one clean row, so the golden pins
+  // the full report shape: malformed cell, duplicate PK, dangling FK,
+  // out-of-order timestamp, null PK, arity mismatch.
+  batch.Add("users", {Value(12), Value("fr")});             // clean
+  batch.Add("users", {Value(13), Value(3.14)});             // malformed cell
+  batch.Add("users", {Value(), Value("de")});               // null PK
+  batch.Add("orders", {Value(1), Value(10), Value(7.0),
+                       Value::Time(Days(3))});              // duplicate PK
+  batch.Add("orders", {Value(3), Value(999), Value(8.0),
+                       Value::Time(Days(4))});              // dangling FK
+  batch.Add("orders", {Value(4), Value(12), Value(9.0),
+                       Value::Time(Days(1))});              // out of order
+  batch.Add("orders", {Value(5), Value(12)});               // arity
+  auto out = db.ApplyAppend(batch, opts);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out.value().rows_applied, 1);
+  EXPECT_EQ(out.value().rows_quarantined, 6);
+  ExpectMatchesGolden(out.value().report.ToJson(),
+                      "append_quarantine_report.json");
 }
 
 TEST_F(IngestTest, EngineCleanDbIsNotDegraded) {
