@@ -1,0 +1,189 @@
+// Tabular baseline bench: columnar aggregation engine throughput and the
+// GNN vs feature-engineered-GBDT vs hybrid accuracy headline.
+//
+// Part 1 times the full-vocabulary aggregate computation over the churn
+// training table, serial vs chunked-parallel at 1/2/4/8 pool threads, and
+// *gates* each parallel run on exact bit-identity with the serial oracle —
+// the determinism contract is part of the measurement, not a separate
+// test.
+//
+// Part 2 fits the three headline models on the churn task:
+//   gbdt    — GBDT on the engine's full aggregate vocabulary,
+//   gnn     — declarative GNN on the raw relational graph,
+//   hybrid  — the same GNN with the z-scored aggregate matrix appended to
+//             the entity node features (computed at the earliest training
+//             cutoff, so the block is leakage-free).
+//
+// Emits BENCH_tabular.json for cross-PR perf tracking.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/columnar_agg.h"
+#include "baselines/feature_aggregator.h"
+#include "baselines/gbdt.h"
+#include "bench_util.h"
+#include "core/timer.h"
+#include "pq/analyzer.h"
+#include "pq/label_builder.h"
+#include "pq/parser.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+using namespace relgraph;
+using namespace relgraph::bench;
+
+namespace {
+
+std::vector<double> Truth(const TrainingTable& table,
+                          const std::vector<int64_t>& idx) {
+  std::vector<double> out;
+  out.reserve(idx.size());
+  for (int64_t i : idx) out.push_back(table.labels[static_cast<size_t>(i)]);
+  return out;
+}
+
+bool BitIdentical(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const int64_t n = a.rows() * a.cols();
+  for (int64_t i = 0; i < n; ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+double FitGnn(const DbGraph& graph, const TrainingTable& table,
+              const Split& split) {
+  const NodeTypeId users = graph.graph.FindNodeType("users").value();
+  GnnConfig gnn;
+  gnn.hidden_dim = 48;
+  gnn.conv = GnnConv::kAttention;
+  gnn.layer_norm = true;
+  SamplerOptions sopts;
+  sopts.fanouts = {5, 5};
+  sopts.policy = SamplePolicy::kMostRecent;
+  TrainerConfig tc;
+  tc.epochs = 16;
+  tc.patience = 6;
+  tc.seed = 7;
+  GnnNodePredictor predictor(&graph.graph, users,
+                             TaskKind::kBinaryClassification, 2, gnn, sopts,
+                             tc);
+  if (!predictor.Fit(table, split).ok()) return -1.0;
+  return RocAuc(predictor.PredictScores(table, split.test),
+                Truth(table, split.test));
+}
+
+}  // namespace
+
+int main() {
+  Database db = StandardECommerce();
+  auto parsed = ParseQuery(
+                    "PREDICT COUNT(orders) = 0 OVER NEXT 28 DAYS FOR EACH "
+                    "users WHERE COUNT(orders) OVER LAST 21 DAYS > 0 "
+                    "EVERY 14 DAYS")
+                    .value();
+  auto rq = AnalyzeQuery(parsed, db).value();
+  auto cutoffs = MakeCutoffs(rq, db).value();
+  auto table = BuildTrainingTable(rq, db, cutoffs).value();
+  auto split = MakeSplit(rq, table, cutoffs).value();
+
+  std::vector<BenchRecord> records;
+
+  // ---------------------------------------- part 1: engine throughput
+  FeatureAggregatorOptions full;
+  full.value_aggs = FullAggVocabulary();
+  full.count_distinct = true;
+  FeatureAggregator aggregator =
+      FeatureAggregator::Build(db, "users", full).value();
+  const int64_t rows = static_cast<int64_t>(table.entity_rows.size());
+  const int reps = 5;
+
+  PrintHeader(StrFormat("tabular: full-vocab aggregation, %lld examples x "
+                        "%lld features",
+                        static_cast<long long>(rows),
+                        static_cast<long long>(aggregator.dim())),
+              {"wall_ms", "rows_per_s", "speedup"}, 22);
+
+  Timer timer;
+  Tensor oracle;
+  double serial_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    timer.Reset();
+    oracle = aggregator.ComputeSerial(table.entity_rows, table.cutoffs);
+    serial_ms = std::min(serial_ms, timer.Seconds() * 1e3);
+  }
+  PrintRow("serial oracle",
+           {serial_ms, static_cast<double>(rows) / (serial_ms / 1e3), 1.0},
+           22);
+  records.push_back({"aggregate/serial", serial_ms,
+                     static_cast<double>(rows) / (serial_ms / 1e3), 1,
+                     {{"dim", static_cast<double>(aggregator.dim())}}});
+
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool::SetNumThreadsForTesting(threads);
+    Tensor out;
+    double best_ms = 1e300;
+    for (int r = 0; r < reps; ++r) {
+      timer.Reset();
+      out = aggregator.Compute(table.entity_rows, table.cutoffs);
+      best_ms = std::min(best_ms, timer.Seconds() * 1e3);
+    }
+    if (!BitIdentical(out, oracle)) {
+      std::fprintf(stderr,
+                   "FATAL: parallel aggregation diverged from the serial "
+                   "oracle at %d threads\n",
+                   threads);
+      return 1;
+    }
+    PrintRow(StrFormat("parallel t%d (exact)", threads),
+             {best_ms, static_cast<double>(rows) / (best_ms / 1e3),
+              serial_ms / best_ms},
+             22);
+    records.push_back({StrFormat("aggregate/t%d", threads), best_ms,
+                       static_cast<double>(rows) / (best_ms / 1e3), threads,
+                       {{"speedup", serial_ms / best_ms},
+                        {"bit_identical", 1.0}}});
+  }
+  ThreadPool::SetNumThreadsForTesting(4);
+
+  // ---------------------------------------- part 2: accuracy headline
+  // GBDT on the engineered features.
+  GbdtModel gbdt;
+  double gbdt_auc = -1.0;
+  if (gbdt.Fit(oracle, table.labels, TaskKind::kBinaryClassification,
+               split.train, split.val)
+          .ok()) {
+    gbdt_auc = RocAuc(gbdt.Predict(oracle, split.test),
+                      Truth(table, split.test));
+  }
+
+  // Plain GNN on the raw relational graph.
+  auto graph = BuildDbGraph(db).value();
+  const double gnn_auc = FitGnn(graph, table, split);
+
+  // Hybrid: aggregate block at the earliest training cutoff (leakage-free
+  // for every example), appended to the users' node features.
+  const Timestamp block_cutoff =
+      *std::min_element(table.cutoffs.begin(), table.cutoffs.end());
+  ColumnarAggOptions block_opts;
+  block_opts.value_aggs = FullAggVocabulary();
+  block_opts.count_distinct = true;
+  GraphBuilderOptions hybrid_opts;
+  hybrid_opts.hybrid_blocks["users"] =
+      BuildHybridAggBlock(db, "users", block_cutoff, block_opts).value();
+  auto hybrid_graph = BuildDbGraph(db, hybrid_opts).value();
+  const double hybrid_auc = FitGnn(hybrid_graph, table, split);
+
+  PrintHeader("tabular: churn test AUC (GNN vs tabular vs hybrid)",
+              {"auc"}, 22);
+  PrintRow("gbdt full-vocab", {gbdt_auc}, 22);
+  PrintRow("gnn", {gnn_auc}, 22);
+  PrintRow("gnn+agg hybrid", {hybrid_auc}, 22);
+  records.push_back({"auc/gbdt_full_vocab", 0.0, 0.0, 1,
+                     {{"auc", gbdt_auc}}});
+  records.push_back({"auc/gnn", 0.0, 0.0, 1, {{"auc", gnn_auc}}});
+  records.push_back({"auc/gnn_hybrid", 0.0, 0.0, 1, {{"auc", hybrid_auc}}});
+
+  return WriteBenchJson("BENCH_tabular.json", "tabular", records) ? 0 : 1;
+}

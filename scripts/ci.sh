@@ -14,7 +14,7 @@
 #   scripts/ci.sh all        # default full + nosimd + asan + tsan + chaos
 #
 # Test lanes are ctest labels (see tests/CMakeLists.txt): unit |
-# integration | serve | serve_mt | streaming | chaos | slow.
+# baselines | integration | serve | serve_mt | streaming | chaos | slow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -33,12 +33,14 @@ run_preset() {
 case "$MODE" in
   unit)
     run_preset default -L unit
+    run_preset default -L baselines
     run_preset default -L serve
     run_preset default -L serve_mt
     run_preset default -L streaming
     ;;
   full | default)
     run_preset default -L unit
+    run_preset default -L baselines
     run_preset default -L serve
     run_preset default -L serve_mt
     run_preset default -L streaming
@@ -64,7 +66,8 @@ case "$MODE" in
     cmake --build --preset tsan -j "$JOBS"
     for t in parallel_test observability_test tensor_test train_test \
              serve_test serve_resilience_test serve_coalesce_test \
-             arena_test incremental_graph_test streaming_serve_test; do
+             arena_test incremental_graph_test streaming_serve_test \
+             columnar_agg_test gbdt_test; do
       TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
     done
     ;;

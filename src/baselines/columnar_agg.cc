@@ -1,0 +1,492 @@
+#include "baselines/columnar_agg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "core/parallel.h"
+#include "core/string_util.h"
+#include "relational/query.h"
+
+namespace relgraph {
+
+namespace {
+
+/// Numeric non-key columns are aggregatable (same rule the classic
+/// FeatureAggregator used): PKs, FKs and the event-time column carry
+/// identity/topology, not signal.
+bool IsAggregatableNumeric(const TableSchema& schema, const Column& col) {
+  if (schema.primary_key() && *schema.primary_key() == col.name()) {
+    return false;
+  }
+  if (schema.IsForeignKey(col.name())) return false;
+  if (schema.time_column() && *schema.time_column() == col.name()) {
+    return false;
+  }
+  return col.IsNumericType() && col.type() != DataType::kTimestamp;
+}
+
+/// Linear-interpolation quantile of an ascending-sorted non-empty vector.
+double SortedQuantile(const std::vector<double>& sorted, double p) {
+  const size_t m = sorted.size();
+  if (m == 1) return sorted[0];
+  const double rank = p * static_cast<double>(m - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= m) return sorted[m - 1];
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+/// Streaming accumulator over one (value column, window) slice. All
+/// updates run in ascending slot order — the fixed accumulation order the
+/// determinism contract requires.
+struct ValueAcc {
+  int64_t n = 0;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+  double mn = 0.0, mx = 0.0;
+  double first = 0.0, last = 0.0;
+
+  void Add(double v) {
+    if (n == 0) {
+      mn = mx = first = v;
+    } else {
+      if (v < mn) mn = v;
+      if (v > mx) mx = v;
+    }
+    last = v;
+    ++n;
+    sum += v;
+    sum2 += v * v;
+    sum3 += v * v * v;
+  }
+};
+
+double EvalAgg(ColumnarAgg agg, const ValueAcc& acc,
+               const std::vector<double>& sorted) {
+  if (acc.n == 0) return 0.0;
+  const double n = static_cast<double>(acc.n);
+  const double mean = acc.sum / n;
+  switch (agg) {
+    case ColumnarAgg::kCount:
+      return n;
+    case ColumnarAgg::kCountDistinct: {
+      // `sorted` is the gathered slice, already ascending.
+      int64_t distinct = 0;
+      for (size_t i = 0; i < sorted.size(); ++i) {
+        if (i == 0 || sorted[i] != sorted[i - 1]) ++distinct;
+      }
+      return static_cast<double>(distinct);
+    }
+    case ColumnarAgg::kSum:
+      return acc.sum;
+    case ColumnarAgg::kAvg:
+      return mean;
+    case ColumnarAgg::kMin:
+      return acc.mn;
+    case ColumnarAgg::kMax:
+      return acc.mx;
+    case ColumnarAgg::kMedian:
+      return SortedQuantile(sorted, 0.5);
+    case ColumnarAgg::kQ25:
+      return SortedQuantile(sorted, 0.25);
+    case ColumnarAgg::kQ75:
+      return SortedQuantile(sorted, 0.75);
+    case ColumnarAgg::kStddev: {
+      const double var = std::max(0.0, acc.sum2 / n - mean * mean);
+      return std::sqrt(var);
+    }
+    case ColumnarAgg::kSkew: {
+      const double var = std::max(0.0, acc.sum2 / n - mean * mean);
+      if (var < 1e-12) return 0.0;
+      const double m3 =
+          acc.sum3 / n - 3.0 * mean * (acc.sum2 / n) + 2.0 * mean * mean * mean;
+      return m3 / (var * std::sqrt(var));
+    }
+    case ColumnarAgg::kFirst:
+      return acc.first;
+    case ColumnarAgg::kLast:
+      return acc.last;
+    case ColumnarAgg::kRecency:
+      break;  // rejected at Build
+  }
+  RELGRAPH_CHECK(false) << "unreachable aggregate kind";
+  return 0.0;
+}
+
+}  // namespace
+
+const char* ColumnarAggName(ColumnarAgg agg) {
+  switch (agg) {
+    case ColumnarAgg::kCount: return "count";
+    case ColumnarAgg::kCountDistinct: return "count_distinct";
+    case ColumnarAgg::kSum: return "sum";
+    case ColumnarAgg::kAvg: return "mean";
+    case ColumnarAgg::kMin: return "min";
+    case ColumnarAgg::kMax: return "max";
+    case ColumnarAgg::kMedian: return "median";
+    case ColumnarAgg::kQ25: return "q25";
+    case ColumnarAgg::kQ75: return "q75";
+    case ColumnarAgg::kStddev: return "stddev";
+    case ColumnarAgg::kSkew: return "skew";
+    case ColumnarAgg::kFirst: return "first";
+    case ColumnarAgg::kLast: return "last";
+    case ColumnarAgg::kRecency: return "recency";
+  }
+  return "?";
+}
+
+std::vector<ColumnarAgg> FullAggVocabulary() {
+  return {ColumnarAgg::kSum,    ColumnarAgg::kAvg,   ColumnarAgg::kMin,
+          ColumnarAgg::kMax,    ColumnarAgg::kMedian, ColumnarAgg::kQ25,
+          ColumnarAgg::kQ75,    ColumnarAgg::kStddev, ColumnarAgg::kSkew,
+          ColumnarAgg::kFirst,  ColumnarAgg::kLast};
+}
+
+Result<ColumnarAggregator> ColumnarAggregator::Build(
+    const Database& db, const std::string& entity_table,
+    ColumnarAggOptions options) {
+  ColumnarAggregator out;
+  out.options_ = options;
+  const Table* entity = db.FindTable(entity_table);
+  if (entity == nullptr) {
+    return Status::NotFound("entity table '" + entity_table + "' not found");
+  }
+  if (!entity->schema().primary_key()) {
+    return Status::InvalidArgument("entity table '" + entity_table +
+                                   "' needs a primary key");
+  }
+  if (options.max_hops < 0 || options.max_hops > 2) {
+    return Status::InvalidArgument("max_hops must be 0, 1 or 2");
+  }
+  for (ColumnarAgg agg : options.value_aggs) {
+    if (agg == ColumnarAgg::kRecency) {
+      return Status::InvalidArgument(
+          "kRecency is relation-level; use recency_features");
+    }
+    if (agg == ColumnarAgg::kMedian || agg == ColumnarAgg::kQ25 ||
+        agg == ColumnarAgg::kQ75) {
+      out.need_sorted_ = true;
+    }
+    if (agg == ColumnarAgg::kCountDistinct) {
+      out.need_sorted_ = true;  // distinct counting scans the sorted slice
+      out.need_distinct_ = true;
+    }
+  }
+  out.num_entity_rows_ = entity->num_rows();
+  if (options.max_hops < 1) return out;
+
+  for (const auto& table : db.tables()) {
+    for (const auto& fk : table->schema().foreign_keys()) {
+      if (fk.referenced_table != entity_table) continue;
+      if (table->name() == entity_table) continue;  // self-FK: skip
+      Relation rel;
+      rel.table = table->name();
+      RELGRAPH_ASSIGN_OR_RETURN(FkIndex idx,
+                                FkIndex::Build(*table, fk.column));
+
+      // Freeze the grouped slot layout: per entity row, the child rows in
+      // FkIndex order (static first, then ascending event time).
+      const int64_t num_entities = entity->num_rows();
+      rel.offsets.reserve(static_cast<size_t>(num_entities) + 1);
+      rel.offsets.push_back(0);
+      std::vector<int64_t> slot_rows;  // child row per slot
+      for (int64_t e = 0; e < num_entities; ++e) {
+        const auto& rows = idx.Rows(entity->PrimaryKey(e));
+        slot_rows.insert(slot_rows.end(), rows.begin(), rows.end());
+        rel.offsets.push_back(static_cast<int64_t>(slot_rows.size()));
+      }
+      const int64_t num_slots = static_cast<int64_t>(slot_rows.size());
+      rel.times.resize(static_cast<size_t>(num_slots), kNoTimestamp);
+      for (int64_t s = 0; s < num_slots; ++s) {
+        rel.times[static_cast<size_t>(s)] =
+            table->RowTime(slot_rows[static_cast<size_t>(s)]);
+      }
+      rel.static_end.resize(static_cast<size_t>(num_entities));
+      for (int64_t e = 0; e < num_entities; ++e) {
+        int64_t s = rel.offsets[static_cast<size_t>(e)];
+        const int64_t gend = rel.offsets[static_cast<size_t>(e) + 1];
+        while (s < gend && rel.times[static_cast<size_t>(s)] == kNoTimestamp) {
+          ++s;
+        }
+        rel.static_end[static_cast<size_t>(e)] = s;
+      }
+
+      // Hop-1 numeric value columns, materialized slot-aligned.
+      for (int64_t c = 0; c < table->num_columns(); ++c) {
+        const Column& col = table->column(c);
+        if (!IsAggregatableNumeric(table->schema(), col)) continue;
+        ValueColumn vc;
+        vc.label = table->name() + "." + col.name();
+        vc.vals.resize(static_cast<size_t>(num_slots), 0.0);
+        vc.valid.resize(static_cast<size_t>(num_slots), 0);
+        for (int64_t s = 0; s < num_slots; ++s) {
+          const int64_t r = slot_rows[static_cast<size_t>(s)];
+          if (col.IsNull(r)) continue;
+          vc.vals[static_cast<size_t>(s)] = col.Numeric(r);
+          vc.valid[static_cast<size_t>(s)] = 1;
+        }
+        rel.values.push_back(std::move(vc));
+      }
+
+      // Non-entity FK key columns for count_distinct.
+      if (options.count_distinct) {
+        for (const auto& other_fk : table->schema().foreign_keys()) {
+          if (other_fk.referenced_table == entity_table) continue;
+          const Column& col = table->column(other_fk.column);
+          DistinctColumn dc;
+          dc.label = table->name() + "." + other_fk.column;
+          dc.vals.resize(static_cast<size_t>(num_slots), 0);
+          dc.valid.resize(static_cast<size_t>(num_slots), 0);
+          for (int64_t s = 0; s < num_slots; ++s) {
+            const int64_t r = slot_rows[static_cast<size_t>(s)];
+            if (col.IsNull(r)) continue;
+            dc.vals[static_cast<size_t>(s)] = col.Int(r);
+            dc.valid[static_cast<size_t>(s)] = 1;
+          }
+          rel.distincts.push_back(std::move(dc));
+        }
+      }
+
+      // Hop-2 attribute columns: parent values resolved once, at build
+      // time, instead of a hash probe per (query row, child row).
+      if (options.max_hops >= 2) {
+        for (const auto& child_fk : table->schema().foreign_keys()) {
+          if (child_fk.referenced_table == entity_table) continue;
+          const Table* parent = db.FindTable(child_fk.referenced_table);
+          if (parent == nullptr) continue;
+          const Column& fk_col = table->column(child_fk.column);
+          for (int64_t c = 0; c < parent->num_columns(); ++c) {
+            const Column& pcol = parent->column(c);
+            if (!IsAggregatableNumeric(parent->schema(), pcol)) continue;
+            ValueColumn vc;
+            vc.label = StrFormat("%s.%s->%s.%s", table->name().c_str(),
+                                 child_fk.column.c_str(),
+                                 parent->name().c_str(), pcol.name().c_str());
+            vc.vals.resize(static_cast<size_t>(num_slots), 0.0);
+            vc.valid.resize(static_cast<size_t>(num_slots), 0);
+            for (int64_t s = 0; s < num_slots; ++s) {
+              const int64_t r = slot_rows[static_cast<size_t>(s)];
+              if (fk_col.IsNull(r)) continue;
+              auto prow = parent->FindByPrimaryKey(fk_col.Int(r));
+              if (!prow.ok() || pcol.IsNull(prow.value())) continue;
+              vc.vals[static_cast<size_t>(s)] = pcol.Numeric(prow.value());
+              vc.valid[static_cast<size_t>(s)] = 1;
+            }
+            rel.values.push_back(std::move(vc));
+          }
+        }
+      }
+
+      // Output layout and feature names. Per window: count, then
+      // count_distinct keys, then per value column every requested
+      // aggregate followed by its paired missing indicator.
+      rel.base_col = static_cast<int64_t>(out.feature_names_.size());
+      rel.per_window =
+          1 + static_cast<int64_t>(rel.distincts.size()) +
+          static_cast<int64_t>(rel.values.size()) *
+              (static_cast<int64_t>(options.value_aggs.size()) +
+               (options.missing_indicators ? 1 : 0));
+      for (Duration w : options.windows) {
+        const std::string suffix = "@" + FormatDuration(w);
+        out.feature_names_.push_back("h1.count(" + rel.table + ")" + suffix);
+        for (const auto& dc : rel.distincts) {
+          out.feature_names_.push_back("h1.count_distinct(" + dc.label + ")" +
+                                       suffix);
+        }
+        for (const auto& vc : rel.values) {
+          const bool two_hop = vc.label.find("->") != std::string::npos;
+          const char* hop = two_hop ? "h2" : "h1";
+          for (ColumnarAgg agg : options.value_aggs) {
+            out.feature_names_.push_back(StrFormat(
+                "%s.%s(%s)%s", hop, ColumnarAggName(agg), vc.label.c_str(),
+                suffix.c_str()));
+          }
+          if (options.missing_indicators) {
+            out.feature_names_.push_back(StrFormat(
+                "%s.present(%s)%s", hop, vc.label.c_str(), suffix.c_str()));
+          }
+        }
+      }
+      if (options.recency_features) {
+        rel.recency_col = static_cast<int64_t>(out.feature_names_.size());
+        out.feature_names_.push_back("h1.recency(" + rel.table + ")");
+      }
+      out.relations_.push_back(std::move(rel));
+    }
+  }
+  return out;
+}
+
+void ColumnarAggregator::ComputeRow(int64_t out_row, int64_t entity_row,
+                                    Timestamp cutoff, Tensor* out,
+                                    int64_t col_offset,
+                                    Scratch* scratch) const {
+  RELGRAPH_CHECK(entity_row >= 0 && entity_row < num_entity_rows_);
+  for (const Relation& rel : relations_) {
+    const int64_t goff = rel.offsets[static_cast<size_t>(entity_row)];
+    const int64_t gend = rel.offsets[static_cast<size_t>(entity_row) + 1];
+    const int64_t s_end = rel.static_end[static_cast<size_t>(entity_row)];
+    // Timed rows strictly before the cutoff: [s_end, hi).
+    const auto t_begin = rel.times.begin();
+    const int64_t hi = std::lower_bound(t_begin + s_end, t_begin + gend,
+                                        cutoff) -
+                       t_begin;
+    for (size_t wi = 0; wi < options_.windows.size(); ++wi) {
+      const Timestamp start = cutoff - options_.windows[wi];
+      const int64_t lo = std::lower_bound(t_begin + s_end, t_begin + hi,
+                                          start) -
+                         t_begin;
+      int64_t col = col_offset + rel.base_col +
+                    static_cast<int64_t>(wi) * rel.per_window;
+      // Row count: static rows belong to every window.
+      const int64_t count = (s_end - goff) + (hi - lo);
+      out->at(out_row, col++) = static_cast<float>(count);
+      // Distinct key counts.
+      for (const DistinctColumn& dc : rel.distincts) {
+        scratch->keys.clear();
+        for (int64_t s = goff; s < s_end; ++s) {
+          if (dc.valid[static_cast<size_t>(s)]) {
+            scratch->keys.push_back(dc.vals[static_cast<size_t>(s)]);
+          }
+        }
+        for (int64_t s = lo; s < hi; ++s) {
+          if (dc.valid[static_cast<size_t>(s)]) {
+            scratch->keys.push_back(dc.vals[static_cast<size_t>(s)]);
+          }
+        }
+        std::sort(scratch->keys.begin(), scratch->keys.end());
+        const int64_t distinct =
+            std::unique(scratch->keys.begin(), scratch->keys.end()) -
+            scratch->keys.begin();
+        out->at(out_row, col++) = static_cast<float>(distinct);
+      }
+      // Value columns: one ascending pass per column (plus a sorted
+      // gather when a quantile/distinct aggregate asks for it).
+      for (const ValueColumn& vc : rel.values) {
+        ValueAcc acc;
+        for (int64_t s = goff; s < s_end; ++s) {
+          if (vc.valid[static_cast<size_t>(s)]) {
+            acc.Add(vc.vals[static_cast<size_t>(s)]);
+          }
+        }
+        for (int64_t s = lo; s < hi; ++s) {
+          if (vc.valid[static_cast<size_t>(s)]) {
+            acc.Add(vc.vals[static_cast<size_t>(s)]);
+          }
+        }
+        if (need_sorted_ && acc.n > 0) {
+          scratch->sorted.clear();
+          for (int64_t s = goff; s < s_end; ++s) {
+            if (vc.valid[static_cast<size_t>(s)]) {
+              scratch->sorted.push_back(vc.vals[static_cast<size_t>(s)]);
+            }
+          }
+          for (int64_t s = lo; s < hi; ++s) {
+            if (vc.valid[static_cast<size_t>(s)]) {
+              scratch->sorted.push_back(vc.vals[static_cast<size_t>(s)]);
+            }
+          }
+          std::sort(scratch->sorted.begin(), scratch->sorted.end());
+        }
+        for (ColumnarAgg agg : options_.value_aggs) {
+          out->at(out_row, col++) =
+              static_cast<float>(EvalAgg(agg, acc, scratch->sorted));
+        }
+        if (options_.missing_indicators) {
+          out->at(out_row, col++) = acc.n > 0 ? 1.0f : 0.0f;
+        }
+      }
+    }
+    if (rel.recency_col >= 0) {
+      // Last timed event strictly before the cutoff — independent of the
+      // window set (an empty `windows` still reports true recency).
+      const double days_since =
+          hi > s_end
+              ? static_cast<double>(cutoff -
+                                    rel.times[static_cast<size_t>(hi - 1)]) /
+                    static_cast<double>(kDay)
+              : 365.0;
+      out->at(out_row, col_offset + rel.recency_col) =
+          static_cast<float>(std::log1p(days_since));
+    }
+  }
+}
+
+void ColumnarAggregator::ComputeInto(const std::vector<int64_t>& entity_rows,
+                                     const std::vector<Timestamp>& cutoffs,
+                                     Tensor* out, int64_t col_offset,
+                                     bool parallel) const {
+  RELGRAPH_CHECK(entity_rows.size() == cutoffs.size());
+  const int64_t n = static_cast<int64_t>(entity_rows.size());
+  RELGRAPH_CHECK(out->rows() == n);
+  RELGRAPH_CHECK(out->cols() >= col_offset + dim());
+  auto run_range = [&](int64_t lo, int64_t hi) {
+    Scratch scratch;
+    for (int64_t i = lo; i < hi; ++i) {
+      ComputeRow(i, entity_rows[static_cast<size_t>(i)],
+                 cutoffs[static_cast<size_t>(i)], out, col_offset, &scratch);
+    }
+  };
+  if (parallel) {
+    ParallelFor(0, n, options_.parallel_grain, run_range);
+  } else {
+    run_range(0, n);
+  }
+}
+
+Tensor ColumnarAggregator::Compute(const std::vector<int64_t>& entity_rows,
+                                   const std::vector<Timestamp>& cutoffs)
+    const {
+  Tensor out(static_cast<int64_t>(entity_rows.size()), dim());
+  ComputeInto(entity_rows, cutoffs, &out, 0, /*parallel=*/true);
+  return out;
+}
+
+Tensor ColumnarAggregator::ComputeSerial(
+    const std::vector<int64_t>& entity_rows,
+    const std::vector<Timestamp>& cutoffs) const {
+  Tensor out(static_cast<int64_t>(entity_rows.size()), dim());
+  ComputeInto(entity_rows, cutoffs, &out, 0, /*parallel=*/false);
+  return out;
+}
+
+Result<EncodedTable> BuildHybridAggBlock(const Database& db,
+                                         const std::string& entity_table,
+                                         Timestamp cutoff,
+                                         const ColumnarAggOptions& options) {
+  RELGRAPH_ASSIGN_OR_RETURN(
+      ColumnarAggregator agg,
+      ColumnarAggregator::Build(db, entity_table, options));
+  const Table* entity = db.FindTable(entity_table);
+  RELGRAPH_CHECK(entity != nullptr);  // Build above already validated
+  const int64_t n = entity->num_rows();
+  std::vector<int64_t> rows(static_cast<size_t>(n));
+  for (int64_t r = 0; r < n; ++r) rows[static_cast<size_t>(r)] = r;
+  std::vector<Timestamp> cutoffs(static_cast<size_t>(n), cutoff);
+  EncodedTable block;
+  block.features = agg.Compute(rows, cutoffs);
+  for (const auto& name : agg.feature_names()) {
+    block.feature_names.push_back("agg." + name);
+  }
+  // Z-score per column so the block lands on the same scale as the
+  // encoder's numeric features; constant columns encode as 0.
+  Tensor& f = block.features;
+  for (int64_t c = 0; c < f.cols(); ++c) {
+    double sum = 0.0, sum2 = 0.0;
+    for (int64_t r = 0; r < n; ++r) {
+      sum += f.at(r, c);
+      sum2 += static_cast<double>(f.at(r, c)) * f.at(r, c);
+    }
+    const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    const double var =
+        n > 0 ? std::max(0.0, sum2 / static_cast<double>(n) - mean * mean)
+              : 0.0;
+    const double inv_std = var > 1e-10 ? 1.0 / std::sqrt(var) : 0.0;
+    for (int64_t r = 0; r < n; ++r) {
+      f.at(r, c) = static_cast<float>((f.at(r, c) - mean) * inv_std);
+    }
+  }
+  return block;
+}
+
+}  // namespace relgraph

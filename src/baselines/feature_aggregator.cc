@@ -1,33 +1,15 @@
 #include "baselines/feature_aggregator.h"
 
-#include <cmath>
-#include <unordered_map>
+#include <utility>
 
 #include "core/logging.h"
-#include "core/string_util.h"
 
 namespace relgraph {
-
-namespace {
-
-bool IsAggregatableNumeric(const TableSchema& schema, const Column& col) {
-  if (schema.primary_key() && *schema.primary_key() == col.name()) {
-    return false;
-  }
-  if (schema.IsForeignKey(col.name())) return false;
-  if (schema.time_column() && *schema.time_column() == col.name()) {
-    return false;
-  }
-  return col.IsNumericType() && col.type() != DataType::kTimestamp;
-}
-
-}  // namespace
 
 Result<FeatureAggregator> FeatureAggregator::Build(
     const Database& db, const std::string& entity_table,
     FeatureAggregatorOptions options) {
   FeatureAggregator out;
-  out.options_ = options;
   const Table* entity = db.FindTable(entity_table);
   if (entity == nullptr) {
     return Status::NotFound("entity table '" + entity_table + "' not found");
@@ -36,152 +18,54 @@ Result<FeatureAggregator> FeatureAggregator::Build(
     return Status::InvalidArgument("entity table '" + entity_table +
                                    "' needs a primary key");
   }
-  out.entity_ = entity;
   RELGRAPH_ASSIGN_OR_RETURN(out.hop0_, EncodeTableFeatures(*entity));
   for (const auto& n : out.hop0_.feature_names) {
     out.feature_names_.push_back("h0." + n);
   }
-  if (options.max_hops < 1) return out;
-
-  for (const auto& table : db.tables()) {
-    for (const auto& fk : table->schema().foreign_keys()) {
-      if (fk.referenced_table != entity_table) continue;
-      if (table->name() == entity_table) continue;  // self-FK: skip
-      ChildPlan plan;
-      plan.child = table.get();
-      RELGRAPH_ASSIGN_OR_RETURN(FkIndex idx,
-                                FkIndex::Build(*table, fk.column));
-      plan.index = std::make_unique<FkIndex>(std::move(idx));
-      for (int64_t c = 0; c < table->num_columns(); ++c) {
-        const Column& col = table->column(c);
-        if (IsAggregatableNumeric(table->schema(), col)) {
-          plan.numeric_cols.push_back(&col);
-        }
-      }
-      if (options.max_hops >= 2) {
-        for (const auto& child_fk : table->schema().foreign_keys()) {
-          if (child_fk.referenced_table == entity_table) continue;
-          const Table* parent = db.FindTable(child_fk.referenced_table);
-          if (parent == nullptr) continue;
-          const Column& fk_col = table->column(child_fk.column);
-          for (int64_t c = 0; c < parent->num_columns(); ++c) {
-            const Column& pcol = parent->column(c);
-            if (!IsAggregatableNumeric(parent->schema(), pcol)) continue;
-            TwoHopColumn th;
-            th.parent = parent;
-            th.child_fk = &fk_col;
-            th.parent_value = &pcol;
-            th.name = StrFormat("%s.%s->%s.%s", table->name().c_str(),
-                                child_fk.column.c_str(),
-                                parent->name().c_str(), pcol.name().c_str());
-            plan.two_hop.push_back(std::move(th));
-          }
-        }
-      }
-      // Feature names, per window: count, mean of each numeric, mean of
-      // each 2-hop attribute.
-      for (Duration w : options.windows) {
-        const std::string suffix = "@" + FormatDuration(w);
-        out.feature_names_.push_back("h1.count(" + table->name() + ")" +
-                                     suffix);
-        for (const Column* col : plan.numeric_cols) {
-          out.feature_names_.push_back(StrFormat(
-              "h1.mean(%s.%s)%s", table->name().c_str(),
-              col->name().c_str(), suffix.c_str()));
-        }
-        for (const auto& th : plan.two_hop) {
-          out.feature_names_.push_back("h2.mean(" + th.name + ")" + suffix);
-        }
-      }
-      if (options.recency_features) {
-        out.feature_names_.push_back("h1.recency(" + table->name() + ")");
-      }
-      out.children_.push_back(std::move(plan));
-    }
+  ColumnarAggOptions engine_opts;
+  engine_opts.windows = options.windows;
+  engine_opts.value_aggs = options.value_aggs;
+  engine_opts.count_distinct = options.count_distinct;
+  engine_opts.missing_indicators = options.missing_indicators;
+  engine_opts.max_hops = options.max_hops;
+  engine_opts.recency_features = options.recency_features;
+  RELGRAPH_ASSIGN_OR_RETURN(
+      ColumnarAggregator engine,
+      ColumnarAggregator::Build(db, entity_table, engine_opts));
+  out.engine_ = std::make_unique<ColumnarAggregator>(std::move(engine));
+  for (const auto& n : out.engine_->feature_names()) {
+    out.feature_names_.push_back(n);
   }
   return out;
 }
 
-Tensor FeatureAggregator::Compute(const std::vector<int64_t>& entity_rows,
-                                  const std::vector<Timestamp>& cutoffs) const {
+Tensor FeatureAggregator::ComputeImpl(const std::vector<int64_t>& entity_rows,
+                                      const std::vector<Timestamp>& cutoffs,
+                                      bool parallel) const {
   RELGRAPH_CHECK(entity_rows.size() == cutoffs.size());
   const int64_t n = static_cast<int64_t>(entity_rows.size());
   Tensor out(n, dim());
-  // Hop-0 prefix.
+  // Hop-0 prefix: the entity's own encoded columns.
+  const int64_t hop0_cols = hop0_.features.cols();
   for (int64_t i = 0; i < n; ++i) {
-    for (int64_t c = 0; c < hop0_.features.cols(); ++c) {
+    for (int64_t c = 0; c < hop0_cols; ++c) {
       out.at(i, c) = hop0_.features.at(entity_rows[static_cast<size_t>(i)], c);
     }
   }
-  int64_t base = hop0_.features.cols();
-  for (const auto& plan : children_) {
-    const Table& child = *plan.child;
-    const int64_t per_window =
-        1 + static_cast<int64_t>(plan.numeric_cols.size()) +
-        static_cast<int64_t>(plan.two_hop.size());
-    for (int64_t i = 0; i < n; ++i) {
-      const int64_t pk =
-          entity_->PrimaryKey(entity_rows[static_cast<size_t>(i)]);
-      const Timestamp cutoff = cutoffs[static_cast<size_t>(i)];
-      const auto& rows = plan.index->Rows(pk);
-      Timestamp last_event = kNoTimestamp;
-      for (size_t wi = 0; wi < options_.windows.size(); ++wi) {
-        const Timestamp start = cutoff - options_.windows[wi];
-        int64_t col = base + static_cast<int64_t>(wi) * per_window;
-        int64_t count = 0;
-        std::vector<double> sums(plan.numeric_cols.size(), 0.0);
-        std::vector<int64_t> sums_n(plan.numeric_cols.size(), 0);
-        std::vector<double> th_sums(plan.two_hop.size(), 0.0);
-        std::vector<int64_t> th_n(plan.two_hop.size(), 0);
-        for (int64_t r : rows) {
-          const Timestamp t = child.RowTime(r);
-          if (t != kNoTimestamp) {
-            if (t >= cutoff) break;  // rows are time-sorted
-            if (wi == 0 && t > last_event) last_event = t;
-            if (t < start) continue;
-          }
-          ++count;
-          for (size_t v = 0; v < plan.numeric_cols.size(); ++v) {
-            if (plan.numeric_cols[v]->IsNull(r)) continue;
-            sums[v] += plan.numeric_cols[v]->Numeric(r);
-            ++sums_n[v];
-          }
-          for (size_t v = 0; v < plan.two_hop.size(); ++v) {
-            const TwoHopColumn& th = plan.two_hop[v];
-            if (th.child_fk->IsNull(r)) continue;
-            auto prow = th.parent->FindByPrimaryKey(th.child_fk->Int(r));
-            if (!prow.ok() || th.parent_value->IsNull(prow.value())) continue;
-            th_sums[v] += th.parent_value->Numeric(prow.value());
-            ++th_n[v];
-          }
-        }
-        out.at(i, col++) = static_cast<float>(count);
-        for (size_t v = 0; v < plan.numeric_cols.size(); ++v) {
-          out.at(i, col++) = static_cast<float>(
-              sums_n[v] > 0 ? sums[v] / static_cast<double>(sums_n[v]) : 0.0);
-        }
-        for (size_t v = 0; v < plan.two_hop.size(); ++v) {
-          out.at(i, col++) = static_cast<float>(
-              th_n[v] > 0 ? th_sums[v] / static_cast<double>(th_n[v]) : 0.0);
-        }
-      }
-      if (options_.recency_features) {
-        const int64_t col =
-            base +
-            static_cast<int64_t>(options_.windows.size()) * per_window;
-        const double days_since =
-            last_event == kNoTimestamp
-                ? 365.0
-                : static_cast<double>(cutoff - last_event) /
-                      static_cast<double>(kDay);
-        out.at(i, col) = static_cast<float>(std::log1p(days_since));
-      }
-    }
-    base += static_cast<int64_t>(options_.windows.size()) * per_window +
-            (options_.recency_features ? 1 : 0);
-  }
-  RELGRAPH_CHECK(base == dim());
+  engine_->ComputeInto(entity_rows, cutoffs, &out, hop0_cols, parallel);
   return out;
+}
+
+Tensor FeatureAggregator::Compute(const std::vector<int64_t>& entity_rows,
+                                  const std::vector<Timestamp>& cutoffs)
+    const {
+  return ComputeImpl(entity_rows, cutoffs, /*parallel=*/true);
+}
+
+Tensor FeatureAggregator::ComputeSerial(
+    const std::vector<int64_t>& entity_rows,
+    const std::vector<Timestamp>& cutoffs) const {
+  return ComputeImpl(entity_rows, cutoffs, /*parallel=*/false);
 }
 
 }  // namespace relgraph

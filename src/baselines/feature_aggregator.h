@@ -5,11 +5,11 @@
 #include <string>
 #include <vector>
 
+#include "baselines/columnar_agg.h"
 #include "core/status.h"
 #include "core/time.h"
 #include "db2graph/feature_encoder.h"
 #include "relational/database.h"
-#include "relational/query.h"
 #include "tensor/tensor.h"
 
 namespace relgraph {
@@ -27,22 +27,44 @@ struct FeatureAggregatorOptions {
   int max_hops = 2;  ///< 0, 1 or 2
 
   /// Adds log(1 + days since the entity's last event per child table).
+  /// Tracked independently of `windows` (an empty window set still
+  /// reports true recency).
   bool recency_features = true;
+
+  /// Aggregates per (value column, window). The classic ladder default is
+  /// mean-only; pass FullAggVocabulary() for the strong baseline.
+  std::vector<ColumnarAgg> value_aggs = {ColumnarAgg::kAvg};
+
+  /// count_distinct over the child tables' non-entity FK columns.
+  bool count_distinct = false;
+
+  /// Paired 0/1 "present" column per (value column, window), so an empty
+  /// window is distinguishable from a true zero aggregate.
+  bool missing_indicators = true;
 };
 
 /// Precomputed machinery for hand-crafted temporal aggregate features of
 /// one entity table (the classical baseline the paper argues to replace).
+/// A thin wrapper over the parallel columnar engine in
+/// baselines/columnar_agg: hop-0 encoded entity columns as a prefix, then
+/// the engine's aggregate block.
 class FeatureAggregator {
  public:
-  /// Builds FK indexes and column plans for `entity_table` in `db`.
+  /// Builds FK indexes and columnar layouts for `entity_table` in `db`.
   static Result<FeatureAggregator> Build(const Database& db,
                                          const std::string& entity_table,
                                          FeatureAggregatorOptions options = {});
 
   /// Feature matrix for (entity_row, cutoff) pairs; rows align with the
-  /// inputs. Includes the encoder's hop-0 features as a prefix.
+  /// inputs. Includes the encoder's hop-0 features as a prefix. The
+  /// aggregate block runs chunked-parallel on the global pool and is
+  /// bit-identical to ComputeSerial at any thread count.
   Tensor Compute(const std::vector<int64_t>& entity_rows,
                  const std::vector<Timestamp>& cutoffs) const;
+
+  /// Serial reference path (the differential oracle for Compute).
+  Tensor ComputeSerial(const std::vector<int64_t>& entity_rows,
+                       const std::vector<Timestamp>& cutoffs) const;
 
   /// Names of the produced feature columns.
   const std::vector<std::string>& feature_names() const {
@@ -51,26 +73,16 @@ class FeatureAggregator {
 
   int64_t dim() const { return static_cast<int64_t>(feature_names_.size()); }
 
- private:
-  struct TwoHopColumn {
-    // child_fk_col resolves to parent table rows; we aggregate
-    // parent_numeric_col over the resolved rows.
-    const Table* parent;
-    const Column* child_fk;
-    const Column* parent_value;
-    std::string name;
-  };
-  struct ChildPlan {
-    const Table* child;
-    std::unique_ptr<FkIndex> index;
-    std::vector<const Column*> numeric_cols;  // hop-1 value columns
-    std::vector<TwoHopColumn> two_hop;        // hop-2 value columns
-  };
+  /// The underlying columnar aggregation engine (hop >= 1 block).
+  const ColumnarAggregator& engine() const { return *engine_; }
 
-  const Table* entity_ = nullptr;
-  FeatureAggregatorOptions options_;
+ private:
+  Tensor ComputeImpl(const std::vector<int64_t>& entity_rows,
+                     const std::vector<Timestamp>& cutoffs,
+                     bool parallel) const;
+
   EncodedTable hop0_;
-  std::vector<ChildPlan> children_;
+  std::unique_ptr<ColumnarAggregator> engine_;
   std::vector<std::string> feature_names_;
 };
 

@@ -84,7 +84,11 @@ void GbdtModel::GrowNode(const Tensor& x,
       if (gain > best_gain) {
         best_gain = gain;
         best_feature = static_cast<int32_t>(f);
-        best_threshold = (cur + nxt) * 0.5f;
+        // For adjacent floats the midpoint rounds to nxt (ties-to-even),
+        // which would send every row left and make the partition below
+        // degenerate; fall back to splitting exactly on cur.
+        const float mid_val = (cur + nxt) * 0.5f;
+        best_threshold = (mid_val > cur && mid_val < nxt) ? mid_val : cur;
       }
     }
   }

@@ -216,4 +216,35 @@ Result<EncodedTable> EncodeTableFeatures(const Table& table,
   return out;
 }
 
+Status AppendFeatureBlock(EncodedTable* dst, const Tensor& block,
+                          const std::vector<std::string>& block_names) {
+  if (dst->features.rows() != block.rows()) {
+    return Status::InvalidArgument(StrFormat(
+        "feature block has %lld rows, table encoding has %lld",
+        static_cast<long long>(block.rows()),
+        static_cast<long long>(dst->features.rows())));
+  }
+  if (static_cast<int64_t>(block_names.size()) != block.cols()) {
+    return Status::InvalidArgument(StrFormat(
+        "feature block has %lld columns but %lld names",
+        static_cast<long long>(block.cols()),
+        static_cast<long long>(block_names.size())));
+  }
+  const int64_t rows = dst->features.rows();
+  const int64_t old_cols = dst->features.cols();
+  Tensor merged(rows, old_cols + block.cols());
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < old_cols; ++c) {
+      merged.at(r, c) = dst->features.at(r, c);
+    }
+    for (int64_t c = 0; c < block.cols(); ++c) {
+      merged.at(r, old_cols + c) = block.at(r, c);
+    }
+  }
+  dst->features = std::move(merged);
+  dst->feature_names.insert(dst->feature_names.end(), block_names.begin(),
+                            block_names.end());
+  return Status::OK();
+}
+
 }  // namespace relgraph

@@ -95,6 +95,13 @@ Result<Tensor> EncodeRowsWithPlan(const Table& table, const EncoderPlan& plan,
 Result<EncodedTable> EncodeTableFeatures(const Table& table,
                                          const EncodeOptions& options = {});
 
+/// Appends `block` (row-aligned extra features, e.g. a precomputed
+/// aggregate matrix for the hybrid GNN+tabular input path) as additional
+/// columns of `dst`. Row counts must match; `block_names.size()` must
+/// equal block.cols().
+Status AppendFeatureBlock(EncodedTable* dst, const Tensor& block,
+                          const std::vector<std::string>& block_names);
+
 }  // namespace relgraph
 
 #endif  // RELGRAPH_DB2GRAPH_FEATURE_ENCODER_H_

@@ -27,23 +27,27 @@ Result<DbGraph> BuildDbGraph(const Database& db,
           NodeTypeId type, out.graph.AddNodeType(table->name(),
                                                  table->num_rows()));
       out.table_type[table->name()] = type;
+      EncodedTable encoded;
       auto plan_it = options.frozen_plans.find(table->name());
       if (plan_it != options.frozen_plans.end()) {
         RELGRAPH_ASSIGN_OR_RETURN(
-            Tensor features,
+            encoded.features,
             EncodeRowsWithPlan(*table, plan_it->second, 0,
                                table->num_rows()));
-        out.feature_names[table->name()] = plan_it->second.feature_names;
-        RELGRAPH_RETURN_IF_ERROR(
-            out.graph.SetNodeFeatures(type, std::move(features)));
+        encoded.feature_names = plan_it->second.feature_names;
       } else {
         RELGRAPH_ASSIGN_OR_RETURN(
-            EncodedTable encoded,
-            EncodeTableFeatures(*table, options.encode));
-        out.feature_names[table->name()] = std::move(encoded.feature_names);
-        RELGRAPH_RETURN_IF_ERROR(
-            out.graph.SetNodeFeatures(type, std::move(encoded.features)));
+            encoded, EncodeTableFeatures(*table, options.encode));
       }
+      auto block_it = options.hybrid_blocks.find(table->name());
+      if (block_it != options.hybrid_blocks.end()) {
+        RELGRAPH_RETURN_IF_ERROR(
+            AppendFeatureBlock(&encoded, block_it->second.features,
+                               block_it->second.feature_names));
+      }
+      out.feature_names[table->name()] = std::move(encoded.feature_names);
+      RELGRAPH_RETURN_IF_ERROR(
+          out.graph.SetNodeFeatures(type, std::move(encoded.features)));
       if (table->schema().time_column()) {
         std::vector<Timestamp> times(static_cast<size_t>(table->num_rows()));
         for (int64_t r = 0; r < table->num_rows(); ++r) {

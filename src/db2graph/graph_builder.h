@@ -32,6 +32,14 @@ struct GraphBuilderOptions {
   /// from-scratch batch rebuild is bit-comparable to the incrementally
   /// maintained graph.
   std::map<std::string, EncoderPlan> frozen_plans;
+
+  /// Extra row-aligned feature blocks appended after the encoder's output
+  /// for the named tables — the hybrid GNN+tabular input path (e.g.
+  /// BuildHybridAggBlock's z-scored aggregate matrix for the entity
+  /// table). The block must be computed at a cutoff no later than the
+  /// earliest training cutoff to stay leakage-free, and is batch-build
+  /// only: the streaming layer does not maintain hybrid blocks.
+  std::map<std::string, EncodedTable> hybrid_blocks;
 };
 
 /// The result of converting a relational database into a heterogeneous

@@ -4,10 +4,10 @@
 #include <numeric>
 
 #include "baselines/feature_aggregator.h"
-#include "baselines/gbdt.h"
 #include "baselines/tabular.h"
 #include "core/rng.h"
 #include "datagen/ecommerce.h"
+#include "relational/query.h"
 #include "train/metrics.h"
 
 namespace relgraph {
@@ -122,65 +122,8 @@ TEST(TabularMlpTest, SolvesXor) {
   EXPECT_GT(RocAuc(preds, truth), 0.9);
 }
 
-TEST(GbdtTest, SolvesXor) {
-  Tensor x;
-  std::vector<double> y;
-  MakeXorData(600, &x, &y, 61);
-  GbdtModel model;
-  ASSERT_TRUE(model
-                  .Fit(x, y, TaskKind::kBinaryClassification, Range(0, 400),
-                       Range(400, 500))
-                  .ok());
-  auto preds = model.Predict(x, Range(500, 600));
-  std::vector<double> truth(y.begin() + 500, y.end());
-  EXPECT_GT(RocAuc(preds, truth), 0.93);
-}
-
-TEST(GbdtTest, RegressionFitsStepFunction) {
-  Rng rng(71);
-  Tensor x(400, 1);
-  std::vector<double> y(400);
-  for (int i = 0; i < 400; ++i) {
-    const double v = rng.Uniform(-2, 2);
-    x.at(i, 0) = static_cast<float>(v);
-    y[static_cast<size_t>(i)] = v > 0.5 ? 3.0 : (v > -1.0 ? 1.0 : -2.0);
-  }
-  GbdtModel model;
-  ASSERT_TRUE(
-      model.Fit(x, y, TaskKind::kRegression, Range(0, 300), {}).ok());
-  auto preds = model.Predict(x, Range(300, 400));
-  std::vector<double> truth(y.begin() + 300, y.end());
-  EXPECT_LT(MeanAbsoluteError(preds, truth), 0.25);
-}
-
-TEST(GbdtTest, EarlyStoppingCapsTrees) {
-  // Pure-noise labels: validation loss cannot improve for long.
-  Rng rng(81);
-  Tensor x(200, 2);
-  std::vector<double> y(200);
-  for (int i = 0; i < 200; ++i) {
-    x.at(i, 0) = static_cast<float>(rng.Normal(0, 1));
-    x.at(i, 1) = static_cast<float>(rng.Normal(0, 1));
-    y[static_cast<size_t>(i)] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
-  }
-  GbdtConfig cfg;
-  cfg.num_trees = 200;
-  cfg.patience = 5;
-  GbdtModel model(cfg);
-  ASSERT_TRUE(model
-                  .Fit(x, y, TaskKind::kBinaryClassification, Range(0, 100),
-                       Range(100, 200))
-                  .ok());
-  EXPECT_LT(model.num_trees_fit(), 100);
-}
-
-TEST(GbdtTest, RejectsUnsupportedTask) {
-  Tensor x(2, 1);
-  std::vector<double> y = {0, 1};
-  GbdtModel model;
-  EXPECT_FALSE(
-      model.Fit(x, y, TaskKind::kMulticlassClassification, {0, 1}, {}).ok());
-}
+// GBDT-specific coverage (including the adjacent-float split-threshold
+// regression) lives in gbdt_test.cc.
 
 TEST(MakeTabularModelTest, Factory) {
   EXPECT_TRUE(MakeTabularModel("constant", 1).ok());
@@ -290,6 +233,89 @@ TEST(FeatureAggregatorTest, FeaturesRespectCutoff) {
   Tensor early = agg.Compute({3}, {Days(10)});
   Tensor late = agg.Compute({3}, {Days(59)});
   EXPECT_LE(early.at(0, count_col), late.at(0, count_col));
+}
+
+TEST(FeatureAggregatorTest, RecencyTrackedWithEmptyWindowSet) {
+  // Regression: recency was only updated during the first-window pass, so
+  // an empty window set reported the 365-day "no events" fallback even for
+  // entities with plenty of history.
+  ECommerceConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  FeatureAggregatorOptions with_windows;
+  with_windows.max_hops = 1;
+  FeatureAggregatorOptions no_windows = with_windows;
+  no_windows.windows = {};
+  auto a = FeatureAggregator::Build(db, "users", with_windows).value();
+  auto b = FeatureAggregator::Build(db, "users", no_windows).value();
+  int64_t col_a = -1, col_b = -1;
+  for (size_t i = 0; i < a.feature_names().size(); ++i) {
+    if (a.feature_names()[i] == "h1.recency(orders)") {
+      col_a = static_cast<int64_t>(i);
+    }
+  }
+  for (size_t i = 0; i < b.feature_names().size(); ++i) {
+    if (b.feature_names()[i] == "h1.recency(orders)") {
+      col_b = static_cast<int64_t>(i);
+    }
+  }
+  ASSERT_GE(col_a, 0);
+  ASSERT_GE(col_b, 0);
+  const Timestamp cutoff = Days(50);
+  auto idx = FkIndex::Build(db.table("orders"), "user_id").value();
+  const float no_events = static_cast<float>(std::log1p(365.0));
+  bool saw_events = false;
+  for (int64_t r = 0; r < cfg.num_users; ++r) {
+    Tensor fa = a.Compute({r}, {cutoff});
+    Tensor fb = b.Compute({r}, {cutoff});
+    // Identical recency with and without windows.
+    EXPECT_EQ(fa.at(0, col_a), fb.at(0, col_b)) << "user row " << r;
+    const int64_t pk = db.table("users").PrimaryKey(r);
+    const bool has_events =
+        !idx.RowsInWindow(pk, Days(0), cutoff).empty();
+    if (has_events) {
+      saw_events = true;
+      EXPECT_NE(fb.at(0, col_b), no_events) << "user row " << r;
+    } else {
+      EXPECT_EQ(fb.at(0, col_b), no_events) << "user row " << r;
+    }
+  }
+  EXPECT_TRUE(saw_events);
+}
+
+TEST(FeatureAggregatorTest, EmptyWindowEmitsMissingIndicator) {
+  ECommerceConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  auto agg = FeatureAggregator::Build(db, "users").value();
+  int64_t mean_col = -1, present_col = -1, count_col = -1;
+  for (size_t i = 0; i < agg.feature_names().size(); ++i) {
+    const auto& n = agg.feature_names()[i];
+    if (n == "h1.mean(orders.total)@7d") mean_col = static_cast<int64_t>(i);
+    if (n == "h1.present(orders.total)@7d") {
+      present_col = static_cast<int64_t>(i);
+    }
+    if (n == "h1.count(orders)@7d") count_col = static_cast<int64_t>(i);
+  }
+  ASSERT_GE(mean_col, 0);
+  ASSERT_GE(present_col, 0);
+  ASSERT_GE(count_col, 0);
+  // At a cutoff just after the horizon start, most users have an empty 7d
+  // window: the mean reads 0 and the indicator disambiguates.
+  for (int64_t r = 0; r < cfg.num_users; ++r) {
+    Tensor f = agg.Compute({r}, {Days(40)});
+    const bool empty = f.at(0, count_col) == 0.0f;
+    EXPECT_EQ(f.at(0, present_col), empty ? 0.0f : 1.0f) << "user " << r;
+    if (empty) {
+      EXPECT_EQ(f.at(0, mean_col), 0.0f) << "user " << r;
+    }
+  }
 }
 
 TEST(FeatureAggregatorTest, UnknownTableRejected) {

@@ -1,0 +1,507 @@
+// Tests for the parallel columnar aggregation engine: feature layout,
+// brute-force value checks over a hand-built world, the determinism
+// contract (parallel output bit-identical to the serial oracle at 1, 2 and
+// 8 threads), differential checks against the AggregateWindow reference
+// evaluator, the temporal-leakage property under shuffled append
+// schedules, and the hybrid GNN+tabular input block.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "baselines/columnar_agg.h"
+#include "baselines/feature_aggregator.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "datagen/ecommerce.h"
+#include "db2graph/graph_builder.h"
+#include "relational/append_log.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace relgraph {
+namespace {
+
+/// Every test leaves the pool at 1 thread so lane ordering can't leak
+/// thread counts across tests.
+class ColumnarAggTest : public testing::Test {
+ protected:
+  void TearDown() override { ThreadPool::SetNumThreadsForTesting(1); }
+};
+
+// ------------------------------------------------------------ mini world
+//
+// users(id PK)
+// products(id PK, price, quality)
+// orders(id PK, user_id FK users, product_id FK products, total, ts TIME)
+
+Database MakeMiniDb() {
+  Database db("mini");
+
+  TableSchema users("users");
+  users.AddColumn("id", DataType::kInt64, false).SetPrimaryKey("id");
+  Table* ut = db.AddTable(users).value();
+  for (int64_t id = 0; id < 3; ++id) {
+    EXPECT_TRUE(ut->AppendRow({Value(id)}).ok());
+  }
+
+  TableSchema products("products");
+  products.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("price", DataType::kFloat64)
+      .AddColumn("quality", DataType::kFloat64)
+      .SetPrimaryKey("id");
+  Table* pt = db.AddTable(products).value();
+  EXPECT_TRUE(
+      pt->AppendRow({Value(int64_t{10}), Value(5.0), Value(1.0)}).ok());
+  EXPECT_TRUE(
+      pt->AppendRow({Value(int64_t{11}), Value(7.0), Value(2.0)}).ok());
+  EXPECT_TRUE(
+      pt->AppendRow({Value(int64_t{12}), Value(9.0), Value(4.0)}).ok());
+
+  TableSchema orders("orders");
+  orders.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("user_id", DataType::kInt64)
+      .AddColumn("product_id", DataType::kInt64)
+      .AddColumn("total", DataType::kFloat64)
+      .AddColumn("ts", DataType::kTimestamp)
+      .SetPrimaryKey("id")
+      .AddForeignKey("user_id", "users")
+      .AddForeignKey("product_id", "products")
+      .SetTimeColumn("ts");
+  Table* ot = db.AddTable(orders).value();
+  auto order = [&](int64_t id, int64_t user, int64_t product, double total,
+                   int64_t day) {
+    EXPECT_TRUE(ot->AppendRow({Value(id), Value(user), Value(product),
+                               Value(total), Value::Time(Days(day))})
+                    .ok());
+  };
+  // User 0: three orders inside [Days(1), Days(4)), one after the cutoff.
+  order(0, 0, 10, 10.0, 1);
+  order(1, 0, 11, 20.0, 2);
+  order(2, 0, 11, 30.0, 3);
+  order(3, 0, 12, 100.0, 5);
+  // User 1: no orders. User 2: one order.
+  order(4, 2, 10, 7.0, 2);
+  return db;
+}
+
+std::vector<Value> RowValues(const Table& t, int64_t r) {
+  std::vector<Value> out;
+  for (int64_t c = 0; c < t.num_columns(); ++c) {
+    out.push_back(t.column(c).GetValue(r));
+  }
+  return out;
+}
+
+int64_t ColumnIndex(const ColumnarAggregator& agg, const std::string& name) {
+  for (size_t i = 0; i < agg.feature_names().size(); ++i) {
+    if (agg.feature_names()[i] == name) return static_cast<int64_t>(i);
+  }
+  ADD_FAILURE() << "feature '" << name << "' not found";
+  return -1;
+}
+
+ColumnarAggOptions FullOptions() {
+  ColumnarAggOptions opts;
+  opts.windows = {Days(3), Days(1)};
+  opts.value_aggs = FullAggVocabulary();
+  opts.count_distinct = true;
+  opts.missing_indicators = true;
+  opts.max_hops = 2;
+  return opts;
+}
+
+TEST_F(ColumnarAggTest, FeatureLayoutAndNames) {
+  Database db = MakeMiniDb();
+  auto agg = ColumnarAggregator::Build(db, "users", FullOptions()).value();
+  ASSERT_EQ(agg.num_relations(), 1);
+  // Per window: count + count_distinct(product_id) + 3 value columns
+  // (hop-1 orders.total, hop-2 products.price and products.quality) ×
+  // (11 aggregates + present indicator).
+  const int64_t per_window = 1 + 1 + 3 * (11 + 1);
+  EXPECT_EQ(agg.dim(), 2 * per_window + 1);  // 2 windows + recency
+  EXPECT_GE(ColumnIndex(agg, "h1.count(orders)@3d"), 0);
+  EXPECT_GE(ColumnIndex(agg, "h1.count_distinct(orders.product_id)@1d"), 0);
+  EXPECT_GE(ColumnIndex(agg, "h1.median(orders.total)@3d"), 0);
+  EXPECT_GE(ColumnIndex(agg, "h1.present(orders.total)@3d"), 0);
+  EXPECT_GE(ColumnIndex(agg, "h2.skew(orders.product_id->products.price)@3d"),
+            0);
+  EXPECT_GE(ColumnIndex(agg, "h1.recency(orders)"), 0);
+}
+
+TEST_F(ColumnarAggTest, BruteForceAggregatesOverMiniWorld) {
+  Database db = MakeMiniDb();
+  auto agg = ColumnarAggregator::Build(db, "users", FullOptions()).value();
+  const Timestamp cutoff = Days(4);
+  Tensor f = agg.ComputeSerial({0, 1, 2}, {cutoff, cutoff, cutoff});
+
+  auto at = [&](int64_t row, const std::string& name) {
+    return f.at(row, ColumnIndex(agg, name));
+  };
+  // User 0, window 3d = [Days(1), Days(4)): totals {10, 20, 30}.
+  EXPECT_FLOAT_EQ(at(0, "h1.count(orders)@3d"), 3.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.count_distinct(orders.product_id)@3d"), 2.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.sum(orders.total)@3d"), 60.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.mean(orders.total)@3d"), 20.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.min(orders.total)@3d"), 10.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.max(orders.total)@3d"), 30.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.median(orders.total)@3d"), 20.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.q25(orders.total)@3d"), 15.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.q75(orders.total)@3d"), 25.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.stddev(orders.total)@3d"),
+                  static_cast<float>(std::sqrt(200.0 / 3.0)));
+  EXPECT_FLOAT_EQ(at(0, "h1.skew(orders.total)@3d"), 0.0f);  // symmetric
+  EXPECT_FLOAT_EQ(at(0, "h1.first(orders.total)@3d"), 10.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.last(orders.total)@3d"), 30.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.present(orders.total)@3d"), 1.0f);
+  // Hop 2: prices of the ordered products {5, 7, 7}.
+  EXPECT_FLOAT_EQ(at(0, "h2.mean(orders.product_id->products.price)@3d"),
+                  static_cast<float>(19.0 / 3.0));
+  EXPECT_FLOAT_EQ(at(0, "h2.min(orders.product_id->products.price)@3d"),
+                  5.0f);
+  // Window 1d = [Days(3), Days(4)): totals {30}.
+  EXPECT_FLOAT_EQ(at(0, "h1.count(orders)@1d"), 1.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.median(orders.total)@1d"), 30.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.stddev(orders.total)@1d"), 0.0f);
+  EXPECT_FLOAT_EQ(at(0, "h1.first(orders.total)@1d"), 30.0f);
+  // The order at Days(5) is after the cutoff and never contributes.
+  EXPECT_FLOAT_EQ(at(0, "h1.max(orders.total)@3d"), 30.0f);
+
+  // User 1 has no orders: all aggregates 0, present indicators 0.
+  EXPECT_FLOAT_EQ(at(1, "h1.count(orders)@3d"), 0.0f);
+  EXPECT_FLOAT_EQ(at(1, "h1.mean(orders.total)@3d"), 0.0f);
+  EXPECT_FLOAT_EQ(at(1, "h1.present(orders.total)@3d"), 0.0f);
+
+  // User 2: single order of 7.0 at Days(2) — outside the 1d window.
+  EXPECT_FLOAT_EQ(at(2, "h1.mean(orders.total)@3d"), 7.0f);
+  EXPECT_FLOAT_EQ(at(2, "h1.present(orders.total)@3d"), 1.0f);
+  EXPECT_FLOAT_EQ(at(2, "h1.count(orders)@1d"), 0.0f);
+  EXPECT_FLOAT_EQ(at(2, "h1.present(orders.total)@1d"), 0.0f);
+
+  // Recency is window-independent: user 0's last pre-cutoff event is
+  // Days(3), one day before the cutoff; user 1 has none.
+  EXPECT_FLOAT_EQ(at(0, "h1.recency(orders)"),
+                  static_cast<float>(std::log1p(1.0)));
+  EXPECT_FLOAT_EQ(at(1, "h1.recency(orders)"),
+                  static_cast<float>(std::log1p(365.0)));
+}
+
+TEST_F(ColumnarAggTest, EmptyWindowDistinguishableFromTrueZero) {
+  // A window holding exactly one 0-valued event must differ from an empty
+  // window in the indicator column, not the (identical) mean.
+  Database db("zeros");
+  TableSchema users("users");
+  users.AddColumn("id", DataType::kInt64, false).SetPrimaryKey("id");
+  Table* ut = db.AddTable(users).value();
+  EXPECT_TRUE(ut->AppendRow({Value(int64_t{0})}).ok());
+  EXPECT_TRUE(ut->AppendRow({Value(int64_t{1})}).ok());
+  TableSchema events("events");
+  events.AddColumn("id", DataType::kInt64, false)
+      .AddColumn("user_id", DataType::kInt64)
+      .AddColumn("v", DataType::kFloat64)
+      .AddColumn("ts", DataType::kTimestamp)
+      .SetPrimaryKey("id")
+      .AddForeignKey("user_id", "users")
+      .SetTimeColumn("ts");
+  Table* et = db.AddTable(events).value();
+  EXPECT_TRUE(et->AppendRow({Value(int64_t{0}), Value(int64_t{0}),
+                             Value(0.0), Value::Time(Days(1))})
+                  .ok());
+  ColumnarAggOptions opts;
+  opts.windows = {Days(7)};
+  opts.max_hops = 1;
+  auto agg = ColumnarAggregator::Build(db, "users", opts).value();
+  Tensor f = agg.ComputeSerial({0, 1}, {Days(2), Days(2)});
+  const int64_t mean_col = ColumnIndex(agg, "h1.mean(events.v)@7d");
+  const int64_t present_col = ColumnIndex(agg, "h1.present(events.v)@7d");
+  EXPECT_FLOAT_EQ(f.at(0, mean_col), 0.0f);
+  EXPECT_FLOAT_EQ(f.at(1, mean_col), 0.0f);
+  EXPECT_FLOAT_EQ(f.at(0, present_col), 1.0f);  // true zero
+  EXPECT_FLOAT_EQ(f.at(1, present_col), 0.0f);  // no events
+}
+
+TEST_F(ColumnarAggTest, MatchesAggregateWindowReference) {
+  ECommerceConfig cfg;
+  cfg.num_users = 60;
+  cfg.num_products = 20;
+  cfg.num_categories = 4;
+  cfg.horizon_days = 90;
+  Database db = MakeECommerceDb(cfg);
+  ColumnarAggOptions opts;
+  opts.windows = {Days(30)};
+  opts.value_aggs = {ColumnarAgg::kSum, ColumnarAgg::kAvg, ColumnarAgg::kMin,
+                     ColumnarAgg::kMax};
+  opts.count_distinct = false;
+  opts.max_hops = 1;
+  auto agg = ColumnarAggregator::Build(db, "users", opts).value();
+  auto idx = FkIndex::Build(db.table("orders"), "user_id").value();
+  const Timestamp cutoff = Days(60);
+  const Timestamp start = cutoff - Days(30);
+  std::vector<int64_t> rows = {0, 7, 23, 41, 59};
+  std::vector<Timestamp> cutoffs(rows.size(), cutoff);
+  Tensor f = agg.ComputeSerial(rows, cutoffs);
+  struct Case {
+    const char* name;
+    AggKind kind;
+    const char* col;
+  };
+  const Case cases[] = {
+      {"h1.count(orders)@30d", AggKind::kCount, ""},
+      {"h1.sum(orders.total)@30d", AggKind::kSum, "total"},
+      {"h1.mean(orders.total)@30d", AggKind::kAvg, "total"},
+      {"h1.min(orders.total)@30d", AggKind::kMin, "total"},
+      {"h1.max(orders.total)@30d", AggKind::kMax, "total"},
+  };
+  for (const auto& c : cases) {
+    const int64_t col = ColumnIndex(agg, c.name);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const int64_t pk = db.table("users").PrimaryKey(rows[i]);
+      const double expected =
+          AggregateWindow(idx, pk, start, cutoff, c.kind, c.col).value();
+      EXPECT_FLOAT_EQ(f.at(static_cast<int64_t>(i), col),
+                      static_cast<float>(expected))
+          << c.name << " row " << rows[i];
+    }
+  }
+}
+
+TEST_F(ColumnarAggTest, ParallelBitIdenticalToSerialAtAnyThreadCount) {
+  ECommerceConfig cfg;
+  cfg.num_users = 120;
+  cfg.num_products = 30;
+  cfg.num_categories = 5;
+  cfg.horizon_days = 120;
+  Database db = MakeECommerceDb(cfg);
+  ColumnarAggOptions opts = FullOptions();
+  opts.windows = {Days(7), Days(30), Days(10000)};
+  opts.parallel_grain = 16;  // many chunks, so the schedule actually forks
+  auto agg = ColumnarAggregator::Build(db, "users", opts).value();
+
+  // Query rows at varied cutoffs, repeated so chunk boundaries land inside
+  // duplicated runs too.
+  Rng rng(905);
+  std::vector<int64_t> rows;
+  std::vector<Timestamp> cutoffs;
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back(rng.UniformInt(0, cfg.num_users - 1));
+    cutoffs.push_back(Days(5 + rng.UniformInt(0, 110)));
+  }
+  const Tensor oracle = agg.ComputeSerial(rows, cutoffs);
+  for (int i = 0; i < oracle.rows() * oracle.cols(); ++i) {
+    ASSERT_FALSE(std::isnan(oracle.data()[i])) << "NaN leaked at " << i;
+  }
+  for (int threads : {1, 2, 8}) {
+    ThreadPool::SetNumThreadsForTesting(threads);
+    const Tensor parallel = agg.Compute(rows, cutoffs);
+    ASSERT_EQ(parallel.rows(), oracle.rows());
+    ASSERT_EQ(parallel.cols(), oracle.cols());
+    for (int64_t i = 0; i < oracle.rows() * oracle.cols(); ++i) {
+      // Exact bit equality — the determinism contract, not a tolerance.
+      ASSERT_EQ(parallel.data()[i], oracle.data()[i])
+          << "mismatch at flat index " << i << " with " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST_F(ColumnarAggTest, FeatureAggregatorParallelMatchesSerialOracle) {
+  ECommerceConfig cfg;
+  cfg.num_users = 80;
+  cfg.num_products = 20;
+  cfg.num_categories = 4;
+  cfg.horizon_days = 90;
+  Database db = MakeECommerceDb(cfg);
+  FeatureAggregatorOptions opts;
+  opts.value_aggs = FullAggVocabulary();
+  opts.count_distinct = true;
+  auto agg = FeatureAggregator::Build(db, "users", opts).value();
+  std::vector<int64_t> rows;
+  std::vector<Timestamp> cutoffs;
+  for (int64_t r = 0; r < cfg.num_users; ++r) {
+    rows.push_back(r);
+    cutoffs.push_back(Days(30 + (r % 50)));
+  }
+  const Tensor oracle = agg.ComputeSerial(rows, cutoffs);
+  for (int threads : {2, 8}) {
+    ThreadPool::SetNumThreadsForTesting(threads);
+    const Tensor parallel = agg.Compute(rows, cutoffs);
+    for (int64_t i = 0; i < oracle.rows() * oracle.cols(); ++i) {
+      ASSERT_EQ(parallel.data()[i], oracle.data()[i]) << "flat " << i;
+    }
+  }
+}
+
+// --------------------------------------------------- temporal leakage
+//
+// Property: a child row with t >= cutoff never contributes to any
+// aggregate at that cutoff. Harness: start from a truncated database
+// holding only pre-cutoff events, then stream the post-cutoff rows in via
+// shuffled ApplyAppend schedules (the PR 8 harness); features at the
+// cutoff must be bit-identical before and after every append schedule.
+
+TEST_F(ColumnarAggTest, NoTemporalLeakageAcrossShuffledAppendSchedules) {
+  const Timestamp cutoff = Days(40);
+  ECommerceConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_products = 15;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 80;
+  Database full = MakeECommerceDb(cfg);
+
+  // Rebuild the same world split at the cutoff: dimensions plus only the
+  // pre-cutoff fact rows.
+  auto split_db = [&]() {
+    Database db("truncated");
+    for (const char* dim : {"users", "categories", "products"}) {
+      const Table& src = full.table(dim);
+      Table* dst = db.AddTable(src.schema()).value();
+      for (int64_t r = 0; r < src.num_rows(); ++r) {
+        EXPECT_TRUE(dst->AppendRow(RowValues(src, r)).ok());
+      }
+    }
+    for (const char* fact : {"orders", "reviews"}) {
+      const Table& src = full.table(fact);
+      Table* dst = db.AddTable(src.schema()).value();
+      for (int64_t r = 0; r < src.num_rows(); ++r) {
+        if (src.RowTime(r) < cutoff) {
+          EXPECT_TRUE(dst->AppendRow(RowValues(src, r)).ok());
+        }
+      }
+    }
+    return db;
+  };
+
+  ColumnarAggOptions opts = FullOptions();
+  opts.windows = {Days(7), Days(30), Days(10000)};
+  Database truncated = split_db();
+  auto base_agg = ColumnarAggregator::Build(truncated, "users", opts).value();
+  std::vector<int64_t> rows(static_cast<size_t>(cfg.num_users));
+  std::iota(rows.begin(), rows.end(), 0);
+  std::vector<Timestamp> cutoffs(rows.size(), cutoff);
+  const Tensor clean = base_agg.ComputeSerial(rows, cutoffs);
+
+  Rng rng(117);
+  for (int schedule = 0; schedule < 4; ++schedule) {
+    Database db = split_db();
+    // Collect the post-cutoff rows and append them in shuffled order,
+    // split into several batches (valid: require_monotonic_time defaults
+    // off, and appends only reference existing dimension PKs).
+    std::vector<std::pair<std::string, int64_t>> pending;
+    for (const char* fact : {"orders", "reviews"}) {
+      const Table& src = full.table(fact);
+      for (int64_t r = 0; r < src.num_rows(); ++r) {
+        if (src.RowTime(r) >= cutoff) pending.emplace_back(fact, r);
+      }
+    }
+    ASSERT_FALSE(pending.empty());
+    for (size_t i = pending.size(); i > 1; --i) {
+      std::swap(pending[i - 1],
+                pending[static_cast<size_t>(rng.UniformInt(
+                    0, static_cast<int64_t>(i) - 1))]);
+    }
+    size_t applied = 0;
+    while (applied < pending.size()) {
+      AppendBatch batch;
+      const size_t n = std::min<size_t>(
+          static_cast<size_t>(1 + rng.UniformInt(0, 30)),
+          pending.size() - applied);
+      for (size_t i = 0; i < n; ++i) {
+        const auto& [tbl, row] = pending[applied + i];
+        batch.Add(tbl, RowValues(full.table(tbl), row));
+      }
+      applied += n;
+      ASSERT_TRUE(db.ApplyAppend(batch).ok());
+    }
+
+    auto agg = ColumnarAggregator::Build(db, "users", opts).value();
+    ASSERT_EQ(agg.dim(), base_agg.dim());
+    const Tensor after = agg.ComputeSerial(rows, cutoffs);
+    for (int64_t i = 0; i < clean.rows() * clean.cols(); ++i) {
+      ASSERT_EQ(after.data()[i], clean.data()[i])
+          << "schedule " << schedule << " leaked at flat index " << i;
+    }
+  }
+}
+
+// ------------------------------------------------------------ hybrid block
+
+TEST_F(ColumnarAggTest, HybridBlockIsZScoredAndPrefixed) {
+  ECommerceConfig cfg;
+  cfg.num_users = 50;
+  cfg.num_products = 15;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  auto block = BuildHybridAggBlock(db, "users", Days(45)).value();
+  ASSERT_EQ(block.features.rows(), cfg.num_users);
+  ASSERT_EQ(static_cast<int64_t>(block.feature_names.size()),
+            block.features.cols());
+  for (const auto& n : block.feature_names) {
+    EXPECT_EQ(n.rfind("agg.", 0), 0u) << n;
+  }
+  // Each non-constant column is centered with unit variance; constant
+  // columns are exactly 0. Everything is finite.
+  for (int64_t c = 0; c < block.features.cols(); ++c) {
+    double sum = 0.0, sum2 = 0.0;
+    for (int64_t r = 0; r < block.features.rows(); ++r) {
+      const double v = block.features.at(r, c);
+      ASSERT_TRUE(std::isfinite(v));
+      sum += v;
+      sum2 += v * v;
+    }
+    const double n = static_cast<double>(block.features.rows());
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4) << "column " << c;
+    if (var > 1e-6) EXPECT_NEAR(var, 1.0, 1e-2) << "column " << c;
+  }
+}
+
+TEST_F(ColumnarAggTest, HybridBlockAppendsToGraphNodeFeatures) {
+  ECommerceConfig cfg;
+  cfg.num_users = 30;
+  cfg.num_products = 10;
+  cfg.num_categories = 3;
+  cfg.horizon_days = 60;
+  Database db = MakeECommerceDb(cfg);
+  GraphBuilderOptions plain;
+  auto base = BuildDbGraph(db, plain).value();
+  GraphBuilderOptions hybrid;
+  hybrid.hybrid_blocks["users"] =
+      BuildHybridAggBlock(db, "users", Days(45)).value();
+  auto enriched = BuildDbGraph(db, hybrid).value();
+  const int64_t extra =
+      static_cast<int64_t>(hybrid.hybrid_blocks["users"].feature_names.size());
+  ASSERT_GT(extra, 0);
+  const auto& base_names = base.feature_names.at("users");
+  const auto& rich_names = enriched.feature_names.at("users");
+  ASSERT_EQ(rich_names.size(), base_names.size() + static_cast<size_t>(extra));
+  EXPECT_EQ(rich_names.back().rfind("agg.", 0), 0u);
+  const NodeTypeId type = enriched.type_of("users");
+  EXPECT_EQ(enriched.graph.node_features(type).cols(),
+            base.graph.node_features(base.type_of("users")).cols() + extra);
+  // Other tables are untouched.
+  EXPECT_EQ(enriched.feature_names.at("orders"),
+            base.feature_names.at("orders"));
+}
+
+// -------------------------------------------------------------- validation
+
+TEST_F(ColumnarAggTest, RejectsRecencyAsValueAggregate) {
+  Database db = MakeMiniDb();
+  ColumnarAggOptions opts;
+  opts.value_aggs = {ColumnarAgg::kRecency};
+  EXPECT_FALSE(ColumnarAggregator::Build(db, "users", opts).ok());
+}
+
+TEST_F(ColumnarAggTest, RejectsUnknownEntityTable) {
+  Database db = MakeMiniDb();
+  EXPECT_FALSE(ColumnarAggregator::Build(db, "ghost").ok());
+}
+
+}  // namespace
+}  // namespace relgraph

@@ -1,0 +1,149 @@
+// GBDT-specific tests, including the adjacent-float split-threshold
+// regression: the midpoint of two adjacent floats rounds (ties-to-even) to
+// the upper value, so a `<= threshold` partition on the midpoint sends
+// every row left and trips the non-degenerate-split invariant.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "baselines/gbdt.h"
+#include "core/rng.h"
+#include "train/metrics.h"
+
+namespace relgraph {
+namespace {
+
+std::vector<int64_t> Range(int64_t lo, int64_t hi) {
+  std::vector<int64_t> out(static_cast<size_t>(hi - lo));
+  std::iota(out.begin(), out.end(), lo);
+  return out;
+}
+
+/// XOR data — linearly inseparable, solvable by trees.
+void MakeXorData(int n, Tensor* x, std::vector<double>* y, uint64_t seed) {
+  Rng rng(seed);
+  *x = Tensor(n, 2);
+  y->resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-1, 1);
+    const double b = rng.Uniform(-1, 1);
+    x->at(i, 0) = static_cast<float>(a);
+    x->at(i, 1) = static_cast<float>(b);
+    (*y)[static_cast<size_t>(i)] = (a * b > 0) ? 1.0 : 0.0;
+  }
+}
+
+TEST(GbdtTest, SolvesXor) {
+  Tensor x;
+  std::vector<double> y;
+  MakeXorData(600, &x, &y, 61);
+  GbdtModel model;
+  ASSERT_TRUE(model
+                  .Fit(x, y, TaskKind::kBinaryClassification, Range(0, 400),
+                       Range(400, 500))
+                  .ok());
+  auto preds = model.Predict(x, Range(500, 600));
+  std::vector<double> truth(y.begin() + 500, y.end());
+  EXPECT_GT(RocAuc(preds, truth), 0.93);
+}
+
+TEST(GbdtTest, RegressionFitsStepFunction) {
+  Rng rng(71);
+  Tensor x(400, 1);
+  std::vector<double> y(400);
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.Uniform(-2, 2);
+    x.at(i, 0) = static_cast<float>(v);
+    y[static_cast<size_t>(i)] = v > 0.5 ? 3.0 : (v > -1.0 ? 1.0 : -2.0);
+  }
+  GbdtModel model;
+  ASSERT_TRUE(
+      model.Fit(x, y, TaskKind::kRegression, Range(0, 300), {}).ok());
+  auto preds = model.Predict(x, Range(300, 400));
+  std::vector<double> truth(y.begin() + 300, y.end());
+  EXPECT_LT(MeanAbsoluteError(preds, truth), 0.25);
+}
+
+TEST(GbdtTest, EarlyStoppingCapsTrees) {
+  // Pure-noise labels: validation loss cannot improve for long.
+  Rng rng(81);
+  Tensor x(200, 2);
+  std::vector<double> y(200);
+  for (int i = 0; i < 200; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.Normal(0, 1));
+    x.at(i, 1) = static_cast<float>(rng.Normal(0, 1));
+    y[static_cast<size_t>(i)] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  GbdtConfig cfg;
+  cfg.num_trees = 200;
+  cfg.patience = 5;
+  GbdtModel model(cfg);
+  ASSERT_TRUE(model
+                  .Fit(x, y, TaskKind::kBinaryClassification, Range(0, 100),
+                       Range(100, 200))
+                  .ok());
+  EXPECT_LT(model.num_trees_fit(), 100);
+}
+
+TEST(GbdtTest, RejectsUnsupportedTask) {
+  Tensor x(2, 1);
+  std::vector<double> y = {0, 1};
+  GbdtModel model;
+  EXPECT_FALSE(
+      model.Fit(x, y, TaskKind::kMulticlassClassification, {0, 1}, {}).ok());
+}
+
+TEST(GbdtTest, AdjacentFloatSplitDoesNotDegenerate) {
+  // Two adjacent floats: the float midpoint rounds up to the larger one,
+  // so a naive `(cur + nxt) * 0.5f` threshold with a `<=` partition puts
+  // every row on the left and aborts tree growth. The fixed code must
+  // split on `cur` instead and fit normally.
+  const float nxt = 2.0f;
+  const float cur = std::nextafter(nxt, 0.0f);
+  ASSERT_LT(cur, nxt);
+  ASSERT_EQ((cur + nxt) * 0.5f, nxt);  // documents the rounding hazard
+
+  Tensor x(40, 1);
+  std::vector<double> y(40);
+  for (int i = 0; i < 40; ++i) {
+    const bool upper = i % 2 == 0;
+    x.at(i, 0) = upper ? nxt : cur;
+    y[static_cast<size_t>(i)] = upper ? 1.0 : 0.0;
+  }
+  GbdtModel model;
+  ASSERT_TRUE(model.Fit(x, y, TaskKind::kRegression, Range(0, 40), {}).ok());
+  auto preds = model.Predict(x, Range(0, 40));
+  for (int i = 0; i < 40; ++i) {
+    const double expected = i % 2 == 0 ? 1.0 : 0.0;
+    EXPECT_NEAR(preds[static_cast<size_t>(i)], expected, 0.2) << "row " << i;
+  }
+}
+
+TEST(GbdtTest, AdjacentFloatSplitStaysOnLowerValue) {
+  // The stored threshold must be representable strictly below the upper
+  // value so the partition separates the two classes.
+  const float nxt = -3.5f;
+  const float cur = std::nextafter(nxt, -4.0f);
+  Tensor x(60, 2);
+  std::vector<double> y(60);
+  Rng rng(93);
+  for (int i = 0; i < 60; ++i) {
+    x.at(i, 0) = static_cast<float>(rng.Normal(0, 1));  // noise feature
+    const bool upper = i < 30;
+    x.at(i, 1) = upper ? nxt : cur;
+    y[static_cast<size_t>(i)] = upper ? 4.0 : -4.0;
+  }
+  GbdtModel model;
+  ASSERT_TRUE(model.Fit(x, y, TaskKind::kRegression, Range(0, 60), {}).ok());
+  auto preds = model.Predict(x, Range(0, 60));
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_GT(std::abs(preds[static_cast<size_t>(i)]), 1.0) << "row " << i;
+    EXPECT_EQ(preds[static_cast<size_t>(i)] > 0, i < 30) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace relgraph
