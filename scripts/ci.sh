@@ -14,7 +14,8 @@
 #   scripts/ci.sh all        # default full + nosimd + asan + tsan + chaos
 #
 # Test lanes are ctest labels (see tests/CMakeLists.txt): unit |
-# baselines | integration | serve | serve_mt | streaming | chaos | slow.
+# baselines | integration | serve | serve_mt | streaming | quant | chaos |
+# slow.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -37,6 +38,7 @@ case "$MODE" in
     run_preset default -L serve
     run_preset default -L serve_mt
     run_preset default -L streaming
+    run_preset default -L quant
     ;;
   full | default)
     run_preset default -L unit
@@ -44,6 +46,7 @@ case "$MODE" in
     run_preset default -L serve
     run_preset default -L serve_mt
     run_preset default -L streaming
+    run_preset default -L quant
     run_preset default -L chaos
     run_preset default -L integration
     run_preset default -L slow
@@ -67,7 +70,7 @@ case "$MODE" in
     for t in parallel_test observability_test tensor_test train_test \
              serve_test serve_resilience_test serve_coalesce_test \
              arena_test incremental_graph_test streaming_serve_test \
-             columnar_agg_test gbdt_test; do
+             columnar_agg_test gbdt_test quant_test; do
       TSAN_OPTIONS="halt_on_error=1" "build-tsan/tests/$t"
     done
     ;;

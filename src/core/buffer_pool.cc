@@ -65,6 +65,9 @@ std::vector<float> FloatBufferPool::Acquire(size_t n) {
       std::vector<float> buf = std::move(bins_[bin].back());
       bins_[bin].pop_back();
       pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      pooled_bytes_.fetch_sub(
+          static_cast<int64_t>(buf.capacity() * sizeof(float)),
+          std::memory_order_relaxed);
       RELGRAPH_POOL_UNPOISON(buf.data(), buf.capacity() * sizeof(float));
       return buf;
     }
@@ -91,6 +94,8 @@ void FloatBufferPool::Release(std::vector<float>&& buf) {
         RELGRAPH_POOL_POISON(buf.data(), cap * sizeof(float));
         bins_[bin].push_back(std::move(buf));
         released_.fetch_add(1, std::memory_order_relaxed);
+        pooled_bytes_.fetch_add(static_cast<int64_t>(cap * sizeof(float)),
+                                std::memory_order_relaxed);
         return;
       }
     }
@@ -108,6 +113,7 @@ FloatBufferPool::Stats FloatBufferPool::stats() const {
   s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
   s.released = released_.load(std::memory_order_relaxed);
   s.dropped = dropped_.load(std::memory_order_relaxed);
+  s.pooled_bytes = pooled_bytes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -116,9 +122,17 @@ void FloatBufferPool::Clear() {
   for (auto& bin : bins_) {
     for (auto& buf : bin) {
       RELGRAPH_POOL_UNPOISON(buf.data(), buf.capacity() * sizeof(float));
+      pooled_bytes_.fetch_sub(
+          static_cast<int64_t>(buf.capacity() * sizeof(float)),
+          std::memory_order_relaxed);
     }
     bin.clear();
   }
+}
+
+QuantBytesRegistry& QuantBytesRegistry::Global() {
+  static QuantBytesRegistry* reg = new QuantBytesRegistry();  // leaked
+  return *reg;
 }
 
 }  // namespace relgraph

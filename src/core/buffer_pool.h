@@ -41,6 +41,7 @@ class FloatBufferPool {
     int64_t pool_hits = 0;    ///< Acquire calls served from the pool.
     int64_t released = 0;     ///< buffers returned and kept for reuse
     int64_t dropped = 0;      ///< buffers freed (bin full or pool disabled)
+    int64_t pooled_bytes = 0; ///< bytes of idle buffers currently pooled
   };
 
   /// The shared process-wide pool (never destroyed, so tensors with static
@@ -87,6 +88,95 @@ class FloatBufferPool {
   std::atomic<int64_t> pool_hits_{0};
   std::atomic<int64_t> released_{0};
   std::atomic<int64_t> dropped_{0};
+  std::atomic<int64_t> pooled_bytes_{0};
+};
+
+/// The low-precision storage dtypes the memory accountant distinguishes.
+/// fp32 tensor storage is already covered by FloatBufferPool stats; these
+/// counters track the payload bytes of quantized/bf16 representations
+/// (node-feature matrices, packed int8 weights, encoded embedding-cache
+/// entries) so footprint wins are observable, not asserted.
+enum class QuantDtype : int { kInt8 = 0, kBf16 = 1 };
+
+/// Process-wide per-dtype bytes-resident registry. Quantized containers
+/// register their payload size on construction and deregister on
+/// destruction via ScopedQuantBytes; `resident()` is therefore the exact
+/// number of live low-precision payload bytes at any instant. All
+/// counters are relaxed atomics — cheap enough to leave always-on.
+class QuantBytesRegistry {
+ public:
+  static QuantBytesRegistry& Global();
+
+  void Add(QuantDtype d, int64_t bytes) {
+    resident_[static_cast<int>(d)].fetch_add(bytes,
+                                             std::memory_order_relaxed);
+  }
+  void Sub(QuantDtype d, int64_t bytes) {
+    resident_[static_cast<int>(d)].fetch_sub(bytes,
+                                             std::memory_order_relaxed);
+  }
+
+  /// Live payload bytes of the given dtype.
+  int64_t resident(QuantDtype d) const {
+    return resident_[static_cast<int>(d)].load(std::memory_order_relaxed);
+  }
+
+  /// Live payload bytes across all low-precision dtypes.
+  int64_t total_resident() const {
+    int64_t total = 0;
+    for (const auto& c : resident_) {
+      total += c.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  QuantBytesRegistry() = default;
+  std::atomic<int64_t> resident_[2]{};
+};
+
+/// RAII byte registration: holds `bytes` against one dtype's resident
+/// counter for its lifetime. Movable (transfer of ownership), not
+/// copyable; `Reset` re-registers after a payload is (re)built.
+class ScopedQuantBytes {
+ public:
+  ScopedQuantBytes() = default;
+  ScopedQuantBytes(QuantDtype d, int64_t bytes) : dtype_(d), bytes_(bytes) {
+    if (bytes_ > 0) QuantBytesRegistry::Global().Add(dtype_, bytes_);
+  }
+  ~ScopedQuantBytes() { Release(); }
+  ScopedQuantBytes(ScopedQuantBytes&& o) noexcept
+      : dtype_(o.dtype_), bytes_(o.bytes_) {
+    o.bytes_ = 0;
+  }
+  ScopedQuantBytes& operator=(ScopedQuantBytes&& o) noexcept {
+    if (this != &o) {
+      Release();
+      dtype_ = o.dtype_;
+      bytes_ = o.bytes_;
+      o.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedQuantBytes(const ScopedQuantBytes&) = delete;
+  ScopedQuantBytes& operator=(const ScopedQuantBytes&) = delete;
+
+  void Reset(QuantDtype d, int64_t bytes) {
+    Release();
+    dtype_ = d;
+    bytes_ = bytes;
+    if (bytes_ > 0) QuantBytesRegistry::Global().Add(dtype_, bytes_);
+  }
+
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  void Release() {
+    if (bytes_ > 0) QuantBytesRegistry::Global().Sub(dtype_, bytes_);
+    bytes_ = 0;
+  }
+  QuantDtype dtype_ = QuantDtype::kInt8;
+  int64_t bytes_ = 0;
 };
 
 }  // namespace relgraph

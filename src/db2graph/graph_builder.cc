@@ -48,6 +48,9 @@ Result<DbGraph> BuildDbGraph(const Database& db,
       out.feature_names[table->name()] = std::move(encoded.feature_names);
       RELGRAPH_RETURN_IF_ERROR(
           out.graph.SetNodeFeatures(type, std::move(encoded.features)));
+      if (options.quantize_features && out.graph.feature_dim(type) > 0) {
+        RELGRAPH_RETURN_IF_ERROR(out.graph.QuantizeNodeFeatures(type));
+      }
       if (table->schema().time_column()) {
         std::vector<Timestamp> times(static_cast<size_t>(table->num_rows()));
         for (int64_t r = 0; r < table->num_rows(); ++r) {

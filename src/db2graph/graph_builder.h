@@ -18,6 +18,14 @@ struct GraphBuilderOptions {
   /// passing can flow both ways (child→parent and parent→child).
   bool add_reverse_edges = true;
 
+  /// Stores every node-feature matrix int8-quantized (symmetric per-row
+  /// scales) instead of fp32, cutting feature-residency to roughly a
+  /// quarter. Serving-oriented: the encoder fits its statistics in fp32
+  /// as usual, then each table's matrix is quantized once and the fp32
+  /// payload dropped. Encoded features are finite by construction, so
+  /// quantization cannot fail on a clean build.
+  bool quantize_features = false;
+
   /// Degraded-mode build: dangling FK values are skipped (no edge) and
   /// counted into DbGraph::skipped_dangling_fks instead of aborting the
   /// conversion. Used when the engine accepts a database that failed

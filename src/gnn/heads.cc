@@ -13,6 +13,11 @@ VarPtr ClassificationHead::Forward(const VarPtr& embeddings) const {
   return mlp_->Forward(embeddings);
 }
 
+VarPtr ClassificationHead::ForwardWithPrecision(const VarPtr& embeddings,
+                                                Precision precision) const {
+  return mlp_->ForwardWithPrecision(embeddings, precision);
+}
+
 std::vector<VarPtr> ClassificationHead::Parameters() const {
   return mlp_->Parameters();
 }
@@ -24,6 +29,11 @@ ScalarHead::ScalarHead(int64_t in_dim, Rng* rng)
 
 VarPtr ScalarHead::Forward(const VarPtr& embeddings) const {
   return mlp_->Forward(embeddings);
+}
+
+VarPtr ScalarHead::ForwardWithPrecision(const VarPtr& embeddings,
+                                        Precision precision) const {
+  return mlp_->ForwardWithPrecision(embeddings, precision);
 }
 
 std::vector<VarPtr> ScalarHead::Parameters() const {

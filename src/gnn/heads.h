@@ -16,6 +16,10 @@ class ClassificationHead : public Module {
   /// [n × in_dim] embeddings -> [n × num_classes] logits.
   VarPtr Forward(const VarPtr& embeddings) const;
 
+  /// Inference-only forward with the head MLP at the given precision.
+  VarPtr ForwardWithPrecision(const VarPtr& embeddings,
+                              Precision precision) const;
+
   std::vector<VarPtr> Parameters() const override;
 
   int64_t num_classes() const { return mlp_->out_features(); }
@@ -31,6 +35,10 @@ class ScalarHead : public Module {
 
   /// [n × in_dim] embeddings -> [n × 1] scalars.
   VarPtr Forward(const VarPtr& embeddings) const;
+
+  /// Inference-only forward with the head MLP at the given precision.
+  VarPtr ForwardWithPrecision(const VarPtr& embeddings,
+                              Precision precision) const;
 
   std::vector<VarPtr> Parameters() const override;
 

@@ -84,8 +84,11 @@ VarPtr HeteroSageModel::Forward(const Subgraph& sg, NodeTypeId seed_type,
 
 VarPtr HeteroSageModel::ForwardOn(const HeteroGraph* graph,
                                   const Subgraph& sg, NodeTypeId seed_type,
-                                  Rng* rng, bool training) const {
+                                  Rng* rng, bool training,
+                                  Precision precision) const {
   RELGRAPH_CHECK(graph != nullptr);
+  RELGRAPH_CHECK(precision == Precision::kFp32 || !training)
+      << "low-precision forwards are inference-only";
   RELGRAPH_CHECK(static_cast<int64_t>(sg.blocks.size()) ==
                  config_.num_layers)
       << "subgraph depth " << sg.blocks.size() << " != model layers "
@@ -101,8 +104,8 @@ VarPtr HeteroSageModel::ForwardOn(const HeteroGraph* graph,
     const auto& cutoffs =
         sg.frontiers[deepest].cutoffs[static_cast<size_t>(t)];
     VarPtr x = ag::Constant(InputFeatures(graph, t, nodes, cutoffs));
-    VarPtr enc =
-        ag::Relu(encoders_[static_cast<size_t>(t)]->Forward(x));
+    VarPtr enc = ag::Relu(encoders_[static_cast<size_t>(t)]
+                              ->ForwardWithPrecision(x, precision));
     if (training && config_.dropout > 0.0f) {
       enc = ag::Dropout(enc, config_.dropout, rng, true);
     }
@@ -125,7 +128,8 @@ VarPtr HeteroSageModel::ForwardOn(const HeteroGraph* graph,
       // row view rather than a gathered copy.
       VarPtr self = ag::SliceRows(h[static_cast<size_t>(t)], 0, n);
       next_h[static_cast<size_t>(t)] =
-          layer.self[static_cast<size_t>(t)]->Forward(self);
+          layer.self[static_cast<size_t>(t)]->ForwardWithPrecision(
+              self, precision);
     }
     // Message terms per sampled block.
     for (const auto& block : sg.blocks[static_cast<size_t>(k)]) {
@@ -167,7 +171,8 @@ VarPtr HeteroSageModel::ForwardOn(const HeteroGraph* graph,
         }
       }
       VarPtr transformed =
-          layer.message[static_cast<size_t>(block.edge_type)]->Forward(agg);
+          layer.message[static_cast<size_t>(block.edge_type)]
+              ->ForwardWithPrecision(agg, precision);
       next_h[static_cast<size_t>(tgt_type)] =
           ag::Add(next_h[static_cast<size_t>(tgt_type)], transformed);
     }
@@ -195,7 +200,13 @@ Tensor HeteroSageModel::InputFeatures(
     const std::vector<Timestamp>& cutoffs) const {
   const int64_t n = static_cast<int64_t>(nodes.size());
   const Tensor& table_feats = graph->node_features(type);
-  const int64_t base_dim = table_feats.empty() ? 1 : table_feats.cols();
+  // Quantized storage must be checked before table_feats.empty(): a
+  // quantized type's fp32 tensor is deliberately empty, but the type is
+  // NOT featureless.
+  const bool quantized = graph->features_quantized(type);
+  const QuantizedTensor& qfeats = graph->node_qfeatures(type);
+  const int64_t base_dim =
+      quantized ? qfeats.cols() : (table_feats.empty() ? 1 : table_feats.cols());
   int64_t dim = base_dim;
   if (config_.time_encoding) dim += 2;
   const auto& out_edges = out_edge_types_[static_cast<size_t>(type)];
@@ -211,7 +222,13 @@ Tensor HeteroSageModel::InputFeatures(
     const int64_t node = nodes[static_cast<size_t>(i)];
     const Timestamp cutoff = cutoffs[static_cast<size_t>(i)];
     int64_t col = 0;
-    if (table_feats.empty()) {
+    if (quantized) {
+      // Dequant is scale * code, one rounding — deterministic regardless
+      // of thread schedule or SIMD build.
+      for (int64_t c = 0; c < base_dim; ++c) {
+        out.at(i, col++) = qfeats.Dequant(node, c);
+      }
+    } else if (table_feats.empty()) {
       out.at(i, col++) = 1.0f;
     } else {
       for (int64_t c = 0; c < base_dim; ++c) {

@@ -79,8 +79,16 @@ class HeteroSageModel : public Module {
   /// entry: concurrent readers each pass their own pinned snapshot's
   /// graph, so the model itself stays read-only and multiple forwards over
   /// different snapshot versions can run at once.
+  ///
+  /// `precision` selects the storage precision of every Linear in the
+  /// encoder (kFp32 is exactly the training forward; kBf16/kInt8 are
+  /// inference-only — `training` must be false). Node features stored
+  /// quantized on `graph` are dequantized per element regardless of
+  /// `precision` (feature storage and compute precision are independent
+  /// knobs).
   VarPtr ForwardOn(const HeteroGraph* graph, const Subgraph& sg,
-                   NodeTypeId seed_type, Rng* rng, bool training) const;
+                   NodeTypeId seed_type, Rng* rng, bool training,
+                   Precision precision = Precision::kFp32) const;
 
   std::vector<VarPtr> Parameters() const override;
 

@@ -54,6 +54,7 @@ Result<NodeTypeId> HeteroGraph::AddNodeType(const std::string& name,
   node_names_.push_back(name);
   num_nodes_.push_back(num_nodes);
   features_.push_back(std::make_shared<const Tensor>());
+  qfeatures_.push_back(std::make_shared<const QuantizedTensor>());
   node_times_.push_back(std::make_shared<const std::vector<Timestamp>>());
   return id;
 }
@@ -70,6 +71,32 @@ Status HeteroGraph::SetNodeFeatures(NodeTypeId type, Tensor features) {
         node_names_[type].c_str()));
   }
   features_[type] = std::make_shared<const Tensor>(std::move(features));
+  qfeatures_[type] = std::make_shared<const QuantizedTensor>();
+  return Status::OK();
+}
+
+Status HeteroGraph::QuantizeNodeFeatures(NodeTypeId type) {
+  if (type < 0 || type >= num_node_types()) {
+    return Status::OutOfRange("QuantizeNodeFeatures: bad node type id");
+  }
+  if (features_quantized(type)) return Status::OK();
+  const Tensor& feats = *features_[type];
+  if (feats.cols() == 0) {
+    return Status::InvalidArgument(
+        "QuantizeNodeFeatures: type '" + node_names_[type] +
+        "' has no features");
+  }
+  Result<QuantizedTensor> q = QuantizedTensor::FromTensor(feats);
+  if (!q.ok()) {
+    return Status::InvalidArgument(
+        "QuantizeNodeFeatures('" + node_names_[type] + "'): " +
+        std::string(q.status().message()));
+  }
+  qfeatures_[type] =
+      std::make_shared<const QuantizedTensor>(std::move(q).value());
+  // Drop the fp32 payload — the quantized copy is now the only resident
+  // representation (that is the memory saving).
+  features_[type] = std::make_shared<const Tensor>();
   return Status::OK();
 }
 
@@ -143,16 +170,18 @@ Status HeteroGraph::AppendNodes(NodeTypeId type, int64_t count,
     return Status::OK();
   }
   const Tensor& old_feats = *features_[type];
-  const bool has_features = old_feats.cols() > 0;
+  const bool quantized = features_quantized(type);
+  const int64_t dim = feature_dim(type);
+  const bool has_features = dim > 0;
   if (has_features) {
-    if (new_features.rows() != count || new_features.cols() != old_feats.cols()) {
+    if (new_features.rows() != count || new_features.cols() != dim) {
       return Status::InvalidArgument(StrFormat(
           "AppendNodes('%s'): feature block is %lldx%lld, want %lldx%lld",
           node_names_[type].c_str(),
           static_cast<long long>(new_features.rows()),
           static_cast<long long>(new_features.cols()),
           static_cast<long long>(count),
-          static_cast<long long>(old_feats.cols())));
+          static_cast<long long>(dim)));
     }
   } else if (!new_features.empty()) {
     return Status::InvalidArgument(
@@ -177,8 +206,21 @@ Status HeteroGraph::AppendNodes(NodeTypeId type, int64_t count,
         node_names_[type] + "'");
   }
 
-  if (has_features) {
-    const int64_t dim = old_feats.cols();
+  if (has_features && quantized) {
+    // Copy-on-write in quantized storage: clone the shared payload,
+    // quantize-append the new rows, publish the clone. Appended rows get
+    // the exact same per-row codes a from-scratch QuantizeNodeFeatures of
+    // the final table would produce (rows quantize independently).
+    QuantizedTensor grown = qfeatures_[type]->Clone();
+    Status appended = grown.AppendRows(new_features);
+    if (!appended.ok()) {
+      return Status::InvalidArgument(
+          "AppendNodes('" + node_names_[type] + "'): " +
+          std::string(appended.message()));
+    }
+    qfeatures_[type] =
+        std::make_shared<const QuantizedTensor>(std::move(grown));
+  } else if (has_features) {
     Tensor grown = Tensor::Zeros(old_n + count, dim);
     std::copy(old_feats.data(), old_feats.data() + old_n * dim,
               grown.data());
@@ -294,6 +336,19 @@ Result<EdgeTypeId> HeteroGraph::FindEdgeType(const std::string& name) const {
 int64_t HeteroGraph::TotalNodes() const {
   int64_t total = 0;
   for (int64_t n : num_nodes_) total += n;
+  return total;
+}
+
+int64_t HeteroGraph::FeatureBytes() const {
+  int64_t total = 0;
+  for (int32_t t = 0; t < num_node_types(); ++t) {
+    if (features_quantized(t)) {
+      total += qfeatures_[t]->bytes();
+    } else {
+      total += features_[t]->numel() *
+               static_cast<int64_t>(sizeof(float));
+    }
+  }
   return total;
 }
 

@@ -10,6 +10,7 @@
 
 #include "core/status.h"
 #include "core/time.h"
+#include "tensor/quantized.h"
 #include "tensor/tensor.h"
 
 namespace relgraph {
@@ -93,8 +94,18 @@ class HeteroGraph {
   /// Registers a node type; returns its id. Fails on duplicates.
   Result<NodeTypeId> AddNodeType(const std::string& name, int64_t num_nodes);
 
-  /// Attaches a feature matrix (num_nodes × d) to a node type.
+  /// Attaches a feature matrix (num_nodes × d) to a node type. Replaces
+  /// any quantized representation (the type goes back to fp32 storage).
   Status SetNodeFeatures(NodeTypeId type, Tensor features);
+
+  /// Converts a node type's fp32 feature matrix to symmetric per-row int8
+  /// storage and drops the fp32 payload (the memory saving is the point:
+  /// n+4 bytes per n-wide row instead of 4n). Opt-in, serving-oriented —
+  /// readers must check features_quantized() and go through
+  /// node_qfeatures(); feature_dim() stays correct either way. Fails with
+  /// a precise error on non-finite features; no-op if the type is already
+  /// quantized; InvalidArgument if it has no features.
+  Status QuantizeNodeFeatures(NodeTypeId type);
 
   /// Attaches per-node timestamps (size num_nodes).
   Status SetNodeTimes(NodeTypeId type, std::vector<Timestamp> times);
@@ -163,11 +174,31 @@ class HeteroGraph {
   NodeTypeId edge_src_type(EdgeTypeId e) const { return edge_src_[e]; }
   NodeTypeId edge_dst_type(EdgeTypeId e) const { return edge_dst_[e]; }
 
-  /// Feature matrix of a node type (empty tensor if unset).
+  /// Feature matrix of a node type (empty tensor if unset — including
+  /// when the type's features live in quantized storage; check
+  /// features_quantized() first on serving paths).
   const Tensor& node_features(NodeTypeId t) const { return *features_[t]; }
 
-  /// Feature width of a node type (0 if unset).
-  int64_t feature_dim(NodeTypeId t) const { return features_[t]->cols(); }
+  /// True when the type's features are stored int8-quantized.
+  bool features_quantized(NodeTypeId t) const {
+    return qfeatures_[t]->cols() > 0;
+  }
+
+  /// Quantized feature matrix of a node type (empty if not quantized).
+  const QuantizedTensor& node_qfeatures(NodeTypeId t) const {
+    return *qfeatures_[t];
+  }
+
+  /// Feature width of a node type (0 if unset), whichever storage holds it.
+  int64_t feature_dim(NodeTypeId t) const {
+    return features_quantized(t) ? qfeatures_[t]->cols()
+                                 : features_[t]->cols();
+  }
+
+  /// Bytes resident for node features across all types (fp32 payloads at
+  /// 4 bytes/element, quantized payloads at codes+scales) — the
+  /// numerator of the serve-side bytes-per-node gauge.
+  int64_t FeatureBytes() const;
 
   /// Timestamp of one node (kNoTimestamp when the type is static).
   Timestamp node_time(NodeTypeId t, int64_t node) const;
@@ -216,6 +247,7 @@ class HeteroGraph {
   // Shared immutable payloads: mutators publish replacements, never write
   // through these pointers.
   std::vector<std::shared_ptr<const Tensor>> features_;
+  std::vector<std::shared_ptr<const QuantizedTensor>> qfeatures_;
   std::vector<std::shared_ptr<const std::vector<Timestamp>>> node_times_;
 
   std::vector<std::string> edge_names_;

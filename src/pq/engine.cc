@@ -409,6 +409,10 @@ Result<ServePlan> PredictiveQueryEngine::CompileForServing(
   RELGRAPH_RETURN_IF_ERROR(ParseGnnOptions(parsed.model_options, options_,
                                            &plan.gnn, &plan.sampler, &tc));
   plan.seed = tc.seed;
+  RELGRAPH_ASSIGN_OR_RETURN(
+      plan.precision,
+      ParsePrecision(
+          ToLower(parsed.model_options.GetString("precision", "fp32"))));
   // One past the last recorded event: serving predicts "from now on", so
   // every event in the snapshot is legitimate input.
   plan.now_cutoff = db_->TimeRange().second + 1;

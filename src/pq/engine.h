@@ -39,6 +39,12 @@ struct ServePlan {
   /// Serving-time cutoff: one past the database's max event time, so
   /// every recorded event is visible to feature sampling.
   Timestamp now_cutoff = 0;
+
+  /// Numeric precision the InferenceEngine serves this query at
+  /// (WITH precision='fp32'|'bf16'|'int8'; default fp32). Like `seed`,
+  /// the plan's value overrides ServeOptions when an engine is built from
+  /// the plan; the RELGRAPH_PRECISION env var overrides both.
+  Precision precision = Precision::kFp32;
 };
 
 /// Everything a predictive query returns: the materialized task, the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <unordered_map>
@@ -62,6 +63,48 @@ inline void NoteShardSwap(double millis) {
 #else
   (void)millis;
 #endif
+}
+
+inline void NoteBytesPerNode(double bytes) {
+#ifndef RELGRAPH_NO_METRICS
+  if (!MetricsEnabled()) return;
+  static Gauge* gauge =
+      MetricsRegistry::Global().GetGauge("serve_bytes_per_node");
+  gauge->Set(bytes);
+#else
+  (void)bytes;
+#endif
+}
+
+// Snapshot feature residency per node — refreshed at every snapshot
+// publication and health probe so the gauge tracks quantization savings.
+double SnapshotBytesPerNode(const HeteroGraph* graph) {
+  const int64_t nodes = graph->TotalNodes();
+  if (nodes == 0) return 0.0;
+  return static_cast<double>(graph->FeatureBytes()) /
+         static_cast<double>(nodes);
+}
+
+// RELGRAPH_PRECISION beats the configured (options or plan) precision, so
+// CI lanes and operators can flip a serving binary to bf16/int8 without a
+// code or config change. An invalid value is loudly ignored rather than
+// fatal, mirroring RELGRAPH_FAULTS.
+Precision ResolvePrecision(Precision configured) {
+  const char* env = std::getenv("RELGRAPH_PRECISION");
+  if (env == nullptr || *env == '\0') return configured;
+  Result<Precision> parsed = ParsePrecision(env);
+  if (!parsed.ok()) {
+    RELGRAPH_LOG(Error) << "ignoring invalid RELGRAPH_PRECISION='" << env
+                        << "' (want fp32 | bf16 | int8)";
+    return configured;
+  }
+  if (parsed.value() != configured) {
+    RELGRAPH_LOG(Info) << "serving precision overridden by "
+                       << "RELGRAPH_PRECISION: "
+                       << PrecisionName(configured) << " -> "
+                       << PrecisionName(parsed.value());
+  }
+  return parsed.value();
 }
 
 // Once per process, on the first engine construction: arm fault sites from
@@ -143,6 +186,7 @@ InferenceEngine::InferenceEngine(const HeteroGraph* graph,
       subgraph_cache_(serve.subgraph_cache_capacity, num_shards_),
       embedding_cache_(serve.embedding_cache_capacity, num_shards_) {
   ArmChaosFromEnvOnce();
+  serve_.precision = ResolvePrecision(serve_.precision);
   RELGRAPH_CHECK(graph != nullptr);
   RELGRAPH_CHECK(kind_ != TaskKind::kRanking)
       << "InferenceEngine serves node-level (scalar) tasks only";
@@ -176,6 +220,7 @@ InferenceEngine::InferenceEngine(const HeteroGraph* graph,
         std::make_unique<ScalarHead>(gnn_.hidden_dim, &init_rng);
   }
   model_.store(std::shared_ptr<const ModelState>(std::move(state)));
+  NoteBytesPerNode(SnapshotBytesPerNode(graph));
 }
 
 InferenceEngine::InferenceEngine(std::shared_ptr<const HeteroGraph> graph,
@@ -207,6 +252,7 @@ InferenceEngine::InferenceEngine(const ServePlan& plan,
                       plan.now_cutoff, [&] {
                         ServeOptions s = serve;
                         s.seed = plan.seed;
+                        s.precision = plan.precision;
                         return s;
                       }()) {}
 
@@ -252,6 +298,25 @@ Status InferenceEngine::LoadCheckpoint(const std::string& path) {
   }
   if (bundle.scalars.size() != 3) {
     return Status::InvalidArgument("checkpoint scalar block malformed");
+  }
+  // Low-precision modes quantize the weights (per-column max-abs scales);
+  // one NaN or inf would poison a whole column's scale, so reject the
+  // checkpoint up front with a precise location instead of serving
+  // garbage. fp32 mode keeps the historical behavior (no scan).
+  if (serve_.precision != Precision::kFp32) {
+    for (size_t i = 0; i < bundle.tensors.size(); ++i) {
+      const Tensor& t = bundle.tensors[i];
+      const float* d = t.data();
+      for (int64_t j = 0; j < t.numel(); ++j) {
+        if (!std::isfinite(d[j])) {
+          return Status::InvalidArgument(
+              "checkpoint tensor " + std::to_string(i) +
+              " has a non-finite value at flat index " + std::to_string(j) +
+              "; " + PrecisionName(serve_.precision) +
+              " serving requires finite weights");
+        }
+      }
+    }
   }
   AssignParameterValues({next->model.get(), next->head()}, bundle.tensors);
   next->label_mean = bundle.scalars[0];
@@ -313,7 +378,8 @@ Tensor InferenceEngine::EmbedParts(const EngineSnapshot& snap,
   // snapshot's graph, never from the (possibly fresher) published one.
   const Subgraph sg = ConcatSubgraphs(snap.graph, parts);
   VarPtr emb = model.model->ForwardOn(snap.graph, sg, entity_type_,
-                                      /*rng=*/nullptr, /*training=*/false);
+                                      /*rng=*/nullptr, /*training=*/false,
+                                      serve_.precision);
   RELGRAPH_CHECK(emb->rows() == static_cast<int64_t>(parts.size()));
   return emb->value();
 }
@@ -385,12 +451,11 @@ Result<ScoreResponse> InferenceEngine::ScoreOnSnapshot(
     if (resp.row_flags[static_cast<size_t>(i)] != kRowResolved) continue;
     const int64_t id = entity_ids[static_cast<size_t>(i)];
     if (serve_.enable_embedding_cache) {
-      std::shared_ptr<const std::vector<float>> row;
+      std::shared_ptr<const EncodedEmbedding> row;
       const EmbeddingKey key{id, snap.version, model.epoch};
       if (embedding_cache_.Get(EntityShard(id, num_shards_), key, &row)) {
         RELGRAPH_COUNTER_INC("serve_embedding_cache_hits_total");
-        std::memcpy(&emb.at(i, 0), row->data(),
-                    sizeof(float) * static_cast<size_t>(hidden));
+        row->Decode(&emb.at(i, 0));
         continue;
       }
       RELGRAPH_COUNTER_INC("serve_embedding_cache_misses_total");
@@ -487,15 +552,21 @@ Result<ScoreResponse> InferenceEngine::ScoreOnSnapshot(
     for (size_t j = 0; j < batch_ids.size(); ++j) {
       const int64_t id = batch_ids[j];
       const float* src = batch_emb.data() + static_cast<int64_t>(j) * hidden;
+      // Canonicalize every fresh row through its storage encoding before
+      // BOTH use and caching: a later cache hit decodes the identical
+      // bytes this request saw, so scores stay bit-identical with caches
+      // on, off, or partially warm at any precision. fp32 encodes
+      // losslessly, keeping that mode byte-equal to the historical path.
+      EncodedEmbedding enc =
+          EncodedEmbedding::Encode(src, hidden, serve_.precision);
       for (int64_t i : rows_of.at(id)) {
-        std::memcpy(&emb.at(i, 0), src,
-                    sizeof(float) * static_cast<size_t>(hidden));
+        enc.Decode(&emb.at(i, 0));
       }
       if (serve_.enable_embedding_cache) {
-        auto row = std::make_shared<std::vector<float>>(src, src + hidden);
         const EmbeddingKey key{id, snap.version, model.epoch};
-        embedding_cache_.Put(EntityShard(id, num_shards_), key,
-                             std::move(row));
+        embedding_cache_.Put(
+            EntityShard(id, num_shards_), key,
+            std::make_shared<const EncodedEmbedding>(std::move(enc)));
       }
     }
   }
@@ -510,9 +581,12 @@ Result<ScoreResponse> InferenceEngine::ScoreOnSnapshot(
   // row-wise, so each score is still a pure per-entity function.
   // Unresolved rows hold zero embeddings here and are overwritten with
   // NaN below — they can never influence a resolved row.
-  VarPtr out = model.cls_head
-                   ? model.cls_head->Forward(ag::Constant(emb))
-                   : model.scalar_head->Forward(ag::Constant(emb));
+  VarPtr out =
+      model.cls_head
+          ? model.cls_head->ForwardWithPrecision(ag::Constant(emb),
+                                                 serve_.precision)
+          : model.scalar_head->ForwardWithPrecision(ag::Constant(emb),
+                                                    serve_.precision);
   resp.scores.reserve(static_cast<size_t>(n));
   const double nan = std::numeric_limits<double>::quiet_NaN();
   for (int64_t r = 0; r < n; ++r) {
@@ -715,6 +789,7 @@ Status InferenceEngine::AdvanceSnapshot(const HeteroGraph* graph,
   SetLastError(Status::OK());
   RELGRAPH_COUNTER_INC("serve_snapshot_advances_total");
   NoteStaleness(0.0);
+  NoteBytesPerNode(SnapshotBytesPerNode(graph));
   return Status::OK();
 }
 
@@ -768,7 +843,7 @@ void InferenceEngine::MigrateCachesForDelta(const EngineSnapshot& current,
     const int64_t model_epoch = model->epoch;
     embedding_cache_.MigrateShards(
         [&](const EmbeddingKey& key,
-            const std::shared_ptr<const std::vector<float>>& value,
+            const std::shared_ptr<const EncodedEmbedding>& value,
             EmbeddingKey* new_key) {
           (void)value;
           if (key.version != current.version ||
@@ -858,6 +933,7 @@ Status InferenceEngine::ApplyDelta(std::shared_ptr<const HeteroGraph> graph,
   RELGRAPH_COUNTER_INC("serve_snapshot_advances_total");
   RELGRAPH_COUNTER_INC("serve_delta_advances_total");
   NoteStaleness(0.0);
+  NoteBytesPerNode(SnapshotBytesPerNode(PinSnapshot()->graph));
   return Status::OK();
 }
 
@@ -900,7 +976,10 @@ ServeHealth InferenceEngine::HealthStatus() const {
   h.shard_swaps = embedding_cache_.swaps();
   h.coalesced_batches = coalesced_batches_.load(std::memory_order_relaxed);
   h.coalesced_rows = coalesced_rows_.load(std::memory_order_relaxed);
+  h.precision = serve_.precision;
+  h.bytes_per_node = SnapshotBytesPerNode(PinSnapshot()->graph);
   NoteStaleness(h.staleness_s);
+  NoteBytesPerNode(h.bytes_per_node);
   return h;
 }
 

@@ -102,6 +102,19 @@ struct ServeOptions {
   /// identical subgraphs for every entity.
   uint64_t seed = 1;
 
+  /// Numeric precision of the serving forward and embedding cache:
+  ///   fp32  exactly today's pipeline (scores byte-equal to the goldens);
+  ///   bf16  weights stored/applied as bf16, embeddings cached as bf16;
+  ///   int8  weights packed int8, embeddings cached as symmetric int8.
+  /// Overridden by the ServePlan's precision when the engine is built
+  /// from a plan, and by the RELGRAPH_PRECISION env var above both (so
+  /// chaos/serve lanes can exercise non-fp32 modes without code changes;
+  /// an invalid env value is loudly ignored). In every mode each freshly
+  /// computed embedding row is canonicalized through its storage encoding
+  /// before use, so cache hits, misses and disabled caches all see
+  /// identical bytes.
+  Precision precision = Precision::kFp32;
+
   // ---- resilience ------------------------------------------------------
 
   /// Admission control: at most `max_inflight` Score calls execute at
@@ -176,6 +189,10 @@ struct ServeHealth {
   int64_t shard_swaps = 0;        ///< embedding-cache epoch swaps so far
   int64_t coalesced_batches = 0;  ///< scheduler batches executed here
   int64_t coalesced_rows = 0;     ///< unique rows across those batches
+  Precision precision = Precision::kFp32;  ///< resolved serving precision
+  /// Snapshot feature residency divided by the snapshot's node count —
+  /// the serve_bytes_per_node gauge's current value.
+  double bytes_per_node = 0.0;
 };
 
 /// Point-in-time cache/traffic statistics of an InferenceEngine.
@@ -376,6 +393,10 @@ class InferenceEngine {
   const GnnConfig& gnn_config() const { return gnn_; }
   const ServeOptions& serve_options() const { return serve_; }
 
+  /// The resolved serving precision (options/plan value after the
+  /// RELGRAPH_PRECISION env override applied at construction).
+  Precision precision() const { return serve_.precision; }
+
   /// The per-seed sampling salt (engine seed ^ sampler-options
   /// fingerprint). Combined with an entity id and the current cutoff via
   /// ServingSeedFingerprint it keys cross-request subgraph dedup in the
@@ -570,7 +591,11 @@ class InferenceEngine {
   ShardedLruCache<SubgraphKey, std::shared_ptr<const Subgraph>,
                   SubgraphKeyHash>
       subgraph_cache_;
-  ShardedLruCache<EmbeddingKey, std::shared_ptr<const std::vector<float>>,
+  /// Values are stored at serve_.precision (EncodedEmbedding): fp32
+  /// encodes losslessly, bf16/int8 quarter-to-halve cache residency. The
+  /// scoring path canonicalizes every fresh row through Encode→Decode, so
+  /// hit and miss rows are byte-identical.
+  ShardedLruCache<EmbeddingKey, std::shared_ptr<const EncodedEmbedding>,
                   EmbeddingKeyHash>
       embedding_cache_;
 };

@@ -68,6 +68,44 @@ std::shared_ptr<const PackedMatrix> Linear::GetPackedWeight() const {
   return packed_;
 }
 
+std::shared_ptr<const PackedInt8Matrix> Linear::GetPackedInt8Weight() const {
+  std::lock_guard<std::mutex> lock(pack_mu_);
+  const int64_t v = weight_->value_version();
+  if (packed_int8_ == nullptr || packed_int8_version_ != v) {
+    Result<PackedInt8Matrix> pm = PackForMatMulInt8(weight_->value());
+    RELGRAPH_CHECK(pm.ok()) << "int8 weight packing failed: "
+                            << pm.status().message();
+    packed_int8_ = std::make_shared<const PackedInt8Matrix>(
+        std::move(pm).value());
+    packed_int8_version_ = v;
+  }
+  return packed_int8_;
+}
+
+std::shared_ptr<const Bf16Matrix> Linear::GetBf16Weight() const {
+  std::lock_guard<std::mutex> lock(pack_mu_);
+  const int64_t v = weight_->value_version();
+  if (bf16_ == nullptr || bf16_version_ != v) {
+    bf16_ = std::make_shared<const Bf16Matrix>(
+        Bf16FromTensor(weight_->value()));
+    bf16_version_ = v;
+  }
+  return bf16_;
+}
+
+VarPtr Linear::ForwardWithPrecision(const VarPtr& x,
+                                    Precision precision) const {
+  if (precision == Precision::kFp32) return Forward(x);
+  RELGRAPH_CHECK(x->cols() == in_features_)
+      << "Linear expected " << in_features_ << " features, got " << x->cols();
+  Tensor y = precision == Precision::kInt8
+                 ? MatMulInt8(x->value(), *GetPackedInt8Weight())
+                 : MatMulBf16(x->value(), *GetBf16Weight());
+  VarPtr out = ag::Constant(std::move(y));
+  if (bias_) out = ag::AddBias(out, bias_);
+  return out;
+}
+
 std::vector<VarPtr> Linear::Parameters() const {
   std::vector<VarPtr> ps = {weight_};
   if (bias_) ps.push_back(bias_);
@@ -116,6 +154,16 @@ VarPtr Mlp::Forward(const VarPtr& x, Rng* rng, bool training) const {
         h = ag::Dropout(h, dropout_, rng, true);
       }
     }
+  }
+  return h;
+}
+
+VarPtr Mlp::ForwardWithPrecision(const VarPtr& x, Precision precision) const {
+  if (precision == Precision::kFp32) return Forward(x);
+  VarPtr h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->ForwardWithPrecision(h, precision);
+    if (i + 1 < layers_.size()) h = ag::Relu(h);
   }
   return h;
 }

@@ -8,6 +8,7 @@
 
 #include "core/rng.h"
 #include "tensor/autograd.h"
+#include "tensor/quantized.h"
 
 namespace relgraph {
 
@@ -49,6 +50,13 @@ class Linear : public Module {
 
   VarPtr Forward(const VarPtr& x) const;
 
+  /// Inference-only forward at a chosen storage precision. kFp32 is
+  /// exactly Forward(x); kInt8/kBf16 run the quantized GEMMs against
+  /// version-cached packed weights and return a constant (no autograd
+  /// tape — low-precision forwards never train). Weights must be finite
+  /// for non-fp32 modes (the serving loader validates checkpoints).
+  VarPtr ForwardWithPrecision(const VarPtr& x, Precision precision) const;
+
   std::vector<VarPtr> Parameters() const override;
 
   int64_t in_features() const { return in_features_; }
@@ -62,6 +70,13 @@ class Linear : public Module {
   /// mutable_value). Thread-safe; concurrent forwards share one packing.
   std::shared_ptr<const PackedMatrix> GetPackedWeight() const;
 
+  /// The weight quantized per column and packed for the int8 GEMM, behind
+  /// the same value_version invalidation as GetPackedWeight.
+  std::shared_ptr<const PackedInt8Matrix> GetPackedInt8Weight() const;
+
+  /// The weight stored as bf16, same invalidation discipline.
+  std::shared_ptr<const Bf16Matrix> GetBf16Weight() const;
+
  private:
   int64_t in_features_;
   int64_t out_features_;
@@ -71,6 +86,10 @@ class Linear : public Module {
   mutable std::mutex pack_mu_;
   mutable std::shared_ptr<const PackedMatrix> packed_;
   mutable int64_t packed_version_ = -1;
+  mutable std::shared_ptr<const PackedInt8Matrix> packed_int8_;
+  mutable int64_t packed_int8_version_ = -1;
+  mutable std::shared_ptr<const Bf16Matrix> bf16_;
+  mutable int64_t bf16_version_ = -1;
 };
 
 /// Learnable lookup table mapping integer ids to dense rows.
@@ -122,6 +141,10 @@ class Mlp : public Module {
 
   /// Inference-mode forward.
   VarPtr Forward(const VarPtr& x) const { return Forward(x, nullptr, false); }
+
+  /// Inference-only forward with every Linear at the given precision
+  /// (activations between layers stay fp32).
+  VarPtr ForwardWithPrecision(const VarPtr& x, Precision precision) const;
 
   std::vector<VarPtr> Parameters() const override;
 

@@ -94,6 +94,78 @@ void PackB(const float* B, int64_t k, int64_t n, float* packed) {
   }
 }
 
+// ------------------------------------------------------------------
+// Shared low-precision pieces. Quantization and bf16 conversion are
+// plain scalar code compiled identically in both builds, so the two
+// builds cannot disagree about a single stored byte.
+
+void QuantizeRowRef(const float* x, int64_t n, int8_t* q, float* scale) {
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > max_abs) max_abs = a;
+  }
+  if (max_abs == 0.0f) {
+    *scale = 0.0f;
+    std::memset(q, 0, static_cast<size_t>(n));
+    return;
+  }
+  const float inv = 127.0f / max_abs;
+  for (int64_t i = 0; i < n; ++i) {
+    long v = std::lrintf(x[i] * inv);
+    if (v > 127) v = 127;
+    if (v < -127) v = -127;
+    q[i] = static_cast<int8_t>(v);
+  }
+  *scale = max_abs / 127.0f;
+}
+
+uint16_t Bf16FromF32(float x) {
+  const uint32_t u = std::bit_cast<uint32_t>(x);
+  if ((u & 0x7F800000u) == 0x7F800000u && (u & 0x007FFFFFu) != 0u) {
+    // Quiet the NaN so truncation can't produce an infinity bit pattern.
+    return static_cast<uint16_t>((u >> 16) | 0x0040u);
+  }
+  // Round-to-nearest-even on the truncated 16 mantissa bits.
+  return static_cast<uint16_t>((u + 0x7FFFu + ((u >> 16) & 1u)) >> 16);
+}
+
+float F32FromBf16(uint16_t h) {
+  return std::bit_cast<float>(static_cast<uint32_t>(h) << 16);
+}
+
+namespace {
+
+inline int64_t PadEven(int64_t k) { return (k + 1) & ~int64_t{1}; }
+
+}  // namespace
+
+int64_t PackedSizeInt8(int64_t k, int64_t n) {
+  const int64_t panels = (n + kPanelWidth - 1) / kPanelWidth;
+  return panels * kPanelWidth * PadEven(k);
+}
+
+void PackBInt8(const int8_t* B, int64_t k, int64_t n, int16_t* packed) {
+  const int64_t panels = (n + kPanelWidth - 1) / kPanelWidth;
+  const int64_t k_pad = PadEven(k);
+  for (int64_t jp = 0; jp < panels; ++jp) {
+    const int64_t j0 = jp * kPanelWidth;
+    const int64_t w = std::min(kPanelWidth, n - j0);
+    int16_t* panel = packed + jp * kPanelWidth * k_pad;
+    for (int64_t kp = 0; kp < k_pad / 2; ++kp) {
+      int16_t* dst = panel + kp * 2 * kPanelWidth;
+      for (int64_t j = 0; j < kPanelWidth; ++j) {
+        for (int64_t e = 0; e < 2; ++e) {
+          const int64_t p = 2 * kp + e;
+          dst[2 * j + e] = (j < w && p < k)
+                               ? static_cast<int16_t>(B[p * n + j0 + j])
+                               : int16_t{0};
+        }
+      }
+    }
+  }
+}
+
 #if defined(RELGRAPH_KERN_AVX2)
 
 // ===================================================== AVX2 build
@@ -441,6 +513,165 @@ void GemmATRowChunk(const float* A, const float* B, float* O, int64_t i0,
   }
 }
 
+namespace {
+
+// R output rows of the int8 GEMM. Accumulation is exact int32 (madd of
+// |q| <= 127 int16 pairs cannot overflow int16*int16 products, and the
+// running sum stays below 2^31 for k <= kInt8MaxK), so lane order is
+// numerically irrelevant; only the dequant multiply rounds, and it
+// follows the contract (sa*sb rounded once, then times float(acc)).
+template <int R>
+inline void Int8Rows(const int16_t* A16, const float* a_scales,
+                     const int16_t* packed, const float* b_scales, float* O,
+                     int64_t i, int64_t k, int64_t n) {
+  const int64_t k_pad = (k + 1) & ~int64_t{1};
+  const int64_t panels = (n + kPanelWidth - 1) / kPanelWidth;
+  const int64_t kp_count = k_pad / 2;
+  const int16_t* a[R];
+  for (int r = 0; r < R; ++r) a[r] = A16 + (i + r) * k_pad;
+  for (int64_t jp = 0; jp < panels; ++jp) {
+    const int64_t j0 = jp * kPanelWidth;
+    const int64_t w = std::min(kPanelWidth, n - j0);
+    const int16_t* panel = packed + jp * kPanelWidth * k_pad;
+    __m256i acc0[R], acc1[R];
+    for (int r = 0; r < R; ++r) {
+      acc0[r] = _mm256_setzero_si256();
+      acc1[r] = _mm256_setzero_si256();
+    }
+    for (int64_t kp = 0; kp < kp_count; ++kp) {
+      const int16_t* brow = panel + kp * 2 * kPanelWidth;
+      const __m256i b0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow));
+      const __m256i b1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(brow + 16));
+      for (int r = 0; r < R; ++r) {
+        // The two adjacent int16 codes ARE the madd operand pair in
+        // little-endian memory — broadcast them with one vpbroadcastd
+        // load instead of assembling the pair in scalar registers.
+        int32_t pair;
+        std::memcpy(&pair, a[r] + 2 * kp, sizeof(pair));
+        const __m256i va = _mm256_set1_epi32(pair);
+        acc0[r] = _mm256_add_epi32(acc0[r], _mm256_madd_epi16(va, b0));
+        acc1[r] = _mm256_add_epi32(acc1[r], _mm256_madd_epi16(va, b1));
+      }
+    }
+    if (w == kPanelWidth) {
+      const __m256 sb0 = _mm256_loadu_ps(b_scales + j0);
+      const __m256 sb1 = _mm256_loadu_ps(b_scales + j0 + 8);
+      for (int r = 0; r < R; ++r) {
+        const __m256 sa = _mm256_set1_ps(a_scales[i + r]);
+        float* orow = O + (i + r) * n + j0;
+        _mm256_storeu_ps(orow, _mm256_mul_ps(_mm256_mul_ps(sa, sb0),
+                                             _mm256_cvtepi32_ps(acc0[r])));
+        _mm256_storeu_ps(orow + 8,
+                         _mm256_mul_ps(_mm256_mul_ps(sa, sb1),
+                                       _mm256_cvtepi32_ps(acc1[r])));
+      }
+    } else {
+      // Ragged last panel: spill the exact int32 sums and dequantize the
+      // live columns with the identical scalar expression.
+      alignas(32) int32_t tmp[kPanelWidth];
+      for (int r = 0; r < R; ++r) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(tmp), acc0[r]);
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(tmp + 8), acc1[r]);
+        const float sa = a_scales[i + r];
+        float* orow = O + (i + r) * n + j0;
+        for (int64_t c = 0; c < w; ++c) {
+          orow[c] = (sa * b_scales[j0 + c]) * static_cast<float>(tmp[c]);
+        }
+      }
+    }
+  }
+}
+
+// Expands 8 bf16 values starting at p to fp32 lanes (exact bit shift).
+inline __m256 LoadBf16x8(const uint16_t* p) {
+  const __m128i h =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  return _mm256_castsi256_ps(
+      _mm256_slli_epi32(_mm256_cvtepu16_epi32(h), 16));
+}
+
+template <int R>
+inline void Bf16TailCols(const float* A, const uint16_t* B16, float* O,
+                         int64_t i, int64_t j0, int64_t k, int64_t n) {
+  for (int64_t j = j0; j < n; ++j) {
+    float acc[R] = {};
+    for (int64_t p = 0; p < k; ++p) {
+      const float bv = F32FromBf16(B16[p * n + j]);
+      for (int r = 0; r < R; ++r) acc[r] += A[(i + r) * k + p] * bv;
+    }
+    for (int r = 0; r < R; ++r) O[(i + r) * n + j] = acc[r];
+  }
+}
+
+template <int R>
+inline void Bf16Rows(const float* A, const uint16_t* B16, float* O,
+                     int64_t i, int64_t k, int64_t n) {
+  const float* a[R];
+  for (int r = 0; r < R; ++r) a[r] = A + (i + r) * k;
+  int64_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const uint16_t* bbase = B16 + j;
+    __m256 acc0[R], acc1[R];
+    for (int r = 0; r < R; ++r) {
+      acc0[r] = _mm256_setzero_ps();
+      acc1[r] = _mm256_setzero_ps();
+    }
+    for (int64_t p = 0; p < k; ++p) {
+      const uint16_t* bp = bbase + p * n;
+      const __m256 b0 = LoadBf16x8(bp);
+      const __m256 b1 = LoadBf16x8(bp + 8);
+      for (int r = 0; r < R; ++r) {
+        const __m256 va = _mm256_set1_ps(a[r][p]);
+        acc0[r] = _mm256_add_ps(acc0[r], _mm256_mul_ps(va, b0));
+        acc1[r] = _mm256_add_ps(acc1[r], _mm256_mul_ps(va, b1));
+      }
+    }
+    for (int r = 0; r < R; ++r) {
+      float* orow = O + (i + r) * n + j;
+      _mm256_storeu_ps(orow, acc0[r]);
+      _mm256_storeu_ps(orow + 8, acc1[r]);
+    }
+  }
+  if (j < n) Bf16TailCols<R>(A, B16, O, i, j, k, n);
+}
+
+}  // namespace
+
+void Int8GemmPackedRowChunk(const int16_t* A16, const float* a_scales,
+                            const int16_t* packed_b, const float* b_scales,
+                            float* O, int64_t i0, int64_t i1, int64_t k,
+                            int64_t n) {
+  // Six-row main tile: 12 ymm accumulators + 2 B panels + 1 broadcast
+  // stays within the 16-register budget while amortizing each streamed B
+  // panel over 6 output rows (B traffic dominates at serving shapes).
+  int64_t i = i0;
+  for (; i + 6 <= i1; i += 6) {
+    Int8Rows<6>(A16, a_scales, packed_b, b_scales, O, i, k, n);
+  }
+  switch (i1 - i) {
+    case 5: Int8Rows<5>(A16, a_scales, packed_b, b_scales, O, i, k, n); break;
+    case 4: Int8Rows<4>(A16, a_scales, packed_b, b_scales, O, i, k, n); break;
+    case 3: Int8Rows<3>(A16, a_scales, packed_b, b_scales, O, i, k, n); break;
+    case 2: Int8Rows<2>(A16, a_scales, packed_b, b_scales, O, i, k, n); break;
+    case 1: Int8Rows<1>(A16, a_scales, packed_b, b_scales, O, i, k, n); break;
+    default: break;
+  }
+}
+
+void Bf16GemmRowChunk(const float* A, const uint16_t* B16, float* O,
+                      int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  int64_t i = i0;
+  for (; i + 4 <= i1; i += 4) Bf16Rows<4>(A, B16, O, i, k, n);
+  switch (i1 - i) {
+    case 3: Bf16Rows<3>(A, B16, O, i, k, n); break;
+    case 2: Bf16Rows<2>(A, B16, O, i, k, n); break;
+    case 1: Bf16Rows<1>(A, B16, O, i, k, n); break;
+    default: break;
+  }
+}
+
 void ExpShiftedRow(float* out, const float* x, float shift, int64_t n) {
   const __m256 vshift = _mm256_set1_ps(shift);
   int64_t i = 0;
@@ -621,6 +852,83 @@ void GemmATRowChunk(const float* A, const float* B, float* O, int64_t i0,
       const float av = arow[i];
       float* orow = O + i * n;
       for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void Int8GemmPackedRowChunk(const int16_t* A16, const float* a_scales,
+                            const int16_t* packed_b, const float* b_scales,
+                            float* O, int64_t i0, int64_t i1, int64_t k,
+                            int64_t n) {
+  // Integer accumulation is exact, so this plain loop matches the AVX2
+  // madd path bit for bit regardless of order; the packed layout is read
+  // identically (pairs of inner-dim rows, column-interleaved).
+  const int64_t k_pad = (k + 1) & ~int64_t{1};
+  const int64_t panels = (n + kPanelWidth - 1) / kPanelWidth;
+  const int64_t kp_count = k_pad / 2;
+  for (int64_t i = i0; i < i1; ++i) {
+    const int16_t* arow = A16 + i * k_pad;
+    const float sa = a_scales[i];
+    float* orow = O + i * n;
+    for (int64_t jp = 0; jp < panels; ++jp) {
+      const int64_t j0 = jp * kPanelWidth;
+      const int64_t w = std::min(kPanelWidth, n - j0);
+      const int16_t* panel = packed_b + jp * kPanelWidth * k_pad;
+      int32_t acc[kPanelWidth] = {};
+      for (int64_t kp = 0; kp < kp_count; ++kp) {
+        const int32_t a0 = arow[2 * kp];
+        const int32_t a1 = arow[2 * kp + 1];
+        const int16_t* brow = panel + kp * 2 * kPanelWidth;
+        for (int64_t j = 0; j < kPanelWidth; ++j) {
+          acc[j] += a0 * brow[2 * j] + a1 * brow[2 * j + 1];
+        }
+      }
+      for (int64_t c = 0; c < w; ++c) {
+        orow[j0 + c] = (sa * b_scales[j0 + c]) * static_cast<float>(acc[c]);
+      }
+    }
+  }
+}
+
+void Bf16GemmRowChunk(const float* A, const uint16_t* B16, float* O,
+                      int64_t i0, int64_t i1, int64_t k, int64_t n) {
+  // Same shape as GemmRowChunk: four accumulating output rows per sweep,
+  // expanding each bf16 element exactly before the contractual
+  // round(a*b)-then-add in ascending p. O rows must be pre-zeroed.
+  for (int64_t jb = 0; jb < n; jb += kBlockJ) {
+    const int64_t je = std::min(n, jb + kBlockJ);
+    int64_t i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      const float* a0 = A + i * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      float* o0 = O + i * n;
+      float* o1 = o0 + n;
+      float* o2 = o1 + n;
+      float* o3 = o2 + n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+        const uint16_t* brow = B16 + p * n;
+        for (int64_t j = jb; j < je; ++j) {
+          const float bv = F32FromBf16(brow[j]);
+          o0[j] += v0 * bv;
+          o1[j] += v1 * bv;
+          o2[j] += v2 * bv;
+          o3[j] += v3 * bv;
+        }
+      }
+    }
+    for (; i < i1; ++i) {
+      const float* arow = A + i * k;
+      float* orow = O + i * n;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        const uint16_t* brow = B16 + p * n;
+        for (int64_t j = jb; j < je; ++j) {
+          orow[j] += av * F32FromBf16(brow[j]);
+        }
+      }
     }
   }
 }

@@ -101,6 +101,69 @@ int64_t PackedSize(int64_t k, int64_t n);
 /// zero-padding the last panel. Output must hold PackedSize(k, n) floats.
 void PackB(const float* B, int64_t k, int64_t n, float* packed);
 
+// ------------------------------------------------- low-precision kernels
+//
+// Quantized/bf16 storage paths for the million-node regime. Same
+// bit-identity discipline as the fp32 kernels:
+//
+//  - int8 GEMM accumulates in **exact int32 arithmetic** (|q| <= 127, so
+//    k * 127^2 < 2^31 for k <= kInt8MaxK), making the accumulation order
+//    irrelevant — the AVX2 madd path and the scalar twin agree trivially.
+//    The dequant step is contractual: O[i][j] = (sa[i]*sb[j]) rounded
+//    once, then multiplied by float(acc) (int32→float is exact RNE in
+//    both builds).
+//  - bf16 GEMM expands bf16→fp32 exactly (bit shift) and then follows the
+//    fp32 ascending-p mul-then-add contract.
+//  - Quantize/encode helpers are shared scalar code, compiled identically
+//    in both builds.
+
+/// Largest inner dimension for which the int8 accumulator cannot overflow
+/// int32 (k * 127 * 127 < 2^31).
+constexpr int64_t kInt8MaxK = (int64_t{1} << 31) / (127 * 127) - 1;
+
+/// Symmetric per-row quantization of one row: scale = max|x| / 127,
+/// q[i] = clamp(lrintf(x[i] * (127 / max|x|)), -127, 127) (round to
+/// nearest, ties to even — the default rounding mode). An all-zero row gets
+/// scale = 0 and all-zero codes (dequantizes to exact zeros). Inputs must
+/// be finite — callers validate; see QuantizedTensor::FromTensor.
+void QuantizeRowRef(const float* x, int64_t n, int8_t* q, float* scale);
+
+/// bf16 round-to-nearest-even truncation of an fp32 value; NaN is quieted
+/// to a canonical bf16 NaN so the conversion is total.
+uint16_t Bf16FromF32(float x);
+
+/// Exact bf16 → fp32 expansion (bit shift; no rounding).
+float F32FromBf16(uint16_t h);
+
+/// int16 units needed to pack an int8 k×n matrix for Int8GemmPackedRowChunk:
+/// whole 16-column panels over k rounded up to an even count.
+int64_t PackedSizeInt8(int64_t k, int64_t n);
+
+/// Packs int8 B(k×n) into pre-widened int16 panels of kPanelWidth columns.
+/// Panel jp covers columns [jp*16, jp*16+16); within a panel, inner-dim
+/// pairs kp cover rows {2kp, 2kp+1} (the last pair zero-padded when k is
+/// odd), stored column-interleaved: packed[jp*16*k_pad + kp*32 + 2*j + e]
+/// = B[2kp+e][jp*16+j]. This is exactly the operand order the AVX2
+/// madd_epi16 path consumes; the scalar twin reads the same layout.
+void PackBInt8(const int8_t* B, int64_t k, int64_t n, int16_t* packed);
+
+/// Output rows [i0, i1) of the int8 GEMM with fused dequantization:
+/// O[i][j] = (a_scales[i] * b_scales[j]) * float(sum_p qa[i][p]*qb[p][j]).
+/// A16 is the row-major activation matrix pre-widened to int16 with rows
+/// zero-padded to k_pad = k rounded up to even; packed_b is the
+/// PackBInt8 layout. Integer accumulation is exact, so the result is
+/// bit-identical across builds and thread counts by construction.
+void Int8GemmPackedRowChunk(const int16_t* A16, const float* a_scales,
+                            const int16_t* packed_b, const float* b_scales,
+                            float* O, int64_t i0, int64_t i1, int64_t k,
+                            int64_t n);
+
+/// Output rows [i0, i1) of A(m×k, fp32) @ B16(k×n, bf16): each B element
+/// is expanded to fp32 exactly, then the fp32 GEMM contract applies
+/// (round(a*b) then add, ascending p).
+void Bf16GemmRowChunk(const float* A, const uint16_t* B16, float* O,
+                      int64_t i0, int64_t i1, int64_t k, int64_t n);
+
 // ----------------------------------------------------- dot-product contract
 
 /// The MatMulBT per-output contract: eight float lane sums over k,
